@@ -1,0 +1,161 @@
+//! Asynchronous model jobs.
+//!
+//! "A call to the topology modelling endpoints may incur a wait (up to
+//! several seconds, depending on the modelling logic). Therefore, it is
+//! prudent to let the API be asynchronous" (paper §III-A). A job is a
+//! closure executed on a worker pool; clients receive an id immediately
+//! and poll for the result.
+
+use crate::json::Value;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The lifecycle of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Queued or running.
+    Pending,
+    /// Finished successfully with a JSON result.
+    Done(Value),
+    /// Failed with an error message.
+    Failed(String),
+}
+
+type Task = Box<dyn FnOnce() -> Result<Value, String> + Send>;
+
+/// A worker pool executing jobs and a store of their states.
+pub struct JobRunner {
+    next_id: AtomicU64,
+    states: Arc<Mutex<HashMap<u64, JobState>>>,
+    tx: Sender<(u64, Task)>,
+}
+
+impl std::fmt::Debug for JobRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRunner")
+            .field("jobs", &self.states.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobRunner {
+    /// Starts a runner with `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = unbounded::<(u64, Task)>();
+        let states: Arc<Mutex<HashMap<u64, JobState>>> = Arc::new(Mutex::new(HashMap::new()));
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let states = Arc::clone(&states);
+            std::thread::spawn(move || {
+                while let Ok((id, task)) = rx.recv() {
+                    let outcome = match task() {
+                        Ok(value) => JobState::Done(value),
+                        Err(message) => JobState::Failed(message),
+                    };
+                    states.lock().insert(id, outcome);
+                }
+            });
+        }
+        Self {
+            next_id: AtomicU64::new(1),
+            states,
+            tx,
+        }
+    }
+
+    /// Submits a job; returns its id immediately.
+    pub fn submit(&self, task: impl FnOnce() -> Result<Value, String> + Send + 'static) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.states.lock().insert(id, JobState::Pending);
+        self.tx
+            .send((id, Box::new(task)))
+            .expect("workers outlive the runner");
+        id
+    }
+
+    /// Polls a job's state.
+    pub fn state(&self, id: u64) -> Option<JobState> {
+        self.states.lock().get(&id).cloned()
+    }
+
+    /// Blocks until the job completes (testing convenience).
+    pub fn wait(&self, id: u64) -> Option<JobState> {
+        loop {
+            match self.state(id) {
+                Some(JobState::Pending) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                other => return other,
+            }
+        }
+    }
+
+    /// Number of tracked jobs.
+    pub fn len(&self) -> usize {
+        self.states.lock().len()
+    }
+
+    /// True when no jobs were ever submitted.
+    pub fn is_empty(&self) -> bool {
+        self.states.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_poll() {
+        let runner = JobRunner::new(2);
+        assert!(runner.is_empty());
+        let id = runner.submit(|| Ok(Value::Number(42.0)));
+        let state = runner.wait(id).unwrap();
+        assert_eq!(state, JobState::Done(Value::Number(42.0)));
+        assert_eq!(runner.len(), 1);
+    }
+
+    #[test]
+    fn failures_captured() {
+        let runner = JobRunner::new(1);
+        let id = runner.submit(|| Err("boom".into()));
+        assert_eq!(runner.wait(id), Some(JobState::Failed("boom".into())));
+    }
+
+    #[test]
+    fn unknown_job_is_none() {
+        let runner = JobRunner::new(1);
+        assert_eq!(runner.state(999), None);
+        assert_eq!(runner.wait(999), None);
+    }
+
+    #[test]
+    fn ids_are_unique_and_concurrent_jobs_complete() {
+        let runner = Arc::new(JobRunner::new(4));
+        let ids: Vec<u64> = (0..20)
+            .map(|i| runner.submit(move || Ok(Value::Number(f64::from(i)))))
+            .collect();
+        let distinct: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 20);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                runner.wait(*id),
+                Some(JobState::Done(Value::Number(i as f64)))
+            );
+        }
+    }
+
+    #[test]
+    fn pending_visible_while_running() {
+        let runner = JobRunner::new(1);
+        let blocker = runner.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            Ok(Value::Null)
+        });
+        let queued = runner.submit(|| Ok(Value::Null));
+        assert_eq!(runner.state(queued), Some(JobState::Pending));
+        runner.wait(blocker);
+        runner.wait(queued);
+    }
+}

@@ -1,0 +1,749 @@
+//! Caladrius's RESTful endpoints (paper §III-A), wired to the core
+//! service:
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | GET  | `/health` | liveness |
+//! | GET  | `/topologies` | known topologies |
+//! | GET  | `/model/traffic/heron/{topology}?models=a,b` | traffic forecast |
+//! | POST | `/model/topology/heron/{topology}` | performance evaluation (dry-run update) |
+//! | POST | `/model/topology/heron/{topology}?async=true` | as above, `202` + job id |
+//! | GET  | `/model/packing/heron/{topology}?containers=N&parallelism=c:p,...` | packing-plan assessment (graph calculation interface) |
+//! | GET  | `/metrics/heron/{topology}?q=<selector>` | raw metric series (selector grammar: `name{tag=value,...}`) |
+//! | GET  | `/jobs/{id}` | poll an asynchronous job |
+
+use crate::http::{Handler, Request, Response};
+use crate::jobs::{JobRunner, JobState};
+use crate::json::{self, Value};
+use caladrius_core::error::CoreError;
+use caladrius_core::service::{EvaluationReport, SourceRateSpec};
+use caladrius_core::traffic::TrafficForecast;
+use caladrius_core::Caladrius;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The HTTP-facing Caladrius service.
+pub struct ApiService {
+    caladrius: Arc<Caladrius>,
+    jobs: JobRunner,
+}
+
+impl std::fmt::Debug for ApiService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApiService").finish_non_exhaustive()
+    }
+}
+
+fn error_response(err: &CoreError) -> Response {
+    let status = match err {
+        CoreError::Unknown(_) | CoreError::UnknownModel(_) => 404,
+        CoreError::InvalidRequest(_) | CoreError::Config(_) => 400,
+        CoreError::NotEnoughObservations { .. } | CoreError::Unpredictable(_) => 422,
+        CoreError::Substrate(_) => 500,
+    };
+    Response::json_status(
+        status,
+        Value::object([("error", Value::from(err.to_string()))]).to_json(),
+    )
+}
+
+fn forecast_to_json(f: &TrafficForecast) -> Value {
+    Value::object([
+        ("model", Value::from(f.model.clone())),
+        ("mean", Value::from(f.mean)),
+        ("peak", Value::from(f.peak)),
+        ("peak_upper", Value::from(f.peak_upper)),
+        (
+            "points",
+            Value::Array(
+                f.points
+                    .iter()
+                    .map(|p| {
+                        Value::object([
+                            ("ts", Value::from(p.ts as f64)),
+                            ("yhat", Value::from(p.yhat)),
+                            ("lower", Value::from(p.lower)),
+                            ("upper", Value::from(p.upper)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn report_to_json(report: &EvaluationReport) -> Value {
+    let outputs = report
+        .model_outputs
+        .iter()
+        .map(|o| {
+            Value::object([
+                ("model", Value::from(o.model.clone())),
+                (
+                    "metrics",
+                    Value::Object(
+                        o.metrics
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::from(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "notes",
+                    Value::Array(o.notes.iter().map(|n| Value::from(n.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let components = report
+        .prediction
+        .per_component
+        .iter()
+        .map(|c| {
+            Value::object([
+                ("name", Value::from(c.name.clone())),
+                ("parallelism", Value::from(c.parallelism)),
+                ("source_rate", Value::from(c.source_rate)),
+                ("input_rate", Value::from(c.input_rate)),
+                ("output_rate", Value::from(c.output_rate)),
+                ("saturated", Value::from(c.saturated)),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("topology", Value::from(report.topology.clone())),
+        (
+            "proposed_parallelisms",
+            Value::Object(
+                report
+                    .proposed_parallelisms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        ),
+        ("source_rate", Value::from(report.source_rate)),
+        (
+            "sink_output_rate",
+            Value::from(report.prediction.sink_output_rate),
+        ),
+        (
+            "bottleneck",
+            report
+                .prediction
+                .bottleneck
+                .clone()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "backpressure_risk",
+            Value::from(format!("{:?}", report.risk).to_lowercase()),
+        ),
+        (
+            "saturation_rate",
+            report
+                .saturation_rate
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "cpu_by_component",
+            Value::Object(
+                report
+                    .cpu_by_component
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        ),
+        ("components", Value::Array(components)),
+        ("model_outputs", Value::Array(outputs)),
+        (
+            "traffic",
+            report
+                .traffic
+                .as_ref()
+                .map(forecast_to_json)
+                .unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+/// Parses the evaluation request body.
+fn parse_evaluation_body(body: &str) -> Result<(HashMap<String, u32>, SourceRateSpec), String> {
+    let value = if body.trim().is_empty() {
+        Value::Object(Default::default())
+    } else {
+        json::parse(body).map_err(|e| e.to_string())?
+    };
+    let mut parallelisms = HashMap::new();
+    if let Some(map) = value.get("parallelism").and_then(Value::as_object) {
+        for (k, v) in map {
+            let p = v
+                .as_f64()
+                .filter(|p| *p >= 0.0 && p.fract() == 0.0)
+                .ok_or_else(|| format!("parallelism of {k:?} must be a whole number"))?;
+            parallelisms.insert(k.clone(), p as u32);
+        }
+    }
+    let source = match value.get("source_rate") {
+        None => SourceRateSpec::Current,
+        Some(Value::Number(rate)) => SourceRateSpec::Fixed(*rate),
+        Some(Value::String(s)) if s == "current" => SourceRateSpec::Current,
+        Some(v) => {
+            if let Some(forecast) = v.get("forecast") {
+                SourceRateSpec::Forecast {
+                    model: forecast
+                        .get("model")
+                        .and_then(Value::as_str)
+                        .map(String::from),
+                    conservative: forecast
+                        .get("conservative")
+                        .and_then(Value::as_bool)
+                        .unwrap_or(false),
+                }
+            } else {
+                return Err(
+                    "source_rate must be a number, \"current\" or {forecast: {...}}".into(),
+                );
+            }
+        }
+    };
+    Ok((parallelisms, source))
+}
+
+impl ApiService {
+    /// Wraps a Caladrius service with `job_workers` asynchronous workers.
+    pub fn new(caladrius: Arc<Caladrius>, job_workers: usize) -> Arc<Self> {
+        Arc::new(Self {
+            caladrius,
+            jobs: JobRunner::new(job_workers),
+        })
+    }
+
+    /// A handler suitable for [`crate::http::HttpServer::serve`].
+    pub fn handler(self: &Arc<Self>) -> Handler {
+        let service = Arc::clone(self);
+        Arc::new(move |request| service.handle(request))
+    }
+
+    /// Routes one request (usable directly in tests, no sockets needed).
+    pub fn handle(&self, request: Request) -> Response {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["health"]) => Response::json("{\"status\":\"ok\"}"),
+            ("GET", ["topologies"]) => {
+                let names = self.caladrius.topologies();
+                Value::object([(
+                    "topologies",
+                    Value::Array(names.into_iter().map(Value::from).collect()),
+                )])
+                .to_json()
+                .pipe(Response::json)
+            }
+            ("GET", ["model", "traffic", "heron", topology]) => self.traffic(topology, &request),
+            ("POST", ["model", "topology", "heron", topology]) => self.evaluate(topology, &request),
+            ("GET", ["model", "packing", "heron", topology]) => self.packing(topology, &request),
+            ("GET", ["metrics", "heron", topology]) => self.metrics(topology, &request),
+            ("GET", ["jobs", id]) => self.job_status(id),
+            (_, ["model", ..]) | (_, ["jobs", ..]) | (_, ["health"]) | (_, ["topologies"]) => {
+                Response::json_status(405, "{\"error\":\"method not allowed\"}")
+            }
+            _ => Response::json_status(404, "{\"error\":\"no such endpoint\"}"),
+        }
+    }
+
+    fn traffic(&self, topology: &str, request: &Request) -> Response {
+        let models: Option<Vec<String>> = request
+            .query
+            .get("models")
+            .map(|csv| csv.split(',').map(|s| s.trim().to_string()).collect());
+        match self.caladrius.forecast_traffic(topology, models.as_deref()) {
+            Ok(forecasts) => Value::object([
+                ("topology", Value::from(topology)),
+                (
+                    "forecasts",
+                    Value::Array(forecasts.iter().map(forecast_to_json).collect()),
+                ),
+            ])
+            .to_json()
+            .pipe(Response::json),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn evaluate(&self, topology: &str, request: &Request) -> Response {
+        let body = match request.body_str() {
+            Some(b) => b,
+            None => return Response::json_status(400, "{\"error\":\"body is not UTF-8\"}"),
+        };
+        let (parallelisms, source) = match parse_evaluation_body(body) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                return Response::json_status(
+                    400,
+                    Value::object([("error", Value::from(msg))]).to_json(),
+                )
+            }
+        };
+        let is_async = request.query.get("async").map(String::as_str) == Some("true");
+        if is_async {
+            let caladrius = Arc::clone(&self.caladrius);
+            let topology = topology.to_string();
+            let id = self.jobs.submit(move || {
+                caladrius
+                    .evaluate(&topology, &parallelisms, &source)
+                    .map(|report| report_to_json(&report))
+                    .map_err(|e| e.to_string())
+            });
+            return Response::json_status(
+                202,
+                Value::object([
+                    ("job_id", Value::from(id as f64)),
+                    ("poll", Value::from(format!("/jobs/{id}"))),
+                ])
+                .to_json(),
+            );
+        }
+        match self.caladrius.evaluate(topology, &parallelisms, &source) {
+            Ok(report) => Response::json(report_to_json(&report).to_json()),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// `GET /model/packing/heron/{t}?containers=4&parallelism=splitter:6,counter:4`
+    /// — the paper's graph calculation interface for proposed packing
+    /// plans (§III-C1).
+    fn packing(&self, topology: &str, request: &Request) -> Response {
+        let containers = match request.query.get("containers").map(|v| v.parse::<usize>()) {
+            None => 4,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => {
+                return Response::json_status(400, "{\"error\":\"containers must be an integer\"}")
+            }
+        };
+        let mut proposed = HashMap::new();
+        if let Some(spec) = request.query.get("parallelism") {
+            for pair in spec.split(',').filter(|p| !p.is_empty()) {
+                let Some((component, p)) = pair.split_once(':') else {
+                    return Response::json_status(
+                        400,
+                        "{\"error\":\"parallelism must be component:count pairs\"}",
+                    );
+                };
+                let Ok(p) = p.trim().parse::<u32>() else {
+                    return Response::json_status(
+                        400,
+                        "{\"error\":\"parallelism counts must be integers\"}",
+                    );
+                };
+                proposed.insert(component.trim().to_string(), p);
+            }
+        }
+        match self
+            .caladrius
+            .packing_overview(topology, &proposed, containers)
+        {
+            Ok(overview) => Value::object([
+                ("topology", Value::from(topology)),
+                ("containers", Value::from(overview.containers)),
+                ("total_instances", Value::from(overview.total_instances)),
+                (
+                    "max_instances_per_container",
+                    Value::from(overview.max_instances_per_container),
+                ),
+                ("balance_stddev", Value::from(overview.balance_stddev)),
+                (
+                    "remote_pair_fraction",
+                    Value::from(overview.remote_pair_fraction),
+                ),
+                (
+                    "instance_paths",
+                    Value::from(overview.instance_paths as f64),
+                ),
+            ])
+            .to_json()
+            .pipe(Response::json),
+            Err(e) => error_response(&e),
+        }
+    }
+
+    /// `GET /metrics/heron/{t}?q=<selector>[&from=ms][&to=ms]` — raw
+    /// series access through the metrics interface, using the compact
+    /// selector grammar (`name{tag=value,...}`).
+    fn metrics(&self, topology: &str, request: &Request) -> Response {
+        let Some(selector) = request.query.get("q") else {
+            return Response::json_status(400, "{\"error\":\"missing q=<selector>\"}");
+        };
+        let (name, filters) = match caladrius_tsdb::query::parse_selector(selector) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                return Response::json_status(
+                    400,
+                    Value::object([("error", Value::from(msg))]).to_json(),
+                )
+            }
+        };
+        let parse_ts = |key: &str, default: i64| -> Result<i64, Response> {
+            match request.query.get(key) {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| {
+                    Response::json_status(
+                        400,
+                        Value::object([(
+                            "error",
+                            Value::from(format!("{key} must be a millisecond timestamp")),
+                        )])
+                        .to_json(),
+                    )
+                }),
+            }
+        };
+        let from = match parse_ts("from", 0) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let to = match parse_ts("to", i64::MAX) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        match self
+            .caladrius
+            .metrics_provider()
+            .select_series(topology, &name, &filters, from, to)
+        {
+            Ok(rows) => {
+                let series = rows
+                    .into_iter()
+                    .map(|(key, samples)| {
+                        Value::object([
+                            ("series", Value::from(key.to_string())),
+                            (
+                                "samples",
+                                Value::Array(
+                                    samples
+                                        .into_iter()
+                                        .map(|s| {
+                                            Value::Array(vec![
+                                                Value::from(s.ts as f64),
+                                                Value::from(s.value),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Value::object([
+                    ("metric", Value::from(name)),
+                    ("series", Value::Array(series)),
+                ])
+                .to_json()
+                .pipe(Response::json)
+            }
+            Err(e) => error_response(&e),
+        }
+    }
+
+    fn job_status(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::json_status(400, "{\"error\":\"job id must be an integer\"}");
+        };
+        match self.jobs.state(id) {
+            None => Response::json_status(404, "{\"error\":\"no such job\"}"),
+            Some(JobState::Pending) => Response::json_status(202, "{\"state\":\"pending\"}"),
+            Some(JobState::Done(result)) => {
+                Value::object([("state", Value::from("done")), ("result", result)])
+                    .to_json()
+                    .pipe(Response::json)
+            }
+            Some(JobState::Failed(message)) => Value::object([
+                ("state", Value::from("failed")),
+                ("error", Value::from(message)),
+            ])
+            .to_json()
+            .pipe(Response::json),
+        }
+    }
+}
+
+/// Small pipe helper keeping the route bodies readable.
+trait Pipe: Sized {
+    fn pipe<T>(self, f: impl FnOnce(Self) -> T) -> T {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpClient, HttpServer};
+    use caladrius_core::providers::metrics::SimMetricsProvider;
+    use caladrius_core::providers::tracker::StaticTracker;
+    use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
+    use heron_sim::engine::{SimConfig, Simulation};
+    use std::collections::BTreeMap;
+
+    fn service() -> Arc<ApiService> {
+        let parallelism = WordCountParallelism {
+            spout: 8,
+            splitter: 2,
+            counter: 3,
+        };
+        let metrics = heron_sim::metrics::SimMetrics::new("wordcount");
+        for (leg, rate) in [6.0e6, 12.0e6, 18.0e6, 26.0e6].into_iter().enumerate() {
+            let topo = wordcount_topology(parallelism, rate);
+            let mut sim = Simulation::new(
+                topo,
+                SimConfig {
+                    metric_noise: 0.0,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            sim.skip_to_minute(leg as u64 * 60);
+            sim.warmup_minutes(25);
+            sim.run_minutes_into(10, &metrics);
+        }
+        let tracker = StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6));
+        let caladrius = Caladrius::new(
+            Arc::new(SimMetricsProvider::new(metrics)),
+            Arc::new(tracker),
+        );
+        ApiService::new(Arc::new(caladrius), 2)
+    }
+
+    fn get(service: &ApiService, target: &str) -> Response {
+        let (path, query) = crate::http::parse_target(target);
+        service.handle(Request {
+            method: "GET".into(),
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        })
+    }
+
+    fn post(service: &ApiService, target: &str, body: &str) -> Response {
+        let (path, query) = crate::http::parse_target(target);
+        service.handle(Request {
+            method: "POST".into(),
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    fn body_json(response: &Response) -> Value {
+        json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn health_and_topologies() {
+        let s = service();
+        let r = get(&s, "/health");
+        assert_eq!(r.status, 200);
+        let r = get(&s, "/topologies");
+        let v = body_json(&r);
+        assert_eq!(
+            v.get("topologies").unwrap().as_array().unwrap()[0].as_str(),
+            Some("wordcount")
+        );
+    }
+
+    #[test]
+    fn traffic_endpoint_returns_forecasts() {
+        let s = service();
+        let r = get(&s, "/model/traffic/heron/wordcount?models=stats_summary");
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        let forecasts = v.get("forecasts").unwrap().as_array().unwrap();
+        assert_eq!(forecasts.len(), 1);
+        assert_eq!(
+            forecasts[0].get("model").unwrap().as_str(),
+            Some("stats_summary")
+        );
+        assert!(forecasts[0].get("mean").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!forecasts[0]
+            .get("points")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn traffic_endpoint_unknown_topology_404() {
+        let s = service();
+        let r = get(&s, "/model/traffic/heron/ghost");
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn evaluation_endpoint_dry_run() {
+        let s = service();
+        let r = post(
+            &s,
+            "/model/topology/heron/wordcount",
+            r#"{"parallelism": {"splitter": 4}, "source_rate": 30000000}"#,
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("backpressure_risk").unwrap().as_str(), Some("low"));
+        assert_eq!(v.get("bottleneck"), Some(&Value::Null));
+        let sink = v.get("sink_output_rate").unwrap().as_f64().unwrap();
+        assert!(
+            (sink - 30.0e6 * 7.63).abs() / (30.0e6 * 7.63) < 0.1,
+            "sink {sink}"
+        );
+        // And without the scale-up the same rate is high risk.
+        let r = post(
+            &s,
+            "/model/topology/heron/wordcount",
+            r#"{"source_rate": 30000000}"#,
+        );
+        let v = body_json(&r);
+        assert_eq!(v.get("backpressure_risk").unwrap().as_str(), Some("high"));
+        assert_eq!(v.get("bottleneck").unwrap().as_str(), Some("splitter"));
+    }
+
+    #[test]
+    fn evaluation_endpoint_validates_body() {
+        let s = service();
+        let r = post(&s, "/model/topology/heron/wordcount", "{not json");
+        assert_eq!(r.status, 400);
+        let r = post(
+            &s,
+            "/model/topology/heron/wordcount",
+            r#"{"parallelism": {"splitter": 2.5}}"#,
+        );
+        assert_eq!(r.status, 400);
+        let r = post(
+            &s,
+            "/model/topology/heron/wordcount",
+            r#"{"source_rate": "weird"}"#,
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn async_evaluation_and_polling() {
+        let s = service();
+        let r = post(
+            &s,
+            "/model/topology/heron/wordcount?async=true",
+            r#"{"source_rate": 10000000}"#,
+        );
+        assert_eq!(r.status, 202);
+        let v = body_json(&r);
+        let id = v.get("job_id").unwrap().as_f64().unwrap() as u64;
+        // Poll until done.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let r = get(&s, &format!("/jobs/{id}"));
+            let v = body_json(&r);
+            match v.get("state").unwrap().as_str() {
+                Some("pending") => {
+                    assert!(std::time::Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Some("done") => {
+                    let result = v.get("result").unwrap();
+                    assert_eq!(
+                        result.get("backpressure_risk").unwrap().as_str(),
+                        Some("low")
+                    );
+                    break;
+                }
+                other => panic!("unexpected job state {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn job_endpoint_errors() {
+        let s = service();
+        assert_eq!(get(&s, "/jobs/xyz").status, 400);
+        assert_eq!(get(&s, "/jobs/424242").status, 404);
+    }
+
+    #[test]
+    fn packing_endpoint() {
+        let s = service();
+        let r = get(
+            &s,
+            "/model/packing/heron/wordcount?containers=4&parallelism=splitter:6",
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("containers").unwrap().as_f64(), Some(4.0));
+        // spout 8 + splitter 6 + counter 3 = 17 instances, 8*6*3 paths.
+        assert_eq!(v.get("total_instances").unwrap().as_f64(), Some(17.0));
+        assert_eq!(v.get("instance_paths").unwrap().as_f64(), Some(144.0));
+        assert_eq!(
+            get(&s, "/model/packing/heron/wordcount?containers=x").status,
+            400
+        );
+        assert_eq!(
+            get(&s, "/model/packing/heron/wordcount?parallelism=bad").status,
+            400
+        );
+        assert_eq!(get(&s, "/model/packing/heron/ghost").status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint() {
+        let s = service();
+        let r = get(
+            &s,
+            "/metrics/heron/wordcount?q=execute-count%7Bcomponent%3Dsplitter%7D",
+        );
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        assert_eq!(v.get("metric").unwrap().as_str(), Some("execute-count"));
+        let series = v.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 2, "two splitter instances");
+        let samples = series[0].get("samples").unwrap().as_array().unwrap();
+        assert!(!samples.is_empty());
+        assert_eq!(samples[0].as_array().unwrap().len(), 2);
+        // Errors.
+        assert_eq!(get(&s, "/metrics/heron/wordcount").status, 400);
+        assert_eq!(get(&s, "/metrics/heron/wordcount?q=m%7Bbad").status, 400);
+        assert_eq!(
+            get(&s, "/metrics/heron/wordcount?q=execute-count&from=zzz").status,
+            400
+        );
+        assert_eq!(get(&s, "/metrics/heron/ghost?q=execute-count").status, 404);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let s = service();
+        assert_eq!(get(&s, "/nope").status, 404);
+        assert_eq!(post(&s, "/health", "").status, 405);
+        assert_eq!(post(&s, "/model/traffic/heron/wordcount", "").status, 405);
+    }
+
+    #[test]
+    fn full_http_round_trip() {
+        let s = service();
+        let server = HttpServer::serve("127.0.0.1:0", 2, s.handler()).unwrap();
+        let client = HttpClient::new(server.local_addr());
+        let (status, body) = client.get("/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"));
+        let (status, body) = client
+            .post(
+                "/model/topology/heron/wordcount",
+                r#"{"parallelism": {"splitter": 3}, "source_rate": 20000000}"#,
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let v = json::parse(&body).unwrap();
+        assert!(v.get("sink_output_rate").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

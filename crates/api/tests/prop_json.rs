@@ -1,0 +1,74 @@
+//! Property tests: JSON round-trips for arbitrary values, HTTP target
+//! parsing, and percent-decoding safety.
+
+use caladrius_api::http::{parse_target, percent_decode};
+use caladrius_api::json::{self, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_json() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite numbers only: JSON cannot represent NaN/Inf.
+        (-1e15f64..1e15).prop_map(Value::Number),
+        ".*".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::btree_map(".*", inner, 0..8)
+                .prop_map(|m| Value::Object(m.into_iter().collect::<BTreeMap<_, _>>())),
+        ]
+    })
+}
+
+proptest! {
+    /// serialize → parse is the identity for every representable value.
+    #[test]
+    fn json_roundtrip(value in arb_json()) {
+        let text = value.to_json();
+        let parsed = json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    /// The serializer never emits invalid JSON (parse always succeeds),
+    /// and double round-trips are stable.
+    #[test]
+    fn json_double_roundtrip_stable(value in arb_json()) {
+        let once = json::parse(&value.to_json()).unwrap().to_json();
+        let twice = json::parse(&once).unwrap().to_json();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn json_parser_never_panics(text in ".{0,200}") {
+        let _ = json::parse(&text);
+    }
+
+    /// percent_decode never panics and is the identity on unreserved
+    /// ASCII.
+    #[test]
+    fn percent_decode_total(text in ".{0,100}") {
+        let _ = percent_decode(&text);
+    }
+
+    #[test]
+    fn percent_decode_identity_on_unreserved(text in "[a-zA-Z0-9._~/-]{0,50}") {
+        prop_assert_eq!(percent_decode(&text), text);
+    }
+
+    /// Target parsing splits path and query consistently.
+    #[test]
+    fn parse_target_reassembles(
+        path in "/[a-z0-9/]{0,30}",
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9]{0,8}",
+    ) {
+        let target = format!("{path}?{key}={value}");
+        let (parsed_path, query) = parse_target(&target);
+        prop_assert_eq!(parsed_path, path);
+        prop_assert_eq!(query.get(&key).map(String::as_str), Some(value.as_str()));
+    }
+}

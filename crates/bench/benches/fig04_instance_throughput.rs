@@ -1,0 +1,96 @@
+//! Figure 4 — instance throughput (input and output) vs topology source
+//! throughput.
+//!
+//! Setup (paper §V-B): Splitter parallelism 1, Counter parallelism 3,
+//! spout parallelism 8, source rate swept 1 → 20 M tuples/min in 1 M
+//! steps, repeated observations with 90 % confidence bands.
+//!
+//! Expected shape: both series rise linearly to the saturation point
+//! (paper: SP ≈ 11 M tuples/min), then flatten; the output plateau is
+//! the saturation throughput (paper: ST ≈ 84 M tuples/min ≈ 11 M × 7.63).
+
+use caladrius_bench::{columns, compare, fast_mode, header, observe_many, row, Ci};
+use caladrius_core::model::instance::{InstanceModel, InstanceObservation};
+use caladrius_workload::wordcount::{
+    wordcount_topology, WordCountParallelism, ALPHA, SPLITTER_CAPACITY_PER_MIN,
+};
+use heron_sim::metrics::metric;
+
+fn main() {
+    header(
+        "Fig. 4: instance input/output throughput vs source throughput",
+        "linear to SP ~ 11 M/min, then flat; output plateau (ST) ~ 84 M/min",
+    );
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 1,
+        counter: 3,
+    };
+    let step = if fast_mode() { 4 } else { 1 };
+    let rates: Vec<f64> = (1..=20).step_by(step).map(|m| m as f64 * 1.0e6).collect();
+
+    columns(
+        "source (M/min)",
+        &[
+            "in mean",
+            "in 0.9lo",
+            "in 0.9hi",
+            "out mean",
+            "out 0.9lo",
+            "out 0.9hi",
+        ],
+    );
+    let mut fit_data = Vec::new();
+    for rate in &rates {
+        let stats: Vec<Ci> = observe_many(
+            || wordcount_topology(parallelism, *rate),
+            &[
+                (metric::EXECUTE_COUNT, "splitter"),
+                (metric::EMIT_COUNT, "splitter"),
+                (metric::BACKPRESSURE_TIME, "splitter"),
+            ],
+            40,
+            10,
+        );
+        let (input, output, bp) = (stats[0], stats[1], stats[2]);
+        row(
+            format!("{:.0}", rate / 1e6),
+            &[
+                input.mean / 1e6,
+                input.lo / 1e6,
+                input.hi / 1e6,
+                output.mean / 1e6,
+                output.lo / 1e6,
+                output.hi / 1e6,
+            ],
+        );
+        fit_data.push(InstanceObservation {
+            source_rate: *rate,
+            input_rate: input.mean,
+            output_rate: output.mean,
+            backpressured: bp.mean > 1_000.0,
+        });
+    }
+
+    // Locate the knee exactly the way Caladrius would: fit the instance
+    // model on the sweep.
+    let model = InstanceModel::fit(&fit_data).expect("sweep contains both regimes");
+    let sat = model.saturation.expect("sweep saturates the instance");
+    println!();
+    let mut ok = true;
+    ok &= compare(
+        "SP (M tuples/min)",
+        SPLITTER_CAPACITY_PER_MIN / 1e6,
+        sat.input_sp / 1e6,
+        0.10,
+    );
+    ok &= compare(
+        "ST (M tuples/min)",
+        SPLITTER_CAPACITY_PER_MIN * ALPHA / 1e6,
+        sat.output_st / 1e6,
+        0.10,
+    );
+    ok &= compare("alpha (out/in slope)", ALPHA, model.alpha, 0.02);
+    assert!(ok, "figure 4 shape diverges from the paper");
+    println!("fig04: OK");
+}

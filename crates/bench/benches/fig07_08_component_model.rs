@@ -1,0 +1,122 @@
+//! Figures 7 and 8 — component (Splitter) throughput model and its
+//! validation at new parallelisms.
+//!
+//! Fig. 7 (paper §V-C): observe the Splitter component at parallelism 3
+//! over a source sweep (2 → 68 M tuples/min), fit the piecewise-linear
+//! component model, and draw the predicted input/output lines for
+//! parallelisms 2 and 4 by scaling (Eq. 9). Paper: p=3 knee ≈ 30 M
+//! (ours: 33 M — the paper's own p=2/p=4 predictions use 18→22/36→44 M
+//! knees, i.e. per-instance SP ≈ 11 M, same as ours).
+//!
+//! Fig. 8: deploy parallelisms 2 and 4 and compare the measured curves
+//! with the predictions. Paper ST errors: 2.9 % (p=2) and 2.5 % (p=4).
+
+use caladrius_bench::{columns, compare, fast_mode, header, observe_many, relative_error, row};
+use caladrius_core::model::component::{ComponentModel, ComponentObservation, GroupingKind};
+use caladrius_workload::wordcount::{
+    wordcount_topology, WordCountParallelism, ALPHA, SPLITTER_CAPACITY_PER_MIN,
+};
+use heron_sim::metrics::metric;
+
+/// Measures the Splitter component at one parallelism and source rate.
+fn measure(splitter_p: u32, rate: f64) -> ComponentObservation {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: splitter_p,
+        counter: 8,
+    };
+    let stats = observe_many(
+        || wordcount_topology(parallelism, rate),
+        &[
+            (metric::EXECUTE_COUNT, "splitter"),
+            (metric::EMIT_COUNT, "splitter"),
+            (metric::BACKPRESSURE_TIME, "splitter"),
+        ],
+        40,
+        10,
+    );
+    ComponentObservation {
+        source_rate: rate,
+        input_rate: stats[0].mean,
+        output_rate: stats[1].mean,
+        per_instance_inputs: vec![stats[0].mean / f64::from(splitter_p); splitter_p as usize],
+        backpressured: stats[2].mean > 1_000.0,
+    }
+}
+
+fn main() {
+    header(
+        "Fig. 7: Splitter component model at p=3 + p=2/p=4 predictions",
+        "piecewise linear; p=3 input knee at 3 x 11 M; predictions scale by gamma",
+    );
+    let step = if fast_mode() { 12.0e6 } else { 6.0e6 };
+    let mut rate = 2.0e6;
+    let mut observations = Vec::new();
+    columns(
+        "source (M/min)",
+        &["input (M/min)", "output (M/min)", "backpressured"],
+    );
+    while rate <= 68.0e6 {
+        let obs = measure(3, rate);
+        row(
+            format!("{:.0}", rate / 1e6),
+            &[
+                obs.input_rate / 1e6,
+                obs.output_rate / 1e6,
+                if obs.backpressured { 1.0 } else { 0.0 },
+            ],
+        );
+        observations.push(obs);
+        rate += step;
+    }
+
+    let model = ComponentModel::fit("splitter", 3, GroupingKind::Shuffle, &observations).unwrap();
+    let sat = model.instance.saturation.expect("sweep saturates p=3");
+    println!();
+    let mut ok = true;
+    ok &= compare("fitted alpha", ALPHA, model.instance.alpha, 0.02);
+    ok &= compare(
+        "p=3 component input knee (M/min)",
+        3.0 * SPLITTER_CAPACITY_PER_MIN / 1e6,
+        3.0 * sat.input_sp / 1e6,
+        0.10,
+    );
+
+    // Predicted knees for p=2 and p=4 (paper: input knees 18 and 36 M in
+    // its calibration; with SP=11 M/instance: 22 and 44 M).
+    for p in [2u32, 4] {
+        let knee = model.saturation_source_rate(p).unwrap().unwrap();
+        println!(
+            "  predicted p={p}: input knee {:.1} M/min, output plateau {:.1} M/min",
+            knee / 1e6,
+            model.predict(p, knee * 2.0).unwrap().output_rate / 1e6
+        );
+    }
+
+    header(
+        "Fig. 8: validation of the p=2 and p=4 predictions",
+        "ST prediction errors 2.9% (p=2) and 2.5% (p=4)",
+    );
+    columns("config", &["predicted ST", "measured ST", "error %"]);
+    for (p, probe) in [(2u32, 34.0e6), (4u32, 66.0e6)] {
+        let predicted_st = model.predict(p, probe).unwrap().output_rate;
+        let measured = measure(p, probe);
+        let err = relative_error(predicted_st, measured.output_rate);
+        row(
+            format!("p={p}"),
+            &[predicted_st / 1e6, measured.output_rate / 1e6, err * 100.0],
+        );
+        assert!(
+            err < 0.05,
+            "p={p} ST error {:.1}% exceeds the paper-comparable 5% band",
+            err * 100.0
+        );
+        // And the linear region must also match.
+        let linear_probe = 4.0e6 * f64::from(p);
+        let predicted = model.predict(p, linear_probe).unwrap();
+        let measured = measure(p, linear_probe);
+        assert!(relative_error(predicted.output_rate, measured.output_rate) < 0.03);
+    }
+    assert!(ok, "figure 7 shape diverges from the paper");
+    println!("\nfig07/fig08: OK (errors within the paper's few-percent regime)");
+}

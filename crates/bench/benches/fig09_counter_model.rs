@@ -1,0 +1,131 @@
+//! Figure 9 — Counter component input throughput: observation at
+//! parallelism 3 and prediction for parallelism 4.
+//!
+//! The Counter sits behind a fields-grouped connection; the paper
+//! "observed the test dataset is unbiased fortunately, thus we use
+//! Equation 9 for the sink bolt". We reproduce exactly that: observe the
+//! input-throughput curve at p=3 (saturating around 3 × 70 M words/min),
+//! verify the keys are unbiased, and predict/validate p=4.
+
+use caladrius_bench::{columns, compare, fast_mode, header, observe_many_cfg, relative_error, row};
+use caladrius_core::model::component::{ComponentModel, ComponentObservation, GroupingKind};
+use caladrius_workload::wordcount::{
+    wordcount_topology, WordCountParallelism, ALPHA, COUNTER_CAPACITY_PER_MIN,
+};
+use heron_sim::engine::SimConfig;
+use heron_sim::metrics::metric;
+
+/// Measures the Counter component. The Counter's source is the Splitter's
+/// emission; we size the Splitter fleet so it never bottlenecks, and
+/// express the sweep in Counter source words/min.
+fn measure(counter_p: u32, counter_source_words: f64) -> ComponentObservation {
+    let sentences = counter_source_words / ALPHA;
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 8,
+        counter: counter_p,
+    };
+    let queries: Vec<(&str, &str)> = vec![
+        (metric::EXECUTE_COUNT, "counter"),
+        (metric::EMIT_COUNT, "counter"),
+        (metric::BACKPRESSURE_TIME, "counter"),
+        (metric::EMIT_COUNT, "splitter"),
+    ];
+    // The Counter's word tuples are tiny (8 B), so its 100 MB queue holds
+    // only seconds of work at 280 M words/min; a finer tick resolves the
+    // drain/refill dynamics that 1 s ticks would alias into starvation.
+    let config = SimConfig {
+        ticks_per_second: 10,
+        ..SimConfig::default()
+    };
+    let stats = observe_many_cfg(
+        || wordcount_topology(parallelism, sentences),
+        &config,
+        &queries,
+        40,
+        10,
+    );
+    ComponentObservation {
+        source_rate: stats[3].mean, // actual words offered by the splitter
+        input_rate: stats[0].mean,
+        output_rate: stats[1].mean,
+        per_instance_inputs: vec![stats[0].mean / f64::from(counter_p); counter_p as usize],
+        backpressured: stats[2].mean > 1_000.0,
+    }
+}
+
+fn main() {
+    header(
+        "Fig. 9: Counter input throughput — observed p=3, predicted p=4",
+        "p=3 saturates near 3 x 70 M = 210 M words/min; p=4 predicted at 280 M",
+    );
+    let step = if fast_mode() { 100.0e6 } else { 50.0e6 };
+    let mut source = 50.0e6;
+    let mut observations = Vec::new();
+    columns("words (M/min)", &["counter in", "backpressured"]);
+    while source <= 500.0e6 {
+        let obs = measure(3, source);
+        row(
+            format!("{:.0}", source / 1e6),
+            &[
+                obs.input_rate / 1e6,
+                if obs.backpressured { 1.0 } else { 0.0 },
+            ],
+        );
+        observations.push(obs);
+        source += step;
+    }
+
+    let model = ComponentModel::fit("counter", 3, GroupingKind::Fields, &observations).unwrap();
+    println!();
+    println!(
+        "  observed key bias: {:.2}% (paper: 'the test dataset is unbiased')",
+        model.bias() * 100.0
+    );
+    assert!(
+        model.is_unbiased(),
+        "the uniform-key corpus must register as unbiased"
+    );
+    let sat = model.instance.saturation.expect("sweep saturates p=3");
+    let mut ok = true;
+    ok &= compare(
+        "p=3 saturation input (M words/min)",
+        3.0 * COUNTER_CAPACITY_PER_MIN / 1e6,
+        3.0 * sat.input_sp / 1e6,
+        0.10,
+    );
+
+    // Prediction for p=4 via Eq. 9 (valid because the keys are unbiased).
+    let predicted_knee = model.saturation_source_rate(4).unwrap().unwrap();
+    println!(
+        "  predicted p=4 saturation: {:.0} M words/min",
+        predicted_knee / 1e6
+    );
+    ok &= compare(
+        "p=4 predicted knee (M words/min)",
+        4.0 * COUNTER_CAPACITY_PER_MIN / 1e6,
+        predicted_knee / 1e6,
+        0.10,
+    );
+
+    // Validate: deploy p=4 beyond its knee and in the linear regime.
+    let saturated = measure(4, predicted_knee * 1.5);
+    let err = relative_error(
+        model.predict(4, saturated.source_rate).unwrap().input_rate,
+        saturated.input_rate,
+    );
+    println!(
+        "  p=4 saturated-input prediction error: {:.1}%",
+        err * 100.0
+    );
+    assert!(err < 0.05);
+    let linear = measure(4, predicted_knee * 0.5);
+    let err = relative_error(
+        model.predict(4, linear.source_rate).unwrap().input_rate,
+        linear.input_rate,
+    );
+    println!("  p=4 linear-input prediction error: {:.1}%", err * 100.0);
+    assert!(err < 0.05);
+    assert!(ok, "figure 9 shape diverges from the paper");
+    println!("\nfig09: OK");
+}

@@ -1,0 +1,116 @@
+//! Figures 11 and 12 — CPU-load observation, prediction and validation
+//! (paper §V-E).
+//!
+//! Fig. 11: the Splitter's CPU load at parallelism 3 is linear in the
+//! source rate until saturation; fitting `cpu = base + psi * input_rate`
+//! and chaining it behind the throughput model yields predicted CPU
+//! lines for parallelisms 2 and 4.
+//!
+//! Fig. 12: deploy parallelisms 2 and 4 and compare. Paper errors: 4.8 %
+//! (p=2) and 3 % (p=4) — "higher than the output rate prediction error
+//! ... because error has accumulated for the chained prediction steps".
+
+use caladrius_bench::{columns, fast_mode, header, observe_many, relative_error, row};
+use caladrius_core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius_core::Caladrius;
+use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
+use heron_sim::engine::{SimConfig, Simulation};
+use heron_sim::metrics::{metric, SimMetrics};
+use std::sync::Arc;
+
+fn measure_cpu(splitter_p: u32, rate: f64) -> f64 {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: splitter_p,
+        counter: 6,
+    };
+    let stats = observe_many(
+        || wordcount_topology(parallelism, rate),
+        &[(metric::CPU_LOAD, "splitter")],
+        35,
+        10,
+    );
+    stats[0].mean
+}
+
+fn main() {
+    header(
+        "Fig. 11: Splitter CPU load at p=3 with p=2/p=4 predicted lines",
+        "CPU ~ linear in source rate until saturation, then flat",
+    );
+
+    // Observation deployment at p=3 over a sweep.
+    let observed = WordCountParallelism {
+        spout: 8,
+        splitter: 3,
+        counter: 6,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    let legs: Vec<f64> = if fast_mode() {
+        vec![10.0e6, 22.0e6, 40.0e6]
+    } else {
+        vec![6.0e6, 12.0e6, 18.0e6, 24.0e6, 30.0e6, 40.0e6]
+    };
+    for (leg, rate) in legs.iter().enumerate() {
+        let mut sim =
+            Simulation::new(wordcount_topology(observed, *rate), SimConfig::default()).unwrap();
+        sim.skip_to_minute(leg as u64 * 100);
+        sim.warmup_minutes(35);
+        sim.run_minutes_into(10, &metrics);
+    }
+    let caladrius = Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(observed, 30.0e6))),
+    );
+    let throughput = caladrius.fit_topology_model("wordcount").unwrap();
+    let splitter = throughput.component_model("splitter").unwrap();
+    let cpu = caladrius.fit_cpu_models("wordcount").unwrap()["splitter"];
+    println!(
+        "fitted CPU model: cpu = {:.3} + {:.3e} * input_rate (cores/instance)",
+        cpu.base, cpu.psi
+    );
+    // The observed p=3 CPU curve with predicted lines for p=2 and p=4.
+    columns(
+        "source (M/min)",
+        &["p=3 observed", "p=2 predicted", "p=4 predicted"],
+    );
+    for rate in &legs {
+        let p3 = cpu.predict_component(splitter, 3, *rate).unwrap();
+        let p2 = cpu.predict_component(splitter, 2, *rate).unwrap();
+        let p4 = cpu.predict_component(splitter, 4, *rate).unwrap();
+        row(format!("{:.0}", rate / 1e6), &[p3, p2, p4]);
+    }
+
+    header(
+        "Fig. 12: validation of the CPU predictions at p=2 and p=4",
+        "errors 4.8% (p=2) and 3% (p=4): chained predictions accumulate error",
+    );
+    columns(
+        "config",
+        &["rate (M/min)", "predicted", "measured", "error %"],
+    );
+    let mut worst: f64 = 0.0;
+    for p in [2u32, 4] {
+        for rate in [8.0e6, 16.0e6, 28.0e6] {
+            let predicted = cpu.predict_component(splitter, p, rate).unwrap();
+            let measured = measure_cpu(p, rate);
+            let err = relative_error(predicted, measured);
+            worst = worst.max(err);
+            row(
+                format!("p={p}"),
+                &[rate / 1e6, predicted, measured, err * 100.0],
+            );
+        }
+    }
+    println!();
+    println!(
+        "  worst CPU prediction error: {:.1}% (paper: up to 4.8%)",
+        worst * 100.0
+    );
+    assert!(
+        worst < 0.10,
+        "CPU error {:.1}% outside the paper-comparable band",
+        worst * 100.0
+    );
+    println!("fig11/fig12: OK");
+}

@@ -1,0 +1,108 @@
+//! Backpressure-risk classification (Eq. 14, extension).
+//!
+//! The paper defines the risk rule but plots no figure for it. This
+//! bench sweeps offered rates around the topology's predicted saturation
+//! point `t'0` and checks the classification against ground truth from
+//! the simulator: below the knee no backpressure may appear; above it,
+//! backpressure must.
+
+use caladrius_bench::{columns, fast_mode, header, row};
+use caladrius_core::model::topology::BackpressureRisk;
+use caladrius_core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius_core::Caladrius;
+use caladrius_tsdb::Aggregation;
+use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
+use heron_sim::engine::{SimConfig, Simulation};
+use heron_sim::metrics::{metric, SimMetrics};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn simulated_backpressure(rate: f64) -> bool {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let mut sim =
+        Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+    sim.warmup_minutes(45);
+    let metrics = sim.run_minutes(10);
+    let series = metrics.component_sum(metric::BACKPRESSURE_TIME, None, 0, i64::MAX);
+    Aggregation::Max.apply(series.iter().map(|s| s.value)) > 1_000.0
+}
+
+fn main() {
+    header(
+        "Backpressure risk classification (Eq. 14)",
+        "risk is low for t0 < t'0 and high for t0 ~ t'0 or beyond",
+    );
+
+    // Fit over a sweep of the deployed config.
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    for (leg, rate) in [8.0e6, 14.0e6, 20.0e6, 26.0e6].into_iter().enumerate() {
+        let mut sim =
+            Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+        sim.skip_to_minute(leg as u64 * 100);
+        sim.warmup_minutes(40);
+        sim.run_minutes_into(10, &metrics);
+    }
+    let caladrius = Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6))),
+    );
+    let model = caladrius.fit_topology_model("wordcount").unwrap();
+    let none = HashMap::new();
+    let knee = model
+        .saturation_source_rate(&none)
+        .unwrap()
+        .expect("sweep saturates");
+    println!(
+        "predicted topology saturation t'0 = {:.2} M tuples/min\n",
+        knee / 1e6
+    );
+
+    let factors: Vec<f64> = if fast_mode() {
+        vec![0.6, 0.9, 1.1, 1.4]
+    } else {
+        vec![0.5, 0.7, 0.85, 0.9, 0.97, 1.03, 1.1, 1.25, 1.5]
+    };
+    columns("t0/t'0", &["risk(Eq.14)", "sim backpressure", "agree"]);
+    let mut agreements = 0usize;
+    let mut decisive = 0usize;
+    for factor in &factors {
+        let rate = knee * factor;
+        let (risk, _) = model.backpressure_risk(&none, rate).unwrap();
+        let truth = simulated_backpressure(rate);
+        let risk_high = risk == BackpressureRisk::High;
+        let agree = risk_high == truth;
+        row(
+            format!("{factor:.2}"),
+            &[
+                if risk_high { 1.0 } else { 0.0 },
+                if truth { 1.0 } else { 0.0 },
+                if agree { 1.0 } else { 0.0 },
+            ],
+        );
+        // Near the knee (within 10%) the call is genuinely ambiguous —
+        // Eq. 14's margin exists exactly for that band. Score only the
+        // decisive region.
+        if (factor - 1.0).abs() > 0.10 {
+            decisive += 1;
+            if agree {
+                agreements += 1;
+            }
+        }
+    }
+    println!();
+    println!("  decisive-region agreement: {agreements}/{decisive}");
+    assert_eq!(
+        agreements, decisive,
+        "Eq. 14 must agree with simulated ground truth away from the knee"
+    );
+    println!("risk_classification: OK");
+}

@@ -1,0 +1,111 @@
+//! Scaling-convergence ablation (extension).
+//!
+//! The paper's introduction motivates Caladrius with the cost of
+//! trial-based tuning: reactive systems like Dhalion "use several scaling
+//! rounds to converge on the users' expected throughput SLO, which is a
+//! time-consuming process", while a dry-run model evaluation replaces the
+//! trial ladder. This bench quantifies that claim on the simulator: both
+//! policies start from the same undersized WordCount deployment and must
+//! reach an SLO at the target rate; we count deployments and simulated
+//! stabilisation time.
+
+use caladrius_autoscale::harness::{run_to_convergence, ConvergenceResult, HarnessConfig};
+use caladrius_autoscale::modelled::{ModelledConfig, ModelledScaler};
+use caladrius_autoscale::reactive::ReactiveScaler;
+use caladrius_bench::{columns, fast_mode, header, row};
+use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
+use heron_sim::topology::Topology;
+
+fn undersized() -> Topology {
+    // Splitter p=1 (11 M/min) and Counter p=4 (280 M words/min) against a
+    // 60 M/min target that needs roughly splitter 6-7 and counter 7-8.
+    wordcount_topology(
+        WordCountParallelism {
+            spout: 8,
+            splitter: 1,
+            counter: 4,
+        },
+        60.0e6,
+    )
+}
+
+fn print_result(result: &ConvergenceResult) {
+    row(
+        result.policy.clone(),
+        &[
+            result.deployments as f64,
+            result.simulated_minutes as f64,
+            if result.converged { 1.0 } else { 0.0 },
+            result.final_sink_output / 1e6,
+        ],
+    );
+    let parallelisms: Vec<String> = result
+        .final_parallelisms
+        .iter()
+        .map(|(n, p)| format!("{n}={p}"))
+        .collect();
+    println!("{:>14}  final: {}", "", parallelisms.join(", "));
+}
+
+fn main() {
+    header(
+        "Scaling convergence: Dhalion-style trials vs Caladrius dry-run",
+        "reactive scalers 'use several scaling rounds to converge'; modelling needs ~one planned redeploy",
+    );
+    let target = 60.0e6;
+    let config = if fast_mode() {
+        HarnessConfig {
+            stabilize_minutes: 15,
+            observe_minutes: 5,
+            max_rounds: 15,
+        }
+    } else {
+        HarnessConfig {
+            stabilize_minutes: 30,
+            observe_minutes: 10,
+            max_rounds: 20,
+        }
+    };
+    println!(
+        "target {:.0} M tuples/min; each round costs {} simulated minutes\n",
+        target / 1e6,
+        config.stabilize_minutes + config.observe_minutes
+    );
+    columns(
+        "policy",
+        &["deployments", "sim minutes", "converged", "sink (M/min)"],
+    );
+
+    let mut reactive = ReactiveScaler::default();
+    let reactive_result = run_to_convergence(&mut reactive, undersized(), target, config).unwrap();
+    print_result(&reactive_result);
+
+    let mut modelled = ModelledScaler::new(ModelledConfig {
+        target_rate: target,
+        headroom: 1.1,
+        max_parallelism: 64,
+    });
+    let modelled_result = run_to_convergence(&mut modelled, undersized(), target, config).unwrap();
+    print_result(&modelled_result);
+
+    println!();
+    assert!(
+        reactive_result.converged,
+        "reactive must converge eventually"
+    );
+    assert!(modelled_result.converged, "modelled must converge");
+    assert!(
+        modelled_result.deployments < reactive_result.deployments,
+        "modelling must beat trial-and-error: {} vs {}",
+        modelled_result.deployments,
+        reactive_result.deployments
+    );
+    let speedup =
+        reactive_result.simulated_minutes as f64 / modelled_result.simulated_minutes as f64;
+    println!(
+        "  tuning-loop speedup from modelling: {speedup:.1}x fewer stabilisation minutes \
+         ({} vs {} deployments)",
+        modelled_result.deployments, reactive_result.deployments
+    );
+    println!("scaling_convergence: OK");
+}

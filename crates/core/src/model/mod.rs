@@ -1,0 +1,54 @@
+//! The paper's performance models (§IV-B) and the CPU-load use case
+//! (§V-E).
+//!
+//! * [`instance`] — Eq. 1–5: the piecewise-linear single-instance model
+//!   (`T(t) = min(α·t, ST)`), its multi-input/multi-output forms, its
+//!   inverse, and fitting from observations.
+//! * [`component`] — Eq. 6–11: component-level roll-up, shuffle-grouping
+//!   scaling to new parallelisms, fields-grouping bias estimation and
+//!   traffic scaling under fixed bias.
+//! * [`topology`] — Eq. 12–14: chaining component models along the
+//!   critical path (and over general DAGs), inverting the chain to find
+//!   the topology saturation point, and classifying backpressure risk.
+//! * [`cpu`] — the CPU-load model: `cpu = base + ψ · input_rate`, chained
+//!   behind the throughput model to predict CPU under proposed
+//!   parallelisms.
+//! * [`traits`] — the model interfaces and the name-keyed registry of
+//!   performance models (paper Fig. 2's model tier).
+
+pub mod component;
+pub mod cpu;
+pub mod instance;
+pub mod topology;
+pub mod traits;
+
+/// Relative error, the paper's prediction-accuracy metric:
+/// `|prediction − observation| / observation`.
+///
+/// Returns `f64::INFINITY` when the observation is zero but the
+/// prediction is not.
+pub fn relative_error(prediction: f64, observation: f64) -> f64 {
+    if observation == 0.0 {
+        if prediction == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (prediction - observation).abs() / observation.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(-90.0, -100.0), 0.1);
+    }
+}

@@ -1,0 +1,505 @@
+//! The topology-level throughput model (paper §IV-B3, Eq. 12–14).
+//!
+//! Component models are chained along the topology DAG: each component's
+//! source rate is the sum of its upstream components' predicted outputs,
+//! and its own output follows its [`ComponentModel`]. On a simple chain
+//! this is exactly the paper's Eq. 12; the inverse walk that finds the
+//! topology's saturation point is Eq. 13, and comparing it with the
+//! actual (or forecast) source rate classifies backpressure risk
+//! (Eq. 14).
+
+use crate::error::{CoreError, Result};
+use crate::model::component::ComponentModel;
+use caladrius_graph::algo;
+use caladrius_graph::topology_graph::{build_logical, LogicalSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Backpressure risk classification (paper Eq. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressureRisk {
+    /// `t₀ < t'₀`: the offered rate is comfortably below the topology
+    /// saturation point.
+    Low,
+    /// `t₀ ~ t'₀` or beyond: backpressure is imminent or active.
+    High,
+}
+
+/// Per-component line of a topology prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentReport {
+    /// Component name.
+    pub name: String,
+    /// Parallelism used for the prediction.
+    pub parallelism: u32,
+    /// Source rate arriving at the component (tuples/min).
+    pub source_rate: f64,
+    /// Predicted processed rate (tuples/min).
+    pub input_rate: f64,
+    /// Predicted emitted rate (tuples/min).
+    pub output_rate: f64,
+    /// Predicted processed rate per instance.
+    pub per_instance_inputs: Vec<f64>,
+    /// Whether the component is predicted to saturate.
+    pub saturated: bool,
+}
+
+/// The outcome of one topology prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyPrediction {
+    /// Offered source rate the prediction was made for (tuples/min).
+    pub source_rate: f64,
+    /// Total predicted output rate across sink components (tuples/min).
+    pub sink_output_rate: f64,
+    /// Per-component details in topological order.
+    pub per_component: Vec<ComponentReport>,
+    /// First saturated component in topological order, if any — the
+    /// predicted backpressure source.
+    pub bottleneck: Option<String>,
+}
+
+/// The chained topology model.
+#[derive(Debug, Clone)]
+pub struct TopologyModel {
+    spec: LogicalSpec,
+    models: HashMap<String, ComponentModel>,
+    /// Spout component names (no incoming edges).
+    spouts: Vec<String>,
+    /// Component names in topological order.
+    order: Vec<String>,
+}
+
+/// Relative margin under the saturation point treated as "high risk"
+/// (Eq. 14's `t'₀ ∼ t₀`).
+pub const RISK_MARGIN: f64 = 0.05;
+
+impl TopologyModel {
+    /// Builds a topology model from a logical spec and per-bolt component
+    /// models. Spouts need no model (their output *is* the source rate).
+    pub fn new(spec: LogicalSpec, models: HashMap<String, ComponentModel>) -> Result<Self> {
+        let logical = build_logical(&spec)?;
+        let order: Vec<String> = algo::topo_sort(&logical.graph)
+            .map_err(|_| CoreError::InvalidRequest("topology graph has a cycle".into()))?
+            .into_iter()
+            .map(|v| {
+                logical
+                    .graph
+                    .vertex_prop(v, "name")
+                    .and_then(|p| p.as_str().map(String::from))
+                    .expect("built vertices carry names")
+            })
+            .collect();
+        let spouts: Vec<String> = spec
+            .components
+            .iter()
+            .filter(|(name, _)| !spec.edges.iter().any(|(_, to, _)| to == name))
+            .map(|(name, _)| name.clone())
+            .collect();
+        for (name, _) in &spec.components {
+            if !spouts.contains(name) && !models.contains_key(name) {
+                return Err(CoreError::Unknown(format!(
+                    "no component model supplied for bolt {name:?}"
+                )));
+            }
+        }
+        Ok(Self {
+            spec,
+            models,
+            spouts,
+            order,
+        })
+    }
+
+    /// Names of the spout components.
+    pub fn spouts(&self) -> &[String] {
+        &self.spouts
+    }
+
+    /// The component model for a bolt, if present.
+    pub fn component_model(&self, name: &str) -> Option<&ComponentModel> {
+        self.models.get(name)
+    }
+
+    /// All spout→sink critical-path candidates (component name chains),
+    /// via the graph substrate.
+    pub fn critical_path_candidates(&self) -> Result<Vec<Vec<String>>> {
+        let logical = build_logical(&self.spec)?;
+        let paths = algo::source_sink_paths(&logical.graph);
+        Ok(paths
+            .into_iter()
+            .map(|path| {
+                path.into_iter()
+                    .map(|v| {
+                        logical
+                            .graph
+                            .vertex_prop(v, "name")
+                            .and_then(|p| p.as_str().map(String::from))
+                            .expect("built vertices carry names")
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn resolve_parallelism(&self, parallelisms: &HashMap<String, u32>, name: &str) -> Result<u32> {
+        if let Some(p) = parallelisms.get(name) {
+            if *p == 0 {
+                return Err(CoreError::InvalidRequest(format!(
+                    "parallelism of {name:?} must be positive"
+                )));
+            }
+            return Ok(*p);
+        }
+        self.spec
+            .components
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+            .ok_or_else(|| CoreError::Unknown(format!("component {name:?}")))
+    }
+
+    /// Predicts topology behaviour for an offered source rate `t₀`
+    /// (tuples/min) under the given parallelism overrides (components not
+    /// listed keep their spec parallelism). This is the generalised
+    /// Eq. 12: full DAG propagation in topological order.
+    pub fn predict(
+        &self,
+        parallelisms: &HashMap<String, u32>,
+        source_rate: f64,
+    ) -> Result<TopologyPrediction> {
+        if !(source_rate.is_finite() && source_rate >= 0.0) {
+            return Err(CoreError::InvalidRequest(format!(
+                "source rate must be non-negative, got {source_rate}"
+            )));
+        }
+        // Per-component arriving rate.
+        let mut arriving: HashMap<&str, f64> = HashMap::new();
+        let total_spouts = self.spouts.len() as f64;
+        for spout in &self.spouts {
+            arriving.insert(spout.as_str(), source_rate / total_spouts);
+        }
+
+        let mut per_component = Vec::with_capacity(self.order.len());
+        let mut bottleneck = None;
+        let mut sink_output = 0.0;
+        for name in &self.order {
+            let p = self.resolve_parallelism(parallelisms, name)?;
+            let source = arriving.get(name.as_str()).copied().unwrap_or(0.0);
+            let (input_rate, output_rate, per_instance, saturated) = match self.models.get(name) {
+                Some(model) => {
+                    let pred = model.predict(p, source)?;
+                    (
+                        pred.input_rate,
+                        pred.output_rate,
+                        pred.per_instance_inputs,
+                        pred.saturated,
+                    )
+                }
+                // Spouts forward the offered rate unchanged.
+                None => (
+                    source,
+                    source,
+                    vec![source / f64::from(p); p as usize],
+                    false,
+                ),
+            };
+            if saturated && bottleneck.is_none() {
+                bottleneck = Some(name.clone());
+            }
+
+            // Propagate along out edges. The component model's output is
+            // its total across streams; the simulator emits the same α per
+            // declared stream, so each of `k` out edges carries 1/k of the
+            // modelled total.
+            let out_edges: Vec<&(String, String, String)> = self
+                .spec
+                .edges
+                .iter()
+                .filter(|(from, _, _)| from == name)
+                .collect();
+            if out_edges.is_empty() {
+                sink_output += output_rate;
+            } else {
+                let per_edge = output_rate / out_edges.len() as f64;
+                for (_, to, _) in out_edges {
+                    *arriving.entry(to.as_str()).or_insert(0.0) += per_edge;
+                }
+            }
+
+            per_component.push(ComponentReport {
+                name: name.clone(),
+                parallelism: p,
+                source_rate: source,
+                input_rate,
+                output_rate,
+                per_instance_inputs: per_instance,
+                saturated,
+            });
+        }
+        Ok(TopologyPrediction {
+            source_rate,
+            sink_output_rate: sink_output,
+            per_component,
+            bottleneck,
+        })
+    }
+
+    /// Eq. 12 on an explicit component path: chains the component models
+    /// along `path`, returning the path's output rate at the sink.
+    pub fn predict_path(
+        &self,
+        path: &[String],
+        parallelisms: &HashMap<String, u32>,
+        source_rate: f64,
+    ) -> Result<f64> {
+        let mut t = source_rate;
+        for name in path {
+            let p = self.resolve_parallelism(parallelisms, name)?;
+            t = match self.models.get(name) {
+                Some(model) => model.predict(p, t)?.output_rate,
+                None => t,
+            };
+        }
+        Ok(t)
+    }
+
+    /// Eq. 13: the topology saturation point `t'₀` — the smallest offered
+    /// source rate at which some component saturates. `None` when no
+    /// fitted component model ever observed saturation (the topology has
+    /// no known limit).
+    pub fn saturation_source_rate(
+        &self,
+        parallelisms: &HashMap<String, u32>,
+    ) -> Result<Option<f64>> {
+        // The bottleneck indicator is monotone in t₀, so bisect. First
+        // bracket an upper bound.
+        let mut hi = 1.0;
+        let mut saturates = false;
+        for _ in 0..80 {
+            if self.predict(parallelisms, hi)?.bottleneck.is_some() {
+                saturates = true;
+                break;
+            }
+            hi *= 2.0;
+        }
+        if !saturates {
+            return Ok(None);
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.predict(parallelisms, mid)?.bottleneck.is_some() {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(Some(0.5 * (lo + hi)))
+    }
+
+    /// Eq. 14: classifies backpressure risk for an offered rate `t₀`.
+    /// Returns the risk and the saturation point it was judged against.
+    pub fn backpressure_risk(
+        &self,
+        parallelisms: &HashMap<String, u32>,
+        source_rate: f64,
+    ) -> Result<(BackpressureRisk, Option<f64>)> {
+        let sat = self.saturation_source_rate(parallelisms)?;
+        let risk = match sat {
+            Some(t_sat) if source_rate >= t_sat * (1.0 - RISK_MARGIN) => BackpressureRisk::High,
+            _ => BackpressureRisk::Low,
+        };
+        Ok((risk, sat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::component::{ComponentModel, GroupingKind};
+    use crate::model::instance::{InstanceModel, Saturation};
+
+    fn model(name: &str, p: u32, alpha: f64, instance_sp: f64) -> (String, ComponentModel) {
+        (
+            name.to_string(),
+            ComponentModel {
+                name: name.to_string(),
+                fitted_parallelism: p,
+                instance: InstanceModel::from_params(
+                    alpha,
+                    Some(Saturation {
+                        input_sp: instance_sp,
+                        output_st: alpha * instance_sp,
+                    }),
+                ),
+                shares: vec![1.0 / f64::from(p); p as usize],
+                grouping: GroupingKind::Shuffle,
+            },
+        )
+    }
+
+    /// The paper's WordCount: spout → splitter (α=7.63, SP=11/inst) →
+    /// counter (α=1, SP=70/inst), rates in M tuples/min.
+    fn wordcount(splitter_p: u32, counter_p: u32) -> TopologyModel {
+        let spec = LogicalSpec::new("wc")
+            .component("spout", 2)
+            .component("splitter", splitter_p)
+            .component("counter", counter_p)
+            .edge("spout", "splitter", "shuffle")
+            .edge("splitter", "counter", "fields");
+        let models = HashMap::from([
+            model("splitter", splitter_p, 7.63, 11.0),
+            model("counter", counter_p, 1.0, 70.0),
+        ]);
+        TopologyModel::new(spec, models).unwrap()
+    }
+
+    #[test]
+    fn linear_regime_propagates_alpha_chain() {
+        let m = wordcount(2, 4);
+        let pred = m.predict(&HashMap::new(), 10.0).unwrap();
+        // 10 M sentences → 76.3 M words → counter processes all.
+        assert!((pred.sink_output_rate - 76.3).abs() < 1e-9);
+        assert!(pred.bottleneck.is_none());
+        assert_eq!(pred.per_component.len(), 3);
+        assert_eq!(pred.per_component[0].name, "spout");
+    }
+
+    #[test]
+    fn splitter_is_the_bottleneck_on_fig1_config() {
+        // Splitter p=2 knees at 22 M; counter p=4 knees at 280 M input,
+        // i.e. source 280/7.63 ≈ 36.7 M — splitter saturates first.
+        let m = wordcount(2, 4);
+        let pred = m.predict(&HashMap::new(), 30.0).unwrap();
+        assert_eq!(pred.bottleneck.as_deref(), Some("splitter"));
+        // Output caps at 22 × 7.63 ≈ 167.9 M words.
+        assert!((pred.sink_output_rate - 22.0 * 7.63).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq13_saturation_point() {
+        let m = wordcount(2, 4);
+        let sat = m.saturation_source_rate(&HashMap::new()).unwrap().unwrap();
+        assert!((sat - 22.0).abs() < 0.01, "topology SP ≈ 22 M, got {sat}");
+    }
+
+    #[test]
+    fn saturation_point_moves_with_parallelism() {
+        let m = wordcount(2, 4);
+        // Dry-run update: splitter 2 → 3 lifts the knee to 33 M (still
+        // below the counter's 280/7.63 ≈ 36.7 M).
+        let p = HashMap::from([("splitter".to_string(), 3u32)]);
+        let sat = m.saturation_source_rate(&p).unwrap().unwrap();
+        assert!((sat - 33.0).abs() < 0.01, "got {sat}");
+        // Scaling the splitter past the counter's limit shifts the
+        // bottleneck to the counter (knee at source 280/7.63 ≈ 36.7 M).
+        let p = HashMap::from([("splitter".to_string(), 8u32)]);
+        let sat = m.saturation_source_rate(&p).unwrap().unwrap();
+        assert!((sat - 280.0 / 7.63).abs() < 0.1, "got {sat}");
+        let pred = m.predict(&p, 50.0).unwrap();
+        assert_eq!(pred.bottleneck.as_deref(), Some("counter"));
+    }
+
+    #[test]
+    fn eq14_risk_classification() {
+        let m = wordcount(2, 4);
+        let none = HashMap::new();
+        let (risk, sat) = m.backpressure_risk(&none, 10.0).unwrap();
+        assert_eq!(risk, BackpressureRisk::Low);
+        assert!((sat.unwrap() - 22.0).abs() < 0.01);
+        // Just under the knee but inside the 5 % margin: high.
+        let (risk, _) = m.backpressure_risk(&none, 21.5).unwrap();
+        assert_eq!(risk, BackpressureRisk::High);
+        let (risk, _) = m.backpressure_risk(&none, 30.0).unwrap();
+        assert_eq!(risk, BackpressureRisk::High);
+    }
+
+    #[test]
+    fn eq12_path_chaining_matches_dag_on_chain() {
+        let m = wordcount(2, 4);
+        let paths = m.critical_path_candidates().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0], vec!["spout", "splitter", "counter"]);
+        for t in [5.0, 22.0, 40.0] {
+            let chain = m.predict_path(&paths[0], &HashMap::new(), t).unwrap();
+            let dag = m.predict(&HashMap::new(), t).unwrap().sink_output_rate;
+            assert!((chain - dag).abs() < 1e-9, "t={t}: {chain} vs {dag}");
+        }
+    }
+
+    #[test]
+    fn diamond_topology_sums_sink_inputs() {
+        // spout → a, spout → b, a → sink, b → sink; all α=1, no knees.
+        let spec = LogicalSpec::new("d")
+            .component("spout", 1)
+            .component("a", 1)
+            .component("b", 1)
+            .component("sink", 1)
+            .edge("spout", "a", "shuffle")
+            .edge("spout", "b", "shuffle")
+            .edge("a", "sink", "shuffle")
+            .edge("b", "sink", "shuffle");
+        let unbounded = |name: &str| {
+            (
+                name.to_string(),
+                ComponentModel {
+                    name: name.to_string(),
+                    fitted_parallelism: 1,
+                    instance: InstanceModel::from_params(1.0, None),
+                    shares: vec![1.0],
+                    grouping: GroupingKind::Shuffle,
+                },
+            )
+        };
+        let models = HashMap::from([unbounded("a"), unbounded("b"), unbounded("sink")]);
+        let m = TopologyModel::new(spec, models).unwrap();
+        let pred = m.predict(&HashMap::new(), 10.0).unwrap();
+        // The spout's 10 splits 5/5 over its two out edges, and the sink
+        // receives both halves.
+        assert!((pred.sink_output_rate - 10.0).abs() < 1e-9);
+        assert_eq!(m.critical_path_candidates().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn no_saturation_returns_none() {
+        let spec = LogicalSpec::new("t")
+            .component("spout", 1)
+            .component("b", 1)
+            .edge("spout", "b", "shuffle");
+        let models = HashMap::from([(
+            "b".to_string(),
+            ComponentModel {
+                name: "b".to_string(),
+                fitted_parallelism: 1,
+                instance: InstanceModel::from_params(2.0, None),
+                shares: vec![1.0],
+                grouping: GroupingKind::Shuffle,
+            },
+        )]);
+        let m = TopologyModel::new(spec, models).unwrap();
+        assert_eq!(m.saturation_source_rate(&HashMap::new()).unwrap(), None);
+        let (risk, _) = m.backpressure_risk(&HashMap::new(), 1e12).unwrap();
+        assert_eq!(risk, BackpressureRisk::Low);
+    }
+
+    #[test]
+    fn missing_bolt_model_rejected() {
+        let spec = LogicalSpec::new("t")
+            .component("spout", 1)
+            .component("b", 1)
+            .edge("spout", "b", "shuffle");
+        assert!(matches!(
+            TopologyModel::new(spec, HashMap::new()),
+            Err(CoreError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let m = wordcount(2, 4);
+        assert!(m.predict(&HashMap::new(), -1.0).is_err());
+        assert!(m.predict(&HashMap::new(), f64::NAN).is_err());
+        let zero = HashMap::from([("splitter".to_string(), 0u32)]);
+        assert!(m.predict(&zero, 1.0).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! The model-logistics tier (paper §III-C): the seams through which the
+//! models obtain metrics, topology metadata and graphs.
+//!
+//! * [`metrics`] — the metrics-provider interface plus the concrete
+//!   implementation backed by the simulator's tsdb (standing in for
+//!   HeronMetricsCache / Cuckoo), and the observation-window assembly
+//!   that turns raw per-minute series into model training data.
+//! * [`tracker`] — the topology-metadata interface (Heron Tracker
+//!   analog): logical specs, parallelisms and last-updated versions.
+//! * [`graph`] — cached logical-graph construction over the tracker,
+//!   with last-updated invalidation (the paper's graph + topology
+//!   metadata components).
+
+pub mod graph;
+pub mod metrics;
+pub mod tracker;
+
+pub use graph::GraphService;
+pub use metrics::{MetricsProvider, SimMetricsProvider};
+pub use tracker::{ClusterTracker, StaticTracker, TopologyTracker};

@@ -1,0 +1,832 @@
+//! The Caladrius service: orchestration of providers, traffic models and
+//! performance models into the dry-run evaluation the paper's §V
+//! demonstrates (Heron `update --dry-run` semantics: "the new packing
+//! plan and the expected throughput is calculated without requiring
+//! topology deployment").
+
+use crate::config::CaladriusConfig;
+use crate::error::{CoreError, Result};
+use crate::model::component::{ComponentModel, GroupingKind};
+use crate::model::cpu::CpuModel;
+use crate::model::topology::{BackpressureRisk, TopologyModel, TopologyPrediction};
+use crate::model::traits::{ModelOutput, ModelRegistry, PerformanceQuery};
+use crate::providers::graph::GraphService;
+use crate::providers::metrics::{
+    component_observations, cpu_observations, source_history, MetricsProvider,
+};
+use crate::providers::tracker::TopologyTracker;
+use crate::traffic::{TrafficForecast, TrafficModelRegistry};
+use caladrius_forecast::DataPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// How the evaluation picks the source rate to model against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceRateSpec {
+    /// The mean observed source rate over the most recent minutes.
+    Current,
+    /// An explicit rate in tuples/min (what-if analysis).
+    Fixed(f64),
+    /// The forecast peak over the configured horizon — the preemptive
+    /// scaling case. `conservative` uses the forecast's upper bound.
+    Forecast {
+        /// Traffic model name (defaults to the first configured).
+        model: Option<String>,
+        /// Use the interval's upper bound instead of the point forecast.
+        conservative: bool,
+    },
+}
+
+/// A full dry-run evaluation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Topology evaluated.
+    pub topology: String,
+    /// Parallelism overrides the evaluation assumed.
+    pub proposed_parallelisms: BTreeMap<String, u32>,
+    /// Source rate (tuples/min) the prediction was made at.
+    pub source_rate: f64,
+    /// Traffic forecast backing the source rate, when one was requested.
+    pub traffic: Option<TrafficForecast>,
+    /// Outputs of every configured performance model.
+    pub model_outputs: Vec<ModelOutput>,
+    /// The detailed throughput prediction.
+    pub prediction: TopologyPrediction,
+    /// Eq. 14 risk classification.
+    pub risk: BackpressureRisk,
+    /// The topology saturation point `t'₀`, if observable.
+    pub saturation_rate: Option<f64>,
+    /// Predicted total CPU load (cores) per bolt under the proposal.
+    pub cpu_by_component: BTreeMap<String, f64>,
+}
+
+/// Structural summary of a proposed packing plan (paper §III-C1's graph
+/// calculation interface).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackingOverview {
+    /// Containers used.
+    pub containers: usize,
+    /// Instances placed.
+    pub total_instances: usize,
+    /// Largest number of instances on a single container (stream-manager
+    /// load concentration — see the `stmgr_ablation` bench for why this
+    /// matters).
+    pub max_instances_per_container: usize,
+    /// Standard deviation of instances per container (0 = perfectly even).
+    pub balance_stddev: f64,
+    /// Fraction of upstream→downstream instance pairs crossing containers.
+    pub remote_pair_fraction: f64,
+    /// Distinct instance-level paths through the topology (paper Fig. 1c).
+    pub instance_paths: u64,
+}
+
+/// The Caladrius performance-modelling service.
+pub struct Caladrius {
+    config: CaladriusConfig,
+    metrics: Arc<dyn MetricsProvider>,
+    tracker: Arc<dyn TopologyTracker>,
+    traffic: TrafficModelRegistry,
+    performance: ModelRegistry,
+    graphs: GraphService,
+}
+
+impl std::fmt::Debug for Caladrius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Caladrius")
+            .field("config", &self.config)
+            .field("traffic_models", &self.traffic.names())
+            .field("performance_models", &self.performance.names())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Caladrius {
+    /// Creates a service with default config and model registries.
+    pub fn new(metrics: Arc<dyn MetricsProvider>, tracker: Arc<dyn TopologyTracker>) -> Self {
+        Self::with_config(metrics, tracker, CaladriusConfig::default())
+    }
+
+    /// Creates a service with an explicit configuration.
+    pub fn with_config(
+        metrics: Arc<dyn MetricsProvider>,
+        tracker: Arc<dyn TopologyTracker>,
+        config: CaladriusConfig,
+    ) -> Self {
+        Self {
+            config,
+            metrics,
+            tracker,
+            traffic: TrafficModelRegistry::with_defaults(),
+            performance: ModelRegistry::with_defaults(),
+            graphs: GraphService::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CaladriusConfig {
+        &self.config
+    }
+
+    /// Mutable access to the traffic-model registry (to plug custom
+    /// models in, per the paper's extensibility goal).
+    pub fn traffic_registry_mut(&mut self) -> &mut TrafficModelRegistry {
+        &mut self.traffic
+    }
+
+    /// Mutable access to the performance-model registry.
+    pub fn performance_registry_mut(&mut self) -> &mut ModelRegistry {
+        &mut self.performance
+    }
+
+    /// Known topology names.
+    pub fn topologies(&self) -> Vec<String> {
+        self.tracker.topologies()
+    }
+
+    /// Shared handle to the metrics provider (the API tier's raw metrics
+    /// endpoint reads through it).
+    pub fn metrics_provider(&self) -> Arc<dyn MetricsProvider> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Structural assessment of a proposed packing — the paper's "graph
+    /// calculation interface for estimating properties of proposed
+    /// packing plans" (§III-C1). Parallelism overrides are applied, the
+    /// instances are round-robin packed over `containers`, and the
+    /// resulting plan is summarised.
+    pub fn packing_overview(
+        &self,
+        topology: &str,
+        proposed_parallelisms: &HashMap<String, u32>,
+        containers: usize,
+    ) -> Result<PackingOverview> {
+        use caladrius_graph::topology_graph::{
+            instance_path_count, round_robin_assignment, LogicalSpec,
+        };
+        if containers == 0 {
+            return Err(CoreError::InvalidRequest(
+                "containers must be at least 1".into(),
+            ));
+        }
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        let mut spec = LogicalSpec::new(logical.spec.name.clone());
+        for (name, p) in &logical.spec.components {
+            let p = proposed_parallelisms.get(name).copied().unwrap_or(*p);
+            if p == 0 {
+                return Err(CoreError::InvalidRequest(format!(
+                    "parallelism of {name:?} must be positive"
+                )));
+            }
+            spec = spec.component(name.clone(), p);
+        }
+        for (from, to, grouping) in &logical.spec.edges {
+            spec = spec.edge(from.clone(), to.clone(), grouping.clone());
+        }
+
+        let assignment = round_robin_assignment(&spec, containers);
+        let counts: Vec<f64> = assignment.iter().map(|c| c.len() as f64).collect();
+        let total_instances: usize = assignment.iter().map(Vec::len).sum();
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+
+        // Remote-pair fraction: how many upstream→downstream instance
+        // pairs cross containers under this assignment.
+        let mut location = HashMap::new();
+        for (c_idx, contents) in assignment.iter().enumerate() {
+            for (component, index) in contents {
+                location.insert((component.clone(), *index), c_idx);
+            }
+        }
+        let parallelism: HashMap<&str, u32> = spec
+            .components
+            .iter()
+            .map(|(n, p)| (n.as_str(), *p))
+            .collect();
+        let mut pairs = 0usize;
+        let mut remote = 0usize;
+        for (from, to, _) in &spec.edges {
+            for fi in 0..parallelism[from.as_str()] {
+                for ti in 0..parallelism[to.as_str()] {
+                    pairs += 1;
+                    if location.get(&(from.clone(), fi)) != location.get(&(to.clone(), ti)) {
+                        remote += 1;
+                    }
+                }
+            }
+        }
+
+        Ok(PackingOverview {
+            containers,
+            total_instances,
+            max_instances_per_container: counts.iter().copied().fold(0.0, f64::max) as usize,
+            balance_stddev: var.sqrt(),
+            remote_pair_fraction: if pairs > 0 {
+                remote as f64 / pairs as f64
+            } else {
+                0.0
+            },
+            instance_paths: instance_path_count(&spec)?,
+        })
+    }
+
+    /// The training window `[from, to]` ending at the newest recorded
+    /// minute.
+    fn window(&self, topology: &str) -> Result<(i64, i64)> {
+        let to = self
+            .metrics
+            .latest_minute(topology)
+            .ok_or_else(|| CoreError::Unknown(format!("no metrics for {topology:?}")))?;
+        let from = to - i64::from(self.config.source_window_minutes - 1) * 60_000;
+        Ok((from, to))
+    }
+
+    /// Spout component names of a topology.
+    fn spouts(&self, topology: &str) -> Result<Vec<String>> {
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        Ok(logical
+            .spec
+            .components
+            .iter()
+            .filter(|(name, _)| !logical.spec.edges.iter().any(|(_, to, _)| to == name))
+            .map(|(name, _)| name.clone())
+            .collect())
+    }
+
+    /// The topology's offered-load history over the training window.
+    pub fn source_history(&self, topology: &str) -> Result<Vec<DataPoint>> {
+        let (from, to) = self.window(topology)?;
+        source_history(
+            self.metrics.as_ref(),
+            topology,
+            &self.spouts(topology)?,
+            from,
+            to,
+        )
+    }
+
+    /// Forecasts future source throughput with the named models (or the
+    /// configured defaults), over the configured horizon.
+    ///
+    /// With `per_spout_models` enabled in the config, a separate model is
+    /// fitted per spout instance and the forecasts are summed — the
+    /// paper's "slower but more accurate" option (§IV-A).
+    pub fn forecast_traffic(
+        &self,
+        topology: &str,
+        models: Option<&[String]>,
+    ) -> Result<Vec<TrafficForecast>> {
+        let names: Vec<String> = match models {
+            Some(names) => names.to_vec(),
+            None => self.config.traffic_models.clone(),
+        };
+        if self.config.per_spout_models {
+            return names
+                .iter()
+                .map(|name| self.forecast_traffic_per_spout(topology, name))
+                .collect();
+        }
+        let history = self.source_history(topology)?;
+        let horizon = self.horizon_after(&history);
+        names
+            .iter()
+            .map(|name| self.traffic.forecast(name, &history, &horizon))
+            .collect()
+    }
+
+    fn horizon_after(&self, history: &[DataPoint]) -> Vec<i64> {
+        let last = history.last().map(|p| p.ts).unwrap_or(0);
+        (1..=i64::from(self.config.forecast_horizon_minutes))
+            .map(|m| last + m * 60_000)
+            .collect()
+    }
+
+    /// Fits one model of `model_name` per spout instance and sums the
+    /// forecasts to the topology level. Interval bounds are summed too,
+    /// which is conservative (it assumes per-spout errors are perfectly
+    /// correlated).
+    pub fn forecast_traffic_per_spout(
+        &self,
+        topology: &str,
+        model_name: &str,
+    ) -> Result<TrafficForecast> {
+        use caladrius_forecast::ForecastPoint;
+        use heron_sim::metrics::metric;
+        let (from, to) = self.window(topology)?;
+        let mut combined: BTreeMap<i64, ForecastPoint> = BTreeMap::new();
+        let mut fitted_any = false;
+        for spout in self.spouts(topology)? {
+            let per_instance = self.metrics.per_instance_series(
+                topology,
+                &spout,
+                metric::SOURCE_OFFERED,
+                from,
+                to,
+            )?;
+            for (_, series) in per_instance {
+                let history: Vec<DataPoint> = series
+                    .iter()
+                    .map(|s| DataPoint::new(s.ts, s.value))
+                    .collect();
+                if history.is_empty() {
+                    continue;
+                }
+                let horizon = self.horizon_after(&history);
+                let forecast = self.traffic.forecast(model_name, &history, &horizon)?;
+                fitted_any = true;
+                for p in forecast.points {
+                    let entry = combined.entry(p.ts).or_insert(ForecastPoint {
+                        ts: p.ts,
+                        yhat: 0.0,
+                        lower: 0.0,
+                        upper: 0.0,
+                    });
+                    entry.yhat += p.yhat;
+                    entry.lower += p.lower;
+                    entry.upper += p.upper;
+                }
+            }
+        }
+        if !fitted_any {
+            return Err(CoreError::NotEnoughObservations {
+                what: format!("per-spout source history for {topology:?}"),
+                needed: 1,
+                got: 0,
+            });
+        }
+        let points: Vec<ForecastPoint> = combined.into_values().collect();
+        let mean = points.iter().map(|p| p.yhat).sum::<f64>() / points.len() as f64;
+        let peak = points.iter().map(|p| p.yhat).fold(f64::MIN, f64::max);
+        let peak_upper = points.iter().map(|p| p.upper).fold(f64::MIN, f64::max);
+        Ok(TrafficForecast {
+            model: format!("{model_name} (per-spout)"),
+            points,
+            mean,
+            peak,
+            peak_upper,
+        })
+    }
+
+    /// Fits the full topology throughput model from the training window.
+    pub fn fit_topology_model(&self, topology: &str) -> Result<TopologyModel> {
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        let spec = logical.spec.clone();
+        let (from, to) = self.window(topology)?;
+
+        // Out-degree per component, for per-edge emission weights.
+        let mut out_degree: HashMap<&str, usize> = HashMap::new();
+        for (from_c, _, _) in &spec.edges {
+            *out_degree.entry(from_c.as_str()).or_insert(0) += 1;
+        }
+
+        let mut models = HashMap::new();
+        for (name, parallelism) in &spec.components {
+            let in_edges: Vec<&(String, String, String)> = spec
+                .edges
+                .iter()
+                .filter(|(_, to_c, _)| to_c == name)
+                .collect();
+            if in_edges.is_empty() {
+                continue; // spout
+            }
+            let upstreams: Vec<(String, f64)> = in_edges
+                .iter()
+                .map(|(from_c, _, _)| (from_c.clone(), 1.0 / out_degree[from_c.as_str()] as f64))
+                .collect();
+            let grouping = GroupingKind::from_name(&in_edges[0].2);
+            let observations = component_observations(
+                self.metrics.as_ref(),
+                topology,
+                name,
+                &upstreams,
+                from,
+                to,
+            )?;
+            models.insert(
+                name.clone(),
+                ComponentModel::fit(name.clone(), *parallelism, grouping, &observations)?,
+            );
+        }
+        TopologyModel::new(spec, models)
+    }
+
+    /// Fits a CPU model per bolt from the training window. Bolts whose
+    /// observations cannot support a fit (no data, or no input-rate
+    /// variance to regress on) are skipped rather than failing the whole
+    /// report.
+    pub fn fit_cpu_models(&self, topology: &str) -> Result<HashMap<String, CpuModel>> {
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        let (from, to) = self.window(topology)?;
+        let mut models = HashMap::new();
+        for (name, _) in &logical.spec.components {
+            let has_inputs = logical.spec.edges.iter().any(|(_, to_c, _)| to_c == name);
+            if !has_inputs {
+                continue;
+            }
+            let fitted = cpu_observations(self.metrics.as_ref(), topology, name, from, to)
+                .and_then(|obs| CpuModel::fit(&obs));
+            match fitted {
+                Ok(model) => {
+                    models.insert(name.clone(), model);
+                }
+                Err(CoreError::NotEnoughObservations { .. }) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(models)
+    }
+
+    fn resolve_source_rate(
+        &self,
+        topology: &str,
+        spec: &SourceRateSpec,
+    ) -> Result<(f64, Option<TrafficForecast>)> {
+        match spec {
+            SourceRateSpec::Fixed(rate) => {
+                if !(rate.is_finite() && *rate >= 0.0) {
+                    return Err(CoreError::InvalidRequest(format!(
+                        "fixed source rate must be non-negative, got {rate}"
+                    )));
+                }
+                Ok((*rate, None))
+            }
+            SourceRateSpec::Current => {
+                let history = self.source_history(topology)?;
+                let recent: Vec<f64> = history.iter().rev().take(5).map(|p| p.y).collect();
+                Ok((recent.iter().sum::<f64>() / recent.len() as f64, None))
+            }
+            SourceRateSpec::Forecast {
+                model,
+                conservative,
+            } => {
+                let name = model
+                    .clone()
+                    .or_else(|| self.config.traffic_models.first().cloned())
+                    .ok_or_else(|| {
+                        CoreError::InvalidRequest("no traffic model configured".into())
+                    })?;
+                let forecast = self
+                    .forecast_traffic(topology, Some(std::slice::from_ref(&name)))?
+                    .pop()
+                    .expect("one model requested, one forecast returned");
+                let rate = if *conservative {
+                    forecast.peak_upper
+                } else {
+                    forecast.peak
+                };
+                Ok((rate.max(0.0), Some(forecast)))
+            }
+        }
+    }
+
+    /// Runs the full dry-run evaluation: fit models from live metrics,
+    /// resolve the source rate, run every configured performance model,
+    /// classify backpressure risk and predict CPU loads.
+    pub fn evaluate(
+        &self,
+        topology: &str,
+        proposed_parallelisms: &HashMap<String, u32>,
+        source: &SourceRateSpec,
+    ) -> Result<EvaluationReport> {
+        let model = self.fit_topology_model(topology)?;
+        let (source_rate, traffic) = self.resolve_source_rate(topology, source)?;
+
+        let query = PerformanceQuery {
+            topology: &model,
+            parallelisms: proposed_parallelisms,
+            source_rate,
+        };
+        let mut model_outputs = Vec::new();
+        for name in &self.config.performance_models {
+            model_outputs.push(self.performance.run(name, &query)?);
+        }
+        let prediction = model.predict(proposed_parallelisms, source_rate)?;
+        let (risk, saturation_rate) =
+            model.backpressure_risk(proposed_parallelisms, source_rate)?;
+
+        let cpu_models = self.fit_cpu_models(topology)?;
+        let mut cpu_by_component = BTreeMap::new();
+        for report in &prediction.per_component {
+            let (Some(cpu), Some(component)) = (
+                cpu_models.get(&report.name),
+                model.component_model(&report.name),
+            ) else {
+                continue;
+            };
+            cpu_by_component.insert(
+                report.name.clone(),
+                cpu.predict_component(component, report.parallelism, report.source_rate)?,
+            );
+        }
+
+        Ok(EvaluationReport {
+            topology: topology.to_string(),
+            proposed_parallelisms: proposed_parallelisms
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            source_rate,
+            traffic,
+            model_outputs,
+            prediction,
+            risk,
+            saturation_rate,
+            cpu_by_component,
+        })
+    }
+
+    /// Preemptive-scaling helper: finds the smallest parallelism for
+    /// `component` (all else unchanged) that keeps backpressure risk low
+    /// at `source_rate`, up to `max_parallelism`. Returns `None` when no
+    /// parallelism in range suffices.
+    pub fn recommend_parallelism(
+        &self,
+        topology: &str,
+        component: &str,
+        source_rate: f64,
+        max_parallelism: u32,
+    ) -> Result<Option<u32>> {
+        let model = self.fit_topology_model(topology)?;
+        for p in 1..=max_parallelism {
+            let proposal = HashMap::from([(component.to_string(), p)]);
+            let (risk, _) = model.backpressure_risk(&proposal, source_rate)?;
+            if risk == BackpressureRisk::Low {
+                return Ok(Some(p));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::metrics::SimMetricsProvider;
+    use crate::providers::tracker::StaticTracker;
+    use caladrius_workload::wordcount::{
+        wordcount_topology, WordCountParallelism, ALPHA, SPLITTER_CAPACITY_PER_MIN,
+    };
+    use heron_sim::engine::{SimConfig, Simulation};
+
+    /// Runs the word-count topology through a source-rate sweep so the
+    /// metrics contain both linear and saturated windows, then builds a
+    /// service over the recorded metrics.
+    fn service() -> Caladrius {
+        let parallelism = WordCountParallelism {
+            spout: 8,
+            splitter: 2,
+            counter: 3,
+        };
+        let metrics = heron_sim::metrics::SimMetrics::new("wordcount");
+        for (leg, rate) in [4.0e6, 8.0e6, 12.0e6, 16.0e6, 20.0e6, 26.0e6]
+            .into_iter()
+            .enumerate()
+        {
+            let topo = wordcount_topology(parallelism, rate);
+            let mut sim = Simulation::new(
+                topo,
+                SimConfig {
+                    metric_noise: 0.0,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            // Restarted topologies never share wall-clock minutes.
+            sim.skip_to_minute(leg as u64 * 100);
+            sim.warmup_minutes(30);
+            sim.run_minutes_into(10, &metrics);
+        }
+        let tracker = StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6));
+        Caladrius::new(
+            Arc::new(SimMetricsProvider::new(metrics)),
+            Arc::new(tracker),
+        )
+    }
+
+    #[test]
+    fn end_to_end_fit_and_evaluate() {
+        let caladrius = service();
+        assert_eq!(caladrius.topologies(), vec!["wordcount"]);
+
+        let model = caladrius.fit_topology_model("wordcount").unwrap();
+        let splitter = model.component_model("splitter").unwrap();
+        assert!(
+            (splitter.instance.alpha - ALPHA).abs() < 0.1,
+            "fitted alpha {}",
+            splitter.instance.alpha
+        );
+        let sat = splitter
+            .instance
+            .saturation
+            .expect("sweep saturates the splitter");
+        assert!(
+            (sat.input_sp - SPLITTER_CAPACITY_PER_MIN).abs() / SPLITTER_CAPACITY_PER_MIN < 0.05,
+            "fitted SP {}",
+            sat.input_sp
+        );
+
+        // Dry-run: current config (splitter p=2) at 30 M/min is high risk;
+        // splitter p=4 clears it (knee at ~44 M/min).
+        let report = caladrius
+            .evaluate("wordcount", &HashMap::new(), &SourceRateSpec::Fixed(30.0e6))
+            .unwrap();
+        assert_eq!(report.risk, BackpressureRisk::High);
+        assert_eq!(report.prediction.bottleneck.as_deref(), Some("splitter"));
+
+        let proposal = HashMap::from([("splitter".to_string(), 4u32)]);
+        let report = caladrius
+            .evaluate("wordcount", &proposal, &SourceRateSpec::Fixed(30.0e6))
+            .unwrap();
+        assert_eq!(report.risk, BackpressureRisk::Low);
+        assert!(report.prediction.bottleneck.is_none());
+        // Throughput ≈ 30 M × α words/min at the sink.
+        let expected = 30.0e6 * ALPHA;
+        assert!(
+            (report.prediction.sink_output_rate - expected).abs() / expected < 0.05,
+            "sink output {}",
+            report.prediction.sink_output_rate
+        );
+        assert_eq!(report.model_outputs.len(), 3);
+        assert!(report.cpu_by_component.contains_key("splitter"));
+        assert!(report.cpu_by_component["splitter"] > 0.0);
+    }
+
+    #[test]
+    fn evaluate_with_current_rate() {
+        let caladrius = service();
+        let report = caladrius
+            .evaluate("wordcount", &HashMap::new(), &SourceRateSpec::Current)
+            .unwrap();
+        // The final sweep leg offered 26 M/min.
+        assert!((report.source_rate - 26.0e6).abs() / 26.0e6 < 0.02);
+        assert_eq!(report.risk, BackpressureRisk::High);
+    }
+
+    #[test]
+    fn evaluate_with_forecast_source() {
+        let caladrius = service();
+        let report = caladrius
+            .evaluate(
+                "wordcount",
+                &HashMap::new(),
+                &SourceRateSpec::Forecast {
+                    model: Some("stats_summary".into()),
+                    conservative: false,
+                },
+            )
+            .unwrap();
+        let forecast = report.traffic.expect("forecast requested");
+        assert_eq!(forecast.model, "stats_summary");
+        assert!(report.source_rate > 0.0);
+    }
+
+    #[test]
+    fn recommend_parallelism_finds_smallest_safe() {
+        let caladrius = service();
+        // 30 M/min needs splitter knee > 30/0.95: p=3 knees at 33 M.
+        let p = caladrius
+            .recommend_parallelism("wordcount", "splitter", 30.0e6, 16)
+            .unwrap();
+        assert_eq!(p, Some(3));
+        // An absurd rate exceeds every parallelism in range.
+        let p = caladrius
+            .recommend_parallelism("wordcount", "splitter", 1.0e12, 4)
+            .unwrap();
+        assert_eq!(p, None);
+    }
+
+    #[test]
+    fn traffic_forecast_runs_configured_models() {
+        let caladrius = service();
+        let forecasts = caladrius.forecast_traffic("wordcount", None).unwrap();
+        assert_eq!(forecasts.len(), 2); // prophet + stats_summary
+        for f in &forecasts {
+            assert!(f.mean > 0.0);
+            assert_eq!(
+                f.points.len(),
+                caladrius.config().forecast_horizon_minutes as usize
+            );
+        }
+    }
+
+    #[test]
+    fn packing_overview_reports_structure() {
+        let caladrius = service();
+        // Deployed: spout 8, splitter 2, counter 3 = 13 instances.
+        let overview = caladrius
+            .packing_overview("wordcount", &HashMap::new(), 4)
+            .unwrap();
+        assert_eq!(overview.containers, 4);
+        assert_eq!(overview.total_instances, 13);
+        assert_eq!(overview.max_instances_per_container, 4);
+        assert!(overview.remote_pair_fraction > 0.0);
+        assert_eq!(overview.instance_paths, 8 * 2 * 3);
+        // Proposed splitter 4: 15 instances, more paths.
+        let proposal = HashMap::from([("splitter".to_string(), 4u32)]);
+        let overview = caladrius
+            .packing_overview("wordcount", &proposal, 4)
+            .unwrap();
+        assert_eq!(overview.total_instances, 15);
+        assert_eq!(overview.instance_paths, 8 * 4 * 3);
+        // Errors.
+        assert!(caladrius
+            .packing_overview("wordcount", &HashMap::new(), 0)
+            .is_err());
+        assert!(caladrius
+            .packing_overview(
+                "wordcount",
+                &HashMap::from([("splitter".to_string(), 0)]),
+                2
+            )
+            .is_err());
+        assert!(caladrius
+            .packing_overview("ghost", &HashMap::new(), 2)
+            .is_err());
+    }
+
+    #[test]
+    fn raw_series_selection_through_provider() {
+        let caladrius = service();
+        let provider = caladrius.metrics_provider();
+        let (name, filters) =
+            caladrius_tsdb::query::parse_selector("execute-count{component=splitter,instance=0}")
+                .unwrap();
+        let rows = provider
+            .select_series("wordcount", &name, &filters, 0, i64::MAX)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].1.is_empty());
+        assert_eq!(rows[0].0.tag("instance"), Some("0"));
+        assert!(provider
+            .select_series("ghost", &name, &filters, 0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn per_spout_forecast_sums_instances() {
+        let caladrius = service();
+        let combined = caladrius
+            .forecast_traffic_per_spout("wordcount", "stats_summary")
+            .unwrap();
+        assert_eq!(combined.model, "stats_summary (per-spout)");
+        // 8 spout instances sharing the offered load: the per-spout sum
+        // must land near the whole-topology forecast.
+        let whole = caladrius
+            .forecast_traffic("wordcount", Some(&["stats_summary".to_string()]))
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert!(
+            (combined.mean - whole.mean).abs() / whole.mean < 0.02,
+            "per-spout {} vs whole {}",
+            combined.mean,
+            whole.mean
+        );
+        assert!(combined.peak_upper >= combined.peak);
+    }
+
+    #[test]
+    fn per_spout_config_switches_forecast_path() {
+        let parallelism = WordCountParallelism {
+            spout: 8,
+            splitter: 2,
+            counter: 3,
+        };
+        let metrics = heron_sim::metrics::SimMetrics::new("wordcount");
+        let mut sim = Simulation::new(
+            wordcount_topology(parallelism, 8.0e6),
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.run_minutes_into(30, &metrics);
+        let config = crate::config::CaladriusConfig {
+            per_spout_models: true,
+            ..crate::config::CaladriusConfig::default()
+        };
+        let caladrius = Caladrius::with_config(
+            Arc::new(SimMetricsProvider::new(metrics)),
+            Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 8.0e6))),
+            config,
+        );
+        let forecasts = caladrius
+            .forecast_traffic("wordcount", Some(&["stats_summary".to_string()]))
+            .unwrap();
+        assert_eq!(forecasts[0].model, "stats_summary (per-spout)");
+        assert!((forecasts[0].mean - 8.0e6).abs() / 8.0e6 < 0.01);
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let caladrius = service();
+        assert!(caladrius
+            .evaluate("wordcount", &HashMap::new(), &SourceRateSpec::Fixed(-1.0))
+            .is_err());
+        assert!(caladrius
+            .evaluate("ghost", &HashMap::new(), &SourceRateSpec::Fixed(1.0))
+            .is_err());
+        assert!(caladrius.forecast_traffic("ghost", None).is_err());
+    }
+}

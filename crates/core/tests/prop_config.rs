@@ -1,0 +1,106 @@
+//! Property tests for the YAML-subset configuration parser.
+
+use caladrius_core::config::{parse, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_key() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+fn arb_scalar() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.:/-]{1,16}"
+}
+
+/// A two-level config document: top-level scalars, nested maps of scalars
+/// and scalar lists — the shapes the Caladrius config actually uses.
+#[derive(Debug, Clone)]
+enum Node {
+    Scalar(String),
+    List(Vec<String>),
+    Map(BTreeMap<String, String>),
+}
+
+fn arb_doc() -> impl Strategy<Value = BTreeMap<String, Node>> {
+    let node = prop_oneof![
+        arb_scalar().prop_map(Node::Scalar),
+        prop::collection::vec(arb_scalar(), 1..5).prop_map(Node::List),
+        prop::collection::btree_map(arb_key(), arb_scalar(), 1..5).prop_map(Node::Map),
+    ];
+    prop::collection::btree_map(arb_key(), node, 0..8)
+}
+
+fn render(doc: &BTreeMap<String, Node>) -> String {
+    let mut out = String::new();
+    for (key, node) in doc {
+        match node {
+            Node::Scalar(v) => out.push_str(&format!("{key}: {v}\n")),
+            Node::List(items) => {
+                out.push_str(&format!("{key}:\n"));
+                for item in items {
+                    out.push_str(&format!("  - {item}\n"));
+                }
+            }
+            Node::Map(map) => {
+                out.push_str(&format!("{key}:\n"));
+                for (k, v) in map {
+                    out.push_str(&format!("  {k}: {v}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// render → parse recovers the document structure exactly.
+    #[test]
+    fn config_roundtrip(doc in arb_doc()) {
+        let text = render(&doc);
+        let parsed = parse(&text).unwrap();
+        let map = parsed.as_map().expect("top level is a map");
+        prop_assert_eq!(map.len(), doc.len());
+        for (key, node) in &doc {
+            let got = map.get(key).expect("key survives");
+            match node {
+                Node::Scalar(v) => prop_assert_eq!(got.as_str(), Some(v.as_str())),
+                Node::List(items) => {
+                    let list = got.as_list().expect("list survives");
+                    prop_assert_eq!(list.len(), items.len());
+                    for (g, want) in list.iter().zip(items) {
+                        prop_assert_eq!(g.as_str(), Some(want.as_str()));
+                    }
+                }
+                Node::Map(inner) => {
+                    let nested = got.as_map().expect("map survives");
+                    prop_assert_eq!(nested.len(), inner.len());
+                    for (k, v) in inner {
+                        prop_assert_eq!(
+                            nested.get(k).and_then(Value::as_str),
+                            Some(v.as_str())
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary text.
+    #[test]
+    fn parser_is_total(text in ".{0,300}") {
+        let _ = parse(&text);
+    }
+
+    /// Comments and blank lines never change the parse.
+    #[test]
+    fn comments_are_transparent(doc in arb_doc(), comment in "[ a-z0-9]{0,20}") {
+        let plain = render(&doc);
+        let mut commented = format!("# {comment}\n\n");
+        for line in plain.lines() {
+            commented.push_str(line);
+            commented.push('\n');
+            commented.push_str("# interleaved\n");
+        }
+        prop_assert_eq!(parse(&plain).unwrap(), parse(&commented).unwrap());
+    }
+}

@@ -1,0 +1,218 @@
+//! Forecast evaluation: rolling-origin backtesting and accuracy metrics.
+
+use crate::{DataPoint, ForecastError, Forecaster};
+
+/// Point-forecast accuracy metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute percentage error (%, computed over non-zero actuals).
+    pub mape: f64,
+    /// Fraction of actuals inside the forecast interval.
+    pub coverage: f64,
+    /// Number of evaluated points.
+    pub n: usize,
+}
+
+impl Accuracy {
+    /// Computes metrics from paired actuals and forecasts.
+    pub fn compute(actuals: &[DataPoint], forecasts: &[crate::ForecastPoint]) -> Option<Accuracy> {
+        let pairs: Vec<(&DataPoint, &crate::ForecastPoint)> = actuals
+            .iter()
+            .filter(|a| a.y.is_finite())
+            .filter_map(|a| forecasts.iter().find(|f| f.ts == a.ts).map(|f| (a, f)))
+            .collect();
+        if pairs.is_empty() {
+            return None;
+        }
+        let n = pairs.len() as f64;
+        let mut abs = 0.0;
+        let mut sq = 0.0;
+        let mut pct = 0.0;
+        let mut pct_n = 0usize;
+        let mut covered = 0usize;
+        for (a, f) in &pairs {
+            let e = a.y - f.yhat;
+            abs += e.abs();
+            sq += e * e;
+            if a.y.abs() > f64::EPSILON {
+                pct += (e / a.y).abs() * 100.0;
+                pct_n += 1;
+            }
+            if a.y >= f.lower && a.y <= f.upper {
+                covered += 1;
+            }
+        }
+        Some(Accuracy {
+            mae: abs / n,
+            rmse: (sq / n).sqrt(),
+            mape: if pct_n > 0 {
+                pct / pct_n as f64
+            } else {
+                f64::NAN
+            },
+            coverage: covered as f64 / n,
+            n: pairs.len(),
+        })
+    }
+}
+
+/// Rolling-origin (expanding window) backtest configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BacktestConfig {
+    /// Minimum training size (observations) before the first forecast.
+    pub initial_train: usize,
+    /// Forecast horizon (observations) per origin.
+    pub horizon: usize,
+    /// Step between origins (observations).
+    pub step: usize,
+}
+
+/// Runs a rolling-origin backtest of `model` over `series` and returns the
+/// pooled accuracy across all origins (the standard Prophet-style
+/// `cross_validation` procedure).
+pub fn backtest<F: Forecaster>(
+    model: &mut F,
+    series: &[DataPoint],
+    config: BacktestConfig,
+) -> Result<Accuracy, ForecastError> {
+    if config.horizon == 0 || config.step == 0 {
+        return Err(ForecastError::InvalidParameter(
+            "horizon and step must be >= 1".into(),
+        ));
+    }
+    if series.len() < config.initial_train + config.horizon {
+        return Err(ForecastError::NotEnoughData {
+            needed: config.initial_train + config.horizon,
+            got: series.len(),
+        });
+    }
+    let mut all_actuals = Vec::new();
+    let mut all_forecasts = Vec::new();
+    let mut origin = config.initial_train;
+    while origin + config.horizon <= series.len() {
+        let train = &series[..origin];
+        let test = &series[origin..origin + config.horizon];
+        model.fit(train)?;
+        let ts: Vec<i64> = test.iter().map(|p| p.ts).collect();
+        let forecasts = model.predict(&ts)?;
+        all_actuals.extend_from_slice(test);
+        all_forecasts.extend(forecasts);
+        origin += config.step;
+    }
+    Accuracy::compute(&all_actuals, &all_forecasts)
+        .ok_or(ForecastError::NotEnoughData { needed: 1, got: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsSummaryModel;
+    use crate::ForecastPoint;
+
+    const MINUTE: i64 = 60_000;
+
+    #[test]
+    fn accuracy_perfect_forecast() {
+        let actuals: Vec<DataPoint> = (0..10).map(|i| DataPoint::new(i * MINUTE, 100.0)).collect();
+        let forecasts: Vec<ForecastPoint> = actuals
+            .iter()
+            .map(|a| ForecastPoint {
+                ts: a.ts,
+                yhat: a.y,
+                lower: a.y - 1.0,
+                upper: a.y + 1.0,
+            })
+            .collect();
+        let acc = Accuracy::compute(&actuals, &forecasts).unwrap();
+        assert_eq!(acc.mae, 0.0);
+        assert_eq!(acc.rmse, 0.0);
+        assert_eq!(acc.mape, 0.0);
+        assert_eq!(acc.coverage, 1.0);
+        assert_eq!(acc.n, 10);
+    }
+
+    #[test]
+    fn accuracy_known_errors() {
+        let actuals = vec![DataPoint::new(0, 100.0), DataPoint::new(1, 200.0)];
+        let forecasts = vec![
+            ForecastPoint {
+                ts: 0,
+                yhat: 110.0,
+                lower: 105.0,
+                upper: 115.0,
+            },
+            ForecastPoint {
+                ts: 1,
+                yhat: 180.0,
+                lower: 150.0,
+                upper: 250.0,
+            },
+        ];
+        let acc = Accuracy::compute(&actuals, &forecasts).unwrap();
+        assert!((acc.mae - 15.0).abs() < 1e-12);
+        assert!((acc.rmse - (250.0f64).sqrt()).abs() < 1e-9);
+        assert!((acc.mape - 10.0).abs() < 1e-9); // (10% + 10%) / 2
+        assert_eq!(acc.coverage, 0.5);
+    }
+
+    #[test]
+    fn accuracy_skips_unmatched_and_nan() {
+        let actuals = vec![DataPoint::new(0, f64::NAN), DataPoint::new(5, 1.0)];
+        let forecasts = vec![ForecastPoint {
+            ts: 0,
+            yhat: 1.0,
+            lower: 0.0,
+            upper: 2.0,
+        }];
+        assert!(Accuracy::compute(&actuals, &forecasts).is_none());
+    }
+
+    #[test]
+    fn backtest_stats_model_on_constant_series() {
+        let series: Vec<DataPoint> = (0..100).map(|i| DataPoint::new(i * MINUTE, 50.0)).collect();
+        let mut model = StatsSummaryModel::mean();
+        let acc = backtest(
+            &mut model,
+            &series,
+            BacktestConfig {
+                initial_train: 50,
+                horizon: 10,
+                step: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(acc.mae, 0.0);
+        assert_eq!(acc.coverage, 1.0);
+        assert_eq!(acc.n, 50);
+    }
+
+    #[test]
+    fn backtest_rejects_bad_config() {
+        let series: Vec<DataPoint> = (0..10).map(|i| DataPoint::new(i, 1.0)).collect();
+        let mut model = StatsSummaryModel::mean();
+        assert!(backtest(
+            &mut model,
+            &series,
+            BacktestConfig {
+                initial_train: 5,
+                horizon: 0,
+                step: 1
+            }
+        )
+        .is_err());
+        assert!(backtest(
+            &mut model,
+            &series,
+            BacktestConfig {
+                initial_train: 9,
+                horizon: 5,
+                step: 1
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! Additive Holt-Winters (triple exponential smoothing) baseline.
+//!
+//! Level, trend and a length-`m` additive seasonal component smoothed with
+//! `(α, β, γ)`. When parameters are not supplied, a coarse grid search
+//! minimising one-step-ahead squared error picks them — a pragmatic stand-in
+//! for the maximum-likelihood fit of a full statistical package.
+//!
+//! Holt-Winters assumes an (approximately) regular sampling interval; the
+//! model infers the step from the median gap and indexes seasons by
+//! position, so short gaps degrade gracefully.
+
+use crate::{clean, DataPoint, ForecastError, ForecastPoint, Forecaster};
+
+/// Holt-Winters configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltWintersConfig {
+    /// Season length in observations (e.g. 24 for hourly data with a daily
+    /// cycle). Must be ≥ 2.
+    pub season_length: usize,
+    /// Smoothing parameters `(α, β, γ)`; `None` triggers a grid search.
+    pub params: Option<(f64, f64, f64)>,
+    /// Central coverage of the uncertainty interval.
+    pub interval_width: f64,
+}
+
+/// The Holt-Winters forecaster; see the module docs.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    config: HoltWintersConfig,
+    fitted: Option<FittedHw>,
+}
+
+#[derive(Debug, Clone)]
+struct FittedHw {
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    /// Index into `season` for the observation after the last one.
+    next_season_idx: usize,
+    last_ts: i64,
+    step_ms: i64,
+    sigma: f64,
+}
+
+impl HoltWinters {
+    /// Creates a model with the given config.
+    pub fn new(config: HoltWintersConfig) -> Self {
+        Self {
+            config,
+            fitted: None,
+        }
+    }
+
+    /// Daily seasonality over minutely observations (season length 1440),
+    /// grid-searched parameters, 90 % intervals.
+    pub fn daily_minutes() -> Self {
+        Self::new(HoltWintersConfig {
+            season_length: 1440,
+            params: None,
+            interval_width: 0.9,
+        })
+    }
+
+    /// Runs one smoothing pass; returns (final state, sse, n_forecasts).
+    fn smooth(
+        values: &[f64],
+        m: usize,
+        (alpha, beta, gamma): (f64, f64, f64),
+    ) -> (f64, f64, Vec<f64>, f64, usize) {
+        // Initialise level/trend from the first season, season factors from
+        // deviations against the first-season mean.
+        let first: &[f64] = &values[..m];
+        let mean0 = first.iter().sum::<f64>() / m as f64;
+        let mut level = mean0;
+        let mut trend = if values.len() >= 2 * m {
+            let mean1 = values[m..2 * m].iter().sum::<f64>() / m as f64;
+            (mean1 - mean0) / m as f64
+        } else {
+            0.0
+        };
+        let mut season: Vec<f64> = first.iter().map(|v| v - mean0).collect();
+        let mut sse = 0.0;
+        let mut n = 0usize;
+        for (i, y) in values.iter().enumerate().skip(m) {
+            let s_idx = i % m;
+            let forecast = level + trend + season[s_idx];
+            let err = y - forecast;
+            sse += err * err;
+            n += 1;
+            let new_level = alpha * (y - season[s_idx]) + (1.0 - alpha) * (level + trend);
+            trend = beta * (new_level - level) + (1.0 - beta) * trend;
+            season[s_idx] = gamma * (y - new_level) + (1.0 - gamma) * season[s_idx];
+            level = new_level;
+        }
+        (level, trend, season, sse, n)
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn fit(&mut self, history: &[DataPoint]) -> Result<(), ForecastError> {
+        if self.config.season_length < 2 {
+            return Err(ForecastError::InvalidParameter(
+                "season_length must be >= 2".into(),
+            ));
+        }
+        let mut data = clean(history);
+        data.sort_by_key(|p| p.ts);
+        let m = self.config.season_length;
+        let needed = 2 * m;
+        if data.len() < needed {
+            return Err(ForecastError::NotEnoughData {
+                needed,
+                got: data.len(),
+            });
+        }
+        let values: Vec<f64> = data.iter().map(|p| p.y).collect();
+
+        let params = match self.config.params {
+            Some(p) => {
+                for (name, v) in [("alpha", p.0), ("beta", p.1), ("gamma", p.2)] {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(ForecastError::InvalidParameter(format!(
+                            "{name} must be in [0, 1], got {v}"
+                        )));
+                    }
+                }
+                p
+            }
+            None => {
+                let grid = [0.05, 0.2, 0.5, 0.8];
+                let mut best = (0.2, 0.05, 0.2);
+                let mut best_sse = f64::INFINITY;
+                for &a in &grid {
+                    for &b in &grid {
+                        for &g in &grid {
+                            let (_, _, _, sse, _) = Self::smooth(&values, m, (a, b, g));
+                            if sse < best_sse {
+                                best_sse = sse;
+                                best = (a, b, g);
+                            }
+                        }
+                    }
+                }
+                best
+            }
+        };
+
+        let (level, trend, season, sse, n) = Self::smooth(&values, m, params);
+        let sigma = if n > 1 {
+            (sse / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+
+        // Median inter-sample gap as the forecasting step.
+        let mut gaps: Vec<i64> = data
+            .windows(2)
+            .map(|w| w[1].ts - w[0].ts)
+            .filter(|g| *g > 0)
+            .collect();
+        gaps.sort_unstable();
+        let step_ms = gaps.get(gaps.len() / 2).copied().unwrap_or(60_000).max(1);
+
+        self.fitted = Some(FittedHw {
+            level,
+            trend,
+            season,
+            next_season_idx: values.len() % m,
+            last_ts: data.last().expect("non-empty").ts,
+            step_ms,
+            sigma,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, timestamps: &[i64]) -> Result<Vec<ForecastPoint>, ForecastError> {
+        let f = self
+            .fitted
+            .as_ref()
+            .ok_or(ForecastError::NotEnoughData { needed: 2, got: 0 })?;
+        let z = crate::prophet::normal_quantile(0.5 + self.config.interval_width / 2.0);
+        let m = f.season.len();
+        Ok(timestamps
+            .iter()
+            .map(|ts| {
+                // Steps ahead (>= 1) from the end of training.
+                let h = (((ts - f.last_ts) as f64 / f.step_ms as f64).round() as i64).max(1);
+                let season = f.season[(f.next_season_idx + (h as usize - 1)) % m];
+                let yhat = f.level + h as f64 * f.trend + season;
+                // Interval grows with sqrt(h), the standard SES heuristic.
+                let sd = f.sigma * (h as f64).sqrt();
+                ForecastPoint {
+                    ts: *ts,
+                    yhat,
+                    lower: yhat - z * sd,
+                    upper: yhat + z * sd,
+                }
+            })
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "holt_winters"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future_timestamps;
+
+    const MINUTE: i64 = 60_000;
+
+    fn seasonal_series(cycles: usize, m: usize) -> Vec<DataPoint> {
+        (0..cycles * m)
+            .map(|i| {
+                let phase = std::f64::consts::TAU * (i % m) as f64 / m as f64;
+                DataPoint::new(i as i64 * MINUTE, 100.0 + 20.0 * phase.sin())
+            })
+            .collect()
+    }
+
+    fn fixed(m: usize) -> HoltWinters {
+        HoltWinters::new(HoltWintersConfig {
+            season_length: m,
+            params: Some((0.3, 0.05, 0.3)),
+            interval_width: 0.9,
+        })
+    }
+
+    #[test]
+    fn forecasts_periodic_series() {
+        let m = 24;
+        let hist = seasonal_series(8, m);
+        let mut hw = fixed(m);
+        hw.fit(&hist).unwrap();
+        let fut = future_timestamps(&hist, m, MINUTE);
+        let pred = hw.predict(&fut).unwrap();
+        for (i, p) in pred.iter().enumerate() {
+            let phase = std::f64::consts::TAU * ((8 * m + i) % m) as f64 / m as f64;
+            let expected = 100.0 + 20.0 * phase.sin();
+            assert!(
+                (p.yhat - expected).abs() < 6.0,
+                "h+{i}: {:.2} vs {expected:.2}",
+                p.yhat
+            );
+        }
+    }
+
+    #[test]
+    fn captures_linear_growth() {
+        let m = 12;
+        let hist: Vec<DataPoint> = (0..m * 10)
+            .map(|i| DataPoint::new(i as i64 * MINUTE, 50.0 + 0.5 * i as f64))
+            .collect();
+        let mut hw = fixed(m);
+        hw.fit(&hist).unwrap();
+        let pred = hw.predict(&[(m * 10 + 5) as i64 * MINUTE]).unwrap()[0];
+        let expected = 50.0 + 0.5 * (m * 10 + 5) as f64;
+        assert!((pred.yhat - expected).abs() / expected < 0.1);
+    }
+
+    #[test]
+    fn grid_search_beats_terrible_params() {
+        let m = 24;
+        let hist = seasonal_series(8, m);
+        let mut searched = HoltWinters::new(HoltWintersConfig {
+            season_length: m,
+            params: None,
+            interval_width: 0.9,
+        });
+        searched.fit(&hist).unwrap();
+        let fut = future_timestamps(&hist, 5, MINUTE);
+        let pred = searched.predict(&fut).unwrap();
+        for p in &pred {
+            assert!((p.yhat - 100.0).abs() < 30.0);
+        }
+    }
+
+    #[test]
+    fn needs_two_full_seasons() {
+        let mut hw = fixed(24);
+        let hist = seasonal_series(1, 24);
+        assert_eq!(
+            hw.fit(&hist).unwrap_err(),
+            ForecastError::NotEnoughData {
+                needed: 48,
+                got: 24
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut hw = HoltWinters::new(HoltWintersConfig {
+            season_length: 4,
+            params: Some((1.5, 0.1, 0.1)),
+            interval_width: 0.9,
+        });
+        assert!(matches!(
+            hw.fit(&seasonal_series(4, 4)),
+            Err(ForecastError::InvalidParameter(_))
+        ));
+        let mut hw = HoltWinters::new(HoltWintersConfig {
+            season_length: 1,
+            params: None,
+            interval_width: 0.9,
+        });
+        assert!(matches!(
+            hw.fit(&[]),
+            Err(ForecastError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn intervals_widen_with_horizon() {
+        let m = 24;
+        let mut hist = seasonal_series(8, m);
+        // Add noise so sigma > 0.
+        for (i, p) in hist.iter_mut().enumerate() {
+            p.y += ((i * 2654435761) % 7) as f64 - 3.0;
+        }
+        let mut hw = fixed(m);
+        hw.fit(&hist).unwrap();
+        let last = hist.last().unwrap().ts;
+        let near = hw.predict(&[last + MINUTE]).unwrap()[0];
+        let far = hw.predict(&[last + 100 * MINUTE]).unwrap()[0];
+        assert!(far.upper - far.lower > near.upper - near.lower);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let hw = fixed(4);
+        assert!(hw.predict(&[0]).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Fourier-basis seasonal components.
+//!
+//! Each seasonality contributes `2 * order` columns to the design matrix:
+//! `sin(2πn·t/P), cos(2πn·t/P)` for `n = 1..=order`, evaluated on raw time
+//! in milliseconds so that periods stay physical (daily, weekly, ...)
+//! regardless of how long the training window is.
+
+use std::f64::consts::TAU;
+
+/// One seasonal component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seasonality {
+    /// Human-readable name (`daily`, `weekly`, ...).
+    pub name: String,
+    /// Period in milliseconds.
+    pub period_ms: f64,
+    /// Number of Fourier harmonics.
+    pub order: usize,
+    /// Ridge penalty applied to this component's coefficients.
+    pub penalty: f64,
+}
+
+impl Seasonality {
+    /// Daily seasonality (Prophet default order 4 for sub-daily data).
+    pub fn daily(order: usize) -> Self {
+        Self {
+            name: "daily".into(),
+            period_ms: 86_400_000.0,
+            order,
+            penalty: 0.1,
+        }
+    }
+
+    /// Weekly seasonality (Prophet default order 3).
+    pub fn weekly(order: usize) -> Self {
+        Self {
+            name: "weekly".into(),
+            period_ms: 7.0 * 86_400_000.0,
+            order,
+            penalty: 0.1,
+        }
+    }
+
+    /// Yearly seasonality (Prophet default order 10).
+    pub fn yearly(order: usize) -> Self {
+        Self {
+            name: "yearly".into(),
+            period_ms: 365.25 * 86_400_000.0,
+            order,
+            penalty: 0.1,
+        }
+    }
+
+    /// A custom period.
+    pub fn custom(name: impl Into<String>, period_ms: f64, order: usize) -> Self {
+        Self {
+            name: name.into(),
+            period_ms,
+            order,
+            penalty: 0.1,
+        }
+    }
+
+    /// Number of design columns this component contributes.
+    pub fn width(&self) -> usize {
+        2 * self.order
+    }
+
+    /// Appends this component's features at raw time `ts_ms` to `out`.
+    pub fn features(&self, ts_ms: f64, out: &mut Vec<f64>) {
+        for n in 1..=self.order {
+            let angle = TAU * n as f64 * ts_ms / self.period_ms;
+            out.push(angle.sin());
+            out.push(angle.cos());
+        }
+    }
+}
+
+/// Total design width of a seasonality set.
+pub fn total_width(seasonalities: &[Seasonality]) -> usize {
+    seasonalities.iter().map(Seasonality::width).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_is_twice_order() {
+        assert_eq!(Seasonality::daily(4).width(), 8);
+        assert_eq!(Seasonality::weekly(3).width(), 6);
+        assert_eq!(
+            total_width(&[Seasonality::daily(4), Seasonality::weekly(3)]),
+            14
+        );
+    }
+
+    #[test]
+    fn features_are_periodic() {
+        let s = Seasonality::daily(3);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        s.features(1_000_000.0, &mut a);
+        s.features(1_000_000.0 + 86_400_000.0, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "daily features must repeat every 24h");
+        }
+    }
+
+    #[test]
+    fn features_at_zero() {
+        let s = Seasonality::custom("test", 1000.0, 2);
+        let mut row = Vec::new();
+        s.features(0.0, &mut row);
+        assert_eq!(row, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn harmonics_are_multiples() {
+        let s = Seasonality::custom("test", 1000.0, 2);
+        let mut row = Vec::new();
+        s.features(125.0, &mut row); // 1/8 of the period
+        let base = TAU * 125.0 / 1000.0;
+        assert!((row[0] - base.sin()).abs() < 1e-12);
+        assert!((row[2] - (2.0 * base).sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_constructors() {
+        assert_eq!(Seasonality::yearly(10).name, "yearly");
+        assert!((Seasonality::weekly(3).period_ms - 604_800_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Piecewise-linear trend with automatic changepoints.
+//!
+//! Prophet's linear trend can be written with hinge features:
+//! `g(t) = k·t + m + Σⱼ δⱼ · max(0, t - sⱼ)` where `sⱼ` are candidate
+//! changepoint locations and the `δⱼ` slope adjustments carry a sparsity
+//! penalty. On normalised time `t ∈ [0, 1]` the candidates are placed
+//! uniformly over the first `changepoint_range` fraction of history, the
+//! same default heuristic Prophet uses.
+
+/// Changepoint configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendConfig {
+    /// Number of candidate changepoints (Prophet default: 25).
+    pub n_changepoints: usize,
+    /// Fraction of history in which changepoints may be placed
+    /// (Prophet default: 0.8).
+    pub changepoint_range: f64,
+    /// Penalty weight on changepoint deltas; larger means a stiffer trend
+    /// (the ridge analog of Prophet's `changepoint_prior_scale` inverse).
+    pub delta_penalty: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        Self {
+            n_changepoints: 25,
+            changepoint_range: 0.8,
+            delta_penalty: 10.0,
+        }
+    }
+}
+
+/// Candidate changepoint locations on normalised time `[0, 1]`.
+///
+/// With fewer observations than requested changepoints the count is
+/// reduced so every segment still sees data.
+pub fn changepoint_locations(config: &TrendConfig, n_obs: usize) -> Vec<f64> {
+    if n_obs < 3 {
+        return Vec::new();
+    }
+    let n = config.n_changepoints.min(n_obs.saturating_sub(2));
+    let range = config.changepoint_range.clamp(0.0, 1.0);
+    (1..=n).map(|i| range * i as f64 / (n + 1) as f64).collect()
+}
+
+/// The trend feature row at normalised time `t`:
+/// `[t, 1, (t - s₁)₊, ..., (t - sₙ)₊]`.
+pub fn trend_features(t: f64, changepoints: &[f64], out: &mut Vec<f64>) {
+    out.push(t);
+    out.push(1.0);
+    out.extend(changepoints.iter().map(|s| (t - s).max(0.0)));
+}
+
+/// Number of trend columns for a changepoint set.
+pub fn trend_width(changepoints: &[f64]) -> usize {
+    2 + changepoints.len()
+}
+
+/// Evaluates a fitted trend at normalised time `t` given the coefficient
+/// slice laid out as by [`trend_features`].
+pub fn eval_trend(t: f64, changepoints: &[f64], coeffs: &[f64]) -> f64 {
+    debug_assert_eq!(coeffs.len(), trend_width(changepoints));
+    let mut y = coeffs[0] * t + coeffs[1];
+    for (s, d) in changepoints.iter().zip(&coeffs[2..]) {
+        y += d * (t - s).max(0.0);
+    }
+    y
+}
+
+/// The effective slope of the fitted trend at normalised time `t`
+/// (base slope plus all activated deltas). Used for uncertainty
+/// extrapolation.
+pub fn slope_at(t: f64, changepoints: &[f64], coeffs: &[f64]) -> f64 {
+    let mut k = coeffs[0];
+    for (s, d) in changepoints.iter().zip(&coeffs[2..]) {
+        if t >= *s {
+            k += d;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locations_are_uniform_within_range() {
+        let cfg = TrendConfig {
+            n_changepoints: 4,
+            changepoint_range: 0.8,
+            delta_penalty: 1.0,
+        };
+        let locs = changepoint_locations(&cfg, 100);
+        assert_eq!(locs.len(), 4);
+        assert!((locs[0] - 0.16).abs() < 1e-12);
+        assert!((locs[3] - 0.64).abs() < 1e-12);
+        assert!(locs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn locations_shrink_with_few_observations() {
+        let cfg = TrendConfig::default();
+        assert_eq!(changepoint_locations(&cfg, 5).len(), 3);
+        assert!(changepoint_locations(&cfg, 2).is_empty());
+    }
+
+    #[test]
+    fn features_hinge_activates_after_changepoint() {
+        let cps = [0.5];
+        let mut row = Vec::new();
+        trend_features(0.25, &cps, &mut row);
+        assert_eq!(row, vec![0.25, 1.0, 0.0]);
+        row.clear();
+        trend_features(0.75, &cps, &mut row);
+        assert_eq!(row, vec![0.75, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn eval_matches_features_dot_coeffs() {
+        let cps = [0.3, 0.6];
+        let coeffs = [2.0, 1.0, 0.5, -0.25];
+        for t in [0.0, 0.2, 0.45, 0.8, 1.2] {
+            let mut row = Vec::new();
+            trend_features(t, &cps, &mut row);
+            let dot: f64 = row.iter().zip(&coeffs).map(|(a, b)| a * b).sum();
+            assert!((eval_trend(t, &cps, &coeffs) - dot).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slope_accumulates_deltas() {
+        let cps = [0.3, 0.6];
+        let coeffs = [2.0, 0.0, 0.5, -0.25];
+        assert_eq!(slope_at(0.0, &cps, &coeffs), 2.0);
+        assert_eq!(slope_at(0.4, &cps, &coeffs), 2.5);
+        assert_eq!(slope_at(0.9, &cps, &coeffs), 2.25);
+    }
+
+    #[test]
+    fn width_counts_columns() {
+        assert_eq!(trend_width(&[]), 2);
+        assert_eq!(trend_width(&[0.1, 0.2]), 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the forecasting substrate: least-squares
+//! correctness on random well-posed systems and model sanity over random
+//! series.
+
+use caladrius_forecast::linalg::{linear_fit, ridge_weighted, solve_spd, Matrix};
+use caladrius_forecast::prophet::{normal_quantile, Prophet, ProphetConfig};
+use caladrius_forecast::stats::StatsSummaryModel;
+use caladrius_forecast::trend::TrendConfig;
+use caladrius_forecast::{DataPoint, Forecaster};
+use proptest::prelude::*;
+
+const MINUTE: i64 = 60_000;
+
+proptest! {
+    /// Cholesky solve recovers x from A x = b for random SPD matrices
+    /// (built as L Lᵀ + εI from a random lower-triangular L).
+    #[test]
+    fn spd_solve_recovers_solution(
+        entries in prop::collection::vec(-3.0f64..3.0, 6),
+        x in prop::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        // L with positive-ish diagonal.
+        let l = Matrix::from_rows(3, 3, vec![
+            entries[0].abs() + 0.5, 0.0, 0.0,
+            entries[1], entries[2].abs() + 0.5, 0.0,
+            entries[3], entries[4], entries[5].abs() + 0.5,
+        ]);
+        // A = L Lᵀ
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sum = 0.0;
+                for k in 0..3 {
+                    sum += l[(i, k)] * l[(j, k)];
+                }
+                a[(i, j)] = sum;
+            }
+        }
+        let b = a.mul_vec(&x);
+        let solved = solve_spd(&a, &b).unwrap();
+        for (got, want) in solved.iter().zip(&x) {
+            prop_assert!((got - want).abs() < 1e-6 * want.abs().max(1.0));
+        }
+    }
+
+    /// Unpenalised ridge on an exactly-linear system recovers intercept
+    /// and slope for random lines.
+    #[test]
+    fn ridge_recovers_random_line(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let xs: Vec<f64> = (0..30).map(f64::from).collect();
+        let design = Matrix::from_rows(30, 2, xs.iter().flat_map(|x| [1.0, *x]).collect());
+        let y: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let beta = ridge_weighted(&design, &y, None, &[0.0, 0.0]).unwrap();
+        prop_assert!((beta[0] - a).abs() < 1e-6 * a.abs().max(1.0));
+        prop_assert!((beta[1] - b).abs() < 1e-6 * b.abs().max(1.0));
+        let (ia, ib) = linear_fit(&xs, &y).unwrap();
+        prop_assert!((ia - a).abs() < 1e-6 * a.abs().max(1.0));
+        prop_assert!((ib - b).abs() < 1e-6 * b.abs().max(1.0));
+    }
+
+    /// The normal quantile is odd-symmetric and monotone.
+    #[test]
+    fn normal_quantile_properties(p in 0.0005f64..0.9995, q in 0.0005f64..0.9995) {
+        let zp = normal_quantile(p);
+        prop_assert!((zp + normal_quantile(1.0 - p)).abs() < 1e-7);
+        if p < q {
+            prop_assert!(zp <= normal_quantile(q));
+        }
+    }
+
+    /// Prophet on a pure random line extrapolates it (no seasonality).
+    #[test]
+    fn prophet_extrapolates_random_lines(
+        intercept in 10.0f64..1e5,
+        slope in -5.0f64..5.0,
+    ) {
+        let hist: Vec<DataPoint> = (0..150)
+            .map(|i| DataPoint::new(i * MINUTE, intercept + slope * i as f64))
+            .collect();
+        prop_assume!(hist.iter().all(|p| p.y > 0.0));
+        let mut m = Prophet::new(ProphetConfig {
+            seasonalities: Vec::new(),
+            trend: TrendConfig { n_changepoints: 10, ..TrendConfig::default() },
+            uncertainty_samples: 0,
+            ..ProphetConfig::default()
+        });
+        m.fit(&hist).unwrap();
+        let pred = m.predict(&[200 * MINUTE]).unwrap()[0];
+        let expected = intercept + slope * 200.0;
+        let tolerance = 0.05 * expected.abs().max(intercept * 0.05).max(1.0);
+        prop_assert!(
+            (pred.yhat - expected).abs() < tolerance,
+            "predicted {} expected {expected}", pred.yhat
+        );
+    }
+
+    /// Stats-summary forecasts are always inside the observed value range
+    /// and intervals are ordered.
+    #[test]
+    fn stats_summary_stays_in_range(values in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let hist: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| DataPoint::new(i as i64 * MINUTE, *v))
+            .collect();
+        let mut m = StatsSummaryModel::mean();
+        m.fit(&hist).unwrap();
+        let p = m.predict(&[1_000_000 * MINUTE]).unwrap()[0];
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.yhat >= lo - 1e-9 && p.yhat <= hi + 1e-9);
+        prop_assert!(p.lower <= p.upper);
+        prop_assert!(p.lower >= lo - 1e-9 && p.upper <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,334 @@
+//! DAG algorithms used by the Caladrius models: topological order, path
+//! enumeration, path counting and weighted longest paths.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Errors from graph algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgoError {
+    /// The graph contains at least one directed cycle.
+    NotADag,
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::NotADag => write!(f, "graph contains a directed cycle"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+/// Kahn's algorithm. Returns vertices in a topological order, or
+/// [`AlgoError::NotADag`] if a cycle exists.
+pub fn topo_sort(g: &Graph) -> Result<Vec<VertexId>, AlgoError> {
+    let n = g.vertex_count();
+    let mut in_deg: Vec<usize> = vec![0; n];
+    for v in g.vertex_ids() {
+        in_deg[v.0 as usize] = g.in_edges(v, None).len();
+    }
+    let mut queue: VecDeque<VertexId> = g
+        .vertex_ids()
+        .filter(|v| in_deg[v.0 as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for n in g.out_neighbors(v, None) {
+            let d = &mut in_deg[n.0 as usize];
+            *d -= 1;
+            if *d == 0 {
+                queue.push_back(n);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(AlgoError::NotADag)
+    }
+}
+
+/// True when the graph is a DAG.
+pub fn is_dag(g: &Graph) -> bool {
+    topo_sort(g).is_ok()
+}
+
+/// All simple paths from `src` to `dst` (inclusive), depth-first.
+///
+/// Exponential in the worst case; topology graphs are small (tens of
+/// components), so this is fine for Caladrius's use.
+pub fn all_paths(g: &Graph, src: VertexId, dst: VertexId) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    let mut path = vec![src];
+    dfs_paths(g, src, dst, &mut path, &mut out);
+    out
+}
+
+fn dfs_paths(
+    g: &Graph,
+    at: VertexId,
+    dst: VertexId,
+    path: &mut Vec<VertexId>,
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    if at == dst {
+        out.push(path.clone());
+        return;
+    }
+    for n in g.out_neighbors(at, None) {
+        if path.contains(&n) {
+            continue;
+        }
+        path.push(n);
+        dfs_paths(g, n, dst, path, out);
+        path.pop();
+    }
+}
+
+/// Every source→sink simple path of a DAG — the candidate critical paths of
+/// a topology (paper §IV-B3).
+pub fn source_sink_paths(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    for src in g.sources() {
+        for dst in g.sinks() {
+            if src == dst {
+                out.push(vec![src]);
+            } else {
+                out.extend(all_paths(g, src, dst));
+            }
+        }
+    }
+    out
+}
+
+/// Number of distinct source→sink paths in a DAG, counted by dynamic
+/// programming over the topological order (no enumeration).
+pub fn count_source_sink_paths(g: &Graph) -> Result<u64, AlgoError> {
+    let order = topo_sort(g)?;
+    let mut counts: Vec<u64> = vec![0; g.vertex_count()];
+    for v in g.sources() {
+        counts[v.0 as usize] = 1;
+    }
+    for v in &order {
+        let c = counts[v.0 as usize];
+        if c == 0 {
+            continue;
+        }
+        for n in g.out_neighbors(*v, None) {
+            counts[n.0 as usize] += c;
+        }
+    }
+    Ok(g.sinks().iter().map(|v| counts[v.0 as usize]).sum())
+}
+
+/// Longest (maximum total weight) source→sink path in a DAG, with vertex
+/// weights supplied by `weight`. Returns `(total, path)`.
+pub fn longest_path_by(
+    g: &Graph,
+    weight: impl Fn(VertexId) -> f64,
+) -> Result<(f64, Vec<VertexId>), AlgoError> {
+    let order = topo_sort(g)?;
+    let n = g.vertex_count();
+    if n == 0 {
+        return Ok((0.0, Vec::new()));
+    }
+    let mut best: Vec<f64> = vec![f64::NEG_INFINITY; n];
+    let mut pred: Vec<Option<VertexId>> = vec![None; n];
+    for v in g.sources() {
+        best[v.0 as usize] = weight(v);
+    }
+    for v in &order {
+        let b = best[v.0 as usize];
+        if b == f64::NEG_INFINITY {
+            continue;
+        }
+        for nb in g.out_neighbors(*v, None) {
+            let cand = b + weight(nb);
+            if cand > best[nb.0 as usize] {
+                best[nb.0 as usize] = cand;
+                pred[nb.0 as usize] = Some(*v);
+            }
+        }
+    }
+    let end = g
+        .sinks()
+        .into_iter()
+        .max_by(|a, b| {
+            best[a.0 as usize]
+                .partial_cmp(&best[b.0 as usize])
+                .expect("finite weights")
+        })
+        .expect("non-empty graph has a sink or a cycle was caught above");
+    let mut path = vec![end];
+    let mut cur = end;
+    while let Some(p) = pred[cur.0 as usize] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Ok((best[end.0 as usize], path))
+}
+
+/// Vertices reachable from `start` (inclusive), breadth-first.
+pub fn reachable(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.vertex_count()];
+    let mut queue = VecDeque::from([start]);
+    seen[start.0 as usize] = true;
+    let mut out = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        for n in g.out_neighbors(v, None) {
+            if !seen[n.0 as usize] {
+                seen[n.0 as usize] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn chain(n: usize) -> (Graph, Vec<VertexId>) {
+        let mut g = Graph::new();
+        let vs: Vec<VertexId> = (0..n).map(|_| g.add_vertex("v")).collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], "e");
+        }
+        (g, vs)
+    }
+
+    fn diamond() -> (Graph, [VertexId; 4]) {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        let c = g.add_vertex("v");
+        let d = g.add_vertex("v");
+        g.add_edge(a, b, "e");
+        g.add_edge(a, c, "e");
+        g.add_edge(b, d, "e");
+        g.add_edge(c, d, "e");
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn topo_sort_chain() {
+        let (g, vs) = chain(5);
+        assert_eq!(topo_sort(&g).unwrap(), vs);
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let (g, _) = diamond();
+        let order = topo_sort(&g).unwrap();
+        let pos = |v: VertexId| order.iter().position(|x| *x == v).unwrap();
+        for e in g.edge_ids() {
+            let (s, d) = g.edge_endpoints(e);
+            assert!(pos(s) < pos(d));
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        g.add_edge(a, b, "e");
+        g.add_edge(b, a, "e");
+        assert_eq!(topo_sort(&g), Err(AlgoError::NotADag));
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        g.add_edge(a, a, "e");
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn all_paths_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut paths = all_paths(&g, a, d);
+        paths.sort();
+        assert_eq!(paths, vec![vec![a, b, d], vec![a, c, d]]);
+    }
+
+    #[test]
+    fn all_paths_none_when_unreachable() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        assert!(all_paths(&g, a, b).is_empty());
+    }
+
+    #[test]
+    fn source_sink_paths_single_vertex() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        assert_eq!(source_sink_paths(&g), vec![vec![a]]);
+    }
+
+    #[test]
+    fn path_count_matches_enumeration() {
+        let (g, _) = diamond();
+        assert_eq!(
+            count_source_sink_paths(&g).unwrap() as usize,
+            source_sink_paths(&g).len()
+        );
+    }
+
+    #[test]
+    fn path_count_layered_graph() {
+        // Two layers of parallel fan-out: 2 x 3 = 6 paths.
+        let mut g = Graph::new();
+        let s = g.add_vertex("v");
+        let mid: Vec<_> = (0..2).map(|_| g.add_vertex("v")).collect();
+        let last: Vec<_> = (0..3).map(|_| g.add_vertex("v")).collect();
+        let t = g.add_vertex("v");
+        for m in &mid {
+            g.add_edge(s, *m, "e");
+            for l in &last {
+                g.add_edge(*m, *l, "e");
+            }
+        }
+        for l in &last {
+            g.add_edge(*l, t, "e");
+        }
+        assert_eq!(count_source_sink_paths(&g).unwrap(), 6);
+    }
+
+    #[test]
+    fn longest_path_picks_heavier_branch() {
+        let (g, [a, b, c, d]) = diamond();
+        let weight = move |v: VertexId| if v == b { 10.0 } else { 1.0 };
+        let (total, path) = longest_path_by(&g, weight).unwrap();
+        assert_eq!(path, vec![a, b, d]);
+        assert!((total - 12.0).abs() < 1e-12);
+        let _ = c;
+    }
+
+    #[test]
+    fn longest_path_empty_graph() {
+        let g = Graph::new();
+        let (total, path) = longest_path_by(&g, |_| 1.0).unwrap();
+        assert_eq!(total, 0.0);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn reachable_set() {
+        let (g, [a, b, c, d]) = diamond();
+        let mut r = reachable(&g, a);
+        r.sort();
+        assert_eq!(r, vec![a, b, c, d]);
+        assert_eq!(reachable(&g, d), vec![d]);
+    }
+}

@@ -1,0 +1,415 @@
+//! The labelled property graph.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a vertex within its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// Index of an edge within its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// A typed property value, the subset of TinkerPop's value model Caladrius
+/// needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PropValue {
+    /// UTF-8 string.
+    Str(String),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// String view, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            PropValue::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view; integers widen losslessly within `f64` range.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            PropValue::F64(v) => Some(*v),
+            PropValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Str(v.to_string())
+    }
+}
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(v)
+    }
+}
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::I64(v)
+    }
+}
+impl From<u32> for PropValue {
+    fn from(v: u32) -> Self {
+        PropValue::I64(i64::from(v))
+    }
+}
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::F64(v)
+    }
+}
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Str(s) => write!(f, "{s}"),
+            PropValue::I64(v) => write!(f, "{v}"),
+            PropValue::F64(v) => write!(f, "{v}"),
+            PropValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Vertex {
+    label: String,
+    properties: HashMap<String, PropValue>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Edge {
+    label: String,
+    src: VertexId,
+    dst: VertexId,
+    properties: HashMap<String, PropValue>,
+}
+
+/// A directed, labelled property graph with adjacency indexes in both
+/// directions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex with the given label; returns its id.
+    pub fn add_vertex(&mut self, label: impl Into<String>) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(Vertex {
+            label: label.into(),
+            properties: HashMap::new(),
+        });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `src -> dst`; returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a vertex of this graph.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, label: impl Into<String>) -> EdgeId {
+        assert!(
+            (src.0 as usize) < self.vertices.len(),
+            "unknown src vertex {src:?}"
+        );
+        assert!(
+            (dst.0 as usize) < self.vertices.len(),
+            "unknown dst vertex {dst:?}"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            label: label.into(),
+            src,
+            dst,
+            properties: HashMap::new(),
+        });
+        self.out_adj[src.0 as usize].push(id);
+        self.in_adj[dst.0 as usize].push(id);
+        id
+    }
+
+    /// Sets a vertex property (overwriting any existing value).
+    pub fn set_vertex_prop(
+        &mut self,
+        v: VertexId,
+        key: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) {
+        self.vertices[v.0 as usize]
+            .properties
+            .insert(key.into(), value.into());
+    }
+
+    /// Sets an edge property (overwriting any existing value).
+    pub fn set_edge_prop(
+        &mut self,
+        e: EdgeId,
+        key: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) {
+        self.edges[e.0 as usize]
+            .properties
+            .insert(key.into(), value.into());
+    }
+
+    /// Label of a vertex.
+    pub fn vertex_label(&self, v: VertexId) -> &str {
+        &self.vertices[v.0 as usize].label
+    }
+
+    /// Label of an edge.
+    pub fn edge_label(&self, e: EdgeId) -> &str {
+        &self.edges[e.0 as usize].label
+    }
+
+    /// A vertex property, if set.
+    pub fn vertex_prop(&self, v: VertexId, key: &str) -> Option<&PropValue> {
+        self.vertices[v.0 as usize].properties.get(key)
+    }
+
+    /// An edge property, if set.
+    pub fn edge_prop(&self, e: EdgeId, key: &str) -> Option<&PropValue> {
+        self.edges[e.0 as usize].properties.get(key)
+    }
+
+    /// Endpoints of an edge as `(src, dst)`.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let edge = &self.edges[e.0 as usize];
+        (edge.src, edge.dst)
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Outgoing edges of `v`, optionally filtered by edge label.
+    pub fn out_edges(&self, v: VertexId, label: Option<&str>) -> Vec<EdgeId> {
+        self.out_adj[v.0 as usize]
+            .iter()
+            .copied()
+            .filter(|e| label.is_none_or(|l| self.edge_label(*e) == l))
+            .collect()
+    }
+
+    /// Incoming edges of `v`, optionally filtered by edge label.
+    pub fn in_edges(&self, v: VertexId, label: Option<&str>) -> Vec<EdgeId> {
+        self.in_adj[v.0 as usize]
+            .iter()
+            .copied()
+            .filter(|e| label.is_none_or(|l| self.edge_label(*e) == l))
+            .collect()
+    }
+
+    /// Downstream neighbours of `v` along edges with `label` (or any label).
+    pub fn out_neighbors(&self, v: VertexId, label: Option<&str>) -> Vec<VertexId> {
+        self.out_edges(v, label)
+            .into_iter()
+            .map(|e| self.edges[e.0 as usize].dst)
+            .collect()
+    }
+
+    /// Upstream neighbours of `v` along edges with `label` (or any label).
+    pub fn in_neighbors(&self, v: VertexId, label: Option<&str>) -> Vec<VertexId> {
+        self.in_edges(v, label)
+            .into_iter()
+            .map(|e| self.edges[e.0 as usize].src)
+            .collect()
+    }
+
+    /// Vertices with no incoming edges (spouts, at the logical level).
+    pub fn sources(&self) -> Vec<VertexId> {
+        self.vertex_ids()
+            .filter(|v| self.in_adj[v.0 as usize].is_empty())
+            .collect()
+    }
+
+    /// Vertices with no outgoing edges (sinks).
+    pub fn sinks(&self) -> Vec<VertexId> {
+        self.vertex_ids()
+            .filter(|v| self.out_adj[v.0 as usize].is_empty())
+            .collect()
+    }
+
+    /// First vertex carrying `key == value`, if any. Convenience for name
+    /// lookups.
+    pub fn find_vertex(&self, key: &str, value: &PropValue) -> Option<VertexId> {
+        self.vertex_ids()
+            .find(|v| self.vertex_prop(*v, key) == Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph, [VertexId; 4]) {
+        let mut g = Graph::new();
+        let a = g.add_vertex("component");
+        let b = g.add_vertex("component");
+        let c = g.add_vertex("component");
+        let d = g.add_vertex("component");
+        g.add_edge(a, b, "stream");
+        g.add_edge(a, c, "stream");
+        g.add_edge(b, d, "stream");
+        g.add_edge(c, d, "stream");
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn add_and_count() {
+        let (g, _) = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.out_neighbors(a, None), vec![b, c]);
+        assert_eq!(g.in_neighbors(d, None), vec![b, c]);
+        assert!(g.out_neighbors(d, None).is_empty());
+        assert!(g.in_neighbors(a, None).is_empty());
+    }
+
+    #[test]
+    fn edge_label_filters() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        g.add_edge(a, b, "shuffle");
+        g.add_edge(a, b, "fields");
+        assert_eq!(g.out_edges(a, Some("shuffle")).len(), 1);
+        assert_eq!(g.out_edges(a, Some("fields")).len(), 1);
+        assert_eq!(g.out_edges(a, None).len(), 2);
+        assert!(g.out_edges(a, Some("global")).is_empty());
+    }
+
+    #[test]
+    fn properties_round_trip() {
+        let mut g = Graph::new();
+        let v = g.add_vertex("component");
+        g.set_vertex_prop(v, "name", "splitter");
+        g.set_vertex_prop(v, "parallelism", 3i64);
+        g.set_vertex_prop(v, "alpha", 7.63);
+        g.set_vertex_prop(v, "is_spout", false);
+        assert_eq!(g.vertex_prop(v, "name").unwrap().as_str(), Some("splitter"));
+        assert_eq!(g.vertex_prop(v, "parallelism").unwrap().as_i64(), Some(3));
+        assert_eq!(g.vertex_prop(v, "alpha").unwrap().as_f64(), Some(7.63));
+        assert_eq!(g.vertex_prop(v, "is_spout").unwrap().as_bool(), Some(false));
+        assert!(g.vertex_prop(v, "missing").is_none());
+    }
+
+    #[test]
+    fn i64_widens_to_f64() {
+        assert_eq!(PropValue::I64(4).as_f64(), Some(4.0));
+        assert_eq!(PropValue::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn property_overwrite() {
+        let mut g = Graph::new();
+        let v = g.add_vertex("v");
+        g.set_vertex_prop(v, "p", 1i64);
+        g.set_vertex_prop(v, "p", 2i64);
+        assert_eq!(g.vertex_prop(v, "p").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn find_vertex_by_property() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("component");
+        let b = g.add_vertex("component");
+        g.set_vertex_prop(a, "name", "spout");
+        g.set_vertex_prop(b, "name", "splitter");
+        assert_eq!(g.find_vertex("name", &PropValue::from("splitter")), Some(b));
+        assert_eq!(g.find_vertex("name", &PropValue::from("nope")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn edge_to_unknown_vertex_panics() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        g.add_edge(a, VertexId(99), "e");
+    }
+
+    #[test]
+    fn edge_endpoints_and_props() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        let e = g.add_edge(a, b, "stream");
+        g.set_edge_prop(e, "grouping", "shuffle");
+        assert_eq!(g.edge_endpoints(e), (a, b));
+        assert_eq!(
+            g.edge_prop(e, "grouping").unwrap().as_str(),
+            Some("shuffle")
+        );
+        assert_eq!(g.edge_label(e), "stream");
+    }
+}

@@ -1,0 +1,43 @@
+//! # caladrius-graph
+//!
+//! In-memory property-graph substrate standing in for the Apache TinkerPop
+//! layer the Caladrius paper uses for topology analysis (§III-C1).
+//!
+//! The crate provides:
+//!
+//! * a labelled property graph ([`graph::Graph`]) with typed property
+//!   values on vertices and edges,
+//! * a fluent, TinkerPop-flavoured traversal API ([`traversal::Traversal`]):
+//!   `g.v().has_label("component").out("stream").values("parallelism")`,
+//! * DAG algorithms used by the models ([`algo`]): topological sort, simple
+//!   path enumeration between sources and sinks, path counting (the "16
+//!   possible paths" of the paper's Fig. 1), longest/critical path search,
+//! * builders that turn a topology description into its logical and
+//!   physical graphs ([`topology_graph`]), plus a metadata cache with
+//!   last-updated invalidation, mirroring the paper's graph/topology
+//!   metadata components.
+//!
+//! ```
+//! use caladrius_graph::topology_graph::{LogicalSpec, build_logical};
+//!
+//! let spec = LogicalSpec::new("wordcount")
+//!     .component("spout", 2)
+//!     .component("splitter", 2)
+//!     .component("counter", 4)
+//!     .edge("spout", "splitter", "shuffle")
+//!     .edge("splitter", "counter", "fields");
+//! let logical = build_logical(&spec).unwrap();
+//! assert_eq!(logical.graph.vertex_count(), 3);
+//! // Instance-level path count through the physical topology: 2 * 2 * 4.
+//! assert_eq!(caladrius_graph::topology_graph::instance_path_count(&spec).unwrap(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod graph;
+pub mod topology_graph;
+pub mod traversal;
+
+pub use graph::{EdgeId, Graph, PropValue, VertexId};
+pub use traversal::Traversal;

@@ -1,0 +1,521 @@
+//! Builders turning a topology description into its logical and physical
+//! property graphs, plus the metadata cache Caladrius keeps in front of the
+//! graph store (paper §III-C1).
+//!
+//! The spec type here is deliberately independent of the simulator so that
+//! this crate stays a generic substrate; `caladrius-core` adapts simulator
+//! topologies into [`LogicalSpec`]s.
+
+use crate::algo::{self, AlgoError};
+use crate::graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// Errors from topology graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyGraphError {
+    /// An edge references a component that was never declared.
+    UnknownComponent(String),
+    /// A component was declared twice.
+    DuplicateComponent(String),
+    /// A component has zero parallelism.
+    ZeroParallelism(String),
+    /// The logical graph has a directed cycle.
+    NotADag,
+}
+
+impl std::fmt::Display for TopologyGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyGraphError::UnknownComponent(c) => write!(f, "unknown component {c:?}"),
+            TopologyGraphError::DuplicateComponent(c) => write!(f, "duplicate component {c:?}"),
+            TopologyGraphError::ZeroParallelism(c) => {
+                write!(f, "component {c:?} has zero parallelism")
+            }
+            TopologyGraphError::NotADag => write!(f, "topology graph is not a DAG"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyGraphError {}
+
+impl From<AlgoError> for TopologyGraphError {
+    fn from(_: AlgoError) -> Self {
+        TopologyGraphError::NotADag
+    }
+}
+
+/// A minimal logical topology description: named components with
+/// parallelism, connected by grouped streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalSpec {
+    /// Topology name.
+    pub name: String,
+    /// `(component name, parallelism)` in declaration order.
+    pub components: Vec<(String, u32)>,
+    /// `(from, to, grouping)` streams.
+    pub edges: Vec<(String, String, String)>,
+}
+
+impl LogicalSpec {
+    /// Creates an empty spec.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Declares a component.
+    pub fn component(mut self, name: impl Into<String>, parallelism: u32) -> Self {
+        self.components.push((name.into(), parallelism));
+        self
+    }
+
+    /// Declares a stream between two components.
+    pub fn edge(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        grouping: impl Into<String>,
+    ) -> Self {
+        self.edges.push((from.into(), to.into(), grouping.into()));
+        self
+    }
+
+    fn validate(&self) -> Result<HashMap<&str, u32>, TopologyGraphError> {
+        let mut seen: HashMap<&str, u32> = HashMap::new();
+        for (name, p) in &self.components {
+            if *p == 0 {
+                return Err(TopologyGraphError::ZeroParallelism(name.clone()));
+            }
+            if seen.insert(name.as_str(), *p).is_some() {
+                return Err(TopologyGraphError::DuplicateComponent(name.clone()));
+            }
+        }
+        for (from, to, _) in &self.edges {
+            for c in [from, to] {
+                if !seen.contains_key(c.as_str()) {
+                    return Err(TopologyGraphError::UnknownComponent(c.clone()));
+                }
+            }
+        }
+        Ok(seen)
+    }
+}
+
+/// A built logical graph together with its component→vertex map.
+#[derive(Debug, Clone)]
+pub struct LogicalGraph {
+    /// The property graph: one `component` vertex per component, one
+    /// `stream` edge per declared stream (grouping stored as an edge
+    /// property).
+    pub graph: Graph,
+    /// Component name → vertex.
+    pub vertex_of: HashMap<String, VertexId>,
+}
+
+/// Builds the logical (component-level) graph of a topology.
+pub fn build_logical(spec: &LogicalSpec) -> Result<LogicalGraph, TopologyGraphError> {
+    spec.validate()?;
+    let mut graph = Graph::new();
+    let mut vertex_of = HashMap::new();
+    for (name, p) in &spec.components {
+        let v = graph.add_vertex("component");
+        graph.set_vertex_prop(v, "name", name.as_str());
+        graph.set_vertex_prop(v, "parallelism", i64::from(*p));
+        vertex_of.insert(name.clone(), v);
+    }
+    for (from, to, grouping) in &spec.edges {
+        let e = graph.add_edge(vertex_of[from], vertex_of[to], "stream");
+        graph.set_edge_prop(e, "grouping", grouping.as_str());
+    }
+    if !algo::is_dag(&graph) {
+        return Err(TopologyGraphError::NotADag);
+    }
+    Ok(LogicalGraph { graph, vertex_of })
+}
+
+/// A container assignment: `containers[c]` lists `(component, instance
+/// index)` pairs placed on container `c`.
+pub type ContainerAssignment = Vec<Vec<(String, u32)>>;
+
+/// Round-robin assignment of all instances over `num_containers` containers
+/// (Heron's default packing order: component declaration order, instance
+/// index order).
+pub fn round_robin_assignment(spec: &LogicalSpec, num_containers: usize) -> ContainerAssignment {
+    let num_containers = num_containers.max(1);
+    let mut containers: ContainerAssignment = vec![Vec::new(); num_containers];
+    let mut next = 0usize;
+    for (name, p) in &spec.components {
+        for i in 0..*p {
+            containers[next % num_containers].push((name.clone(), i));
+            next += 1;
+        }
+    }
+    containers
+}
+
+/// A built physical graph: instance and stream-manager vertices.
+#[derive(Debug, Clone)]
+pub struct PhysicalGraph {
+    /// The property graph. Vertex labels: `instance` (props: `component`,
+    /// `index`, `container`) and `stream_manager` (prop: `container`).
+    /// Edge labels: `gateway` (instance→its stmgr and stmgr→instance) and
+    /// `network` (stmgr→stmgr).
+    pub graph: Graph,
+    /// `(component, index)` → instance vertex.
+    pub instance_of: HashMap<(String, u32), VertexId>,
+    /// container index → stream-manager vertex.
+    pub stmgr_of: Vec<VertexId>,
+}
+
+/// Builds the physical (instance + stream manager) graph for a spec under a
+/// container assignment, mirroring paper Fig. 1b/1c: every tuple leaves an
+/// instance through its local stream manager; remote deliveries hop across
+/// a `network` edge between stream managers.
+pub fn build_physical(
+    spec: &LogicalSpec,
+    assignment: &ContainerAssignment,
+) -> Result<PhysicalGraph, TopologyGraphError> {
+    spec.validate()?;
+    let mut graph = Graph::new();
+    let mut instance_of = HashMap::new();
+    let mut container_of: HashMap<(String, u32), usize> = HashMap::new();
+    let mut stmgr_of = Vec::with_capacity(assignment.len());
+
+    for (c_idx, contents) in assignment.iter().enumerate() {
+        let sm = graph.add_vertex("stream_manager");
+        graph.set_vertex_prop(sm, "container", c_idx as i64);
+        stmgr_of.push(sm);
+        for (component, index) in contents {
+            let v = graph.add_vertex("instance");
+            graph.set_vertex_prop(v, "component", component.as_str());
+            graph.set_vertex_prop(v, "index", i64::from(*index));
+            graph.set_vertex_prop(v, "container", c_idx as i64);
+            instance_of.insert((component.clone(), *index), v);
+            container_of.insert((component.clone(), *index), c_idx);
+        }
+    }
+
+    let parallelism: HashMap<&str, u32> = spec
+        .components
+        .iter()
+        .map(|(n, p)| (n.as_str(), *p))
+        .collect();
+    for (from, to, grouping) in &spec.edges {
+        let from_p = parallelism[from.as_str()];
+        let to_p = parallelism[to.as_str()];
+        for fi in 0..from_p {
+            let Some(&src) = instance_of.get(&(from.clone(), fi)) else {
+                return Err(TopologyGraphError::UnknownComponent(format!(
+                    "{from}[{fi}]"
+                )));
+            };
+            let src_c = container_of[&(from.clone(), fi)];
+            for ti in 0..to_p {
+                let Some(&dst) = instance_of.get(&(to.clone(), ti)) else {
+                    return Err(TopologyGraphError::UnknownComponent(format!("{to}[{ti}]")));
+                };
+                let dst_c = container_of[&(to.clone(), ti)];
+                // instance -> local stmgr
+                let e = graph.add_edge(src, stmgr_of[src_c], "gateway");
+                graph.set_edge_prop(e, "grouping", grouping.as_str());
+                if src_c != dst_c {
+                    graph.add_edge(stmgr_of[src_c], stmgr_of[dst_c], "network");
+                    let e = graph.add_edge(stmgr_of[dst_c], dst, "gateway");
+                    graph.set_edge_prop(e, "grouping", grouping.as_str());
+                } else {
+                    let e = graph.add_edge(stmgr_of[src_c], dst, "gateway");
+                    graph.set_edge_prop(e, "grouping", grouping.as_str());
+                }
+            }
+        }
+    }
+    Ok(PhysicalGraph {
+        graph,
+        instance_of,
+        stmgr_of,
+    })
+}
+
+/// Number of distinct instance-level paths through the topology — the
+/// quantity the paper's Fig. 1c discusses ("there are 16 possible paths").
+///
+/// Stream managers are excluded (the paper notes they do not increase the
+/// number of possible paths), so this is the path count of the instance
+/// DAG where instance `a` of component `A` connects to every instance `b`
+/// of each downstream component `B`.
+pub fn instance_path_count(spec: &LogicalSpec) -> Result<u64, TopologyGraphError> {
+    spec.validate()?;
+    let mut graph = Graph::new();
+    let mut instance_of: HashMap<(String, u32), VertexId> = HashMap::new();
+    for (name, p) in &spec.components {
+        for i in 0..*p {
+            let v = graph.add_vertex("instance");
+            instance_of.insert((name.clone(), i), v);
+        }
+    }
+    let parallelism: HashMap<&str, u32> = spec
+        .components
+        .iter()
+        .map(|(n, p)| (n.as_str(), *p))
+        .collect();
+    for (from, to, _) in &spec.edges {
+        for fi in 0..parallelism[from.as_str()] {
+            for ti in 0..parallelism[to.as_str()] {
+                graph.add_edge(
+                    instance_of[&(from.clone(), fi)],
+                    instance_of[&(to.clone(), ti)],
+                    "data",
+                );
+            }
+        }
+    }
+    Ok(algo::count_source_sink_paths(&graph)?)
+}
+
+/// A versioned cache for built graphs (or any other derived topology
+/// metadata). Caladrius invalidates cached graphs when the Heron Tracker
+/// reports a newer `last_updated` for the topology (paper §III-C1).
+#[derive(Debug, Default)]
+pub struct MetadataCache<T> {
+    entries: HashMap<String, (u64, T)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T: Clone> MetadataCache<T> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the cached value for `key` if its stored version matches
+    /// `version`; otherwise rebuilds via `build`, stores and returns it.
+    pub fn get_or_build(&mut self, key: &str, version: u64, build: impl FnOnce() -> T) -> T {
+        match self.entries.get(key) {
+            Some((v, value)) if *v == version => {
+                self.hits += 1;
+                value.clone()
+            }
+            _ => {
+                self.misses += 1;
+                let value = build();
+                self.entries
+                    .insert(key.to_string(), (version, value.clone()));
+                value
+            }
+        }
+    }
+
+    /// Returns the cached value only when its stored version matches,
+    /// counting a hit or miss.
+    pub fn get(&mut self, key: &str, version: u64) -> Option<T> {
+        match self.entries.get(key) {
+            Some((v, value)) if *v == version => {
+                self.hits += 1;
+                Some(value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores (or replaces) the value for `key` at `version`.
+    pub fn put(&mut self, key: &str, version: u64, value: T) {
+        self.entries.insert(key.to_string(), (version, value));
+    }
+
+    /// Drops the entry for `key`.
+    pub fn invalidate(&mut self, key: &str) {
+        self.entries.remove(key);
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordcount() -> LogicalSpec {
+        LogicalSpec::new("wc")
+            .component("spout", 2)
+            .component("splitter", 2)
+            .component("counter", 4)
+            .edge("spout", "splitter", "shuffle")
+            .edge("splitter", "counter", "fields")
+    }
+
+    #[test]
+    fn logical_graph_structure() {
+        let lg = build_logical(&wordcount()).unwrap();
+        assert_eq!(lg.graph.vertex_count(), 3);
+        assert_eq!(lg.graph.edge_count(), 2);
+        let splitter = lg.vertex_of["splitter"];
+        assert_eq!(
+            lg.graph
+                .vertex_prop(splitter, "parallelism")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+        let e = lg.graph.out_edges(lg.vertex_of["spout"], None)[0];
+        assert_eq!(
+            lg.graph.edge_prop(e, "grouping").unwrap().as_str(),
+            Some("shuffle")
+        );
+    }
+
+    #[test]
+    fn validation_unknown_component() {
+        let spec = LogicalSpec::new("bad")
+            .component("a", 1)
+            .edge("a", "b", "shuffle");
+        assert_eq!(
+            build_logical(&spec).unwrap_err(),
+            TopologyGraphError::UnknownComponent("b".into())
+        );
+    }
+
+    #[test]
+    fn validation_duplicate_component() {
+        let spec = LogicalSpec::new("bad").component("a", 1).component("a", 2);
+        assert_eq!(
+            build_logical(&spec).unwrap_err(),
+            TopologyGraphError::DuplicateComponent("a".into())
+        );
+    }
+
+    #[test]
+    fn validation_zero_parallelism() {
+        let spec = LogicalSpec::new("bad").component("a", 0);
+        assert_eq!(
+            build_logical(&spec).unwrap_err(),
+            TopologyGraphError::ZeroParallelism("a".into())
+        );
+    }
+
+    #[test]
+    fn validation_cycle() {
+        let spec = LogicalSpec::new("bad")
+            .component("a", 1)
+            .component("b", 1)
+            .edge("a", "b", "shuffle")
+            .edge("b", "a", "shuffle");
+        assert_eq!(
+            build_logical(&spec).unwrap_err(),
+            TopologyGraphError::NotADag
+        );
+    }
+
+    #[test]
+    fn paper_fig1_has_16_paths() {
+        assert_eq!(instance_path_count(&wordcount()).unwrap(), 16);
+    }
+
+    #[test]
+    fn path_count_single_chain() {
+        let spec = LogicalSpec::new("c")
+            .component("a", 1)
+            .component("b", 1)
+            .edge("a", "b", "shuffle");
+        assert_eq!(instance_path_count(&spec).unwrap(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads_instances() {
+        let assignment = round_robin_assignment(&wordcount(), 2);
+        assert_eq!(assignment.len(), 2);
+        assert_eq!(assignment[0].len(), 4);
+        assert_eq!(assignment[1].len(), 4);
+        // First instance goes to container 0, second to container 1, ...
+        assert_eq!(assignment[0][0], ("spout".to_string(), 0));
+        assert_eq!(assignment[1][0], ("spout".to_string(), 1));
+    }
+
+    #[test]
+    fn round_robin_single_container_floor() {
+        let assignment = round_robin_assignment(&wordcount(), 0);
+        assert_eq!(assignment.len(), 1);
+        assert_eq!(assignment[0].len(), 8);
+    }
+
+    #[test]
+    fn physical_graph_counts() {
+        let spec = wordcount();
+        let assignment = round_robin_assignment(&spec, 2);
+        let pg = build_physical(&spec, &assignment).unwrap();
+        // 8 instances + 2 stream managers.
+        assert_eq!(pg.graph.vertex_count(), 10);
+        assert_eq!(pg.instance_of.len(), 8);
+        assert_eq!(pg.stmgr_of.len(), 2);
+        // Every instance has a container property.
+        for v in pg.instance_of.values() {
+            assert!(pg.graph.vertex_prop(*v, "container").is_some());
+        }
+    }
+
+    #[test]
+    fn physical_local_delivery_stays_in_container() {
+        // Everything on one container: no network edges at all.
+        let spec = wordcount();
+        let assignment = round_robin_assignment(&spec, 1);
+        let pg = build_physical(&spec, &assignment).unwrap();
+        let network_edges = pg
+            .graph
+            .edge_ids()
+            .filter(|e| pg.graph.edge_label(*e) == "network")
+            .count();
+        assert_eq!(network_edges, 0);
+    }
+
+    #[test]
+    fn physical_remote_delivery_crosses_network() {
+        let spec = wordcount();
+        let assignment = round_robin_assignment(&spec, 2);
+        let pg = build_physical(&spec, &assignment).unwrap();
+        let network_edges = pg
+            .graph
+            .edge_ids()
+            .filter(|e| pg.graph.edge_label(*e) == "network")
+            .count();
+        assert!(network_edges > 0);
+    }
+
+    #[test]
+    fn metadata_cache_hit_and_invalidate() {
+        let mut cache: MetadataCache<u64> = MetadataCache::new();
+        let mut builds = 0;
+        let v = cache.get_or_build("wc", 1, || {
+            builds += 1;
+            42
+        });
+        assert_eq!(v, 42);
+        let v = cache.get_or_build("wc", 1, || {
+            builds += 1;
+            43
+        });
+        assert_eq!(v, 42, "same version must hit the cache");
+        let v = cache.get_or_build("wc", 2, || {
+            builds += 1;
+            44
+        });
+        assert_eq!(v, 44, "newer version must rebuild");
+        assert_eq!(builds, 2);
+        assert_eq!(cache.stats(), (1, 2));
+        cache.invalidate("wc");
+        let v = cache.get_or_build("wc", 2, || 45);
+        assert_eq!(v, 45);
+    }
+}

@@ -1,0 +1,314 @@
+//! Fluent, TinkerPop-flavoured graph traversal.
+//!
+//! A [`Traversal`] carries a frontier of *traversers*, each remembering the
+//! path it took. Steps filter or move the frontier; terminal steps
+//! materialise ids, property values, counts or full paths.
+
+use crate::graph::{Graph, PropValue, VertexId};
+use std::collections::HashSet;
+
+/// One traverser: a current vertex plus the path that led to it.
+#[derive(Debug, Clone)]
+struct Traverser {
+    at: VertexId,
+    path: Vec<VertexId>,
+}
+
+/// A lazy-ish traversal over a [`Graph`]. Construct with [`Traversal::new`]
+/// (all vertices) or [`Traversal::from`] (explicit start set), then chain
+/// steps.
+#[derive(Debug, Clone)]
+pub struct Traversal<'g> {
+    graph: &'g Graph,
+    traversers: Vec<Traverser>,
+}
+
+impl<'g> Traversal<'g> {
+    /// Starts a traversal from every vertex (TinkerPop's `g.V()`).
+    pub fn new(graph: &'g Graph) -> Self {
+        let traversers = graph
+            .vertex_ids()
+            .map(|v| Traverser {
+                at: v,
+                path: vec![v],
+            })
+            .collect();
+        Self { graph, traversers }
+    }
+
+    /// Starts a traversal from the given vertices.
+    pub fn from(graph: &'g Graph, starts: impl IntoIterator<Item = VertexId>) -> Self {
+        let traversers = starts
+            .into_iter()
+            .map(|v| Traverser {
+                at: v,
+                path: vec![v],
+            })
+            .collect();
+        Self { graph, traversers }
+    }
+
+    /// Keeps traversers whose vertex has the given label.
+    pub fn has_label(mut self, label: &str) -> Self {
+        self.traversers
+            .retain(|t| self.graph.vertex_label(t.at) == label);
+        self
+    }
+
+    /// Keeps traversers whose vertex carries `key == value`.
+    pub fn has(mut self, key: &str, value: impl Into<PropValue>) -> Self {
+        let value = value.into();
+        self.traversers
+            .retain(|t| self.graph.vertex_prop(t.at, key) == Some(&value));
+        self
+    }
+
+    /// Keeps traversers whose vertex carries the property at all.
+    pub fn has_key(mut self, key: &str) -> Self {
+        self.traversers
+            .retain(|t| self.graph.vertex_prop(t.at, key).is_some());
+        self
+    }
+
+    /// Keeps traversers satisfying an arbitrary predicate on the vertex.
+    pub fn filter(mut self, pred: impl Fn(&Graph, VertexId) -> bool) -> Self {
+        self.traversers.retain(|t| pred(self.graph, t.at));
+        self
+    }
+
+    /// Moves every traverser to each downstream neighbour (fan-out), along
+    /// edges with the given label, or any label if `None`.
+    pub fn out(self, label: Option<&str>) -> Self {
+        self.step(|g, v| g.out_neighbors(v, label))
+    }
+
+    /// Moves every traverser to each upstream neighbour.
+    pub fn in_(self, label: Option<&str>) -> Self {
+        self.step(|g, v| g.in_neighbors(v, label))
+    }
+
+    /// Moves to both upstream and downstream neighbours.
+    pub fn both(self, label: Option<&str>) -> Self {
+        self.step(|g, v| {
+            let mut n = g.out_neighbors(v, label);
+            n.extend(g.in_neighbors(v, label));
+            n
+        })
+    }
+
+    fn step(self, neighbors: impl Fn(&Graph, VertexId) -> Vec<VertexId>) -> Self {
+        let graph = self.graph;
+        let mut next = Vec::new();
+        for t in self.traversers {
+            for n in neighbors(graph, t.at) {
+                let mut path = t.path.clone();
+                path.push(n);
+                next.push(Traverser { at: n, path });
+            }
+        }
+        Self {
+            graph,
+            traversers: next,
+        }
+    }
+
+    /// Collapses traversers at the same vertex (keeps the first path).
+    pub fn dedup(mut self) -> Self {
+        let mut seen = HashSet::new();
+        self.traversers.retain(|t| seen.insert(t.at));
+        self
+    }
+
+    /// Keeps at most the first `n` traversers.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.traversers.truncate(n);
+        self
+    }
+
+    /// Repeats `out(label)` until no traverser can move, emitting every
+    /// intermediate frontier (TinkerPop's `repeat(out()).emit()`), with
+    /// cycle protection per traverser path.
+    pub fn repeat_out_emit(self, label: Option<&str>) -> Self {
+        let graph = self.graph;
+        let mut all = self.traversers.clone();
+        let mut frontier = self.traversers;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for t in frontier {
+                for n in graph.out_neighbors(t.at, label) {
+                    if t.path.contains(&n) {
+                        continue; // avoid cycles
+                    }
+                    let mut path = t.path.clone();
+                    path.push(n);
+                    next.push(Traverser { at: n, path });
+                }
+            }
+            all.extend(next.iter().cloned());
+            frontier = next;
+        }
+        Self {
+            graph,
+            traversers: all,
+        }
+    }
+
+    /// Terminal: number of traversers.
+    pub fn count(self) -> usize {
+        self.traversers.len()
+    }
+
+    /// Terminal: current vertex ids (with duplicates, in order).
+    pub fn ids(self) -> Vec<VertexId> {
+        self.traversers.into_iter().map(|t| t.at).collect()
+    }
+
+    /// Terminal: the value of `key` on each current vertex (missing
+    /// properties are skipped).
+    pub fn values(self, key: &str) -> Vec<PropValue> {
+        self.traversers
+            .into_iter()
+            .filter_map(|t| self.graph.vertex_prop(t.at, key).cloned())
+            .collect()
+    }
+
+    /// Terminal: the full path of each traverser.
+    pub fn paths(self) -> Vec<Vec<VertexId>> {
+        self.traversers.into_iter().map(|t| t.path).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// spout -> splitter -> counter, with names and parallelism set.
+    fn wordcount() -> (Graph, [VertexId; 3]) {
+        let mut g = Graph::new();
+        let spout = g.add_vertex("component");
+        let splitter = g.add_vertex("component");
+        let counter = g.add_vertex("component");
+        for (v, name, p) in [
+            (spout, "spout", 2i64),
+            (splitter, "splitter", 2),
+            (counter, "counter", 4),
+        ] {
+            g.set_vertex_prop(v, "name", name);
+            g.set_vertex_prop(v, "parallelism", p);
+        }
+        g.add_edge(spout, splitter, "shuffle");
+        g.add_edge(splitter, counter, "fields");
+        (g, [spout, splitter, counter])
+    }
+
+    #[test]
+    fn v_visits_all() {
+        let (g, _) = wordcount();
+        assert_eq!(Traversal::new(&g).count(), 3);
+    }
+
+    #[test]
+    fn has_filters() {
+        let (g, [_, splitter, _]) = wordcount();
+        let ids = Traversal::new(&g).has("name", "splitter").ids();
+        assert_eq!(ids, vec![splitter]);
+        assert_eq!(Traversal::new(&g).has("name", "nope").count(), 0);
+    }
+
+    #[test]
+    fn has_label_and_has_key() {
+        let (mut g, _) = wordcount();
+        let other = g.add_vertex("stream_manager");
+        assert_eq!(Traversal::new(&g).has_label("component").count(), 3);
+        assert_eq!(
+            Traversal::new(&g).has_label("stream_manager").ids(),
+            vec![other]
+        );
+        assert_eq!(Traversal::new(&g).has_key("parallelism").count(), 3);
+    }
+
+    #[test]
+    fn out_follows_edge_labels() {
+        let (g, [spout, splitter, counter]) = wordcount();
+        let ids = Traversal::from(&g, [spout]).out(Some("shuffle")).ids();
+        assert_eq!(ids, vec![splitter]);
+        let ids = Traversal::from(&g, [spout]).out(Some("fields")).ids();
+        assert!(ids.is_empty());
+        let ids = Traversal::from(&g, [spout]).out(None).out(None).ids();
+        assert_eq!(ids, vec![counter]);
+    }
+
+    #[test]
+    fn in_and_both() {
+        let (g, [spout, splitter, counter]) = wordcount();
+        assert_eq!(
+            Traversal::from(&g, [counter]).in_(None).ids(),
+            vec![splitter]
+        );
+        let mut both = Traversal::from(&g, [splitter]).both(None).ids();
+        both.sort();
+        assert_eq!(both, vec![spout, counter]);
+    }
+
+    #[test]
+    fn values_terminal() {
+        let (g, _) = wordcount();
+        let parallelisms: Vec<i64> = Traversal::new(&g)
+            .values("parallelism")
+            .into_iter()
+            .filter_map(|p| p.as_i64())
+            .collect();
+        assert_eq!(parallelisms, vec![2, 2, 4]);
+    }
+
+    #[test]
+    fn paths_track_history() {
+        let (g, [spout, splitter, counter]) = wordcount();
+        let paths = Traversal::from(&g, [spout]).out(None).out(None).paths();
+        assert_eq!(paths, vec![vec![spout, splitter, counter]]);
+    }
+
+    #[test]
+    fn repeat_out_emit_reaches_everything_downstream() {
+        let (g, [spout, splitter, counter]) = wordcount();
+        let mut ids = Traversal::from(&g, [spout]).repeat_out_emit(None).ids();
+        ids.sort();
+        assert_eq!(ids, vec![spout, splitter, counter]);
+    }
+
+    #[test]
+    fn repeat_out_emit_terminates_on_cycles() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        g.add_edge(a, b, "e");
+        g.add_edge(b, a, "e");
+        // Must terminate; emits a, b (path-cycle pruned).
+        let ids = Traversal::from(&g, [a]).repeat_out_emit(None).ids();
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn dedup_and_limit() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("v");
+        let b = g.add_vertex("v");
+        let c = g.add_vertex("v");
+        g.add_edge(a, c, "e");
+        g.add_edge(b, c, "e");
+        let t = Traversal::from(&g, [a, b]).out(None);
+        assert_eq!(t.clone().count(), 2);
+        assert_eq!(t.clone().dedup().count(), 1);
+        assert_eq!(t.limit(1).count(), 1);
+    }
+
+    #[test]
+    fn filter_with_closure() {
+        let (g, _) = wordcount();
+        let count = Traversal::new(&g)
+            .filter(|g, v| g.vertex_prop(v, "parallelism").and_then(|p| p.as_i64()) == Some(4))
+            .count();
+        assert_eq!(count, 1);
+    }
+}

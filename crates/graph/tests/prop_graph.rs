@@ -1,0 +1,122 @@
+//! Property tests for the graph substrate: traversal vs naive reference,
+//! path counting vs enumeration, topological-order invariants.
+
+use caladrius_graph::algo;
+use caladrius_graph::topology_graph::{instance_path_count, LogicalSpec};
+use caladrius_graph::{Graph, Traversal, VertexId};
+use proptest::prelude::*;
+
+/// A random DAG: edges only from lower to higher vertex index.
+fn arb_dag() -> impl Strategy<Value = Graph> {
+    (
+        2usize..12,
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+    )
+        .prop_map(|(n, raw_edges)| {
+            let mut g = Graph::new();
+            let vs: Vec<VertexId> = (0..n).map(|_| g.add_vertex("v")).collect();
+            for (a, b) in raw_edges {
+                let a = a as usize % n;
+                let b = b as usize % n;
+                if a < b {
+                    g.add_edge(vs[a], vs[b], "e");
+                }
+            }
+            g
+        })
+}
+
+/// A random layered topology spec: a chain of components with random
+/// parallelisms.
+fn arb_chain_spec() -> impl Strategy<Value = LogicalSpec> {
+    prop::collection::vec(1u32..6, 1..6).prop_map(|parallelisms| {
+        let mut spec = LogicalSpec::new("chain");
+        for (i, p) in parallelisms.iter().enumerate() {
+            spec = spec.component(format!("c{i}"), *p);
+        }
+        for i in 1..parallelisms.len() {
+            spec = spec.edge(format!("c{}", i - 1), format!("c{i}"), "shuffle");
+        }
+        spec
+    })
+}
+
+proptest! {
+    /// Topological order exists for every DAG and respects every edge.
+    #[test]
+    fn topo_sort_respects_edges(g in arb_dag()) {
+        let order = algo::topo_sort(&g).unwrap();
+        prop_assert_eq!(order.len(), g.vertex_count());
+        let pos: std::collections::HashMap<VertexId, usize> =
+            order.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+        for e in g.edge_ids() {
+            let (src, dst) = g.edge_endpoints(e);
+            prop_assert!(pos[&src] < pos[&dst]);
+        }
+    }
+
+    /// Path counting by DP agrees with explicit enumeration.
+    #[test]
+    fn path_count_matches_enumeration(g in arb_dag()) {
+        let counted = algo::count_source_sink_paths(&g).unwrap();
+        let enumerated = algo::source_sink_paths(&g).len() as u64;
+        prop_assert_eq!(counted, enumerated);
+    }
+
+    /// Every enumerated source→sink path is a real path: consecutive
+    /// vertices are connected, first has no inputs, last no outputs.
+    #[test]
+    fn enumerated_paths_are_valid(g in arb_dag()) {
+        for path in algo::source_sink_paths(&g) {
+            prop_assert!(g.in_neighbors(path[0], None).is_empty());
+            prop_assert!(g.out_neighbors(*path.last().unwrap(), None).is_empty());
+            for w in path.windows(2) {
+                prop_assert!(g.out_neighbors(w[0], None).contains(&w[1]));
+            }
+        }
+    }
+
+    /// Traversal `out` agrees with the adjacency index, and repeat-emit
+    /// visits exactly the reachable set.
+    #[test]
+    fn traversal_matches_reachability(g in arb_dag()) {
+        for v in g.vertex_ids() {
+            let stepped: std::collections::BTreeSet<VertexId> =
+                Traversal::from(&g, [v]).out(None).ids().into_iter().collect();
+            let adjacent: std::collections::BTreeSet<VertexId> =
+                g.out_neighbors(v, None).into_iter().collect();
+            prop_assert_eq!(&stepped, &adjacent);
+
+            let mut visited: Vec<VertexId> =
+                Traversal::from(&g, [v]).repeat_out_emit(None).dedup().ids();
+            visited.sort();
+            let mut reachable = algo::reachable(&g, v);
+            reachable.sort();
+            prop_assert_eq!(visited, reachable);
+        }
+    }
+
+    /// For a layered chain topology the instance-level path count is the
+    /// product of the parallelisms (the paper's Fig. 1c arithmetic).
+    #[test]
+    fn chain_instance_paths_are_parallelism_product(spec in arb_chain_spec()) {
+        let product: u64 =
+            spec.components.iter().map(|(_, p)| u64::from(*p)).product();
+        prop_assert_eq!(instance_path_count(&spec).unwrap(), product);
+    }
+
+    /// Longest path total is at least the weight of any single vertex on
+    /// a source-sink path (sanity lower bound) and the returned path is
+    /// valid.
+    #[test]
+    fn longest_path_is_valid(g in arb_dag()) {
+        prop_assume!(g.vertex_count() > 0);
+        let (total, path) = algo::longest_path_by(&g, |v| f64::from(v.0) + 1.0).unwrap();
+        prop_assert!(!path.is_empty());
+        let path_total: f64 = path.iter().map(|v| f64::from(v.0) + 1.0).sum();
+        prop_assert!((total - path_total).abs() < 1e-9);
+        for w in path.windows(2) {
+            prop_assert!(g.out_neighbors(w[0], None).contains(&w[1]));
+        }
+    }
+}

@@ -1,0 +1,1014 @@
+//! The discrete-time simulation engine.
+//!
+//! The engine advances a topology one second at a time as a fluid model:
+//! tuple *mass* (fractional counts and bytes) flows from spouts through
+//! instance input queues, is consumed at each instance's processing
+//! capacity, multiplied by its selectivity and routed downstream by the
+//! edge groupings. Queue bytes feed the watermark-based
+//! [`BackpressureTracker`]; while backpressure is active every spout
+//! stops, reproducing Heron's throttle-and-drain oscillation.
+//!
+//! Per simulated minute the engine exports the metrics a real Heron
+//! deployment reports (see [`crate::metrics::metric`]), with optional
+//! multiplicative observation noise so repeated runs produce confidence
+//! bands like the paper's Figs. 4-12.
+
+use crate::backpressure::{BackpressureTracker, WatermarkConfig};
+use crate::error::{Result, SimError};
+use crate::metrics::{metric, SimMetrics};
+use crate::packing::{PackingAlgorithm, PackingPlan};
+use crate::profiles::hash64;
+use crate::topology::{ComponentKind, Topology};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Queue watermarks (Heron defaults: 100 MB / 50 MB).
+    pub watermarks: WatermarkConfig,
+    /// How instances are packed onto containers. `None` uses Heron-style
+    /// round-robin over `ceil(instances / 4)` containers — the "small
+    /// number of instances per container" regime the paper assumes.
+    pub packing: Option<PackingAlgorithm>,
+    /// Relative multiplicative observation noise on exported throughput /
+    /// CPU metrics (0 disables). Default `0.004` gives the narrow 90 %
+    /// confidence bands seen in the paper's figures.
+    pub metric_noise: f64,
+    /// Deterministic seed for observation noise.
+    pub seed: u64,
+    /// Baseline CPU (cores) an idle instance consumes (JVM + gateway).
+    pub base_cpu_overhead: f64,
+    /// Simulation resolution: ticks per simulated second (default 1).
+    /// Raise it when a bottleneck component's queue holds only a few
+    /// seconds of work at its drain rate (e.g. small tuples + high
+    /// rates), so that pipeline-refill gaps are resolved faithfully.
+    pub ticks_per_second: u32,
+    /// Routing capacity of each stream manager (tuples/second). `None`
+    /// (default) makes stream managers transparent — the paper's
+    /// Assumption 1 ("the throughput bottleneck is not the stream
+    /// manager"), which holds in the paper's operating regime of few
+    /// instances per container. Set a finite capacity to study when that
+    /// assumption breaks (the `stmgr_ablation` bench).
+    pub stmgr_capacity: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            watermarks: WatermarkConfig::default(),
+            packing: None,
+            metric_noise: 0.004,
+            seed: 0xCA1AD,
+            base_cpu_overhead: 0.05,
+            ticks_per_second: 1,
+            stmgr_capacity: None,
+        }
+    }
+}
+
+/// Routing entry: one downstream instance of one edge.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    dst: usize,
+    share: f64,
+    dst_container: u32,
+}
+
+/// Static (per-run) data for one edge leaving a component.
+#[derive(Debug, Clone)]
+struct EdgeRuntime {
+    routes: Vec<Route>,
+    replicates: bool,
+    tuple_bytes: f64,
+}
+
+/// Mutable state of one instance.
+#[derive(Debug, Clone, Default)]
+struct InstanceState {
+    queue_tuples: f64,
+    queue_bytes: f64,
+    incoming_tuples: f64,
+    incoming_bytes: f64,
+    /// Spouts only: tuples accumulated at the external source while the
+    /// spout was throttled ("data will begin to accumulate in the external
+    /// system waiting to be fetched", paper §II-C). Drained as fast as the
+    /// spout allows once backpressure lifts — which is what makes the
+    /// per-minute backpressure-time metric bimodal (paper §IV-B1).
+    backlog: f64,
+    // Per-minute accumulators.
+    executed: f64,
+    emitted: f64,
+    offered: f64,
+    failed: f64,
+    bp_ms: f64,
+    cpu_core_seconds: f64,
+}
+
+/// Static description of one instance.
+#[derive(Debug, Clone, Copy)]
+struct InstanceInfo {
+    comp_idx: usize,
+    inst_idx: u32,
+    container: u32,
+    capacity: f64,
+    cpu_cores: f64,
+    selectivity: f64,
+    gateway_overhead: f64,
+    fail_rate: f64,
+}
+
+/// Per-container stream-manager forwarding queue (only used when
+/// `SimConfig::stmgr_capacity` is set): pending tuple mass per destination
+/// instance, plus totals for O(1) watermark checks.
+#[derive(Debug, Clone, Default)]
+struct StmgrState {
+    pending_tuples: Vec<f64>,
+    pending_bytes: Vec<f64>,
+    total_tuples: f64,
+    total_bytes: f64,
+}
+
+impl StmgrState {
+    fn sized(n_instances: usize) -> Self {
+        Self {
+            pending_tuples: vec![0.0; n_instances],
+            pending_bytes: vec![0.0; n_instances],
+            total_tuples: 0.0,
+            total_bytes: 0.0,
+        }
+    }
+
+    fn enqueue(&mut self, dst: usize, tuples: f64, bytes: f64) {
+        self.pending_tuples[dst] += tuples;
+        self.pending_bytes[dst] += bytes;
+        self.total_tuples += tuples;
+        self.total_bytes += bytes;
+    }
+}
+
+/// A runnable simulation of one topology.
+#[derive(Debug)]
+pub struct Simulation {
+    topology: Topology,
+    plan: PackingPlan,
+    config: SimConfig,
+    instances: Vec<InstanceInfo>,
+    states: Vec<InstanceState>,
+    /// Per component: runtime data of its outgoing edges.
+    out_edges: Vec<Vec<EdgeRuntime>>,
+    tracker: BackpressureTracker,
+    /// Simulation clock in ticks (see `SimConfig::ticks_per_second`).
+    now_ticks: u64,
+    /// Per-container stream-manager routed-tuple accumulator (per minute).
+    stmgr_tuples: Vec<f64>,
+    /// Per-container forwarding queues; empty when stream managers are
+    /// transparent.
+    stmgrs: Vec<StmgrState>,
+}
+
+impl Simulation {
+    /// Builds a simulation, packing the topology per the config.
+    pub fn new(topology: Topology, config: SimConfig) -> Result<Self> {
+        config
+            .watermarks
+            .validate()
+            .map_err(SimError::InvalidConfig)?;
+        if let Some(cap) = config.stmgr_capacity {
+            if !(cap > 0.0 && cap.is_finite()) {
+                return Err(SimError::InvalidConfig(format!(
+                    "stmgr_capacity must be positive and finite, got {cap}"
+                )));
+            }
+        }
+        if config.ticks_per_second == 0 {
+            return Err(SimError::InvalidConfig(
+                "ticks_per_second must be at least 1".into(),
+            ));
+        }
+        if config.metric_noise < 0.0 || config.metric_noise >= 0.5 {
+            return Err(SimError::InvalidConfig(format!(
+                "metric_noise must be in [0, 0.5), got {}",
+                config.metric_noise
+            )));
+        }
+        let packing = config.packing.unwrap_or(PackingAlgorithm::RoundRobin {
+            num_containers: (topology.total_instances() as usize).div_ceil(4).max(1),
+        });
+        let plan = packing.pack(&topology)?;
+
+        // Flat instance table in (component, index) order.
+        let mut instances = Vec::with_capacity(topology.total_instances() as usize);
+        let mut comp_instances = vec![Vec::new(); topology.components.len()];
+        for (comp_idx, comp) in topology.components.iter().enumerate() {
+            let work = comp.kind.work();
+            for inst_idx in 0..comp.parallelism {
+                let container = plan
+                    .container_of(&comp.name, inst_idx)
+                    .expect("packing places every instance");
+                comp_instances[comp_idx].push(instances.len());
+                instances.push(InstanceInfo {
+                    comp_idx,
+                    inst_idx,
+                    container,
+                    capacity: work.capacity_per_core * comp.resources.cpu_cores,
+                    cpu_cores: comp.resources.cpu_cores,
+                    selectivity: work.selectivity,
+                    gateway_overhead: work.gateway_overhead,
+                    fail_rate: work.fail_rate,
+                });
+            }
+        }
+
+        // Pre-compute routing tables per component edge.
+        let mut out_edges: Vec<Vec<EdgeRuntime>> = vec![Vec::new(); topology.components.len()];
+        for edge in &topology.edges {
+            let downstream = &comp_instances[edge.to];
+            let shares = edge.grouping.shares(downstream.len());
+            let routes: Vec<Route> = downstream
+                .iter()
+                .zip(&shares)
+                .map(|(dst, share)| Route {
+                    dst: *dst,
+                    share: *share,
+                    dst_container: instances[*dst].container,
+                })
+                .collect();
+            out_edges[edge.from].push(EdgeRuntime {
+                routes,
+                replicates: edge.grouping.replicates(),
+                tuple_bytes: f64::from(topology.components[edge.from].kind.work().out_tuple_bytes),
+            });
+        }
+
+        let n = instances.len();
+        let plan_containers = plan.num_containers();
+        Ok(Self {
+            plan,
+            instances,
+            states: vec![InstanceState::default(); n],
+            out_edges,
+            tracker: BackpressureTracker::new(config.watermarks),
+            now_ticks: 0,
+            stmgr_tuples: vec![0.0; 64.max(n)],
+            stmgrs: if config.stmgr_capacity.is_some() {
+                vec![StmgrState::sized(n); plan_containers]
+            } else {
+                Vec::new()
+            },
+            topology,
+            config,
+        })
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The packing plan in effect.
+    pub fn plan(&self) -> &PackingPlan {
+        &self.plan
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now_secs(&self) -> u64 {
+        self.now_ticks / u64::from(self.config.ticks_per_second)
+    }
+
+    /// Moves the clock forward to `minute` (without simulating) so that a
+    /// restarted topology records into a fresh time range — the paper
+    /// emulates repeated observations "by restarting the topology and
+    /// observing its throughput multiple times", and restarts never share
+    /// wall-clock minutes.
+    ///
+    /// # Panics
+    /// Panics if the clock is already past `minute`.
+    pub fn skip_to_minute(&mut self, minute: u64) {
+        let target = minute * 60 * u64::from(self.config.ticks_per_second);
+        assert!(
+            target >= self.now_ticks,
+            "cannot move the clock backwards ({} -> {})",
+            self.now_ticks,
+            target
+        );
+        self.now_ticks = target;
+    }
+
+    /// True while backpressure is active.
+    pub fn backpressure_active(&self) -> bool {
+        self.tracker.active()
+    }
+
+    /// Advances one second.
+    fn tick(&mut self) {
+        let bp = self.tracker.active();
+        let dt = 1.0 / f64::from(self.config.ticks_per_second);
+
+        // Emissions staged into `incoming_*` buffers so routing happens
+        // after all instances have run (simultaneous update).
+        for flat in 0..self.instances.len() {
+            let info = self.instances[flat];
+            let is_spout = self.topology.components[info.comp_idx].kind.is_spout();
+            let (executed, emitted_base, offered) =
+                match &self.topology.components[info.comp_idx].kind {
+                    ComponentKind::Spout { profile, .. } => {
+                        let parallelism =
+                            f64::from(self.topology.components[info.comp_idx].parallelism);
+                        let now_secs = self.now_ticks / u64::from(self.config.ticks_per_second);
+                        let offered = profile.rate_at(now_secs) / parallelism * dt;
+                        let state = &mut self.states[flat];
+                        state.backlog += offered;
+                        let emitted = if bp {
+                            0.0
+                        } else {
+                            state.backlog.min(info.capacity * dt)
+                        };
+                        state.backlog -= emitted;
+                        (emitted, emitted, offered)
+                    }
+                    ComponentKind::Bolt { .. } => {
+                        let state = &self.states[flat];
+                        // Gateway contention: the worker thread loses a small
+                        // capacity fraction proportional to input pressure.
+                        let pressure = if state.queue_tuples > 0.0 {
+                            1.0
+                        } else {
+                            (state.incoming_tuples / (info.capacity * dt)).min(1.0)
+                        };
+                        let eff_capacity = info.capacity * (1.0 - info.gateway_overhead * pressure);
+                        let processed = state.queue_tuples.min(eff_capacity * dt);
+                        (processed, processed * (1.0 - info.fail_rate), 0.0)
+                    }
+                };
+
+            // Consume from the queue (bolts) proportionally in bytes.
+            if !is_spout && executed > 0.0 {
+                let state = &mut self.states[flat];
+                let byte_ratio = state.queue_bytes / state.queue_tuples;
+                state.queue_tuples -= executed;
+                state.queue_bytes -= executed * byte_ratio;
+                if state.queue_tuples < 1e-9 {
+                    state.queue_tuples = 0.0;
+                    state.queue_bytes = 0.0;
+                }
+            }
+
+            // Route outputs downstream. The edge table is temporarily taken
+            // out of `self` so destination states can be updated in place.
+            let mut total_emitted = 0.0;
+            let edges = std::mem::take(&mut self.out_edges[info.comp_idx]);
+            for edge in &edges {
+                let produced = emitted_base * info.selectivity;
+                for route in &edge.routes {
+                    let amount = if edge.replicates {
+                        produced
+                    } else {
+                        produced * route.share
+                    };
+                    if amount <= 0.0 {
+                        continue;
+                    }
+                    if self.config.stmgr_capacity.is_some() {
+                        // Every tuple leaves through the local stream
+                        // manager; remote hops are taken when forwarding.
+                        self.stmgrs[info.container as usize].enqueue(
+                            route.dst,
+                            amount,
+                            amount * edge.tuple_bytes,
+                        );
+                    } else {
+                        let dst = &mut self.states[route.dst];
+                        dst.incoming_tuples += amount;
+                        dst.incoming_bytes += amount * edge.tuple_bytes;
+                        self.stmgr_tuples[info.container as usize] += amount;
+                        if route.dst_container != info.container {
+                            self.stmgr_tuples[route.dst_container as usize] += amount;
+                        }
+                    }
+                    total_emitted += amount;
+                }
+            }
+            let is_sink = edges.is_empty();
+            self.out_edges[info.comp_idx] = edges;
+            // Sinks (no out edges) still count their processed output, the
+            // way the paper treats the Counter's processing throughput as
+            // the topology output.
+            if is_sink {
+                total_emitted = emitted_base;
+            }
+
+            let cpu = (self.config.base_cpu_overhead
+                + executed / dt / (info.capacity / info.cpu_cores))
+                .min(info.cpu_cores);
+            let failed = if is_spout {
+                0.0
+            } else {
+                executed * info.fail_rate
+            };
+            let state = &mut self.states[flat];
+            state.executed += executed;
+            state.emitted += total_emitted;
+            state.offered += offered;
+            state.failed += failed;
+            state.cpu_core_seconds += cpu * dt;
+        }
+
+        // Stream-manager forwarding (finite-capacity mode): each stream
+        // manager ships up to capacity*dt tuples this tick, split
+        // proportionally across destinations. Remote deliveries hop into
+        // the destination container's stream manager and spend its
+        // capacity on a later tick, as in Heron's two-stmgr path.
+        if let Some(capacity) = self.config.stmgr_capacity {
+            let n_instances = self.instances.len();
+            for container in 0..self.stmgrs.len() {
+                let total = self.stmgrs[container].total_tuples;
+                if total <= 0.0 {
+                    self.tracker.observe(n_instances + container, 0.0);
+                    continue;
+                }
+                let ship = total.min(capacity * dt);
+                let fraction = ship / total;
+                let mut stmgr = std::mem::take(&mut self.stmgrs[container]);
+                for dst in 0..n_instances {
+                    let tuples = stmgr.pending_tuples[dst] * fraction;
+                    if tuples <= 0.0 {
+                        continue;
+                    }
+                    let bytes = stmgr.pending_bytes[dst] * fraction;
+                    stmgr.pending_tuples[dst] -= tuples;
+                    stmgr.pending_bytes[dst] -= bytes;
+                    stmgr.total_tuples -= tuples;
+                    stmgr.total_bytes -= bytes;
+                    self.stmgr_tuples[container] += tuples;
+                    let dst_container = self.instances[dst].container as usize;
+                    if dst_container == container {
+                        let state = &mut self.states[dst];
+                        state.incoming_tuples += tuples;
+                        state.incoming_bytes += bytes;
+                    } else {
+                        self.stmgrs[dst_container].enqueue(dst, tuples, bytes);
+                    }
+                }
+                // The stream manager's buffer participates in watermark
+                // backpressure exactly like an instance queue (in Heron it
+                // is in fact the stream manager that owns the buffers).
+                self.tracker
+                    .observe(n_instances + container, stmgr.total_bytes);
+                self.stmgrs[container] = stmgr;
+            }
+        }
+
+        // Apply staged arrivals and observe queues for backpressure.
+        for flat in 0..self.instances.len() {
+            let state = &mut self.states[flat];
+            state.queue_tuples += state.incoming_tuples;
+            state.queue_bytes += state.incoming_bytes;
+            state.incoming_tuples = 0.0;
+            state.incoming_bytes = 0.0;
+            self.tracker.observe(flat, state.queue_bytes);
+        }
+
+        // Attribute backpressure time to the instances holding it (ids at
+        // or beyond the instance count are stream managers; their
+        // suppression time is visible through the spout throttling).
+        if self.tracker.active() {
+            let n_instances = self.instances.len();
+            let triggering: Vec<usize> = self.tracker.triggering_instances().collect();
+            for id in triggering {
+                if id < n_instances {
+                    self.states[id].bp_ms += 1000.0 * dt;
+                }
+            }
+        }
+
+        self.now_ticks += 1;
+    }
+
+    fn noise(&self, salt: u64) -> f64 {
+        if self.config.metric_noise == 0.0 {
+            return 1.0;
+        }
+        let h = hash64(self.config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        1.0 + self.config.metric_noise * 2.0 * unit
+    }
+
+    /// Flushes per-minute metrics for the minute ending now.
+    fn flush_minute(&mut self, metrics: &SimMetrics) {
+        let minute_ts = (self.now_secs() * 1000) as i64 - 60_000;
+        for flat in 0..self.instances.len() {
+            let info = self.instances[flat];
+            let state = self.states[flat].clone();
+            let salt = ((flat as u64) << 32) | (self.now_secs() / 60);
+            let comp = self.topology.components[info.comp_idx].name.as_str();
+            let is_spout = self.topology.components[info.comp_idx].kind.is_spout();
+
+            let executed = state.executed * self.noise(salt ^ (1 << 17));
+            let emitted = state.emitted * self.noise(salt ^ (2 << 17));
+            let cpu = state.cpu_core_seconds / 60.0 * self.noise(salt ^ (3 << 17));
+            let rec = |name: &str, value: f64| {
+                metrics.record_instance(
+                    name,
+                    comp,
+                    info.inst_idx,
+                    info.container,
+                    minute_ts,
+                    value,
+                );
+            };
+            rec(metric::EXECUTE_COUNT, executed);
+            rec(metric::EMIT_COUNT, emitted);
+            rec(metric::CPU_LOAD, cpu);
+            rec(metric::BACKPRESSURE_TIME, state.bp_ms.min(60_000.0));
+            rec(metric::QUEUE_BYTES, state.queue_bytes);
+            rec(metric::FAIL_COUNT, state.failed);
+            let latency_ms = if info.capacity > 0.0 {
+                state.queue_tuples / info.capacity * 1000.0
+            } else {
+                0.0
+            };
+            rec(metric::LATENCY_MS, latency_ms);
+            if is_spout {
+                rec(metric::SOURCE_OFFERED, state.offered);
+            }
+
+            let state = &mut self.states[flat];
+            state.executed = 0.0;
+            state.emitted = 0.0;
+            state.offered = 0.0;
+            state.failed = 0.0;
+            state.bp_ms = 0.0;
+            state.cpu_core_seconds = 0.0;
+        }
+        for container in 0..self.plan.num_containers() {
+            let routed = self.stmgr_tuples[container];
+            metrics.record_container(metric::STMGR_TUPLES, container as u32, minute_ts, routed);
+            self.stmgr_tuples[container] = 0.0;
+        }
+    }
+
+    /// Runs `minutes` simulated minutes, recording metrics into `metrics`.
+    pub fn run_minutes_into(&mut self, minutes: u64, metrics: &SimMetrics) {
+        let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
+        for _ in 0..minutes {
+            for _ in 0..ticks_per_minute {
+                self.tick();
+            }
+            self.flush_minute(metrics);
+        }
+    }
+
+    /// Runs `minutes` simulated minutes into a fresh metrics store and
+    /// returns it.
+    pub fn run_minutes(&mut self, minutes: u64) -> SimMetrics {
+        let metrics = SimMetrics::new(self.topology.name.clone());
+        self.run_minutes_into(minutes, &metrics);
+        metrics
+    }
+
+    /// Runs `minutes` simulated minutes without recording anything —
+    /// the paper's "allowed to run ... to attain steady state before
+    /// measurements were retrieved".
+    pub fn warmup_minutes(&mut self, minutes: u64) {
+        let sink = SimMetrics::new("warmup-discard");
+        let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
+        for _ in 0..minutes {
+            for _ in 0..ticks_per_minute {
+                self.tick();
+            }
+            // Reset accumulators without recording.
+            self.flush_minute(&sink);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use crate::profiles::RateProfile;
+    use crate::topology::{TopologyBuilder, WorkProfile};
+    use caladrius_tsdb::Aggregation;
+
+    /// WordCount with per-instance splitter capacity `cap` sentences/sec
+    /// and offered load `rate` sentences/sec.
+    fn wordcount(rate: f64, splitter_p: u32, splitter_cap: f64) -> Topology {
+        TopologyBuilder::new("wc")
+            .spout("spout", 8, RateProfile::constant(rate), 60)
+            .bolt(
+                "splitter",
+                splitter_p,
+                WorkProfile::new(splitter_cap, 7.63, 8).with_gateway_overhead(0.0),
+            )
+            .bolt("counter", 3, WorkProfile::new(1.0e9, 1.0, 16))
+            .edge("spout", "splitter", Grouping::shuffle())
+            .edge("splitter", "counter", Grouping::fields_uniform())
+            .build()
+            .unwrap()
+    }
+
+    fn quiet() -> SimConfig {
+        SimConfig {
+            metric_noise: 0.0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn mean_of(samples: &[caladrius_tsdb::Sample]) -> f64 {
+        Aggregation::Mean.apply(samples.iter().map(|s| s.value))
+    }
+
+    #[test]
+    fn below_saturation_output_tracks_input_times_alpha() {
+        // Offered 1000 sentences/s, splitter capacity 5000/s: no saturation.
+        let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), quiet()).unwrap();
+        sim.warmup_minutes(2);
+        let metrics = sim.run_minutes(5);
+        let input =
+            mean_of(&metrics.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+        let output =
+            mean_of(&metrics.component_sum(metric::EMIT_COUNT, Some("splitter"), 0, i64::MAX));
+        let expected_in = 1000.0 * 60.0;
+        assert!(
+            (input - expected_in).abs() / expected_in < 0.01,
+            "input {input}"
+        );
+        assert!(
+            (output / input - 7.63).abs() < 0.01,
+            "alpha {}",
+            output / input
+        );
+        assert!(!sim.backpressure_active());
+    }
+
+    #[test]
+    fn above_saturation_backpressure_caps_throughput() {
+        // Offered 8000/s, capacity 5000/s: must saturate.
+        let mut sim = Simulation::new(wordcount(8000.0, 1, 5000.0), quiet()).unwrap();
+        sim.warmup_minutes(10);
+        let metrics = sim.run_minutes(10);
+        let input =
+            mean_of(&metrics.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+        // Input throughput over a minute hovers around capacity.
+        let cap_per_min = 5000.0 * 60.0;
+        assert!(
+            (input - cap_per_min).abs() / cap_per_min < 0.08,
+            "saturated input {input} vs capacity {cap_per_min}"
+        );
+        // Backpressure time accrues on the splitter instance.
+        let bp = mean_of(&metrics.component_sum(
+            metric::BACKPRESSURE_TIME,
+            Some("splitter"),
+            0,
+            i64::MAX,
+        ));
+        assert!(
+            bp > 30_000.0,
+            "expected most of each minute in backpressure, got {bp} ms"
+        );
+    }
+
+    #[test]
+    fn no_backpressure_below_saturation() {
+        let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), quiet()).unwrap();
+        let metrics = sim.run_minutes(5);
+        let bp = metrics.component_sum(metric::BACKPRESSURE_TIME, None, 0, i64::MAX);
+        assert!(bp.iter().all(|s| s.value == 0.0));
+    }
+
+    #[test]
+    fn offered_load_recorded_even_under_backpressure() {
+        // Small watermarks keep the throttle/drain cycle short so the duty
+        // cycle reaches steady state within the simulated window.
+        let cfg = SimConfig {
+            watermarks: WatermarkConfig {
+                high_bytes: 600_000.0,
+                low_bytes: 300_000.0,
+            },
+            metric_noise: 0.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(wordcount(8000.0, 1, 5000.0), cfg).unwrap();
+        sim.warmup_minutes(5);
+        let metrics = sim.run_minutes(5);
+        let offered =
+            mean_of(&metrics.component_sum(metric::SOURCE_OFFERED, Some("spout"), 0, i64::MAX));
+        let expected = 8000.0 * 60.0;
+        assert!((offered - expected).abs() / expected < 1e-6);
+        let emitted =
+            mean_of(&metrics.component_sum(metric::EMIT_COUNT, Some("spout"), 0, i64::MAX));
+        assert!(
+            emitted < offered * 0.8,
+            "spout must be throttled: {emitted} vs {offered}"
+        );
+    }
+
+    #[test]
+    fn doubling_parallelism_doubles_saturation_throughput() {
+        let mut sat1 = Simulation::new(wordcount(20_000.0, 1, 5000.0), quiet()).unwrap();
+        sat1.warmup_minutes(10);
+        let m1 = sat1.run_minutes(10);
+        let in1 = mean_of(&m1.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+
+        let mut sat2 = Simulation::new(wordcount(20_000.0, 2, 5000.0), quiet()).unwrap();
+        sat2.warmup_minutes(10);
+        let m2 = sat2.run_minutes(10);
+        let in2 = mean_of(&m2.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+
+        let ratio = in2 / in1;
+        assert!((ratio - 2.0).abs() < 0.15, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn cpu_load_scales_with_input_and_caps_at_allocation() {
+        let low = {
+            let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), quiet()).unwrap();
+            sim.warmup_minutes(2);
+            let m = sim.run_minutes(5);
+            mean_of(&m.component_sum(metric::CPU_LOAD, Some("splitter"), 0, i64::MAX))
+        };
+        let high = {
+            let mut sim = Simulation::new(wordcount(4000.0, 1, 5000.0), quiet()).unwrap();
+            sim.warmup_minutes(2);
+            let m = sim.run_minutes(5);
+            mean_of(&m.component_sum(metric::CPU_LOAD, Some("splitter"), 0, i64::MAX))
+        };
+        let saturated = {
+            let mut sim = Simulation::new(wordcount(50_000.0, 1, 5000.0), quiet()).unwrap();
+            sim.warmup_minutes(5);
+            let m = sim.run_minutes(5);
+            mean_of(&m.component_sum(metric::CPU_LOAD, Some("splitter"), 0, i64::MAX))
+        };
+        assert!(low < high, "cpu must grow with input ({low} < {high})");
+        // Roughly linear: 4x input => ~4x the dynamic part.
+        let dynamic_ratio = (high - 0.05) / (low - 0.05);
+        assert!(
+            (dynamic_ratio - 4.0).abs() < 0.5,
+            "dynamic cpu ratio {dynamic_ratio}"
+        );
+        assert!(
+            saturated <= 1.0 + 1e-9,
+            "cpu capped at 1 core, got {saturated}"
+        );
+    }
+
+    #[test]
+    fn mass_conservation_spout_to_splitter() {
+        let mut sim = Simulation::new(wordcount(2000.0, 2, 5000.0), quiet()).unwrap();
+        sim.warmup_minutes(3);
+        let metrics = sim.run_minutes(10);
+        let spout_out =
+            mean_of(&metrics.component_sum(metric::EMIT_COUNT, Some("spout"), 0, i64::MAX));
+        let splitter_in =
+            mean_of(&metrics.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+        assert!(
+            (spout_out - splitter_in).abs() / spout_out < 0.01,
+            "what the spout emits, the splitter processes: {spout_out} vs {splitter_in}"
+        );
+    }
+
+    #[test]
+    fn shuffle_spreads_evenly_fields_by_shares() {
+        let mut sim = Simulation::new(wordcount(3000.0, 2, 5000.0), quiet()).unwrap();
+        sim.warmup_minutes(3);
+        let metrics = sim.run_minutes(5);
+        let per_inst = metrics.per_instance(metric::EXECUTE_COUNT, "splitter", 0, i64::MAX);
+        assert_eq!(per_inst.len(), 2);
+        let a = mean_of(&per_inst[0].1);
+        let b = mean_of(&per_inst[1].1);
+        assert!(
+            (a - b).abs() / a < 0.01,
+            "shuffle must split evenly: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn failed_tuples_reduce_emissions() {
+        let topo = TopologyBuilder::new("f")
+            .spout("s", 1, RateProfile::constant(1000.0), 60)
+            .bolt(
+                "b",
+                1,
+                WorkProfile::new(10_000.0, 1.0, 8)
+                    .with_gateway_overhead(0.0)
+                    .with_fail_rate(0.25),
+            )
+            .edge("s", "b", Grouping::shuffle())
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(topo, quiet()).unwrap();
+        sim.warmup_minutes(2);
+        let metrics = sim.run_minutes(5);
+        let executed =
+            mean_of(&metrics.component_sum(metric::EXECUTE_COUNT, Some("b"), 0, i64::MAX));
+        let emitted = mean_of(&metrics.component_sum(metric::EMIT_COUNT, Some("b"), 0, i64::MAX));
+        let failed = mean_of(&metrics.component_sum(metric::FAIL_COUNT, Some("b"), 0, i64::MAX));
+        assert!((emitted / executed - 0.75).abs() < 0.01);
+        assert!((failed / executed - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn stream_managers_route_tuples() {
+        let mut sim = Simulation::new(wordcount(1000.0, 2, 5000.0), quiet()).unwrap();
+        let metrics = sim.run_minutes(3);
+        let db = metrics.db();
+        let routed = db
+            .aggregate(
+                metric::STMGR_TUPLES,
+                &[],
+                0,
+                i64::MAX,
+                60_000,
+                Aggregation::Sum,
+                Aggregation::Sum,
+            )
+            .unwrap();
+        assert!(!routed.is_empty());
+        assert!(routed.iter().all(|s| s.value > 0.0));
+    }
+
+    #[test]
+    fn clock_advances_and_runs_continue() {
+        let mut sim = Simulation::new(wordcount(100.0, 1, 5000.0), quiet()).unwrap();
+        assert_eq!(sim.now_secs(), 0);
+        let metrics = SimMetrics::new("wc");
+        sim.run_minutes_into(2, &metrics);
+        assert_eq!(sim.now_secs(), 120);
+        sim.run_minutes_into(1, &metrics);
+        assert_eq!(sim.now_secs(), 180);
+        // Three distinct minutes recorded for the spout instance.
+        let series = metrics.instance_series(metric::EMIT_COUNT, "spout", 0, 0, i64::MAX);
+        assert_eq!(series.len(), 3);
+        assert!(series.windows(2).all(|w| w[1].ts - w[0].ts == 60_000));
+    }
+
+    #[test]
+    fn metric_noise_produces_variation_deterministically() {
+        let cfg = SimConfig {
+            metric_noise: 0.01,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let mut a = Simulation::new(wordcount(1000.0, 1, 5000.0), cfg.clone()).unwrap();
+        let mut b = Simulation::new(wordcount(1000.0, 1, 5000.0), cfg).unwrap();
+        let ma = a.run_minutes(5);
+        let mb = b.run_minutes(5);
+        let sa = ma.instance_series(metric::EXECUTE_COUNT, "splitter", 0, 0, i64::MAX);
+        let sb = mb.instance_series(metric::EXECUTE_COUNT, "splitter", 0, 0, i64::MAX);
+        assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(&sb) {
+            assert_eq!(x.value, y.value, "same seed, same observations");
+        }
+        // And the noise actually varies across minutes.
+        let distinct: std::collections::BTreeSet<u64> =
+            sa.iter().map(|s| s.value.to_bits()).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let topo = wordcount(1.0, 1, 1.0);
+        let cfg = SimConfig {
+            metric_noise: 0.9,
+            ..SimConfig::default()
+        };
+        assert!(Simulation::new(topo.clone(), cfg).is_err());
+        let cfg = SimConfig {
+            watermarks: WatermarkConfig {
+                high_bytes: 1.0,
+                low_bytes: 2.0,
+            },
+            ..SimConfig::default()
+        };
+        assert!(Simulation::new(topo, cfg).is_err());
+    }
+
+    #[test]
+    fn transparent_stream_managers_by_default() {
+        let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), quiet()).unwrap();
+        assert!(sim.stmgrs.is_empty());
+        sim.warmup_minutes(1);
+    }
+
+    #[test]
+    fn finite_stmgr_capacity_caps_throughput() {
+        // Instances could process 5000/s each, but everything is packed on
+        // ONE container whose stream manager routes at most 3000 tuples/s.
+        // Each spout tuple is routed once to the splitter and its 7.63
+        // words once more to the counter, so the stream manager saturates
+        // long before the instances do.
+        let cfg = SimConfig {
+            metric_noise: 0.0,
+            packing: Some(PackingAlgorithm::RoundRobin { num_containers: 1 }),
+            stmgr_capacity: Some(3_000.0),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(wordcount(2000.0, 1, 5000.0), cfg).unwrap();
+        sim.warmup_minutes(20);
+        let metrics = sim.run_minutes(10);
+        let splitter_in =
+            mean_of(&metrics.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+        // Unthrottled the splitter would see 2000/s = 120k/min; the shared
+        // stream manager (sentences + words) limits it to roughly
+        // 3000/(1+7.63)/s ≈ 348/s ≈ 20.9k/min.
+        let routed = {
+            let db = metrics.db();
+            let series = db
+                .aggregate(
+                    metric::STMGR_TUPLES,
+                    &[],
+                    0,
+                    i64::MAX,
+                    60_000,
+                    Aggregation::Sum,
+                    Aggregation::Sum,
+                )
+                .unwrap();
+            Aggregation::Mean.apply(series.iter().map(|s| s.value))
+        };
+        // Conservation: the stream manager routes exactly its capacity.
+        assert!(
+            (routed - 3_000.0 * 60.0).abs() < 1.0,
+            "stream manager must route at capacity, got {routed}/min"
+        );
+        // The splitter's unthrottled input would be 2000/s = 120k/min;
+        // sharing one 3000/s stream manager with its own 7.63x word
+        // volume must cut it drastically. (The exact split depends on the
+        // watermark duty cycle, not on naive flow balance.)
+        assert!(
+            splitter_in < 120_000.0 * 0.4,
+            "stmgr-bound input {splitter_in:.0}/min should be well below the unthrottled 120k"
+        );
+        // And the throttling shows up as backpressure (spouts suppressed).
+        let offered =
+            mean_of(&metrics.component_sum(metric::SOURCE_OFFERED, Some("spout"), 0, i64::MAX));
+        let spout_out =
+            mean_of(&metrics.component_sum(metric::EMIT_COUNT, Some("spout"), 0, i64::MAX));
+        assert!(
+            spout_out < offered * 0.5,
+            "spouts must be throttled by the stream manager"
+        );
+    }
+
+    #[test]
+    fn ample_stmgr_capacity_matches_transparent_mode() {
+        let transparent = {
+            let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), quiet()).unwrap();
+            sim.warmup_minutes(3);
+            let m = sim.run_minutes(5);
+            mean_of(&m.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX))
+        };
+        let modelled = {
+            let cfg = SimConfig {
+                metric_noise: 0.0,
+                stmgr_capacity: Some(1.0e9),
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), cfg).unwrap();
+            sim.warmup_minutes(3);
+            let m = sim.run_minutes(5);
+            mean_of(&m.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX))
+        };
+        assert!(
+            (transparent - modelled).abs() / transparent < 0.02,
+            "with ample capacity the queue path must match: {transparent} vs {modelled}"
+        );
+    }
+
+    #[test]
+    fn invalid_stmgr_capacity_rejected() {
+        let cfg = SimConfig {
+            stmgr_capacity: Some(0.0),
+            ..SimConfig::default()
+        };
+        assert!(Simulation::new(wordcount(1.0, 1, 1.0), cfg).is_err());
+        let cfg = SimConfig {
+            stmgr_capacity: Some(f64::NAN),
+            ..SimConfig::default()
+        };
+        assert!(Simulation::new(wordcount(1.0, 1, 1.0), cfg).is_err());
+    }
+
+    #[test]
+    fn backpressure_oscillation_drains_and_refills() {
+        // Capacity 5k/s, offered 7k/s, tiny watermarks so cycles are fast.
+        let cfg = SimConfig {
+            watermarks: WatermarkConfig {
+                high_bytes: 600_000.0,
+                low_bytes: 300_000.0,
+            },
+            metric_noise: 0.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(wordcount(7000.0, 1, 5000.0), cfg).unwrap();
+        let mut states = Vec::new();
+        for _ in 0..600 {
+            sim.tick();
+            states.push(sim.backpressure_active());
+        }
+        let transitions = states.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            transitions >= 4,
+            "expected on/off oscillation, got {transitions} transitions"
+        );
+    }
+}

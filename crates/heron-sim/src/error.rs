@@ -1,0 +1,53 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors raised while building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A topology failed validation.
+    InvalidTopology(String),
+    /// A named component does not exist.
+    UnknownComponent(String),
+    /// A named topology does not exist in the cluster.
+    UnknownTopology(String),
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            SimError::UnknownComponent(name) => write!(f, "unknown component {name:?}"),
+            SimError::UnknownTopology(name) => write!(f, "unknown topology {name:?}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        assert!(SimError::InvalidTopology("no spout".into())
+            .to_string()
+            .contains("no spout"));
+        assert!(SimError::UnknownComponent("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(SimError::UnknownTopology("t".into())
+            .to_string()
+            .contains('t'));
+        assert!(SimError::InvalidConfig("tick".into())
+            .to_string()
+            .contains("tick"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Stream groupings: how a component's output tuples are partitioned
+//! across the downstream component's instances (paper §II-B).
+
+use crate::profiles::hash64;
+use serde::{Deserialize, Serialize};
+
+/// A stream grouping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Grouping {
+    /// Round-robin / load-balanced: tuples are shared evenly across
+    /// downstream instances. The most common grouping.
+    Shuffle,
+    /// Key-hash partitioning: the downstream instance is chosen as
+    /// `hash(key) % p`. The share each instance receives is determined by
+    /// the key distribution; `zipf_exponent = 0` models an (asymptotically)
+    /// uniform key set, larger exponents model skew.
+    Fields {
+        /// Number of distinct keys in the stream.
+        n_keys: u64,
+        /// Zipf exponent of key frequencies; `0.0` means uniform.
+        zipf_exponent: f64,
+        /// Hash seed (a different seed permutes key→instance routing, the
+        /// way changing the field set would).
+        seed: u64,
+    },
+    /// Every downstream instance receives a full copy of every tuple.
+    All,
+    /// All tuples go to the single lowest-indexed downstream instance.
+    Global,
+    /// Arbitrary routing shares (normalised internally). Models the
+    /// paper's "user can implement their own customized key grouping".
+    Custom {
+        /// Relative share per downstream instance index; padded with zeros
+        /// or truncated to the actual parallelism.
+        weights: Vec<f64>,
+    },
+}
+
+impl Grouping {
+    /// Shuffle grouping.
+    pub fn shuffle() -> Self {
+        Grouping::Shuffle
+    }
+
+    /// Fields grouping over a large, uniform key universe — the "unbiased
+    /// data set" case of the paper's §V-D.
+    pub fn fields_uniform() -> Self {
+        Grouping::Fields {
+            n_keys: 100_000,
+            zipf_exponent: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Fields grouping with Zipf-skewed key frequencies (word frequencies
+    /// in natural text are approximately Zipf with exponent ≈ 1).
+    pub fn fields_zipf(n_keys: u64, exponent: f64) -> Self {
+        Grouping::Fields {
+            n_keys,
+            zipf_exponent: exponent,
+            seed: 42,
+        }
+    }
+
+    /// True when every downstream instance receives a full copy (i.e. the
+    /// downstream component's total input is `p ×` the stream volume).
+    pub fn replicates(&self) -> bool {
+        matches!(self, Grouping::All)
+    }
+
+    /// The fraction of the stream routed to each of `p` downstream
+    /// instances. Sums to 1 for partitioning groupings; for [`Grouping::All`]
+    /// every entry is 1 (full copies).
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn shares(&self, p: usize) -> Vec<f64> {
+        assert!(p > 0, "downstream parallelism must be positive");
+        match self {
+            Grouping::Shuffle => vec![1.0 / p as f64; p],
+            Grouping::All => vec![1.0; p],
+            Grouping::Global => {
+                let mut s = vec![0.0; p];
+                s[0] = 1.0;
+                s
+            }
+            Grouping::Custom { weights } => {
+                let mut s: Vec<f64> = (0..p)
+                    .map(|i| weights.get(i).copied().unwrap_or(0.0).max(0.0))
+                    .collect();
+                let total: f64 = s.iter().sum();
+                if total > 0.0 {
+                    for v in &mut s {
+                        *v /= total;
+                    }
+                } else {
+                    s = vec![1.0 / p as f64; p];
+                }
+                s
+            }
+            Grouping::Fields {
+                n_keys,
+                zipf_exponent,
+                seed,
+            } => fields_shares(*n_keys, *zipf_exponent, *seed, p),
+        }
+    }
+
+    /// Short name used in metrics/graph labels.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Grouping::Shuffle => "shuffle",
+            Grouping::Fields { .. } => "fields",
+            Grouping::All => "all",
+            Grouping::Global => "global",
+            Grouping::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// Computes fields-grouping shares: each key `k` has Zipf weight
+/// `(k+1)^-s` and routes to bucket `hash(k ^ seed) % p`.
+///
+/// This reproduces the property the paper highlights: "the modulo operation
+/// cannot be reversed, making it impossible to predict routing in a new
+/// packing plan" — shares under parallelism `p` do not determine shares
+/// under `p'`.
+fn fields_shares(n_keys: u64, zipf_exponent: f64, seed: u64, p: usize) -> Vec<f64> {
+    let n_keys = n_keys.max(1);
+    let mut shares = vec![0.0; p];
+    let mut total = 0.0;
+    for k in 0..n_keys {
+        let weight = if zipf_exponent == 0.0 {
+            1.0
+        } else {
+            1.0 / ((k + 1) as f64).powf(zipf_exponent)
+        };
+        let bucket = (hash64(k ^ seed.rotate_left(23)) % p as u64) as usize;
+        shares[bucket] += weight;
+        total += weight;
+    }
+    for s in &mut shares {
+        *s /= total;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to_one(shares: &[f64]) {
+        let total: f64 = shares.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "shares must sum to 1, got {total}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_even() {
+        let s = Grouping::shuffle().shares(4);
+        assert_eq!(s, vec![0.25; 4]);
+        assert_sums_to_one(&s);
+    }
+
+    #[test]
+    fn global_routes_to_first() {
+        let s = Grouping::Global.shares(3);
+        assert_eq!(s, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_replicates() {
+        let g = Grouping::All;
+        assert!(g.replicates());
+        assert_eq!(g.shares(3), vec![1.0; 3]);
+        assert!(!Grouping::shuffle().replicates());
+    }
+
+    #[test]
+    fn custom_normalises() {
+        let g = Grouping::Custom {
+            weights: vec![1.0, 3.0],
+        };
+        let s = g.shares(2);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_pads_and_truncates() {
+        let g = Grouping::Custom { weights: vec![1.0] };
+        assert_eq!(g.shares(3), vec![1.0, 0.0, 0.0]);
+        let g = Grouping::Custom {
+            weights: vec![1.0, 1.0, 1.0, 1.0],
+        };
+        assert_eq!(g.shares(2), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn custom_all_zero_falls_back_to_even() {
+        let g = Grouping::Custom {
+            weights: vec![0.0, 0.0],
+        };
+        assert_eq!(g.shares(2), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn fields_uniform_is_nearly_even() {
+        let s = Grouping::fields_uniform().shares(4);
+        assert_sums_to_one(&s);
+        for share in &s {
+            assert!(
+                (share - 0.25).abs() < 0.01,
+                "uniform keys should be near-even: {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn fields_zipf_is_skewed() {
+        let s = Grouping::fields_zipf(1000, 1.2).shares(4);
+        assert_sums_to_one(&s);
+        let max = s.iter().cloned().fold(0.0, f64::max);
+        let min = s.iter().cloned().fold(1.0, f64::min);
+        assert!(max / min > 1.15, "zipf keys must bias some instance: {s:?}");
+    }
+
+    #[test]
+    fn fields_shares_depend_on_parallelism_unpredictably() {
+        // The heavy keys land on different buckets under different p —
+        // shares at p=3 are not a simple re-split of shares at p=2.
+        let g = Grouping::fields_zipf(50, 1.5);
+        let s2 = g.shares(2);
+        let s3 = g.shares(3);
+        assert_sums_to_one(&s2);
+        assert_sums_to_one(&s3);
+        assert_ne!(s2.len(), s3.len());
+    }
+
+    #[test]
+    fn fields_deterministic_per_seed() {
+        let a = Grouping::Fields {
+            n_keys: 100,
+            zipf_exponent: 1.0,
+            seed: 1,
+        }
+        .shares(4);
+        let b = Grouping::Fields {
+            n_keys: 100,
+            zipf_exponent: 1.0,
+            seed: 1,
+        }
+        .shares(4);
+        let c = Grouping::Fields {
+            n_keys: 100,
+            zipf_exponent: 1.0,
+            seed: 2,
+        }
+        .shares(4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_instance_gets_everything() {
+        for g in [
+            Grouping::shuffle(),
+            Grouping::fields_uniform(),
+            Grouping::Global,
+            Grouping::All,
+            Grouping::Custom { weights: vec![3.0] },
+        ] {
+            assert_eq!(g.shares(1), vec![1.0], "{:?}", g.kind_name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_panics() {
+        Grouping::shuffle().shares(0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Grouping::shuffle().kind_name(), "shuffle");
+        assert_eq!(Grouping::fields_uniform().kind_name(), "fields");
+        assert_eq!(Grouping::All.kind_name(), "all");
+        assert_eq!(Grouping::Global.kind_name(), "global");
+        assert_eq!(Grouping::Custom { weights: vec![] }.kind_name(), "custom");
+    }
+}

@@ -1,0 +1,392 @@
+//! Packing algorithms: mapping instances onto containers.
+//!
+//! The paper's evaluation uses "Heron's round-robin packing algorithm"
+//! (§V-A); a first-fit-decreasing packer is included as the "different
+//! scheduler" Caladrius's scheduler-selection use case compares against.
+
+use crate::error::{Result, SimError};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A reference to one instance of a component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstanceRef {
+    /// Component name.
+    pub component: String,
+    /// Instance index within the component (`0..parallelism`).
+    pub index: u32,
+}
+
+/// One container of a packing plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Container {
+    /// Container id (0-based).
+    pub id: u32,
+    /// Instances placed on this container.
+    pub instances: Vec<InstanceRef>,
+    /// Total CPU cores requested by the instances (plus stream manager
+    /// overhead accounted by the scheduler, not included here).
+    pub cpu_cores: f64,
+    /// Total RAM requested in MB.
+    pub ram_mb: u64,
+}
+
+/// A complete packing plan for a topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackingPlan {
+    /// Topology name the plan belongs to.
+    pub topology: String,
+    /// Containers in id order.
+    pub containers: Vec<Container>,
+}
+
+impl PackingPlan {
+    /// Number of containers.
+    pub fn num_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Container id hosting `(component, index)`, if placed.
+    pub fn container_of(&self, component: &str, index: u32) -> Option<u32> {
+        self.containers.iter().find_map(|c| {
+            c.instances
+                .iter()
+                .any(|i| i.component == component && i.index == index)
+                .then_some(c.id)
+        })
+    }
+
+    /// Total CPU cores across containers.
+    pub fn total_cpu(&self) -> f64 {
+        self.containers.iter().map(|c| c.cpu_cores).sum()
+    }
+
+    /// Total RAM (MB) across containers.
+    pub fn total_ram_mb(&self) -> u64 {
+        self.containers.iter().map(|c| c.ram_mb).sum()
+    }
+
+    /// Total number of placed instances.
+    pub fn total_instances(&self) -> usize {
+        self.containers.iter().map(|c| c.instances.len()).sum()
+    }
+
+    /// Largest number of instances on any single container — a proxy for
+    /// stream-manager load concentration.
+    pub fn max_instances_per_container(&self) -> usize {
+        self.containers
+            .iter()
+            .map(|c| c.instances.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Available packing algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PackingAlgorithm {
+    /// Heron's default: instances are dealt to containers in turn, in
+    /// component declaration order.
+    RoundRobin {
+        /// Number of containers to spread instances over.
+        num_containers: usize,
+    },
+    /// Bin packing: instances sorted by CPU request descending, placed in
+    /// the first container with room; new containers opened as needed.
+    FirstFitDecreasing {
+        /// CPU capacity per container (cores).
+        container_cpu: f64,
+        /// RAM capacity per container (MB).
+        container_ram_mb: u64,
+    },
+}
+
+impl PackingAlgorithm {
+    /// Packs a topology's instances into containers.
+    pub fn pack(&self, topology: &Topology) -> Result<PackingPlan> {
+        match self {
+            PackingAlgorithm::RoundRobin { num_containers } => {
+                if *num_containers == 0 {
+                    return Err(SimError::InvalidConfig(
+                        "round-robin packing needs at least one container".into(),
+                    ));
+                }
+                let mut containers: Vec<Container> = (0..*num_containers as u32)
+                    .map(|id| Container {
+                        id,
+                        instances: Vec::new(),
+                        cpu_cores: 0.0,
+                        ram_mb: 0,
+                    })
+                    .collect();
+                let mut next = 0usize;
+                for component in &topology.components {
+                    for index in 0..component.parallelism {
+                        let c = &mut containers[next % num_containers];
+                        c.instances.push(InstanceRef {
+                            component: component.name.clone(),
+                            index,
+                        });
+                        c.cpu_cores += component.resources.cpu_cores;
+                        c.ram_mb += component.resources.ram_mb;
+                        next += 1;
+                    }
+                }
+                Ok(PackingPlan {
+                    topology: topology.name.clone(),
+                    containers,
+                })
+            }
+            PackingAlgorithm::FirstFitDecreasing {
+                container_cpu,
+                container_ram_mb,
+            } => {
+                if *container_cpu <= 0.0 || *container_ram_mb == 0 {
+                    return Err(SimError::InvalidConfig(
+                        "FFD container capacity must be positive".into(),
+                    ));
+                }
+                // Collect all instances with their requests.
+                let mut items: Vec<(InstanceRef, f64, u64)> = Vec::new();
+                for component in &topology.components {
+                    for index in 0..component.parallelism {
+                        items.push((
+                            InstanceRef {
+                                component: component.name.clone(),
+                                index,
+                            },
+                            component.resources.cpu_cores,
+                            component.resources.ram_mb,
+                        ));
+                    }
+                }
+                for (_, cpu, ram) in &items {
+                    if *cpu > *container_cpu || *ram > *container_ram_mb {
+                        return Err(SimError::InvalidConfig(format!(
+                            "an instance request ({cpu} cores / {ram} MB) exceeds the \
+                             container capacity"
+                        )));
+                    }
+                }
+                items.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite cpu requests")
+                        .then(b.2.cmp(&a.2))
+                });
+                let mut containers: Vec<Container> = Vec::new();
+                for (inst, cpu, ram) in items {
+                    let slot = containers.iter_mut().find(|c| {
+                        c.cpu_cores + cpu <= *container_cpu && c.ram_mb + ram <= *container_ram_mb
+                    });
+                    match slot {
+                        Some(c) => {
+                            c.instances.push(inst);
+                            c.cpu_cores += cpu;
+                            c.ram_mb += ram;
+                        }
+                        None => containers.push(Container {
+                            id: containers.len() as u32,
+                            instances: vec![inst],
+                            cpu_cores: cpu,
+                            ram_mb: ram,
+                        }),
+                    }
+                }
+                Ok(PackingPlan {
+                    topology: topology.name.clone(),
+                    containers,
+                })
+            }
+        }
+    }
+}
+
+/// Summary of a plan used when comparing schedulers: how balanced the
+/// containers are and how much cross-container traffic the plan implies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanStats {
+    /// Number of containers.
+    pub containers: usize,
+    /// Standard deviation of instances per container (0 = perfectly even).
+    pub balance_stddev: f64,
+    /// Fraction of upstream→downstream instance pairs that live on
+    /// different containers (remote pairs mean stream-manager network
+    /// hops).
+    pub remote_pair_fraction: f64,
+}
+
+impl PlanStats {
+    /// Computes stats for a plan against its topology.
+    pub fn compute(topology: &Topology, plan: &PackingPlan) -> PlanStats {
+        let counts: Vec<f64> = plan
+            .containers
+            .iter()
+            .map(|c| c.instances.len() as f64)
+            .collect();
+        let n = counts.len().max(1) as f64;
+        let mean = counts.iter().sum::<f64>() / n;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n;
+
+        let mut location: HashMap<(&str, u32), u32> = HashMap::new();
+        for c in &plan.containers {
+            for i in &c.instances {
+                location.insert((i.component.as_str(), i.index), c.id);
+            }
+        }
+        let mut pairs = 0usize;
+        let mut remote = 0usize;
+        for e in &topology.edges {
+            let from = &topology.components[e.from];
+            let to = &topology.components[e.to];
+            for fi in 0..from.parallelism {
+                for ti in 0..to.parallelism {
+                    pairs += 1;
+                    let a = location.get(&(from.name.as_str(), fi));
+                    let b = location.get(&(to.name.as_str(), ti));
+                    if a != b {
+                        remote += 1;
+                    }
+                }
+            }
+        }
+        PlanStats {
+            containers: plan.num_containers(),
+            balance_stddev: var.sqrt(),
+            remote_pair_fraction: if pairs > 0 {
+                remote as f64 / pairs as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::Grouping;
+    use crate::profiles::RateProfile;
+    use crate::topology::{Resources, TopologyBuilder, WorkProfile};
+
+    fn wordcount() -> Topology {
+        TopologyBuilder::new("wc")
+            .spout("spout", 2, RateProfile::constant(100.0), 60)
+            .bolt("splitter", 2, WorkProfile::new(1000.0, 7.63, 8))
+            .bolt("counter", 4, WorkProfile::new(5000.0, 1.0, 16))
+            .edge("spout", "splitter", Grouping::shuffle())
+            .edge("splitter", "counter", Grouping::fields_uniform())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_robin_places_all_instances() {
+        let plan = PackingAlgorithm::RoundRobin { num_containers: 2 }
+            .pack(&wordcount())
+            .unwrap();
+        assert_eq!(plan.num_containers(), 2);
+        assert_eq!(plan.total_instances(), 8);
+        assert_eq!(plan.containers[0].instances.len(), 4);
+        assert_eq!(plan.containers[1].instances.len(), 4);
+    }
+
+    #[test]
+    fn round_robin_alternates_containers() {
+        let plan = PackingAlgorithm::RoundRobin { num_containers: 2 }
+            .pack(&wordcount())
+            .unwrap();
+        assert_eq!(plan.container_of("spout", 0), Some(0));
+        assert_eq!(plan.container_of("spout", 1), Some(1));
+        assert_eq!(plan.container_of("splitter", 0), Some(0));
+        assert_eq!(plan.container_of("splitter", 1), Some(1));
+        assert_eq!(plan.container_of("ghost", 0), None);
+    }
+
+    #[test]
+    fn round_robin_accounts_resources() {
+        let plan = PackingAlgorithm::RoundRobin { num_containers: 2 }
+            .pack(&wordcount())
+            .unwrap();
+        assert_eq!(plan.total_cpu(), 8.0);
+        assert_eq!(plan.total_ram_mb(), 8 * 2048);
+        assert_eq!(plan.containers[0].cpu_cores, 4.0);
+    }
+
+    #[test]
+    fn round_robin_zero_containers_rejected() {
+        assert!(PackingAlgorithm::RoundRobin { num_containers: 0 }
+            .pack(&wordcount())
+            .is_err());
+    }
+
+    #[test]
+    fn ffd_opens_containers_as_needed() {
+        let plan = PackingAlgorithm::FirstFitDecreasing {
+            container_cpu: 3.0,
+            container_ram_mb: 3 * 2048,
+        }
+        .pack(&wordcount())
+        .unwrap();
+        // 8 one-core instances into 3-core bins = ceil(8/3) = 3 containers.
+        assert_eq!(plan.num_containers(), 3);
+        assert_eq!(plan.total_instances(), 8);
+        assert!(plan.containers.iter().all(|c| c.cpu_cores <= 3.0));
+    }
+
+    #[test]
+    fn ffd_rejects_oversized_instance() {
+        let topo = TopologyBuilder::new("t")
+            .spout_with(
+                "s",
+                1,
+                RateProfile::constant(1.0),
+                WorkProfile::new(1.0, 1.0, 8),
+                Resources {
+                    cpu_cores: 8.0,
+                    ram_mb: 1024,
+                },
+            )
+            .build()
+            .unwrap();
+        assert!(PackingAlgorithm::FirstFitDecreasing {
+            container_cpu: 4.0,
+            container_ram_mb: 4096
+        }
+        .pack(&topo)
+        .is_err());
+    }
+
+    #[test]
+    fn ffd_invalid_capacity_rejected() {
+        assert!(PackingAlgorithm::FirstFitDecreasing {
+            container_cpu: 0.0,
+            container_ram_mb: 1
+        }
+        .pack(&wordcount())
+        .is_err());
+    }
+
+    #[test]
+    fn plan_stats_balance() {
+        let topo = wordcount();
+        let even = PackingAlgorithm::RoundRobin { num_containers: 2 }
+            .pack(&topo)
+            .unwrap();
+        let stats = PlanStats::compute(&topo, &even);
+        assert_eq!(stats.containers, 2);
+        assert_eq!(stats.balance_stddev, 0.0);
+        assert!(stats.remote_pair_fraction > 0.0 && stats.remote_pair_fraction < 1.0);
+    }
+
+    #[test]
+    fn plan_stats_single_container_all_local() {
+        let topo = wordcount();
+        let plan = PackingAlgorithm::RoundRobin { num_containers: 1 }
+            .pack(&topo)
+            .unwrap();
+        let stats = PlanStats::compute(&topo, &plan);
+        assert_eq!(stats.remote_pair_fraction, 0.0);
+        assert_eq!(plan.max_instances_per_container(), 8);
+    }
+}

@@ -1,0 +1,236 @@
+//! Spout rate profiles.
+//!
+//! The paper's evaluation uses "a special kind of spout whose output rate
+//! matches the configured throughput if there is no backpressure" (§V-A);
+//! [`RateProfile::Constant`] models it. The richer profiles generate the
+//! seasonal production-like traffic that motivates the Prophet-based
+//! traffic forecast (§IV-A).
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Offered source load (tuples/second) as a function of simulation time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// Fixed offered rate.
+    Constant {
+        /// Offered rate in tuples/second.
+        rate: f64,
+    },
+    /// Rate steps at given times: `(from_second, rate)` entries, sorted.
+    /// Before the first entry the rate is `initial`.
+    Steps {
+        /// Rate before the first step.
+        initial: f64,
+        /// `(second, rate)` change points in ascending time order.
+        steps: Vec<(u64, f64)>,
+    },
+    /// Diurnal + weekly seasonal profile:
+    /// `base * (1 + daily·sin(2πt/day) + weekly_boost(weekday))`.
+    Seasonal {
+        /// Mean offered rate in tuples/second.
+        base: f64,
+        /// Relative amplitude of the daily cycle (e.g. `0.4`).
+        daily_amplitude: f64,
+        /// Relative weekend level change (e.g. `-0.3` = 30 % lower on
+        /// Saturday/Sunday).
+        weekend_delta: f64,
+        /// Relative white-noise amplitude applied per minute (e.g. `0.05`).
+        noise: f64,
+        /// Seed for the deterministic noise stream.
+        seed: u64,
+    },
+    /// Linear ramp from `from` to `to` over `duration_secs`, then flat.
+    Ramp {
+        /// Starting rate (tuples/second).
+        from: f64,
+        /// Final rate (tuples/second).
+        to: f64,
+        /// Ramp duration in seconds.
+        duration_secs: u64,
+    },
+}
+
+impl RateProfile {
+    /// A constant profile expressed in tuples/minute (the unit the paper
+    /// plots).
+    pub fn constant_per_min(tuples_per_minute: f64) -> Self {
+        RateProfile::Constant {
+            rate: tuples_per_minute / 60.0,
+        }
+    }
+
+    /// A constant profile in tuples/second.
+    pub fn constant(rate: f64) -> Self {
+        RateProfile::Constant { rate }
+    }
+
+    /// Offered rate (tuples/second) at simulation time `t_secs`.
+    pub fn rate_at(&self, t_secs: u64) -> f64 {
+        match self {
+            RateProfile::Constant { rate } => *rate,
+            RateProfile::Steps { initial, steps } => {
+                let mut rate = *initial;
+                for (at, r) in steps {
+                    if t_secs >= *at {
+                        rate = *r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+            RateProfile::Seasonal {
+                base,
+                daily_amplitude,
+                weekend_delta,
+                noise,
+                seed,
+            } => {
+                const DAY: f64 = 86_400.0;
+                let t = t_secs as f64;
+                let daily = daily_amplitude * (TAU * t / DAY).sin();
+                let weekday = (t_secs / 86_400) % 7;
+                let weekend = if weekday >= 5 { *weekend_delta } else { 0.0 };
+                // Deterministic per-minute noise from a hash of the minute.
+                let minute = t_secs / 60;
+                let h = hash64(minute ^ seed.rotate_left(17));
+                let unit = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                let n = noise * 2.0 * unit;
+                (base * (1.0 + daily + weekend + n)).max(0.0)
+            }
+            RateProfile::Ramp {
+                from,
+                to,
+                duration_secs,
+            } => {
+                if *duration_secs == 0 || t_secs >= *duration_secs {
+                    *to
+                } else {
+                    from + (to - from) * t_secs as f64 / *duration_secs as f64
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64 — a cheap, well-distributed 64-bit hash used for
+/// deterministic noise and fields-grouping key routing.
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_units() {
+        let p = RateProfile::constant_per_min(6.0e6);
+        assert!((p.rate_at(0) - 100_000.0).abs() < 1e-9);
+        assert_eq!(p.rate_at(0), p.rate_at(1_000_000));
+    }
+
+    #[test]
+    fn steps_change_at_boundaries() {
+        let p = RateProfile::Steps {
+            initial: 10.0,
+            steps: vec![(100, 20.0), (200, 5.0)],
+        };
+        assert_eq!(p.rate_at(0), 10.0);
+        assert_eq!(p.rate_at(99), 10.0);
+        assert_eq!(p.rate_at(100), 20.0);
+        assert_eq!(p.rate_at(199), 20.0);
+        assert_eq!(p.rate_at(200), 5.0);
+        assert_eq!(p.rate_at(10_000), 5.0);
+    }
+
+    #[test]
+    fn seasonal_has_daily_cycle() {
+        let p = RateProfile::Seasonal {
+            base: 1000.0,
+            daily_amplitude: 0.5,
+            weekend_delta: 0.0,
+            noise: 0.0,
+            seed: 1,
+        };
+        // Quarter day = peak of the sine.
+        let peak = p.rate_at(86_400 / 4);
+        let trough = p.rate_at(3 * 86_400 / 4);
+        assert!((peak - 1500.0).abs() < 1.0);
+        assert!((trough - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn seasonal_weekend_dip() {
+        let p = RateProfile::Seasonal {
+            base: 1000.0,
+            daily_amplitude: 0.0,
+            weekend_delta: -0.3,
+            noise: 0.0,
+            seed: 1,
+        };
+        // Day 0-4 weekdays, day 5-6 weekend.
+        assert_eq!(p.rate_at(0), 1000.0);
+        assert_eq!(p.rate_at(5 * 86_400), 700.0);
+        assert_eq!(p.rate_at(7 * 86_400), 1000.0);
+    }
+
+    #[test]
+    fn seasonal_noise_is_deterministic_and_non_negative() {
+        let p = RateProfile::Seasonal {
+            base: 10.0,
+            daily_amplitude: 0.0,
+            weekend_delta: 0.0,
+            noise: 5.0, // huge noise to exercise the clamp
+            seed: 7,
+        };
+        for t in (0..86_400).step_by(600) {
+            assert!(p.rate_at(t) >= 0.0);
+            assert_eq!(p.rate_at(t), p.rate_at(t));
+        }
+        let q = RateProfile::Seasonal {
+            base: 10.0,
+            daily_amplitude: 0.0,
+            weekend_delta: 0.0,
+            noise: 5.0,
+            seed: 8,
+        };
+        // Different seeds give different streams (statistically certain).
+        let diffs = (0..100)
+            .filter(|i| (p.rate_at(i * 60) - q.rate_at(i * 60)).abs() > 1e-9)
+            .count();
+        assert!(diffs > 50);
+    }
+
+    #[test]
+    fn ramp_interpolates() {
+        let p = RateProfile::Ramp {
+            from: 0.0,
+            to: 100.0,
+            duration_secs: 100,
+        };
+        assert_eq!(p.rate_at(0), 0.0);
+        assert_eq!(p.rate_at(50), 50.0);
+        assert_eq!(p.rate_at(100), 100.0);
+        assert_eq!(p.rate_at(500), 100.0);
+        let z = RateProfile::Ramp {
+            from: 1.0,
+            to: 2.0,
+            duration_secs: 0,
+        };
+        assert_eq!(z.rate_at(0), 2.0);
+    }
+
+    #[test]
+    fn hash64_spreads_bits() {
+        // Adjacent inputs should land far apart.
+        let a = hash64(1);
+        let b = hash64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the simulator substrate: grouping invariants,
+//! packing completeness and conservation laws of the engine.
+
+use caladrius_tsdb::Aggregation;
+use heron_sim::engine::{SimConfig, Simulation};
+use heron_sim::grouping::Grouping;
+use heron_sim::metrics::metric;
+use heron_sim::packing::PackingAlgorithm;
+use heron_sim::profiles::RateProfile;
+use heron_sim::topology::{Topology, TopologyBuilder, WorkProfile};
+use proptest::prelude::*;
+
+fn arb_grouping() -> impl Strategy<Value = Grouping> {
+    prop_oneof![
+        Just(Grouping::Shuffle),
+        Just(Grouping::Global),
+        (1u64..10_000, 0.0f64..2.0, any::<u64>()).prop_map(|(n_keys, zipf, seed)| {
+            Grouping::Fields {
+                n_keys,
+                zipf_exponent: zipf,
+                seed,
+            }
+        }),
+        prop::collection::vec(0.0f64..10.0, 1..8).prop_map(|weights| Grouping::Custom { weights }),
+    ]
+}
+
+fn small_topology(rate: f64, p: u32, capacity: f64) -> Topology {
+    TopologyBuilder::new("prop")
+        .spout("spout", 2, RateProfile::constant(rate), 64)
+        .bolt(
+            "bolt",
+            p,
+            WorkProfile::new(capacity, 3.0, 16).with_gateway_overhead(0.0),
+        )
+        .edge("spout", "bolt", Grouping::shuffle())
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// Partitioning groupings distribute exactly the full stream: shares
+    /// sum to 1 and are non-negative, for every parallelism.
+    #[test]
+    fn grouping_shares_partition_the_stream(grouping in arb_grouping(), p in 1usize..32) {
+        let shares = grouping.shares(p);
+        prop_assert_eq!(shares.len(), p);
+        prop_assert!(shares.iter().all(|s| *s >= 0.0));
+        let total: f64 = shares.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    /// Round-robin packing places every instance exactly once and spreads
+    /// them within one instance of each other.
+    #[test]
+    fn round_robin_is_complete_and_balanced(
+        p1 in 1u32..12, p2 in 1u32..12, containers in 1usize..10,
+    ) {
+        let topo = TopologyBuilder::new("t")
+            .spout("s", p1, RateProfile::constant(1.0), 8)
+            .bolt("b", p2, WorkProfile::new(1.0, 1.0, 8))
+            .edge("s", "b", Grouping::shuffle())
+            .build()
+            .unwrap();
+        let plan = PackingAlgorithm::RoundRobin { num_containers: containers }
+            .pack(&topo)
+            .unwrap();
+        prop_assert_eq!(plan.total_instances(), (p1 + p2) as usize);
+        let counts: Vec<usize> =
+            plan.containers.iter().map(|c| c.instances.len()).collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "round robin must balance: {counts:?}");
+        // Each (component, index) is placed exactly once.
+        for c in ["s", "b"] {
+            let parallelism = if c == "s" { p1 } else { p2 };
+            for i in 0..parallelism {
+                prop_assert!(plan.container_of(c, i).is_some());
+            }
+        }
+    }
+
+    /// FFD respects container capacity and places everything.
+    #[test]
+    fn ffd_respects_capacity(p in 1u32..20, cap in 1u32..8) {
+        let topo = TopologyBuilder::new("t")
+            .spout("s", p, RateProfile::constant(1.0), 8)
+            .build()
+            .unwrap();
+        let plan = PackingAlgorithm::FirstFitDecreasing {
+            container_cpu: f64::from(cap),
+            container_ram_mb: u64::from(cap) * 2048,
+        }
+        .pack(&topo)
+        .unwrap();
+        prop_assert_eq!(plan.total_instances(), p as usize);
+        for c in &plan.containers {
+            prop_assert!(c.cpu_cores <= f64::from(cap) + 1e-9);
+        }
+        prop_assert_eq!(plan.num_containers(), (p as usize).div_ceil(cap as usize));
+    }
+
+    /// Below saturation, the engine conserves tuple mass end to end:
+    /// spout emissions equal bolt executions, and bolt emissions are
+    /// executions times selectivity.
+    #[test]
+    fn engine_conserves_mass_below_saturation(
+        rate in 10.0f64..900.0,
+        p in 1u32..4,
+    ) {
+        // Capacity 1000/s per instance: rate < p*1000 never saturates.
+        let topo = small_topology(rate, p, 1_000.0);
+        let mut sim = Simulation::new(
+            topo,
+            SimConfig { metric_noise: 0.0, ..SimConfig::default() },
+        ).unwrap();
+        sim.warmup_minutes(3);
+        let metrics = sim.run_minutes(5);
+        let mean = |name: &str, comp: &str| {
+            let s = metrics.component_sum(name, Some(comp), 0, i64::MAX);
+            Aggregation::Mean.apply(s.iter().map(|x| x.value))
+        };
+        let spout_out = mean(metric::EMIT_COUNT, "spout");
+        let bolt_in = mean(metric::EXECUTE_COUNT, "bolt");
+        prop_assert!((spout_out - rate * 60.0).abs() < rate * 0.6 + 1.0);
+        prop_assert!((bolt_in - spout_out).abs() <= 0.02 * spout_out + 1.0);
+        prop_assert!(!sim.backpressure_active());
+    }
+
+    /// Saturated throughput never exceeds configured capacity, whatever
+    /// the overload factor.
+    #[test]
+    fn engine_caps_at_capacity(overload in 1.1f64..10.0, p in 1u32..3) {
+        let capacity = 500.0;
+        let rate = capacity * f64::from(p) * overload;
+        let topo = small_topology(rate, p, capacity);
+        let mut sim = Simulation::new(
+            topo,
+            SimConfig { metric_noise: 0.0, ..SimConfig::default() },
+        ).unwrap();
+        sim.warmup_minutes(15);
+        let metrics = sim.run_minutes(10);
+        let s = metrics.component_sum(metric::EXECUTE_COUNT, Some("bolt"), 0, i64::MAX);
+        let mean = Aggregation::Mean.apply(s.iter().map(|x| x.value));
+        let cap_per_min = capacity * f64::from(p) * 60.0;
+        prop_assert!(mean <= cap_per_min * 1.01, "mean {mean} vs cap {cap_per_min}");
+        prop_assert!(mean >= cap_per_min * 0.80, "mean {mean} vs cap {cap_per_min}");
+    }
+}

@@ -1,0 +1,438 @@
+//! The concurrent metrics database facade.
+
+use crate::catalog::{Catalog, SeriesId};
+use crate::error::{Error, Result};
+use crate::query::{bucketed, combine, Aggregation, TagFilter};
+use crate::series::{Sample, Series, SeriesKey};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concurrent, tag-indexed, in-memory metrics store.
+///
+/// Writers resolve (or register) the series id under a short catalog lock,
+/// then append under the per-series lock; readers snapshot the matching ids
+/// and read each series independently. This mirrors the ingestion path of
+/// production metric stores: catalog contention is rare because the series
+/// universe stabilises quickly.
+#[derive(Debug, Default)]
+pub struct MetricsDb {
+    catalog: RwLock<Catalog>,
+    series: RwLock<HashMap<SeriesId, Arc<RwLock<Series>>>>,
+}
+
+impl MetricsDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered series.
+    pub fn series_count(&self) -> usize {
+        self.catalog.read().len()
+    }
+
+    /// Total number of stored samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.series.read().values().map(|s| s.read().len()).sum()
+    }
+
+    /// Approximate storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.series
+            .read()
+            .values()
+            .map(|s| s.read().storage_bytes())
+            .sum()
+    }
+
+    fn series_handle(&self, key: &SeriesKey) -> Arc<RwLock<Series>> {
+        let id = self.catalog.write().ensure(key);
+        let mut map = self.series.write();
+        Arc::clone(
+            map.entry(id)
+                .or_insert_with(|| Arc::new(RwLock::new(Series::new()))),
+        )
+    }
+
+    /// Writes one sample.
+    pub fn write(&self, key: &SeriesKey, ts: i64, value: f64) {
+        self.series_handle(key).write().push(Sample::new(ts, value));
+    }
+
+    /// Writes many samples for one series, cheaper than repeated
+    /// [`MetricsDb::write`] because the series is resolved once.
+    pub fn write_batch(&self, key: &SeriesKey, samples: impl IntoIterator<Item = Sample>) {
+        let handle = self.series_handle(key);
+        let mut series = handle.write();
+        for s in samples {
+            series.push(s);
+        }
+    }
+
+    /// Reads one series' samples in `[from, to]`, or an error if the exact
+    /// key is unknown.
+    pub fn read(&self, key: &SeriesKey, from: i64, to: i64) -> Result<Vec<Sample>> {
+        let id = self
+            .catalog
+            .read()
+            .get(key)
+            .ok_or_else(|| Error::SeriesNotFound(key.to_string()))?;
+        let handle = Arc::clone(
+            self.series
+                .read()
+                .get(&id)
+                .expect("catalog and store in sync"),
+        );
+        let guard = handle.read();
+        guard.samples(from, to)
+    }
+
+    /// Selects every series matching `name` + `filters` and returns
+    /// `(key, samples-in-range)` pairs, sorted by key for determinism.
+    pub fn select(
+        &self,
+        name: &str,
+        filters: &[TagFilter],
+        from: i64,
+        to: i64,
+    ) -> Result<Vec<(SeriesKey, Vec<Sample>)>> {
+        let ids = self.catalog.read().select(name, filters);
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let key = self
+                .catalog
+                .read()
+                .key(id)
+                .expect("id from this catalog")
+                .clone();
+            let handle = Arc::clone(
+                self.series
+                    .read()
+                    .get(&id)
+                    .expect("catalog and store in sync"),
+            );
+            let samples = handle.read().samples(from, to)?;
+            out.push((key, samples));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Bucketed aggregation of one metric across all matching series: each
+    /// series is down-sampled with `within`, then buckets are merged across
+    /// series with `across`.
+    ///
+    /// Example: the component input rate of the paper is
+    /// `aggregate("execute-count", [component=splitter], 60_000, Sum, Sum)`.
+    #[allow(clippy::too_many_arguments)] // a flat query surface is the point
+    pub fn aggregate(
+        &self,
+        name: &str,
+        filters: &[TagFilter],
+        from: i64,
+        to: i64,
+        bucket_ms: i64,
+        within: Aggregation,
+        across: Aggregation,
+    ) -> Result<Vec<Sample>> {
+        let selected = self.select(name, filters, from, to)?;
+        let series: Vec<Vec<Sample>> = selected.into_iter().map(|(_, s)| s).collect();
+        Ok(combine(&series, bucket_ms, within, across))
+    }
+
+    /// Per-series bucketed aggregation grouped by the value of `group_tag`.
+    ///
+    /// Series missing the tag are grouped under the empty string.
+    #[allow(clippy::too_many_arguments)] // a flat query surface is the point
+    pub fn aggregate_by(
+        &self,
+        name: &str,
+        filters: &[TagFilter],
+        group_tag: &str,
+        from: i64,
+        to: i64,
+        bucket_ms: i64,
+        within: Aggregation,
+        across: Aggregation,
+    ) -> Result<Vec<(String, Vec<Sample>)>> {
+        let selected = self.select(name, filters, from, to)?;
+        let mut groups: HashMap<String, Vec<Vec<Sample>>> = HashMap::new();
+        for (key, samples) in selected {
+            let group = key.tag(group_tag).unwrap_or("").to_string();
+            groups.entry(group).or_default().push(samples);
+        }
+        let mut out: Vec<(String, Vec<Sample>)> = groups
+            .into_iter()
+            .map(|(g, series)| (g, combine(&series, bucket_ms, within, across)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Down-samples one exact series.
+    pub fn read_bucketed(
+        &self,
+        key: &SeriesKey,
+        from: i64,
+        to: i64,
+        bucket_ms: i64,
+        agg: Aggregation,
+    ) -> Result<Vec<Sample>> {
+        Ok(bucketed(&self.read(key, from, to)?, bucket_ms, agg))
+    }
+
+    /// Pooled summary statistics of a metric's values across matching
+    /// series in `[from, to]` — what the paper's statistics-summary
+    /// traffic model consumes. Returns `None` when nothing matches.
+    pub fn summary(
+        &self,
+        name: &str,
+        filters: &[TagFilter],
+        from: i64,
+        to: i64,
+    ) -> Result<Option<crate::query::Summary>> {
+        let rows = self.select(name, filters, from, to)?;
+        Ok(crate::query::Summary::of(
+            rows.iter()
+                .flat_map(|(_, samples)| samples.iter().map(|s| s.value)),
+        ))
+    }
+
+    /// Latest timestamp observed for a metric across matching series.
+    pub fn latest_ts(&self, name: &str, filters: &[TagFilter]) -> Option<i64> {
+        let ids = self.catalog.read().select(name, filters);
+        let map = self.series.read();
+        ids.iter()
+            .filter_map(|id| map.get(id).and_then(|s| s.read().latest_ts()))
+            .max()
+    }
+
+    /// Distinct values of `tag` on series of metric `name`.
+    pub fn tag_values(&self, name: &str, tag: &str) -> Vec<String> {
+        self.catalog.read().tag_values(name, tag)
+    }
+
+    /// All metric names seen so far.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.catalog
+            .read()
+            .names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// Applies a retention cutoff to every series (see
+    /// [`crate::retention::RetentionPolicy`]). Returns total dropped samples.
+    pub fn truncate_before(&self, cutoff: i64) -> Result<usize> {
+        let map = self.series.read();
+        let mut dropped = 0;
+        for series in map.values() {
+            dropped += series.write().truncate_before(cutoff)?;
+        }
+        Ok(dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+
+    fn key(component: &str, instance: u32) -> SeriesKey {
+        SeriesKey::new("emit-count")
+            .with_tag("topology", "wc")
+            .with_tag("component", component)
+            .with_tag("instance", instance.to_string())
+    }
+
+    #[test]
+    fn write_then_read_exact_key() {
+        let db = MetricsDb::new();
+        db.write(&key("splitter", 0), 0, 5.0);
+        db.write(&key("splitter", 0), 60_000, 7.0);
+        let samples = db.read(&key("splitter", 0), 0, i64::MAX).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].value, 7.0);
+    }
+
+    #[test]
+    fn read_unknown_key_errors() {
+        let db = MetricsDb::new();
+        assert!(matches!(
+            db.read(&key("splitter", 0), 0, 1),
+            Err(Error::SeriesNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn select_filters_by_tag() {
+        let db = MetricsDb::new();
+        for i in 0..3 {
+            db.write(&key("splitter", i), 0, f64::from(i));
+            db.write(&key("counter", i), 0, f64::from(i) * 10.0);
+        }
+        let rows = db
+            .select(
+                "emit-count",
+                &[TagFilter::eq("component", "counter")],
+                0,
+                10,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows
+            .iter()
+            .all(|(k, _)| k.tag("component") == Some("counter")));
+    }
+
+    #[test]
+    fn aggregate_sums_across_instances() {
+        let db = MetricsDb::new();
+        for i in 0..4u32 {
+            db.write_batch(
+                &key("splitter", i),
+                (0..3).map(|m| Sample::new(m * 60_000, 100.0)),
+            );
+        }
+        let agg = db
+            .aggregate(
+                "emit-count",
+                &[TagFilter::eq("component", "splitter")],
+                0,
+                i64::MAX,
+                60_000,
+                Aggregation::Sum,
+                Aggregation::Sum,
+            )
+            .unwrap();
+        assert_eq!(agg.len(), 3);
+        assert!(agg.iter().all(|s| (s.value - 400.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn aggregate_by_groups_per_instance() {
+        let db = MetricsDb::new();
+        for i in 0..2u32 {
+            db.write(&key("splitter", i), 0, f64::from(i + 1));
+        }
+        let groups = db
+            .aggregate_by(
+                "emit-count",
+                &[],
+                "instance",
+                0,
+                i64::MAX,
+                60_000,
+                Aggregation::Sum,
+                Aggregation::Sum,
+            )
+            .unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "0");
+        assert_eq!(groups[0].1[0].value, 1.0);
+        assert_eq!(groups[1].0, "1");
+        assert_eq!(groups[1].1[0].value, 2.0);
+    }
+
+    #[test]
+    fn latest_ts_across_series() {
+        let db = MetricsDb::new();
+        db.write(&key("splitter", 0), 120_000, 1.0);
+        db.write(&key("splitter", 1), 300_000, 1.0);
+        assert_eq!(db.latest_ts("emit-count", &[]), Some(300_000));
+        assert_eq!(db.latest_ts("missing", &[]), None);
+    }
+
+    #[test]
+    fn truncation_applies_to_all_series() {
+        let db = MetricsDb::new();
+        for i in 0..2u32 {
+            db.write_batch(
+                &key("splitter", i),
+                (0..10).map(|m| Sample::new(m * 60_000, 1.0)),
+            );
+        }
+        let dropped = db.truncate_before(5 * 60_000).unwrap();
+        assert_eq!(dropped, 10);
+        assert_eq!(db.sample_count(), 10);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_samples() {
+        let db = StdArc::new(MetricsDb::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let db = StdArc::clone(&db);
+            handles.push(thread::spawn(move || {
+                for m in 0..250i64 {
+                    db.write(&key("splitter", t), m * 60_000, m as f64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.sample_count(), 8 * 250);
+        assert_eq!(db.series_count(), 8);
+    }
+
+    #[test]
+    fn concurrent_read_write_same_series() {
+        let db = StdArc::new(MetricsDb::new());
+        let k = key("splitter", 0);
+        db.write(&k, 0, 0.0);
+        let writer = {
+            let db = StdArc::clone(&db);
+            let k = k.clone();
+            thread::spawn(move || {
+                for m in 1..2000i64 {
+                    db.write(&k, m * 1_000, m as f64);
+                }
+            })
+        };
+        for _ in 0..100 {
+            let samples = db.read(&k, 0, i64::MAX).unwrap();
+            assert!(samples.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+        writer.join().unwrap();
+        assert_eq!(db.read(&k, 0, i64::MAX).unwrap().len(), 2000);
+    }
+
+    #[test]
+    fn summary_pools_matching_series() {
+        let db = MetricsDb::new();
+        for i in 0..4u32 {
+            db.write(&key("splitter", i), 0, f64::from(i + 1));
+            db.write(&key("splitter", i), 60_000, f64::from(i + 1) * 10.0);
+        }
+        let s = db
+            .summary(
+                "emit-count",
+                &[TagFilter::eq("component", "splitter")],
+                0,
+                i64::MAX,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 40.0);
+        // Window restriction.
+        let s = db.summary("emit-count", &[], 0, 0).unwrap().unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 4.0);
+        // No match.
+        assert!(db.summary("ghost", &[], 0, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn metric_names_listing() {
+        let db = MetricsDb::new();
+        db.write(&SeriesKey::new("a"), 0, 1.0);
+        db.write(&SeriesKey::new("b"), 0, 1.0);
+        assert_eq!(db.metric_names(), vec!["a", "b"]);
+    }
+}

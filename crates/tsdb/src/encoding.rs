@@ -1,0 +1,488 @@
+//! Gorilla-style compression for sealed series chunks.
+//!
+//! Sealed chunks are stored using the scheme from Facebook's Gorilla paper
+//! ("Gorilla: A Fast, Scalable, In-Memory Time Series Database", VLDB 2015),
+//! which Twitter-scale metrics stores such as Cuckoo also build on:
+//!
+//! * **Timestamps** are stored as a delta-of-delta: the first timestamp is a
+//!   full 64-bit value, the first delta is a zig-zag encoded 64-bit varint,
+//!   and every following delta-of-delta picks the smallest of five bit
+//!   windows (`0`, 7, 9, 12 or 64 bits).
+//! * **Values** are XORed with their predecessor. A zero XOR costs one bit;
+//!   otherwise the meaningful bits are stored, reusing the previous
+//!   leading/length window when it still fits.
+//!
+//! Per-minute Heron metrics have near-constant timestamp deltas and slowly
+//! varying values, so this encoding typically compresses chunks by an order
+//! of magnitude versus raw `(i64, f64)` pairs.
+
+use crate::error::{Error, Result};
+use crate::series::Sample;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Append-only bit cursor over a growable byte buffer.
+#[derive(Debug, Default)]
+struct BitWriter {
+    buf: BytesMut,
+    /// Bits already used in the final byte (0..=7). 0 means the last byte is
+    /// full (or the buffer is empty).
+    used: u8,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        Self {
+            buf: BytesMut::new(),
+            used: 0,
+        }
+    }
+
+    fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.put_u8(0);
+            self.used = 8;
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (self.used - 1);
+        }
+        self.used -= 1;
+    }
+
+    /// Writes the low `count` bits of `value`, most significant first.
+    fn write_bits(&mut self, value: u64, count: u8) {
+        debug_assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Bit cursor for reading back what [`BitWriter`] produced.
+#[derive(Debug)]
+struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit position from the start of the buffer.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn read_bit(&mut self) -> Result<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(Error::CorruptChunk("bit stream exhausted".into()));
+        }
+        let offset = 7 - (self.pos % 8) as u8;
+        self.pos += 1;
+        Ok((self.buf[byte] >> offset) & 1 == 1)
+    }
+
+    fn read_bits(&mut self, count: u8) -> Result<u64> {
+        let mut out = 0u64;
+        for _ in 0..count {
+            out = (out << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(out)
+    }
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Compressed representation of a run of samples.
+///
+/// The sample count is stored alongside the bit stream so decoding does not
+/// need a terminator symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedBlock {
+    /// Number of samples encoded in `bits`.
+    pub count: u32,
+    /// Gorilla bit stream.
+    pub bits: Bytes,
+}
+
+impl CompressedBlock {
+    /// Size of the encoded payload in bytes (excluding the count field).
+    pub fn payload_len(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Encodes `samples` (which must be non-empty) into a Gorilla bit stream.
+pub fn compress(samples: &[Sample]) -> CompressedBlock {
+    let mut w = BitWriter::new();
+    let mut prev_ts = 0i64;
+    let mut prev_delta = 0i64;
+    let mut prev_bits = 0u64;
+    let mut prev_leading = 255u8; // 255 => no previous window
+    let mut prev_len = 0u8;
+
+    for (i, s) in samples.iter().enumerate() {
+        // --- timestamp ---
+        match i {
+            0 => {
+                w.write_bits(s.ts as u64, 64);
+                prev_ts = s.ts;
+            }
+            1 => {
+                let delta = s.ts - prev_ts;
+                write_varint(&mut w, zigzag_encode(delta));
+                prev_delta = delta;
+                prev_ts = s.ts;
+            }
+            _ => {
+                let delta = s.ts - prev_ts;
+                let dod = delta - prev_delta;
+                match dod {
+                    0 => w.write_bit(false),
+                    -63..=64 => {
+                        w.write_bits(0b10, 2);
+                        w.write_bits((dod + 63) as u64, 7);
+                    }
+                    -255..=256 => {
+                        w.write_bits(0b110, 3);
+                        w.write_bits((dod + 255) as u64, 9);
+                    }
+                    -2047..=2048 => {
+                        w.write_bits(0b1110, 4);
+                        w.write_bits((dod + 2047) as u64, 12);
+                    }
+                    _ => {
+                        w.write_bits(0b1111, 4);
+                        w.write_bits(dod as u64, 64);
+                    }
+                }
+                prev_delta = delta;
+                prev_ts = s.ts;
+            }
+        }
+
+        // --- value ---
+        let bits = s.value.to_bits();
+        if i == 0 {
+            w.write_bits(bits, 64);
+        } else {
+            let xor = bits ^ prev_bits;
+            if xor == 0 {
+                w.write_bit(false);
+            } else {
+                w.write_bit(true);
+                let leading = (xor.leading_zeros() as u8).min(31);
+                let trailing = xor.trailing_zeros() as u8;
+                let len = 64 - leading - trailing;
+                // Reuse is only sound if the new meaningful bits fit entirely
+                // inside the previous [prev_leading, prev_leading + prev_len)
+                // window, i.e. both the leading AND trailing margins cover it.
+                if prev_leading != 255
+                    && leading >= prev_leading
+                    && trailing >= 64 - prev_leading - prev_len
+                {
+                    // Reuse the previous window.
+                    w.write_bit(false);
+                    w.write_bits(xor >> (64 - prev_leading - prev_len), prev_len);
+                } else {
+                    w.write_bit(true);
+                    w.write_bits(u64::from(leading), 5);
+                    // Store len - 1 in 6 bits so a full 64-bit window fits.
+                    w.write_bits(u64::from(len - 1), 6);
+                    w.write_bits(xor >> trailing, len);
+                    prev_leading = leading;
+                    prev_len = len;
+                }
+            }
+        }
+        prev_bits = bits;
+    }
+
+    CompressedBlock {
+        count: samples.len() as u32,
+        bits: w.finish(),
+    }
+}
+
+/// Decodes a block produced by [`compress`].
+pub fn decompress(block: &CompressedBlock) -> Result<Vec<Sample>> {
+    let mut r = BitReader::new(&block.bits);
+    let mut out = Vec::with_capacity(block.count as usize);
+    let mut prev_ts = 0i64;
+    let mut prev_delta = 0i64;
+    let mut prev_bits = 0u64;
+    let mut prev_leading = 0u8;
+    let mut prev_len = 0u8;
+
+    for i in 0..block.count {
+        let ts = match i {
+            0 => {
+                prev_ts = r.read_bits(64)? as i64;
+                prev_ts
+            }
+            1 => {
+                prev_delta = zigzag_decode(read_varint(&mut r)?);
+                prev_ts += prev_delta;
+                prev_ts
+            }
+            _ => {
+                let dod = if !r.read_bit()? {
+                    0
+                } else if !r.read_bit()? {
+                    r.read_bits(7)? as i64 - 63
+                } else if !r.read_bit()? {
+                    r.read_bits(9)? as i64 - 255
+                } else if !r.read_bit()? {
+                    r.read_bits(12)? as i64 - 2047
+                } else {
+                    r.read_bits(64)? as i64
+                };
+                prev_delta += dod;
+                prev_ts += prev_delta;
+                prev_ts
+            }
+        };
+
+        let bits = if i == 0 {
+            r.read_bits(64)?
+        } else if !r.read_bit()? {
+            prev_bits
+        } else if !r.read_bit()? {
+            let meaningful = r.read_bits(prev_len)?;
+            prev_bits ^ (meaningful << (64 - prev_leading - prev_len))
+        } else {
+            let leading = r.read_bits(5)? as u8;
+            let len = r.read_bits(6)? as u8 + 1;
+            let meaningful = r.read_bits(len)?;
+            prev_leading = leading;
+            prev_len = len;
+            let trailing = 64 - leading - len;
+            prev_bits ^ (meaningful << trailing)
+        };
+        prev_bits = bits;
+        out.push(Sample {
+            ts,
+            value: f64::from_bits(bits),
+        });
+    }
+    Ok(out)
+}
+
+/// LEB128-flavoured varint over the bit stream (7 data bits per group).
+fn write_varint(w: &mut BitWriter, mut v: u64) {
+    loop {
+        let group = v & 0x7f;
+        v >>= 7;
+        w.write_bit(v != 0);
+        w.write_bits(group, 7);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+fn read_varint(r: &mut BitReader<'_>) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let more = r.read_bit()?;
+        let group = r.read_bits(7)?;
+        out |= group
+            .checked_shl(shift)
+            .ok_or_else(|| Error::CorruptChunk("varint overflow".into()))?;
+        if !more {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::CorruptChunk("varint too long".into()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(samples: &[Sample]) {
+        let block = compress(samples);
+        let back = decompress(&block).expect("decode");
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            assert_eq!(a.ts, b.ts);
+            assert!(
+                (a.value == b.value) || (a.value.is_nan() && b.value.is_nan()),
+                "value mismatch: {} vs {}",
+                a.value,
+                b.value
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_sample() {
+        roundtrip(&[Sample {
+            ts: 1_700_000_000_000,
+            value: 42.5,
+        }]);
+    }
+
+    #[test]
+    fn roundtrip_two_samples() {
+        roundtrip(&[
+            Sample {
+                ts: 1_700_000_000_000,
+                value: 42.5,
+            },
+            Sample {
+                ts: 1_700_000_060_000,
+                value: 42.5,
+            },
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_regular_minute_cadence() {
+        let samples: Vec<Sample> = (0..500)
+            .map(|i| Sample {
+                ts: 1_700_000_000_000 + i * 60_000,
+                value: 1000.0 + (i % 17) as f64,
+            })
+            .collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn roundtrip_irregular_timestamps() {
+        let mut ts = 0i64;
+        let samples: Vec<Sample> = (0..300)
+            .map(|i: i64| {
+                ts += 60_000 + (i * i * 37) % 5_000 - 2_500;
+                Sample {
+                    ts,
+                    value: (i as f64).sin() * 1e6,
+                }
+            })
+            .collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn roundtrip_extreme_values() {
+        roundtrip(&[
+            Sample { ts: 0, value: 0.0 },
+            Sample {
+                ts: 1,
+                value: f64::MAX,
+            },
+            Sample {
+                ts: 2,
+                value: f64::MIN,
+            },
+            Sample {
+                ts: 3,
+                value: f64::MIN_POSITIVE,
+            },
+            Sample { ts: 4, value: -0.0 },
+            Sample {
+                ts: 5,
+                value: f64::INFINITY,
+            },
+            Sample {
+                ts: 6,
+                value: f64::NEG_INFINITY,
+            },
+            Sample {
+                ts: 7,
+                value: f64::NAN,
+            },
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_negative_and_backward_timestamps() {
+        // The format does not require monotonic timestamps.
+        roundtrip(&[
+            Sample {
+                ts: -5_000,
+                value: 1.0,
+            },
+            Sample {
+                ts: 1_000,
+                value: 2.0,
+            },
+            Sample {
+                ts: 500,
+                value: 3.0,
+            },
+            Sample {
+                ts: i64::MAX / 2,
+                value: 4.0,
+            },
+        ]);
+    }
+
+    #[test]
+    fn constant_series_compresses_well() {
+        let samples: Vec<Sample> = (0..1000)
+            .map(|i| Sample {
+                ts: i * 60_000,
+                value: 7.63,
+            })
+            .collect();
+        let block = compress(&samples);
+        let raw = samples.len() * 16;
+        assert!(
+            block.payload_len() * 8 < raw,
+            "expected >8x compression, got {} of {raw}",
+            block.payload_len()
+        );
+    }
+
+    #[test]
+    fn truncated_block_is_an_error() {
+        let samples: Vec<Sample> = (0..50)
+            .map(|i| Sample {
+                ts: i * 60_000,
+                value: i as f64 * 3.7,
+            })
+            .collect();
+        let block = compress(&samples);
+        let cut = CompressedBlock {
+            count: block.count,
+            bits: block.bits.slice(0..block.bits.len() / 2),
+        };
+        assert!(matches!(decompress(&cut), Err(Error::CorruptChunk(_))));
+    }
+
+    #[test]
+    fn zigzag_is_involutive() {
+        for v in [0i64, 1, -1, 63, -63, i64::MAX, i64::MIN, 60_000] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn bit_writer_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bit(true);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 7);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(7).unwrap(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type shared by all tsdb operations.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the time-series database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A query referenced a metric name with no matching series.
+    SeriesNotFound(String),
+    /// A compressed chunk could not be decoded (truncated or corrupt bytes).
+    CorruptChunk(String),
+    /// An operation received an invalid argument (e.g. a zero bucket width).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SeriesNotFound(name) => write!(f, "no series found for metric {name:?}"),
+            Error::CorruptChunk(msg) => write!(f, "corrupt compressed chunk: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::SeriesNotFound("emit-count".into());
+        assert!(e.to_string().contains("emit-count"));
+        let e = Error::CorruptChunk("short read".into());
+        assert!(e.to_string().contains("short read"));
+        let e = Error::InvalidArgument("bucket width must be > 0".into());
+        assert!(e.to_string().contains("bucket"));
+    }
+}

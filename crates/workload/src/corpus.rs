@@ -1,0 +1,246 @@
+//! Synthetic novel generator.
+//!
+//! The paper's spout "reads a line in from the fictional work *The Great
+//! Gatsby* as a sentence" and the measured instance output/input ratio —
+//! the average sentence length — is 7.63–7.64 words (paper Fig. 5). This
+//! module generates a deterministic corpus with the same two properties
+//! the models depend on:
+//!
+//! 1. mean sentence length ≈ 7.63 words (shifted-Poisson lengths), and
+//! 2. Zipf-distributed word frequencies (natural-language-like key skew
+//!    for fields-grouping experiments).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The calibrated mean sentence length (words per sentence).
+pub const MEAN_SENTENCE_WORDS: f64 = 7.63;
+
+/// Corpus configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Target mean words per sentence.
+    pub mean_sentence_words: f64,
+    /// Vocabulary size (distinct words).
+    pub vocab_size: u32,
+    /// Zipf exponent of word frequencies (≈1 for natural text).
+    pub zipf_exponent: f64,
+    /// RNG seed; the same seed yields the same corpus.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            mean_sentence_words: MEAN_SENTENCE_WORDS,
+            vocab_size: 6_000,
+            zipf_exponent: 1.0,
+            seed: 0x6A75B1,
+        }
+    }
+}
+
+/// A deterministic sentence generator.
+#[derive(Debug)]
+pub struct Corpus {
+    config: CorpusConfig,
+    rng: StdRng,
+    /// Cumulative Zipf distribution over word ids for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+}
+
+impl Corpus {
+    /// Creates a corpus from a config.
+    pub fn new(config: CorpusConfig) -> Self {
+        assert!(
+            config.mean_sentence_words >= 1.0,
+            "sentences have at least one word"
+        );
+        assert!(config.vocab_size >= 1, "vocabulary must be non-empty");
+        let mut cumulative = Vec::with_capacity(config.vocab_size as usize);
+        let mut total = 0.0;
+        for k in 0..config.vocab_size {
+            total += 1.0 / f64::from(k + 1).powf(config.zipf_exponent);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            cumulative,
+        }
+    }
+
+    /// Creates a corpus with default (paper-calibrated) settings.
+    pub fn with_defaults() -> Self {
+        Self::new(CorpusConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Draws the next sentence as a vector of word ids.
+    ///
+    /// Lengths follow `1 + Poisson(mean - 1)` so the minimum is one word
+    /// and the mean matches the configured value.
+    pub fn next_sentence(&mut self) -> Vec<u32> {
+        let lambda = self.config.mean_sentence_words - 1.0;
+        let len = 1 + poisson(&mut self.rng, lambda);
+        (0..len).map(|_| self.next_word()).collect()
+    }
+
+    /// Draws one word id from the Zipf distribution.
+    pub fn next_word(&mut self) -> u32 {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        self.cumulative.partition_point(|c| *c < u) as u32
+    }
+
+    /// Renders a sentence of word ids as text (`w<id>` tokens) — handy for
+    /// demos and examples.
+    pub fn render(words: &[u32]) -> String {
+        let mut out = String::with_capacity(words.len() * 5);
+        for (i, w) in words.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push('w');
+            out.push_str(&w.to_string());
+        }
+        out
+    }
+
+    /// Empirical mean sentence length over `n` generated sentences — the
+    /// quantity the paper estimates as the instance I/O ratio.
+    pub fn measured_alpha(&mut self, n: usize) -> f64 {
+        assert!(n > 0, "need at least one sentence");
+        let total: usize = (0..n).map(|_| self.next_sentence().len()).sum();
+        total as f64 / n as f64
+    }
+
+    /// The relative frequency of each word id (analytically, from the
+    /// Zipf weights) — the key distribution a fields grouping sees.
+    pub fn word_weights(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.cumulative
+            .iter()
+            .map(|c| {
+                let w = c - prev;
+                prev = *c;
+                w
+            })
+            .collect()
+    }
+}
+
+/// Knuth's Poisson sampler (λ is small here, so this is fast enough).
+fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let threshold = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random_range(0.0..1.0f64);
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numerically impossible for our λ, but bounded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_sentence_length_matches_calibration() {
+        let mut c = Corpus::with_defaults();
+        let alpha = c.measured_alpha(50_000);
+        assert!(
+            (alpha - MEAN_SENTENCE_WORDS).abs() < 0.05,
+            "measured alpha {alpha} should be ~{MEAN_SENTENCE_WORDS}"
+        );
+    }
+
+    #[test]
+    fn sentences_have_at_least_one_word() {
+        let mut c = Corpus::new(CorpusConfig {
+            mean_sentence_words: 1.0,
+            ..CorpusConfig::default()
+        });
+        for _ in 0..1000 {
+            assert!(!c.next_sentence().is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Corpus::with_defaults();
+        let mut b = Corpus::with_defaults();
+        for _ in 0..100 {
+            assert_eq!(a.next_sentence(), b.next_sentence());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Corpus::new(CorpusConfig {
+            seed: 1,
+            ..CorpusConfig::default()
+        });
+        let mut b = Corpus::new(CorpusConfig {
+            seed: 2,
+            ..CorpusConfig::default()
+        });
+        let same = (0..50)
+            .filter(|_| a.next_sentence() == b.next_sentence())
+            .count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn word_frequencies_are_zipf_skewed() {
+        let mut c = Corpus::with_defaults();
+        let mut counts = vec![0usize; c.config().vocab_size as usize];
+        for _ in 0..200_000 {
+            counts[c.next_word() as usize] += 1;
+        }
+        // Word 0 should be roughly twice as common as word 1 (1/1 vs 1/2).
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.25, "zipf head ratio {ratio}");
+        // And vastly more common than a deep-tail word.
+        assert!(counts[0] > counts[4000] * 50);
+    }
+
+    #[test]
+    fn word_weights_sum_to_one_and_decrease() {
+        let c = Corpus::with_defaults();
+        let w = c.word_weights();
+        assert_eq!(w.len(), 6000);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn render_produces_tokens() {
+        assert_eq!(Corpus::render(&[0, 42, 7]), "w0 w42 w7");
+        assert_eq!(Corpus::render(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn rejects_sub_one_mean() {
+        Corpus::new(CorpusConfig {
+            mean_sentence_words: 0.5,
+            ..CorpusConfig::default()
+        });
+    }
+}

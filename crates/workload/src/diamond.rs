@@ -1,0 +1,177 @@
+//! A diamond-shaped analytics topology.
+//!
+//! WordCount (paper Fig. 1) is a chain; this topology exercises the parts
+//! of the model the chain cannot: fan-out (one component feeding two),
+//! fan-in (two components feeding one) and multiple source→sink paths —
+//! the "multiple sub-critical path candidates" situation of §IV-B3.
+//!
+//! ```text
+//!            ┌──> geo ────┐
+//! events ────┤            ├──> aggregator
+//!            └──> device ─┘
+//! ```
+//!
+//! The `events` spout emits click events; the `enrich` bolt fans each
+//! event out to both the `geo` and `device` enrichers (its two output
+//! streams), which both feed the `aggregator` sink.
+
+use heron_sim::grouping::Grouping;
+use heron_sim::profiles::RateProfile;
+use heron_sim::topology::{Topology, TopologyBuilder, WorkProfile};
+
+/// Per-instance capacity of the enrich bolt (events/min at 1 core).
+pub const ENRICH_CAPACITY_PER_MIN: f64 = 20.0e6;
+
+/// Per-instance capacity of each enricher branch (events/min at 1 core).
+pub const BRANCH_CAPACITY_PER_MIN: f64 = 15.0e6;
+
+/// Per-instance capacity of the aggregator (records/min at 1 core).
+pub const AGGREGATOR_CAPACITY_PER_MIN: f64 = 40.0e6;
+
+/// Bytes per event tuple.
+pub const EVENT_BYTES: u32 = 120;
+
+/// Parallelism configuration of the diamond topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiamondParallelism {
+    /// Event spout instances.
+    pub events: u32,
+    /// Enrich (fan-out) bolt instances.
+    pub enrich: u32,
+    /// Geo-branch instances.
+    pub geo: u32,
+    /// Device-branch instances.
+    pub device: u32,
+    /// Aggregator (fan-in sink) instances.
+    pub aggregator: u32,
+}
+
+impl Default for DiamondParallelism {
+    fn default() -> Self {
+        Self {
+            events: 4,
+            enrich: 2,
+            geo: 2,
+            device: 2,
+            aggregator: 2,
+        }
+    }
+}
+
+/// Builds the diamond topology at the given offered rate (events/min).
+///
+/// The enrich bolt has two output streams with the same per-stream
+/// selectivity of 1 (every event goes to both branches); each branch
+/// keeps selectivity 1; the aggregator receives the union.
+pub fn diamond_topology(parallelism: DiamondParallelism, rate_per_min: f64) -> Topology {
+    TopologyBuilder::new("diamond")
+        .spout(
+            "events",
+            parallelism.events,
+            RateProfile::constant_per_min(rate_per_min),
+            EVENT_BYTES,
+        )
+        .bolt(
+            "enrich",
+            parallelism.enrich,
+            WorkProfile::new(ENRICH_CAPACITY_PER_MIN / 60.0, 1.0, EVENT_BYTES),
+        )
+        .bolt(
+            "geo",
+            parallelism.geo,
+            WorkProfile::new(BRANCH_CAPACITY_PER_MIN / 60.0, 1.0, 48),
+        )
+        .bolt(
+            "device",
+            parallelism.device,
+            WorkProfile::new(BRANCH_CAPACITY_PER_MIN / 60.0, 1.0, 32),
+        )
+        .bolt(
+            "aggregator",
+            parallelism.aggregator,
+            WorkProfile::new(AGGREGATOR_CAPACITY_PER_MIN / 60.0, 1.0, 64),
+        )
+        .edge("events", "enrich", Grouping::shuffle())
+        .edge("enrich", "geo", Grouping::shuffle())
+        .edge("enrich", "device", Grouping::fields_uniform())
+        .edge("geo", "aggregator", Grouping::shuffle())
+        .edge("device", "aggregator", Grouping::shuffle())
+        .build()
+        .expect("the diamond topology is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caladrius_tsdb::Aggregation;
+    use heron_sim::engine::{SimConfig, Simulation};
+    use heron_sim::metrics::metric;
+
+    fn mean(samples: &[caladrius_tsdb::Sample]) -> f64 {
+        Aggregation::Mean.apply(samples.iter().map(|s| s.value))
+    }
+
+    #[test]
+    fn builds_with_two_paths() {
+        let t = diamond_topology(DiamondParallelism::default(), 1.0e6);
+        assert_eq!(t.components.len(), 5);
+        assert_eq!(t.edges.len(), 5);
+        assert_eq!(t.total_instances(), 12);
+    }
+
+    #[test]
+    fn fan_out_duplicates_and_fan_in_sums() {
+        let rate = 4.0e6;
+        let mut sim = Simulation::new(
+            diamond_topology(DiamondParallelism::default(), rate),
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.warmup_minutes(5);
+        let metrics = sim.run_minutes(5);
+        let input =
+            |c: &str| mean(&metrics.component_sum(metric::EXECUTE_COUNT, Some(c), 0, i64::MAX));
+        // Every event reaches both branches...
+        assert!((input("geo") - rate).abs() / rate < 0.01);
+        assert!((input("device") - rate).abs() / rate < 0.01);
+        // ...and the aggregator sees the union: 2x the event rate.
+        assert!((input("aggregator") - 2.0 * rate).abs() / (2.0 * rate) < 0.01);
+    }
+
+    #[test]
+    fn branch_saturation_caps_its_path_only() {
+        // Offered 35 M/min: each branch (2 x 15 M = 30 M) saturates, the
+        // enrich bolt (2 x 20 M = 40 M) does not... but branch saturation
+        // triggers topology-wide backpressure, so both observations matter:
+        // the branches cap at 30 M and the aggregator at ~60 M.
+        let mut sim = Simulation::new(
+            diamond_topology(
+                DiamondParallelism {
+                    aggregator: 4,
+                    ..Default::default()
+                },
+                35.0e6,
+            ),
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.warmup_minutes(40);
+        let metrics = sim.run_minutes(10);
+        let input =
+            |c: &str| mean(&metrics.component_sum(metric::EXECUTE_COUNT, Some(c), 0, i64::MAX));
+        let branch_cap = 2.0 * BRANCH_CAPACITY_PER_MIN;
+        assert!(
+            (input("geo") - branch_cap).abs() / branch_cap < 0.06,
+            "geo caps at {branch_cap}, got {}",
+            input("geo")
+        );
+        let bp = mean(&metrics.component_sum(metric::BACKPRESSURE_TIME, None, 0, i64::MAX));
+        assert!(bp > 0.0, "branch saturation must register backpressure");
+    }
+}

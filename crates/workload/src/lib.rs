@@ -1,0 +1,26 @@
+//! # caladrius-workload
+//!
+//! Workload generators for the Caladrius evaluation:
+//!
+//! * [`corpus`] — a deterministic synthetic "novel" calibrated to the
+//!   text statistics the paper measures on *The Great Gatsby* (mean
+//!   sentence length ≈ 7.63 words, Zipf-distributed word frequencies).
+//!   The real book is not shipped; the models only observe the
+//!   words-per-sentence ratio (the I/O coefficient α) and the key skew,
+//!   both of which the generator reproduces.
+//! * [`traffic`] — source-traffic series builders (diurnal + weekly
+//!   seasonality, steps, ramps, outliers, missing windows) used by the
+//!   traffic-forecast experiments, plus conversion into simulator rate
+//!   profiles.
+//! * [`wordcount`] — the 3-stage Sentence-Word-Count topology of paper
+//!   Fig. 1 with the calibration constants used across the benchmark
+//!   suite.
+//! * [`diamond`] — a fan-out/fan-in analytics topology exercising the
+//!   multi-path parts of the model that the WordCount chain cannot.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diamond;
+pub mod traffic;
+pub mod wordcount;

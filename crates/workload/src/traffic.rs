@@ -1,0 +1,227 @@
+//! Source-traffic series generators.
+//!
+//! The paper motivates its Prophet-based forecast with the observation
+//! that "a large percentage of topologies in the field show strong
+//! seasonality" (§IV-A). These builders produce per-minute traffic series
+//! with diurnal and weekly structure, plus the pathologies Prophet must
+//! tolerate: trend shifts, outliers and missing data.
+
+use heron_sim::profiles::{hash64, RateProfile};
+use std::f64::consts::TAU;
+
+/// One observation of a traffic series: timestamp (ms) and tuples/minute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficPoint {
+    /// Milliseconds since series start.
+    pub ts: i64,
+    /// Traffic level in tuples per minute.
+    pub tuples_per_min: f64,
+}
+
+/// Parameters for the seasonal generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeasonalTraffic {
+    /// Mean level in tuples/minute.
+    pub base: f64,
+    /// Relative daily-cycle amplitude (0.4 = ±40 %).
+    pub daily_amplitude: f64,
+    /// Relative weekend level shift (−0.3 = 30 % lower Sat/Sun).
+    pub weekend_delta: f64,
+    /// Linear growth per day, relative to base (0.01 = +1 %/day).
+    pub growth_per_day: f64,
+    /// Relative white-noise amplitude per observation.
+    pub noise: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for SeasonalTraffic {
+    fn default() -> Self {
+        Self {
+            base: 6.0e6,
+            daily_amplitude: 0.35,
+            weekend_delta: -0.25,
+            growth_per_day: 0.0,
+            noise: 0.02,
+            seed: 0x7AFF1C,
+        }
+    }
+}
+
+impl SeasonalTraffic {
+    /// Generates `days` days of traffic at `step_minutes` resolution.
+    pub fn generate(&self, days: u32, step_minutes: u32) -> Vec<TrafficPoint> {
+        assert!(step_minutes > 0, "step must be positive");
+        let total_minutes = u64::from(days) * 1440;
+        let mut out = Vec::with_capacity((total_minutes / u64::from(step_minutes)) as usize);
+        let mut minute = 0u64;
+        while minute < total_minutes {
+            let day_frac = minute as f64 / 1440.0;
+            let daily = self.daily_amplitude * (TAU * day_frac).sin();
+            let weekday = (minute / 1440) % 7;
+            let weekend = if weekday >= 5 {
+                self.weekend_delta
+            } else {
+                0.0
+            };
+            let growth = self.growth_per_day * day_frac;
+            let h = hash64(minute ^ self.seed.rotate_left(11));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let level = self.base * (1.0 + daily + weekend + growth + self.noise * 2.0 * unit);
+            out.push(TrafficPoint {
+                ts: (minute * 60_000) as i64,
+                tuples_per_min: level.max(0.0),
+            });
+            minute += u64::from(step_minutes);
+        }
+        out
+    }
+}
+
+/// Replaces a fraction of points with large spikes (outliers).
+pub fn with_outliers(
+    mut series: Vec<TrafficPoint>,
+    fraction: f64,
+    magnitude: f64,
+    seed: u64,
+) -> Vec<TrafficPoint> {
+    let threshold = (fraction.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    for (i, p) in series.iter_mut().enumerate() {
+        if hash64(i as u64 ^ seed) < threshold {
+            p.tuples_per_min *= magnitude;
+        }
+    }
+    series
+}
+
+/// Drops a fraction of points (missing metrics windows).
+pub fn with_gaps(series: Vec<TrafficPoint>, fraction: f64, seed: u64) -> Vec<TrafficPoint> {
+    let threshold = (fraction.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    series
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| hash64(*i as u64 ^ seed.rotate_left(5)) >= threshold)
+        .map(|(_, p)| p)
+        .collect()
+}
+
+/// Converts a traffic series into a simulator [`RateProfile`] stepping at
+/// each observation (rates converted from tuples/min to tuples/sec).
+pub fn to_rate_profile(series: &[TrafficPoint]) -> RateProfile {
+    let steps = series
+        .iter()
+        .map(|p| ((p.ts / 1000) as u64, p.tuples_per_min / 60.0))
+        .collect();
+    RateProfile::Steps {
+        initial: 0.0,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_length() {
+        let series = SeasonalTraffic::default().generate(7, 10);
+        assert_eq!(series.len(), 7 * 1440 / 10);
+        assert_eq!(series[0].ts, 0);
+        assert_eq!(series[1].ts, 600_000);
+    }
+
+    #[test]
+    fn daily_cycle_visible() {
+        let cfg = SeasonalTraffic {
+            noise: 0.0,
+            weekend_delta: 0.0,
+            ..Default::default()
+        };
+        let series = cfg.generate(1, 1);
+        let peak = series[360].tuples_per_min; // 6h = quarter day
+        let trough = series[1080].tuples_per_min; // 18h
+        assert!(peak > cfg.base * 1.3);
+        assert!(trough < cfg.base * 0.7);
+    }
+
+    #[test]
+    fn weekend_shift_applies() {
+        let cfg = SeasonalTraffic {
+            noise: 0.0,
+            daily_amplitude: 0.0,
+            weekend_delta: -0.5,
+            ..Default::default()
+        };
+        let series = cfg.generate(7, 60);
+        let monday = series[0].tuples_per_min;
+        let saturday = series[5 * 24].tuples_per_min;
+        assert!((saturday / monday - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_trend_applies() {
+        let cfg = SeasonalTraffic {
+            noise: 0.0,
+            daily_amplitude: 0.0,
+            weekend_delta: 0.0,
+            growth_per_day: 0.1,
+            ..Default::default()
+        };
+        let series = cfg.generate(10, 1440);
+        assert!(series[9].tuples_per_min > series[0].tuples_per_min * 1.8);
+    }
+
+    #[test]
+    fn outliers_inflate_some_points() {
+        let base = SeasonalTraffic {
+            noise: 0.0,
+            ..Default::default()
+        }
+        .generate(1, 1);
+        let spiked = with_outliers(base.clone(), 0.05, 10.0, 3);
+        let changed = base
+            .iter()
+            .zip(&spiked)
+            .filter(|(a, b)| a.tuples_per_min != b.tuples_per_min)
+            .count();
+        assert!(
+            changed > 20 && changed < 200,
+            "~5% outliers, got {changed}/1440"
+        );
+        assert!(with_outliers(base.clone(), 0.0, 10.0, 3) == base);
+    }
+
+    #[test]
+    fn gaps_drop_some_points() {
+        let base = SeasonalTraffic::default().generate(1, 1);
+        let gappy = with_gaps(base.clone(), 0.3, 9);
+        let kept = gappy.len() as f64 / base.len() as f64;
+        assert!((kept - 0.7).abs() < 0.05, "kept fraction {kept}");
+        assert_eq!(with_gaps(base.clone(), 0.0, 9).len(), base.len());
+    }
+
+    #[test]
+    fn rate_profile_roundtrip() {
+        let series = vec![
+            TrafficPoint {
+                ts: 0,
+                tuples_per_min: 6000.0,
+            },
+            TrafficPoint {
+                ts: 60_000,
+                tuples_per_min: 12_000.0,
+            },
+        ];
+        let profile = to_rate_profile(&series);
+        assert!((profile.rate_at(0) - 100.0).abs() < 1e-9);
+        assert!((profile.rate_at(59) - 100.0).abs() < 1e-9);
+        assert!((profile.rate_at(60) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SeasonalTraffic::default().generate(2, 5);
+        let b = SeasonalTraffic::default().generate(2, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! The 3-stage Sentence-Word-Count evaluation topology (paper Fig. 1).
+//!
+//! `spout → (shuffle) → splitter → (fields) → counter`, with calibration
+//! constants chosen so the simulator reproduces the *shape* of the
+//! paper's measurements: the Splitter saturates near 11 M sentences/min
+//! per instance (the paper's SP), its I/O coefficient is ≈7.63 (the mean
+//! sentence length), and the Counter at parallelism 3 saturates well
+//! above the Fig. 4 sweep so it never interferes.
+
+use crate::corpus::MEAN_SENTENCE_WORDS;
+use heron_sim::grouping::Grouping;
+use heron_sim::profiles::RateProfile;
+use heron_sim::topology::{Topology, TopologyBuilder, WorkProfile};
+
+/// Per-instance Splitter capacity: ~11 M sentences/minute at 1 core —
+/// the paper's observed saturation point (Fig. 4).
+pub const SPLITTER_CAPACITY_PER_MIN: f64 = 11.0e6;
+
+/// Per-instance Counter capacity: 70 M words/minute at 1 core, placing
+/// the Counter component's p=3 saturation near 210 M words/min (the
+/// regime of paper Fig. 9).
+pub const COUNTER_CAPACITY_PER_MIN: f64 = 70.0e6;
+
+/// The Splitter's I/O coefficient — mean words per sentence.
+pub const ALPHA: f64 = MEAN_SENTENCE_WORDS;
+
+/// Bytes per sentence tuple.
+pub const SENTENCE_BYTES: u32 = 60;
+
+/// Bytes per word tuple.
+pub const WORD_BYTES: u32 = 8;
+
+/// Parallelism configuration of the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordCountParallelism {
+    /// Spout instances (paper §V-A default: 8).
+    pub spout: u32,
+    /// Splitter instances.
+    pub splitter: u32,
+    /// Counter instances.
+    pub counter: u32,
+}
+
+impl Default for WordCountParallelism {
+    fn default() -> Self {
+        // The single-component experiments (paper §V-B/V-C) use spout 8.
+        Self {
+            spout: 8,
+            splitter: 1,
+            counter: 3,
+        }
+    }
+}
+
+impl WordCountParallelism {
+    /// Paper Fig. 1's configuration, used in the critical-path experiment
+    /// (§V-D): spout 2, Splitter 2, Counter 4.
+    pub fn fig1() -> Self {
+        Self {
+            spout: 2,
+            splitter: 2,
+            counter: 4,
+        }
+    }
+}
+
+/// Builds the WordCount topology with the given offered source load.
+///
+/// `rate_per_min` is the topology-level offered rate in sentences/minute
+/// (split evenly across spout instances). Pass a custom `grouping` for
+/// the Splitter→Counter stream to study skewed keys; the default is the
+/// unbiased fields grouping of the paper's evaluation ("we observed the
+/// test dataset is unbiased").
+pub fn wordcount_topology(parallelism: WordCountParallelism, rate_per_min: f64) -> Topology {
+    wordcount_topology_with(
+        parallelism,
+        RateProfile::constant_per_min(rate_per_min),
+        None,
+    )
+}
+
+/// Full-control variant: arbitrary rate profile and optional
+/// Splitter→Counter grouping.
+pub fn wordcount_topology_with(
+    parallelism: WordCountParallelism,
+    profile: RateProfile,
+    counter_grouping: Option<Grouping>,
+) -> Topology {
+    TopologyBuilder::new("wordcount")
+        .spout("spout", parallelism.spout, profile, SENTENCE_BYTES)
+        .bolt(
+            "splitter",
+            parallelism.splitter,
+            WorkProfile::new(SPLITTER_CAPACITY_PER_MIN / 60.0, ALPHA, WORD_BYTES)
+                .with_gateway_overhead(0.002),
+        )
+        .bolt(
+            "counter",
+            parallelism.counter,
+            WorkProfile::new(COUNTER_CAPACITY_PER_MIN / 60.0, 1.0, 16),
+        )
+        .edge("spout", "splitter", Grouping::shuffle())
+        .edge(
+            "splitter",
+            "counter",
+            counter_grouping.unwrap_or_else(Grouping::fields_uniform),
+        )
+        .build()
+        .expect("the wordcount topology is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caladrius_tsdb::Aggregation;
+    use heron_sim::engine::{SimConfig, Simulation};
+    use heron_sim::metrics::metric;
+
+    fn quiet() -> SimConfig {
+        SimConfig {
+            metric_noise: 0.0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn mean(samples: &[caladrius_tsdb::Sample]) -> f64 {
+        Aggregation::Mean.apply(samples.iter().map(|s| s.value))
+    }
+
+    #[test]
+    fn builds_with_defaults() {
+        let t = wordcount_topology(WordCountParallelism::default(), 1.0e6);
+        assert_eq!(t.total_instances(), 12);
+        assert_eq!(t.component("splitter").unwrap().parallelism, 1);
+    }
+
+    #[test]
+    fn fig1_parallelisms() {
+        let p = WordCountParallelism::fig1();
+        assert_eq!((p.spout, p.splitter, p.counter), (2, 2, 4));
+    }
+
+    #[test]
+    fn below_sp_no_backpressure_alpha_holds() {
+        // 6 M sentences/min < SP of 11 M: the linear regime of Fig. 4.
+        let t = wordcount_topology(WordCountParallelism::default(), 6.0e6);
+        let mut sim = Simulation::new(t, quiet()).unwrap();
+        sim.warmup_minutes(3);
+        let m = sim.run_minutes(5);
+        let input = mean(&m.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+        let output = mean(&m.component_sum(metric::EMIT_COUNT, Some("splitter"), 0, i64::MAX));
+        assert!((input - 6.0e6).abs() / 6.0e6 < 0.01, "input {input}");
+        let alpha = output / input;
+        assert!((alpha - ALPHA).abs() < 0.05, "alpha {alpha}");
+        let bp = m.component_sum(metric::BACKPRESSURE_TIME, None, 0, i64::MAX);
+        assert!(bp.iter().all(|s| s.value == 0.0));
+    }
+
+    #[test]
+    fn above_sp_throughput_saturates() {
+        // 14 M/min offered against an 11 M/min splitter.
+        let t = wordcount_topology(WordCountParallelism::default(), 14.0e6);
+        let mut sim = Simulation::new(t, quiet()).unwrap();
+        sim.warmup_minutes(40);
+        let m = sim.run_minutes(20);
+        let input = mean(&m.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX));
+        assert!(
+            (input - SPLITTER_CAPACITY_PER_MIN).abs() / SPLITTER_CAPACITY_PER_MIN < 0.05,
+            "saturated input {input}"
+        );
+        let bp = mean(&m.component_sum(metric::BACKPRESSURE_TIME, Some("splitter"), 0, i64::MAX));
+        assert!(
+            bp > 40_000.0,
+            "expected bimodal high backpressure time, got {bp}"
+        );
+    }
+
+    #[test]
+    fn counter_not_a_bottleneck_in_fig4_sweep() {
+        // At the top of the Fig. 4 sweep (20 M/min offered), the counter
+        // sees at most SP * alpha ≈ 84 M words/min against a 210 M/min
+        // component capacity.
+        let t = wordcount_topology(WordCountParallelism::default(), 20.0e6);
+        let mut sim = Simulation::new(t, quiet()).unwrap();
+        sim.warmup_minutes(40);
+        let m = sim.run_minutes(10);
+        let counter_cpu = mean(&m.component_mean(metric::CPU_LOAD, "counter", 0, i64::MAX));
+        assert!(
+            counter_cpu < 0.6,
+            "counter must stay unsaturated, cpu {counter_cpu}"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! CPU capacity planning (paper §V-E).
+//!
+//! Fit the CPU model `cpu = base + psi * input_rate` on the Splitter at
+//! parallelism 3, predict the CPU load at parallelisms 2 and 4 via the
+//! chained throughput model, then actually "deploy" those configurations
+//! in the simulator and compare — the experiment behind the paper's
+//! Figs. 11 and 12.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use caladrius::core::model::relative_error;
+use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius::core::Caladrius;
+use caladrius::sim::metrics::metric;
+use caladrius::sim::prelude::*;
+use caladrius::tsdb::Aggregation;
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use std::sync::Arc;
+
+/// Simulates the topology at one source rate and returns the component's
+/// mean measured CPU (cores, summed over instances).
+fn measure_cpu(parallelism: WordCountParallelism, rate: f64) -> f64 {
+    let mut sim =
+        Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+    sim.warmup_minutes(25);
+    let metrics = sim.run_minutes(10);
+    let series = metrics.component_sum(metric::CPU_LOAD, Some("splitter"), 0, i64::MAX);
+    Aggregation::Mean.apply(series.iter().map(|s| s.value))
+}
+
+fn main() {
+    // Observe at p=3 across a rate sweep.
+    let observed = WordCountParallelism {
+        spout: 8,
+        splitter: 3,
+        counter: 3,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    println!("observing splitter CPU at parallelism 3...");
+    for (leg, rate) in [6.0e6, 12.0e6, 18.0e6, 24.0e6, 30.0e6, 38.0e6]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sim =
+            Simulation::new(wordcount_topology(observed, rate), SimConfig::default()).unwrap();
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+
+    let caladrius = Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(observed, 30.0e6))),
+    );
+    let throughput = caladrius.fit_topology_model("wordcount").unwrap();
+    let cpu_models = caladrius.fit_cpu_models("wordcount").unwrap();
+    let splitter = throughput.component_model("splitter").unwrap();
+    let cpu = &cpu_models["splitter"];
+    println!(
+        "fitted CPU model: cpu = {:.3} + {:.3e} * input_rate  (cores per instance)",
+        cpu.base, cpu.psi
+    );
+
+    // Predict CPU at p=2 and p=4 for a range of source rates, then deploy
+    // and measure.
+    println!(
+        "\n{:<6} {:>12} {:>16} {:>16} {:>8}",
+        "p", "rate (M/min)", "predicted cores", "measured cores", "error"
+    );
+    for p in [2u32, 4] {
+        for rate in [8.0e6, 16.0e6, 24.0e6] {
+            let predicted = cpu.predict_component(splitter, p, rate).unwrap();
+            let measured = measure_cpu(
+                WordCountParallelism {
+                    spout: 8,
+                    splitter: p,
+                    counter: 3,
+                },
+                rate,
+            );
+            println!(
+                "{:<6} {:>12.0} {:>16.3} {:>16.3} {:>7.1}%",
+                p,
+                rate / 1e6,
+                predicted,
+                measured,
+                relative_error(predicted, measured) * 100.0
+            );
+        }
+    }
+    println!("\nerrors are a few percent — larger than throughput errors, because the\nCPU prediction chains through the throughput model (paper §V-E).");
+}

@@ -1,0 +1,158 @@
+//! `caladrius-server` — run the Caladrius REST service from the command
+//! line.
+//!
+//! ```text
+//! caladrius-server [--port PORT] [--workers N] [--config FILE] [--demo]
+//! ```
+//!
+//! Caladrius models metrics of a *deployed* stream-processing system; in
+//! this repository the deployment is the simulator, so `--demo` boots a
+//! WordCount deployment (swept through both load regimes so the models
+//! are fittable) and serves the paper's endpoints over it:
+//!
+//! ```text
+//! curl localhost:8080/health
+//! curl localhost:8080/topologies
+//! curl "localhost:8080/model/traffic/heron/wordcount?models=prophet"
+//! curl -X POST localhost:8080/model/topology/heron/wordcount \
+//!      -d '{"parallelism": {"splitter": 4}, "source_rate": 30000000}'
+//! ```
+
+use caladrius::api::{ApiService, HttpServer};
+use caladrius::core::config::CaladriusConfig;
+use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius::core::Caladrius;
+use caladrius::sim::prelude::*;
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    port: u16,
+    workers: usize,
+    config_path: Option<String>,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 8080,
+        workers: 4,
+        config_path: None,
+        demo: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--port" => {
+                args.port = iter
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid port: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = iter
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid worker count: {e}"))?;
+            }
+            "--config" => {
+                args.config_path = Some(iter.next().ok_or("--config needs a path")?);
+            }
+            "--demo" => args.demo = true,
+            "--help" | "-h" => {
+                return Err("usage: caladrius-server [--port PORT] [--workers N] \
+                            [--config FILE] [--demo]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Boots the demo deployment: WordCount swept through linear and
+/// saturated regimes so every model is fittable out of the box.
+fn demo_service(config: CaladriusConfig) -> Caladrius {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    eprintln!("[demo] simulating wordcount through a load sweep...");
+    for (leg, rate) in [6.0e6, 12.0e6, 18.0e6, 26.0e6].into_iter().enumerate() {
+        let mut sim = Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default())
+            .expect("demo topology is valid");
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+    eprintln!(
+        "[demo] metrics ready ({} samples)",
+        metrics.db().sample_count()
+    );
+    Caladrius::with_config(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 26.0e6))),
+        config,
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = match &args.config_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match CaladriusConfig::from_text(&text) {
+                Ok(config) => config,
+                Err(e) => {
+                    eprintln!("error in {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => CaladriusConfig::default(),
+    };
+
+    if !args.demo {
+        eprintln!(
+            "caladrius-server models a deployed stream-processing system; this \
+             repository's deployment substrate is the simulator.\n\
+             Run with --demo to boot a simulated WordCount deployment and serve \
+             the Caladrius endpoints over it."
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let caladrius = demo_service(config);
+    let api = ApiService::new(Arc::new(caladrius), args.workers.max(1));
+    let server =
+        match HttpServer::serve(("127.0.0.1", args.port), args.workers.max(1), api.handler()) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("cannot bind port {}: {e}", args.port);
+                return ExitCode::FAILURE;
+            }
+        };
+    println!("caladrius listening on http://{}", server.local_addr());
+    println!(
+        "endpoints: /health /topologies /model/traffic/heron/{{t}}          /model/topology/heron/{{t}} /model/packing/heron/{{t}}          /metrics/heron/{{t}} /jobs/{{id}}"
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

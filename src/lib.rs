@@ -1,0 +1,28 @@
+//! # caladrius
+//!
+//! Facade crate re-exporting the whole Caladrius workspace: a from-scratch
+//! Rust reproduction of *"Caladrius: A Performance Modelling Service for
+//! Distributed Stream Processing Systems"* (ICDE 2019).
+//!
+//! See the individual crates for details:
+//!
+//! * [`core`] — the paper's contribution: traffic and performance models.
+//! * [`sim`] — the Heron-style DSPS simulator substrate.
+//! * [`tsdb`] — the metrics time-series database substrate.
+//! * [`graph`] — the property-graph substrate.
+//! * [`forecast`] — the Prophet-analog forecasting substrate.
+//! * [`workload`] — corpus/traffic generators and the WordCount topology.
+//! * [`api`] — the REST service tier.
+//! * [`autoscale`] — scaling policies: the Dhalion-style reactive
+//!   baseline vs Caladrius-driven one-shot scaling.
+
+#![warn(missing_docs)]
+
+pub use caladrius_api as api;
+pub use caladrius_autoscale as autoscale;
+pub use caladrius_core as core;
+pub use caladrius_forecast as forecast;
+pub use caladrius_graph as graph;
+pub use caladrius_tsdb as tsdb;
+pub use caladrius_workload as workload;
+pub use heron_sim as sim;

@@ -1,0 +1,171 @@
+//! End-to-end reproduction of the paper's §V-C validation flow:
+//! observe the Splitter component at parallelism 3, fit the Caladrius
+//! models from the recorded metrics, predict the behaviour at
+//! parallelisms 2 and 4, then actually deploy those configurations in
+//! the simulator and check the predictions — the ST prediction error
+//! must stay in the paper's few-percent regime.
+
+use caladrius::core::model::relative_error;
+use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius::core::Caladrius;
+use caladrius::sim::metrics::metric;
+use caladrius::sim::prelude::*;
+use caladrius::tsdb::Aggregation;
+use caladrius::workload::wordcount::{
+    wordcount_topology, WordCountParallelism, ALPHA, SPLITTER_CAPACITY_PER_MIN,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn mean(samples: &[caladrius::tsdb::Sample]) -> f64 {
+    Aggregation::Mean.apply(samples.iter().map(|s| s.value))
+}
+
+/// Simulates a parallelism configuration at one offered rate and returns
+/// the mean measured (input, output) of the splitter component.
+fn measure(splitter_p: u32, rate: f64) -> (f64, f64) {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: splitter_p,
+        counter: 6,
+    };
+    let mut sim =
+        Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+    sim.warmup_minutes(30);
+    let metrics = sim.run_minutes(10);
+    (
+        mean(&metrics.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX)),
+        mean(&metrics.component_sum(metric::EMIT_COUNT, Some("splitter"), 0, i64::MAX)),
+    )
+}
+
+fn caladrius_over_p3_sweep() -> Caladrius {
+    let observed = WordCountParallelism {
+        spout: 8,
+        splitter: 3,
+        counter: 6,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    for (leg, rate) in [8.0e6, 16.0e6, 24.0e6, 30.0e6, 40.0e6]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sim =
+            Simulation::new(wordcount_topology(observed, rate), SimConfig::default()).unwrap();
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(30);
+        sim.run_minutes_into(10, &metrics);
+    }
+    Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(observed, 30.0e6))),
+    )
+}
+
+#[test]
+fn component_scaling_predictions_match_deployments() {
+    let caladrius = caladrius_over_p3_sweep();
+    let model = caladrius.fit_topology_model("wordcount").unwrap();
+    let splitter = model.component_model("splitter").unwrap();
+
+    // The fit recovers the calibrated physics.
+    assert!(relative_error(splitter.instance.alpha, ALPHA) < 0.02);
+    let sat = splitter.instance.saturation.expect("sweep saturates p=3");
+    assert!(relative_error(sat.input_sp, SPLITTER_CAPACITY_PER_MIN) < 0.05);
+
+    // Predict the saturated output (ST) at p=2 and p=4, then deploy and
+    // measure (paper Fig. 8; reported errors 2.9 % and 2.5 %).
+    for (p, probe_rate) in [(2u32, 30.0e6), (4u32, 55.0e6)] {
+        let predicted_st = splitter.predict(p, probe_rate).unwrap().output_rate;
+        let (_, measured_out) = measure(p, probe_rate);
+        let err = relative_error(predicted_st, measured_out);
+        assert!(
+            err < 0.05,
+            "p={p}: predicted ST {predicted_st:.3e}, measured {measured_out:.3e}, error {:.1}%",
+            err * 100.0
+        );
+    }
+
+    // And in the linear regime the prediction tracks the input line.
+    for (p, probe_rate) in [(2u32, 12.0e6), (4u32, 24.0e6)] {
+        let predicted = splitter.predict(p, probe_rate).unwrap();
+        let (measured_in, measured_out) = measure(p, probe_rate);
+        assert!(relative_error(predicted.input_rate, measured_in) < 0.03);
+        assert!(relative_error(predicted.output_rate, measured_out) < 0.03);
+    }
+}
+
+#[test]
+fn topology_level_prediction_matches_deployment() {
+    // Paper §V-D: predict the whole topology's output on the critical
+    // path with the Fig. 1 parallelisms, then deploy it (error 2.8 % in
+    // the paper).
+    let caladrius = caladrius_over_p3_sweep();
+    let model = caladrius.fit_topology_model("wordcount").unwrap();
+
+    let fig1 = HashMap::from([
+        ("spout".to_string(), 2u32),
+        ("splitter".to_string(), 2u32),
+        ("counter".to_string(), 4u32),
+    ]);
+    // Saturating rate for splitter p=2 (knee ≈ 22 M/min).
+    let rate = 30.0e6;
+    let predicted = model.predict(&fig1, rate).unwrap();
+    assert_eq!(predicted.bottleneck.as_deref(), Some("splitter"));
+
+    let parallelism = WordCountParallelism {
+        spout: 2,
+        splitter: 2,
+        counter: 4,
+    };
+    let mut sim =
+        Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+    sim.warmup_minutes(40);
+    let metrics = sim.run_minutes(15);
+    let measured =
+        mean(&metrics.component_sum(metric::EXECUTE_COUNT, Some("counter"), 0, i64::MAX));
+
+    let err = relative_error(predicted.sink_output_rate, measured);
+    assert!(
+        err < 0.06,
+        "critical path: predicted {:.3e}, measured {measured:.3e}, error {:.1}%",
+        predicted.sink_output_rate,
+        err * 100.0
+    );
+}
+
+#[test]
+fn saturation_point_prediction_matches_backpressure_onset() {
+    // Eq. 13/14: the predicted topology saturation rate must separate
+    // simulated runs with and without backpressure.
+    let caladrius = caladrius_over_p3_sweep();
+    let model = caladrius.fit_topology_model("wordcount").unwrap();
+    let none = HashMap::new();
+    let sat = model
+        .saturation_source_rate(&none)
+        .unwrap()
+        .expect("observable knee");
+
+    let bp_at = |rate: f64| -> f64 {
+        let parallelism = WordCountParallelism {
+            spout: 8,
+            splitter: 3,
+            counter: 6,
+        };
+        let mut sim =
+            Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+        sim.warmup_minutes(40);
+        let metrics = sim.run_minutes(10);
+        mean(&metrics.component_sum(metric::BACKPRESSURE_TIME, None, 0, i64::MAX))
+    };
+
+    assert_eq!(
+        bp_at(sat * 0.9),
+        0.0,
+        "10% below the predicted knee: no backpressure"
+    );
+    assert!(
+        bp_at(sat * 1.15) > 10_000.0,
+        "15% above the predicted knee: heavy backpressure"
+    );
+}

@@ -1,0 +1,168 @@
+//! Cross-crate property-based tests of the model invariants.
+
+use caladrius::core::model::component::{ComponentModel, GroupingKind};
+use caladrius::core::model::instance::{InstanceModel, InstanceObservation, Saturation};
+use caladrius::core::model::topology::TopologyModel;
+use caladrius::graph::topology_graph::LogicalSpec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_instance_model() -> impl Strategy<Value = InstanceModel> {
+    (0.1f64..20.0, 1.0f64..1e8, prop::bool::ANY).prop_map(|(alpha, sp, saturated)| {
+        InstanceModel::from_params(
+            alpha,
+            saturated.then_some(Saturation {
+                input_sp: sp,
+                output_st: alpha * sp,
+            }),
+        )
+    })
+}
+
+fn shuffle_component(p: u32, instance: InstanceModel) -> ComponentModel {
+    ComponentModel {
+        name: "c".into(),
+        fitted_parallelism: p,
+        instance,
+        shares: vec![1.0 / f64::from(p); p as usize],
+        grouping: GroupingKind::Shuffle,
+    }
+}
+
+proptest! {
+    /// Eq. 2 is exactly `min(alpha * t, ST)`.
+    #[test]
+    fn instance_output_is_min_form(model in arb_instance_model(), t in 0.0f64..1e9) {
+        let expected = match model.saturation {
+            Some(s) => (model.alpha * t).min(s.output_st),
+            None => model.alpha * t,
+        };
+        prop_assert!((model.output_for_source(t) - expected).abs() <= 1e-9 * expected.max(1.0));
+    }
+
+    /// The instance model is monotone non-decreasing in the source rate.
+    #[test]
+    fn instance_output_is_monotone(model in arb_instance_model(), a in 0.0f64..1e8, b in 0.0f64..1e8) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(model.output_for_source(lo) <= model.output_for_source(hi) + 1e-9);
+        prop_assert!(model.input_for_source(lo) <= model.input_for_source(hi) + 1e-9);
+    }
+
+    /// Inverse round-trips below the knee.
+    #[test]
+    fn instance_inverse_roundtrips(model in arb_instance_model(), t in 0.0f64..1e8) {
+        let below_knee = match model.saturation {
+            Some(s) => t < s.input_sp,
+            None => true,
+        };
+        prop_assume!(below_knee);
+        let y = model.output_for_source(t);
+        let back = model.source_for_output(y);
+        prop_assert!((back - t).abs() <= 1e-6 * t.max(1.0), "t={t}, back={back}");
+    }
+
+    /// Fitting exact synthetic data recovers the parameters.
+    #[test]
+    fn instance_fit_recovers_params(alpha in 0.1f64..20.0, sp in 10.0f64..1e6) {
+        let obs: Vec<InstanceObservation> = (1..=40)
+            .map(|i| {
+                let t = sp * i as f64 / 20.0; // sweep to 2x the knee
+                let input = t.min(sp);
+                InstanceObservation {
+                    source_rate: t,
+                    input_rate: input,
+                    output_rate: alpha * input,
+                    backpressured: t > sp,
+                }
+            })
+            .collect();
+        let m = InstanceModel::fit(&obs).unwrap();
+        prop_assert!((m.alpha - alpha).abs() < 1e-6 * alpha);
+        let s = m.saturation.unwrap();
+        prop_assert!((s.input_sp - sp).abs() < 1e-6 * sp);
+    }
+
+    /// Eq. 9: at p=1 the component model IS the instance model, and
+    /// scaling to p multiplies both axes of the curve.
+    #[test]
+    fn component_shuffle_scaling_identity(
+        model in arb_instance_model(),
+        p in 1u32..16,
+        t in 0.0f64..1e8,
+    ) {
+        let single = shuffle_component(1, model);
+        let multi = shuffle_component(1, model);
+        let direct = single.predict(1, t).unwrap().output_rate;
+        prop_assert!((direct - model.output_for_source(t)).abs() < 1e-9 * direct.max(1.0));
+        // T_c(p, p*t) = p * T_i(t)
+        let scaled = multi.predict(p, t * f64::from(p)).unwrap().output_rate;
+        prop_assert!(
+            (scaled - f64::from(p) * direct).abs() <= 1e-6 * scaled.max(1.0),
+            "p={p} t={t}: {scaled} vs {}", f64::from(p) * direct
+        );
+    }
+
+    /// Component saturation onset scales linearly with parallelism under
+    /// shuffle grouping.
+    #[test]
+    fn component_saturation_scales(model in arb_instance_model(), p in 1u32..16) {
+        prop_assume!(model.saturation.is_some());
+        let c = shuffle_component(1, model);
+        let s1 = c.saturation_source_rate(1).unwrap().unwrap();
+        let sp = c.saturation_source_rate(p).unwrap().unwrap();
+        prop_assert!((sp - f64::from(p) * s1).abs() < 1e-6 * sp);
+    }
+
+    /// Topology DAG prediction equals literal Eq. 12 chaining on a chain
+    /// topology, for arbitrary per-component models.
+    #[test]
+    fn topology_chain_equals_path_product(
+        models in prop::collection::vec(arb_instance_model(), 1..5),
+        source in 0.0f64..1e7,
+    ) {
+        let mut spec = LogicalSpec::new("chain").component("spout", 1);
+        let mut map = HashMap::new();
+        let mut prev = "spout".to_string();
+        for (i, m) in models.iter().enumerate() {
+            let name = format!("bolt{i}");
+            spec = spec.component(name.clone(), 1).edge(prev.clone(), name.clone(), "shuffle");
+            map.insert(name.clone(), shuffle_component(1, *m));
+            prev = name;
+        }
+        let topo = TopologyModel::new(spec, map).unwrap();
+        let none = HashMap::new();
+        let dag = topo.predict(&none, source).unwrap().sink_output_rate;
+        // Manual Eq. 12 chain.
+        let mut t = source;
+        for m in &models {
+            t = m.output_for_source(t);
+        }
+        prop_assert!((dag - t).abs() <= 1e-9 * t.max(1.0));
+    }
+
+    /// The topology's saturation point (Eq. 13) is consistent with the
+    /// forward prediction (Eq. 12): just below it nothing saturates, just
+    /// above it something does.
+    #[test]
+    fn topology_saturation_point_is_the_boundary(
+        alpha in 0.5f64..5.0,
+        sp in 100.0f64..1e6,
+        p in 1u32..8,
+    ) {
+        let spec = LogicalSpec::new("t")
+            .component("spout", 1)
+            .component("bolt", p)
+            .edge("spout", "bolt", "shuffle");
+        let instance = InstanceModel::from_params(
+            alpha,
+            Some(Saturation { input_sp: sp, output_st: alpha * sp }),
+        );
+        let models = HashMap::from([("bolt".to_string(), shuffle_component(p, instance))]);
+        let topo = TopologyModel::new(spec, models).unwrap();
+        let none = HashMap::new();
+        let knee = topo.saturation_source_rate(&none).unwrap().unwrap();
+        prop_assert!((knee - f64::from(p) * sp).abs() < 1e-3 * knee);
+        prop_assert!(topo.predict(&none, knee * 0.99).unwrap().bottleneck.is_none());
+        prop_assert!(topo.predict(&none, knee * 1.01).unwrap().bottleneck.is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! Retention integration: the metrics store ages out history while the
+//! modelling pipeline keeps working on the remaining window — the
+//! steady-state operating mode of a long-running Caladrius deployment
+//! against a bounded metrics database.
+
+use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius::core::Caladrius;
+use caladrius::sim::prelude::*;
+use caladrius::tsdb::retention::RetentionPolicy;
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use std::sync::Arc;
+
+#[test]
+fn retention_ages_out_history_and_models_still_fit() {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = SimMetrics::new("wordcount");
+
+    // Old epoch: hours of low-rate history that retention should drop.
+    let mut sim = Simulation::new(
+        wordcount_topology(parallelism, 4.0e6),
+        SimConfig {
+            metric_noise: 0.0,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim.run_minutes_into(120, &metrics);
+
+    // Recent epoch: the sweep the models need (linear + saturated legs).
+    for (leg, rate) in [8.0e6, 16.0e6, 26.0e6].into_iter().enumerate() {
+        let mut sim = Simulation::new(
+            wordcount_topology(parallelism, rate),
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.skip_to_minute(200 + leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+
+    let before = metrics.db().sample_count();
+    // Keep 3 hours relative to the newest sample: the old epoch (minutes
+    // 0..120) falls outside [newest - 180 min, newest].
+    let dropped = RetentionPolicy::hours(3).enforce(&metrics.db()).unwrap();
+    assert!(dropped > 0, "the old epoch must be aged out");
+    assert!(metrics.db().sample_count() < before);
+
+    // The whole modelling pipeline still works on the retained window.
+    let caladrius = Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics.clone())),
+        Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 26.0e6))),
+    );
+    let model = caladrius.fit_topology_model("wordcount").unwrap();
+    let splitter = model.component_model("splitter").unwrap();
+    assert!((splitter.instance.alpha - 7.63).abs() < 0.1);
+    assert!(
+        splitter.instance.saturation.is_some(),
+        "the sweep's knee survives retention"
+    );
+
+    // And the history the traffic models see starts after the cutoff.
+    let history = caladrius.source_history("wordcount").unwrap();
+    let newest = history.last().unwrap().ts;
+    assert!(history.first().unwrap().ts >= newest - 180 * 60_000);
+}

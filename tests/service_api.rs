@@ -1,0 +1,148 @@
+//! Integration test of the whole stack through the REST surface:
+//! simulator → tsdb → Caladrius service → HTTP server → HTTP client.
+
+use caladrius::api::{json, ApiService, HttpClient, HttpServer};
+use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius::core::Caladrius;
+use caladrius::sim::prelude::*;
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_service() -> (HttpServer, HttpClient) {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    for (leg, rate) in [6.0e6, 14.0e6, 26.0e6].into_iter().enumerate() {
+        let mut sim =
+            Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+    let caladrius = Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 26.0e6))),
+    );
+    let api = ApiService::new(Arc::new(caladrius), 2);
+    let server = HttpServer::serve("127.0.0.1:0", 4, api.handler()).unwrap();
+    let client = HttpClient::new(server.local_addr());
+    (server, client)
+}
+
+#[test]
+fn rest_surface_end_to_end() {
+    let (_server, client) = start_service();
+
+    // Health and discovery.
+    let (status, body) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+    let (status, body) = client.get("/topologies").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("wordcount"));
+
+    // Traffic forecasting with an explicit model list.
+    let (status, body) = client
+        .get("/model/traffic/heron/wordcount?models=prophet,stats_summary")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let forecasts = v.get("forecasts").unwrap().as_array().unwrap();
+    assert_eq!(forecasts.len(), 2);
+    for f in forecasts {
+        assert!(f.get("peak").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    // Synchronous dry-run evaluation (the §V workflow over HTTP).
+    let (status, body) = client
+        .post(
+            "/model/topology/heron/wordcount",
+            r#"{"parallelism": {"splitter": 4}, "source_rate": 30000000}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("backpressure_risk").unwrap().as_str(), Some("low"));
+    let components = v.get("components").unwrap().as_array().unwrap();
+    assert_eq!(components.len(), 3);
+    let splitter = components
+        .iter()
+        .find(|c| c.get("name").unwrap().as_str() == Some("splitter"))
+        .unwrap();
+    assert_eq!(splitter.get("parallelism").unwrap().as_f64(), Some(4.0));
+
+    // Asynchronous job lifecycle.
+    let (status, body) = client
+        .post(
+            "/model/topology/heron/wordcount?async=true",
+            r#"{"source_rate": 26000000}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let poll = json::parse(&body)
+        .unwrap()
+        .get("poll")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let result = loop {
+        let (_, body) = client.get(&poll).unwrap();
+        let v = json::parse(&body).unwrap();
+        match v.get("state").unwrap().as_str().unwrap() {
+            "pending" => {
+                assert!(std::time::Instant::now() < deadline);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            "done" => break v.get("result").unwrap().clone(),
+            other => panic!("job failed: {other} {body}"),
+        }
+    };
+    assert_eq!(
+        result.get("backpressure_risk").unwrap().as_str(),
+        Some("high")
+    );
+    assert_eq!(result.get("bottleneck").unwrap().as_str(), Some("splitter"));
+
+    // Error paths.
+    let (status, _) = client.get("/model/traffic/heron/ghost").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client
+        .post("/model/topology/heron/wordcount", "{bad")
+        .unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/jobs/99999").unwrap();
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn concurrent_clients_are_served() {
+    let (server, _) = start_service();
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                if i % 2 == 0 {
+                    client.get("/health").unwrap().0
+                } else {
+                    client
+                        .post(
+                            "/model/topology/heron/wordcount",
+                            r#"{"source_rate": 10000000}"#,
+                        )
+                        .unwrap()
+                        .0
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 200);
+    }
+}
