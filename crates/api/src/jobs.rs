@@ -9,9 +9,12 @@
 use crate::json::Value;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default bound on tracked jobs per runner.
+pub const DEFAULT_JOB_CAPACITY: usize = 1024;
 
 /// The lifecycle of a job.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,42 +29,156 @@ pub enum JobState {
 
 type Task = Box<dyn FnOnce() -> Result<Value, String> + Send>;
 
-/// A worker pool executing jobs and a store of their states.
+struct StoreInner {
+    states: HashMap<u64, JobState>,
+    /// Insertion order of job ids, oldest first (drives eviction).
+    order: VecDeque<u64>,
+}
+
+/// A capacity-bounded store of job states.
+///
+/// Holds at most `capacity` jobs. When a new job arrives at capacity the
+/// oldest *finished* (done or failed) job is evicted; pending jobs are
+/// never dropped, so the store can temporarily exceed capacity while
+/// more than `capacity` jobs are in flight at once.
+pub struct JobStore {
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for JobStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobStore")
+            .field("capacity", &self.capacity)
+            .field("jobs", &self.len())
+            .finish()
+    }
+}
+
+impl JobStore {
+    /// Creates a store bounded to `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(StoreInner {
+                states: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tracks a new job, evicting the oldest finished job if the store
+    /// is at capacity.
+    pub fn insert(&self, id: u64, state: JobState) {
+        let mut inner = self.inner.lock();
+        if inner.states.len() >= self.capacity {
+            Self::evict_oldest_finished(&mut inner, 1);
+        }
+        if inner.states.insert(id, state).is_none() {
+            inner.order.push_back(id);
+        }
+    }
+
+    /// Records the outcome of a tracked job. Outcomes for jobs already
+    /// evicted are dropped (their slot was reclaimed while they ran).
+    pub fn update(&self, id: u64, state: JobState) {
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.states.get_mut(&id) {
+            *slot = state;
+        }
+    }
+
+    /// A job's current state.
+    pub fn get(&self, id: u64) -> Option<JobState> {
+        self.inner.lock().states.get(&id).cloned()
+    }
+
+    /// Evicts oldest-first finished jobs until at most `keep` jobs remain
+    /// tracked (or no finished jobs are left). Returns how many were
+    /// evicted.
+    pub fn evict_finished(&self, keep: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let excess = inner.states.len().saturating_sub(keep);
+        Self::evict_oldest_finished(&mut inner, excess)
+    }
+
+    fn evict_oldest_finished(inner: &mut StoreInner, max_evictions: usize) -> usize {
+        let mut evicted = 0;
+        if max_evictions == 0 {
+            return evicted;
+        }
+        let mut kept = VecDeque::with_capacity(inner.order.len());
+        while let Some(id) = inner.order.pop_front() {
+            let finished = !matches!(inner.states.get(&id), Some(JobState::Pending));
+            if finished && evicted < max_evictions {
+                inner.states.remove(&id);
+                evicted += 1;
+            } else {
+                kept.push_back(id);
+            }
+        }
+        inner.order = kept;
+        evicted
+    }
+
+    /// Number of tracked jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().states.len()
+    }
+
+    /// True when no jobs are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().states.is_empty()
+    }
+}
+
+/// A worker pool executing jobs and a bounded store of their states.
 pub struct JobRunner {
     next_id: AtomicU64,
-    states: Arc<Mutex<HashMap<u64, JobState>>>,
+    store: Arc<JobStore>,
     tx: Sender<(u64, Task)>,
 }
 
 impl std::fmt::Debug for JobRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobRunner")
-            .field("jobs", &self.states.lock().len())
+            .field("jobs", &self.store.len())
             .finish_non_exhaustive()
     }
 }
 
 impl JobRunner {
-    /// Starts a runner with `workers` threads.
+    /// Starts a runner with `workers` threads and the default job bound.
     pub fn new(workers: usize) -> Self {
+        Self::with_capacity(workers, DEFAULT_JOB_CAPACITY)
+    }
+
+    /// Starts a runner with `workers` threads tracking at most
+    /// `capacity` jobs (oldest finished jobs are evicted beyond that).
+    pub fn with_capacity(workers: usize, capacity: usize) -> Self {
         let (tx, rx) = unbounded::<(u64, Task)>();
-        let states: Arc<Mutex<HashMap<u64, JobState>>> = Arc::new(Mutex::new(HashMap::new()));
+        let store = Arc::new(JobStore::new(capacity));
         for _ in 0..workers.max(1) {
             let rx = rx.clone();
-            let states = Arc::clone(&states);
+            let store = Arc::clone(&store);
             std::thread::spawn(move || {
                 while let Ok((id, task)) = rx.recv() {
                     let outcome = match task() {
                         Ok(value) => JobState::Done(value),
                         Err(message) => JobState::Failed(message),
                     };
-                    states.lock().insert(id, outcome);
+                    store.update(id, outcome);
                 }
             });
         }
         Self {
             next_id: AtomicU64::new(1),
-            states,
+            store,
             tx,
         }
     }
@@ -69,7 +186,7 @@ impl JobRunner {
     /// Submits a job; returns its id immediately.
     pub fn submit(&self, task: impl FnOnce() -> Result<Value, String> + Send + 'static) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        self.states.lock().insert(id, JobState::Pending);
+        self.store.insert(id, JobState::Pending);
         self.tx
             .send((id, Box::new(task)))
             .expect("workers outlive the runner");
@@ -78,7 +195,7 @@ impl JobRunner {
 
     /// Polls a job's state.
     pub fn state(&self, id: u64) -> Option<JobState> {
-        self.states.lock().get(&id).cloned()
+        self.store.get(id)
     }
 
     /// Blocks until the job completes (testing convenience).
@@ -93,12 +210,12 @@ impl JobRunner {
 
     /// Number of tracked jobs.
     pub fn len(&self) -> usize {
-        self.states.lock().len()
+        self.store.len()
     }
 
-    /// True when no jobs were ever submitted.
+    /// True when no jobs are tracked.
     pub fn is_empty(&self) -> bool {
-        self.states.lock().is_empty()
+        self.store.is_empty()
     }
 }
 
@@ -144,6 +261,55 @@ mod tests {
                 Some(JobState::Done(Value::Number(i as f64)))
             );
         }
+    }
+
+    #[test]
+    fn evict_finished_drops_oldest_completed_first() {
+        let store = JobStore::new(10);
+        store.insert(1, JobState::Done(Value::Null));
+        store.insert(2, JobState::Pending);
+        store.insert(3, JobState::Failed("x".into()));
+        store.insert(4, JobState::Done(Value::Number(4.0)));
+        // Shrink to 2 tracked jobs: ids 1 and 3 (oldest finished) go;
+        // the pending job survives even though it is older than id 4.
+        assert_eq!(store.evict_finished(2), 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.get(3), None);
+        assert_eq!(store.get(2), Some(JobState::Pending));
+        assert_eq!(store.get(4), Some(JobState::Done(Value::Number(4.0))));
+        // Nothing finished is left to evict below the pending floor.
+        assert_eq!(store.evict_finished(0), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(2), Some(JobState::Pending));
+    }
+
+    #[test]
+    fn update_after_eviction_is_dropped() {
+        let store = JobStore::new(10);
+        store.insert(1, JobState::Done(Value::Null));
+        store.evict_finished(0);
+        store.update(1, JobState::Failed("late".into()));
+        assert_eq!(store.get(1), None);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn runner_capacity_bounds_tracked_jobs() {
+        let runner = JobRunner::with_capacity(1, 3);
+        let ids: Vec<u64> = (0..3)
+            .map(|i| runner.submit(move || Ok(Value::Number(f64::from(i)))))
+            .collect();
+        for id in &ids {
+            runner.wait(*id);
+        }
+        assert_eq!(runner.len(), 3);
+        // A fourth submission evicts the oldest completed job.
+        let newest = runner.submit(|| Ok(Value::Null));
+        assert_eq!(runner.len(), 3);
+        assert_eq!(runner.state(ids[0]), None, "oldest completed evicted");
+        assert!(runner.state(ids[1]).is_some());
+        assert!(runner.wait(newest).is_some());
     }
 
     #[test]

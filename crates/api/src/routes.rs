@@ -232,7 +232,7 @@ impl ApiService {
     pub fn handle(&self, request: Request) -> Response {
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         match (request.method.as_str(), segments.as_slice()) {
-            ("GET", ["health"]) => Response::json("{\"status\":\"ok\"}"),
+            ("GET", ["health"]) => self.health(),
             ("GET", ["topologies"]) => {
                 let names = self.caladrius.topologies();
                 Value::object([(
@@ -252,6 +252,35 @@ impl ApiService {
             }
             _ => Response::json_status(404, "{\"error\":\"no such endpoint\"}"),
         }
+    }
+
+    /// Liveness plus data-plane observability: model-cache counters from
+    /// the service tier and ingest counters from the metrics store (when
+    /// the provider exposes them).
+    fn health(&self) -> Response {
+        let cache = self.caladrius.model_cache_stats();
+        let mut fields = vec![
+            ("status", Value::from("ok")),
+            (
+                "model_cache",
+                Value::object([
+                    ("hits", Value::from(cache.hits as f64)),
+                    ("misses", Value::from(cache.misses as f64)),
+                    ("fits", Value::from(cache.fits as f64)),
+                ]),
+            ),
+            ("jobs_tracked", Value::from(self.jobs.len() as f64)),
+        ];
+        if let Some(ingest) = self.caladrius.metrics_provider().ingest_stats() {
+            fields.push((
+                "ingest",
+                Value::object([
+                    ("batches", Value::from(ingest.batches as f64)),
+                    ("samples", Value::from(ingest.samples as f64)),
+                ]),
+            ));
+        }
+        Value::object(fields).to_json().pipe(Response::json)
     }
 
     fn traffic(&self, topology: &str, request: &Request) -> Response {
@@ -547,6 +576,19 @@ mod tests {
         let s = service();
         let r = get(&s, "/health");
         assert_eq!(r.status, 200);
+        let v = body_json(&r);
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        let cache = v.get("model_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(0.0));
+        assert_eq!(cache.get("fits").unwrap().as_f64(), Some(0.0));
+        // The sim-backed provider exposes ingest counters: one batch per
+        // recorded minute, many samples each.
+        let ingest = v.get("ingest").unwrap();
+        assert!(ingest.get("batches").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            ingest.get("samples").unwrap().as_f64().unwrap()
+                > ingest.get("batches").unwrap().as_f64().unwrap()
+        );
         let r = get(&s, "/topologies");
         let v = body_json(&r);
         assert_eq!(
@@ -662,6 +704,34 @@ mod tests {
                 other => panic!("unexpected job state {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn repeated_evaluations_hit_model_cache() {
+        let s = service();
+        let body = r#"{"source_rate": 10000000}"#;
+        assert_eq!(
+            post(&s, "/model/topology/heron/wordcount", body).status,
+            200
+        );
+        let v = body_json(&get(&s, "/health"));
+        let fits_after_first = v
+            .get("model_cache")
+            .unwrap()
+            .get("fits")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(fits_after_first > 0.0);
+
+        assert_eq!(
+            post(&s, "/model/topology/heron/wordcount", body).status,
+            200
+        );
+        let v = body_json(&get(&s, "/health"));
+        let cache = v.get("model_cache").unwrap();
+        assert_eq!(cache.get("fits").unwrap().as_f64(), Some(fits_after_first));
+        assert!(cache.get("hits").unwrap().as_f64().unwrap() >= 1.0);
     }
 
     #[test]

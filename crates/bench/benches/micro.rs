@@ -8,12 +8,16 @@
 use caladrius_core::model::component::{ComponentModel, ComponentObservation, GroupingKind};
 use caladrius_core::model::instance::{InstanceModel, InstanceObservation};
 use caladrius_core::model::topology::TopologyModel;
+use caladrius_core::providers::metrics::SimMetricsProvider;
+use caladrius_core::providers::tracker::StaticTracker;
+use caladrius_core::service::SourceRateSpec;
+use caladrius_core::Caladrius;
 use caladrius_forecast::prophet::{Prophet, ProphetConfig};
 use caladrius_forecast::{DataPoint, Forecaster};
 use caladrius_graph::algo;
 use caladrius_graph::topology_graph::{build_logical, instance_path_count, LogicalSpec};
 use caladrius_tsdb::encoding::{compress, decompress};
-use caladrius_tsdb::{MetricsDb, Sample, SeriesKey, TagFilter};
+use caladrius_tsdb::{MetricBatch, MetricsDb, Sample, SeriesKey, TagFilter};
 use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
 use criterion::{criterion_group, criterion_main, Criterion};
 use heron_sim::engine::{SimConfig, Simulation};
@@ -158,6 +162,42 @@ fn bench_tsdb(c: &mut Criterion) {
             db
         });
     });
+    // Per-sample vs batched ingest over the engine's flush shape: 104
+    // series (13 instances x 8 metrics), one value per series per minute.
+    let keys: Vec<SeriesKey> = (0..104)
+        .map(|i| {
+            SeriesKey::new("execute-count")
+                .with_tag("topology", "wc")
+                .with_tag("component", "splitter")
+                .with_tag("instance", i.to_string())
+        })
+        .collect();
+    group.bench_function("ingest_per_sample_104x60", |b| {
+        b.iter(|| {
+            let db = MetricsDb::new();
+            for minute in 0..60i64 {
+                for key in &keys {
+                    db.write(black_box(key), minute * 60_000, 1.0);
+                }
+            }
+            db
+        });
+    });
+    group.bench_function("ingest_batch_104x60", |b| {
+        b.iter(|| {
+            let db = MetricsDb::new();
+            let handles: Vec<_> = keys.iter().map(|k| db.register(k)).collect();
+            let mut batch = MetricBatch::with_capacity(0, handles.len());
+            for minute in 0..60i64 {
+                batch.reset(minute * 60_000);
+                for h in &handles {
+                    batch.push(black_box(h), 1.0);
+                }
+                db.ingest_batch(&batch);
+            }
+            db
+        });
+    });
     let db = MetricsDb::new();
     for inst in 0..8 {
         let key = SeriesKey::new("execute-count")
@@ -178,6 +218,57 @@ fn bench_tsdb(c: &mut Criterion) {
                 caladrius_tsdb::Aggregation::Sum,
             )
             .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    // A source-rate sweep with linear and saturated legs, mirroring the
+    // core service test fixture.
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = heron_sim::metrics::SimMetrics::new("wordcount");
+    for (leg, rate) in [6.0e6, 12.0e6, 18.0e6, 26.0e6].into_iter().enumerate() {
+        let topo = wordcount_topology(parallelism, rate);
+        let mut sim = Simulation::new(
+            topo,
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+    let tracker = StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6));
+    let caladrius = Caladrius::new(
+        std::sync::Arc::new(SimMetricsProvider::new(metrics)),
+        std::sync::Arc::new(tracker),
+    );
+    let none = HashMap::new();
+    let source = SourceRateSpec::Fixed(30.0e6);
+    group.bench_function("evaluate_cold", |b| {
+        b.iter(|| {
+            caladrius.invalidate_model_cache(None);
+            caladrius
+                .evaluate(black_box("wordcount"), &none, &source)
+                .unwrap()
+        });
+    });
+    caladrius.evaluate("wordcount", &none, &source).unwrap();
+    group.bench_function("evaluate_cached", |b| {
+        b.iter(|| {
+            caladrius
+                .evaluate(black_box("wordcount"), &none, &source)
+                .unwrap()
         });
     });
     group.finish();
@@ -212,6 +303,7 @@ criterion_group!(
     bench_models,
     bench_forecast,
     bench_tsdb,
+    bench_service,
     bench_graph
 );
 criterion_main!(benches);

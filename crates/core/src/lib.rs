@@ -32,4 +32,4 @@ pub mod service;
 pub mod traffic;
 
 pub use error::{CoreError, Result};
-pub use service::Caladrius;
+pub use service::{Caladrius, ModelCacheStats};

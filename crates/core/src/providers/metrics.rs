@@ -5,7 +5,7 @@ use crate::error::{CoreError, Result};
 use crate::model::component::ComponentObservation;
 use crate::model::cpu::CpuObservation;
 use caladrius_forecast::DataPoint;
-use caladrius_tsdb::Sample;
+use caladrius_tsdb::{IngestStats, Sample};
 use heron_sim::metrics::{metric, SimMetrics};
 use std::collections::BTreeMap;
 
@@ -40,8 +40,16 @@ pub trait MetricsProvider: Send + Sync {
     ) -> Result<Vec<(u32, Vec<Sample>)>>;
 
     /// Timestamp (ms) of the newest recorded minute for the topology, if
-    /// any data exists.
+    /// any data exists. Doubles as the data watermark keying the model
+    /// cache in [`crate::service::Caladrius`], so it must advance whenever
+    /// new samples land.
     fn latest_minute(&self, topology: &str) -> Option<i64>;
+
+    /// Cumulative ingest counters of the backing store, if it exposes
+    /// them (`None` for providers without ingest visibility).
+    fn ingest_stats(&self) -> Option<IngestStats> {
+        None
+    }
 
     /// Raw series access for ad-hoc queries (the metrics-debugging
     /// endpoint): every series of `metric_name` within the topology that
@@ -104,7 +112,14 @@ impl MetricsProvider for SimMetricsProvider {
         if topology != self.metrics.topology() {
             return None;
         }
-        self.metrics.db().latest_ts(metric::EXECUTE_COUNT, &[])
+        // O(1) off the per-db watermark — no catalog scan, no series
+        // locks. All simulator metrics for a minute land in one batch, so
+        // the watermark is exactly the newest flushed minute.
+        self.metrics.db().watermark()
+    }
+
+    fn ingest_stats(&self) -> Option<IngestStats> {
+        Some(self.metrics.db().ingest_stats())
     }
 
     fn select_series(

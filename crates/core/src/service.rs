@@ -19,7 +19,8 @@ use crate::traffic::{TrafficForecast, TrafficModelRegistry};
 use caladrius_forecast::DataPoint;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How the evaluation picks the source rate to model against.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +82,39 @@ pub struct PackingOverview {
     pub instance_paths: u64,
 }
 
+/// Cumulative model-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelCacheStats {
+    /// Evaluations served entirely from cached fitted models.
+    pub hits: u64,
+    /// Evaluations that had to (re)fit because the key changed or the
+    /// topology was never fitted.
+    pub misses: u64,
+    /// Individual model fits performed (one per component throughput
+    /// model, one per CPU model).
+    pub fits: u64,
+}
+
+/// One topology's fitted models plus the versions they were fitted
+/// against. An entry is valid while both versions still match:
+///
+/// * `watermark` — the metrics store's newest minute
+///   ([`MetricsProvider::latest_minute`]); any newly ingested minute
+///   moves it and forces a refit over the fresher window.
+/// * `plan_version` — [`TopologyTracker::last_updated`]; packing-plan or
+///   parallelism changes bump it, invalidating models fitted against the
+///   old physical plan.
+struct CachedModels {
+    watermark: i64,
+    plan_version: u64,
+    topology_model: Arc<TopologyModel>,
+    cpu_models: Arc<HashMap<String, CpuModel>>,
+}
+
+/// What [`Caladrius::fitted_models`] hands out: the fitted topology model
+/// and the per-component CPU models, shared with the cache.
+type FittedModels = (Arc<TopologyModel>, Arc<HashMap<String, CpuModel>>);
+
 /// The Caladrius performance-modelling service.
 pub struct Caladrius {
     config: CaladriusConfig,
@@ -89,6 +123,10 @@ pub struct Caladrius {
     traffic: TrafficModelRegistry,
     performance: ModelRegistry,
     graphs: GraphService,
+    model_cache: Mutex<HashMap<String, CachedModels>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    model_fits: AtomicU64,
 }
 
 impl std::fmt::Debug for Caladrius {
@@ -120,6 +158,10 @@ impl Caladrius {
             traffic: TrafficModelRegistry::with_defaults(),
             performance: ModelRegistry::with_defaults(),
             graphs: GraphService::new(),
+            model_cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            model_fits: AtomicU64::new(0),
         }
     }
 
@@ -406,6 +448,7 @@ impl Caladrius {
                 name.clone(),
                 ComponentModel::fit(name.clone(), *parallelism, grouping, &observations)?,
             );
+            self.model_fits.fetch_add(1, Ordering::Relaxed);
         }
         TopologyModel::new(spec, models)
     }
@@ -428,12 +471,78 @@ impl Caladrius {
             match fitted {
                 Ok(model) => {
                     models.insert(name.clone(), model);
+                    self.model_fits.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(CoreError::NotEnoughObservations { .. }) => continue,
                 Err(other) => return Err(other),
             }
         }
         Ok(models)
+    }
+
+    /// Fitted models for `topology`, served from the watermark-keyed
+    /// cache when neither the metrics data nor the packing plan has
+    /// changed since the last fit.
+    fn fitted_models(&self, topology: &str) -> Result<FittedModels> {
+        let watermark = self
+            .metrics
+            .latest_minute(topology)
+            .ok_or_else(|| CoreError::Unknown(format!("no metrics for {topology:?}")))?;
+        let plan_version = self.tracker.last_updated(topology)?;
+        {
+            let cache = self.lock_cache();
+            if let Some(entry) = cache.get(topology) {
+                if entry.watermark == watermark && entry.plan_version == plan_version {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((
+                        Arc::clone(&entry.topology_model),
+                        Arc::clone(&entry.cpu_models),
+                    ));
+                }
+            }
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let topology_model = Arc::new(self.fit_topology_model(topology)?);
+        let cpu_models = Arc::new(self.fit_cpu_models(topology)?);
+        self.lock_cache().insert(
+            topology.to_string(),
+            CachedModels {
+                watermark,
+                plan_version,
+                topology_model: Arc::clone(&topology_model),
+                cpu_models: Arc::clone(&cpu_models),
+            },
+        );
+        Ok((topology_model, cpu_models))
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<String, CachedModels>> {
+        self.model_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Cumulative cache and fit counters.
+    pub fn model_cache_stats(&self) -> ModelCacheStats {
+        ModelCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            fits: self.model_fits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops cached fitted models (all topologies, or one). Invalidation
+    /// is otherwise automatic — new data or plan versions force refits —
+    /// so this is only needed when a provider is swapped out from under
+    /// the service.
+    pub fn invalidate_model_cache(&self, topology: Option<&str>) {
+        let mut cache = self.lock_cache();
+        match topology {
+            Some(name) => {
+                cache.remove(name);
+            }
+            None => cache.clear(),
+        }
     }
 
     fn resolve_source_rate(
@@ -479,16 +588,18 @@ impl Caladrius {
         }
     }
 
-    /// Runs the full dry-run evaluation: fit models from live metrics,
-    /// resolve the source rate, run every configured performance model,
-    /// classify backpressure risk and predict CPU loads.
+    /// Runs the full dry-run evaluation: fit models from live metrics
+    /// (or reuse cached fits while the data watermark and packing plan
+    /// are unchanged), resolve the source rate, run every configured
+    /// performance model, classify backpressure risk and predict CPU
+    /// loads.
     pub fn evaluate(
         &self,
         topology: &str,
         proposed_parallelisms: &HashMap<String, u32>,
         source: &SourceRateSpec,
     ) -> Result<EvaluationReport> {
-        let model = self.fit_topology_model(topology)?;
+        let (model, cpu_models) = self.fitted_models(topology)?;
         let (source_rate, traffic) = self.resolve_source_rate(topology, source)?;
 
         let query = PerformanceQuery {
@@ -504,7 +615,6 @@ impl Caladrius {
         let (risk, saturation_rate) =
             model.backpressure_risk(proposed_parallelisms, source_rate)?;
 
-        let cpu_models = self.fit_cpu_models(topology)?;
         let mut cpu_by_component = BTreeMap::new();
         for report in &prediction.per_component {
             let (Some(cpu), Some(component)) = (
@@ -546,7 +656,7 @@ impl Caladrius {
         source_rate: f64,
         max_parallelism: u32,
     ) -> Result<Option<u32>> {
-        let model = self.fit_topology_model(topology)?;
+        let (model, _) = self.fitted_models(topology)?;
         for p in 1..=max_parallelism {
             let proposal = HashMap::from([(component.to_string(), p)]);
             let (risk, _) = model.backpressure_risk(&proposal, source_rate)?;
@@ -568,39 +678,56 @@ mod tests {
     };
     use heron_sim::engine::{SimConfig, Simulation};
 
+    const PARALLELISM: WordCountParallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+
+    /// Runs one sweep leg (warmup + 10 recorded minutes) into `metrics`,
+    /// starting at simulated minute `start`.
+    fn run_leg(metrics: &heron_sim::metrics::SimMetrics, start: u64, rate: f64) {
+        let topo = wordcount_topology(PARALLELISM, rate);
+        let mut sim = Simulation::new(
+            topo,
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        // Restarted topologies never share wall-clock minutes.
+        sim.skip_to_minute(start);
+        sim.warmup_minutes(30);
+        sim.run_minutes_into(10, metrics);
+    }
+
     /// Runs the word-count topology through a source-rate sweep so the
-    /// metrics contain both linear and saturated windows, then builds a
-    /// service over the recorded metrics.
-    fn service() -> Caladrius {
-        let parallelism = WordCountParallelism {
-            spout: 8,
-            splitter: 2,
-            counter: 3,
-        };
+    /// metrics contain both linear and saturated windows.
+    fn sweep_metrics() -> heron_sim::metrics::SimMetrics {
         let metrics = heron_sim::metrics::SimMetrics::new("wordcount");
         for (leg, rate) in [4.0e6, 8.0e6, 12.0e6, 16.0e6, 20.0e6, 26.0e6]
             .into_iter()
             .enumerate()
         {
-            let topo = wordcount_topology(parallelism, rate);
-            let mut sim = Simulation::new(
-                topo,
-                SimConfig {
-                    metric_noise: 0.0,
-                    ..SimConfig::default()
-                },
-            )
-            .unwrap();
-            // Restarted topologies never share wall-clock minutes.
-            sim.skip_to_minute(leg as u64 * 100);
-            sim.warmup_minutes(30);
-            sim.run_minutes_into(10, &metrics);
+            run_leg(&metrics, leg as u64 * 100, rate);
         }
-        let tracker = StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6));
-        Caladrius::new(
-            Arc::new(SimMetricsProvider::new(metrics)),
+        metrics
+    }
+
+    /// Service over the sweep metrics, keeping the shared metrics handle.
+    fn service_with_metrics() -> (Caladrius, heron_sim::metrics::SimMetrics) {
+        let metrics = sweep_metrics();
+        let tracker = StaticTracker::new().with(wordcount_topology(PARALLELISM, 20.0e6));
+        let caladrius = Caladrius::new(
+            Arc::new(SimMetricsProvider::new(metrics.clone())),
             Arc::new(tracker),
-        )
+        );
+        (caladrius, metrics)
+    }
+
+    fn service() -> Caladrius {
+        service_with_metrics().0
     }
 
     #[test]
@@ -816,6 +943,118 @@ mod tests {
             .unwrap();
         assert_eq!(forecasts[0].model, "stats_summary (per-spout)");
         assert!((forecasts[0].mean - 8.0e6).abs() / 8.0e6 < 0.01);
+    }
+
+    #[test]
+    fn repeated_evaluate_serves_cached_models_without_refitting() {
+        let caladrius = service();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        let first = caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after_first = caladrius.model_cache_stats();
+        assert_eq!(after_first.misses, 1);
+        assert_eq!(after_first.hits, 0);
+        assert!(after_first.fits > 0);
+
+        let second = caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after_second = caladrius.model_cache_stats();
+        assert_eq!(
+            after_second.fits, after_first.fits,
+            "second evaluate on unchanged data must perform zero model fits"
+        );
+        assert_eq!(after_second.hits, 1);
+        assert_eq!(after_second.misses, 1);
+        assert_eq!(second, first);
+
+        // recommend_parallelism shares the same cached fits.
+        caladrius
+            .recommend_parallelism("wordcount", "splitter", 30.0e6, 16)
+            .unwrap();
+        let after_third = caladrius.model_cache_stats();
+        assert_eq!(after_third.fits, after_first.fits);
+        assert_eq!(after_third.hits, 2);
+    }
+
+    #[test]
+    fn new_minutes_invalidate_model_cache() {
+        let (caladrius, metrics) = service_with_metrics();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let before = caladrius.model_cache_stats();
+
+        // A fresh leg of data moves the watermark: the next evaluate
+        // must refit over the newer window.
+        run_leg(&metrics, 600, 24.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after = caladrius.model_cache_stats();
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(after.hits, before.hits);
+        assert!(after.fits > before.fits, "new data must force a refit");
+    }
+
+    #[test]
+    fn packing_change_invalidates_model_cache() {
+        use crate::providers::tracker::ClusterTracker;
+        use heron_sim::cluster::Cluster;
+        use heron_sim::packing::PackingAlgorithm;
+
+        let metrics = sweep_metrics();
+        let mut cluster = Cluster::new();
+        cluster
+            .submit(
+                wordcount_topology(PARALLELISM, 20.0e6),
+                PackingAlgorithm::RoundRobin { num_containers: 4 },
+            )
+            .unwrap();
+        let shared = Arc::new(parking_lot::RwLock::new(cluster));
+        let caladrius = Caladrius::new(
+            Arc::new(SimMetricsProvider::new(metrics)),
+            Arc::new(ClusterTracker::new(Arc::clone(&shared))),
+        );
+
+        let source = SourceRateSpec::Fixed(30.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let before = caladrius.model_cache_stats();
+        assert_eq!(before.hits, 1);
+
+        // Scaling the deployed topology bumps the tracker version; models
+        // fitted against the old plan must not be reused.
+        shared
+            .write()
+            .update_parallelism("wordcount", &[("splitter", 3)])
+            .unwrap();
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after = caladrius.model_cache_stats();
+        assert_eq!(after.misses, before.misses + 1);
+        assert!(after.fits > before.fits, "plan change must force a refit");
+    }
+
+    #[test]
+    fn explicit_invalidation_drops_cached_entry() {
+        let caladrius = service();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        caladrius.invalidate_model_cache(Some("wordcount"));
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        assert_eq!(caladrius.model_cache_stats().misses, 2);
     }
 
     #[test]

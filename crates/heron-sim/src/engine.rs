@@ -15,10 +15,22 @@
 
 use crate::backpressure::{BackpressureTracker, WatermarkConfig};
 use crate::error::{Result, SimError};
-use crate::metrics::{metric, SimMetrics};
+use crate::metrics::{InstanceHandles, SimMetrics};
 use crate::packing::{PackingAlgorithm, PackingPlan};
 use crate::profiles::hash64;
 use crate::topology::{ComponentKind, Topology};
+use caladrius_tsdb::{MetricBatch, SeriesHandle};
+
+/// Pre-resolved sink state for one `(simulation, SimMetrics)` pairing:
+/// every series handle the per-minute flush appends to, plus the one
+/// [`MetricBatch`] reused (via [`MetricBatch::reset`]) across minutes.
+/// Registered once at the top of a run so the steady-state flush path
+/// never touches the catalog.
+struct SinkHandles {
+    instances: Vec<InstanceHandles>,
+    containers: Vec<SeriesHandle>,
+    batch: MetricBatch,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -492,43 +504,71 @@ impl Simulation {
         1.0 + self.config.metric_noise * 2.0 * unit
     }
 
-    /// Flushes per-minute metrics for the minute ending now.
-    fn flush_minute(&mut self, metrics: &SimMetrics) {
+    /// Resolves every series handle the per-minute flush will append to.
+    /// One catalog pass per run; the flush loop itself is catalog-free.
+    fn register_sink(&self, metrics: &SimMetrics) -> SinkHandles {
+        let rows_per_minute = self
+            .instances
+            .iter()
+            .map(|info| {
+                if self.topology.components[info.comp_idx].kind.is_spout() {
+                    8
+                } else {
+                    7
+                }
+            })
+            .sum::<usize>()
+            + self.plan.num_containers();
+        SinkHandles {
+            instances: self
+                .instances
+                .iter()
+                .map(|info| {
+                    let comp = &self.topology.components[info.comp_idx];
+                    metrics.register_instance(
+                        &comp.name,
+                        info.inst_idx,
+                        info.container,
+                        comp.kind.is_spout(),
+                    )
+                })
+                .collect(),
+            containers: (0..self.plan.num_containers())
+                .map(|c| metrics.register_container(c as u32))
+                .collect(),
+            batch: MetricBatch::with_capacity(0, rows_per_minute),
+        }
+    }
+
+    /// Flushes per-minute metrics for the minute ending now as one
+    /// columnar batch through the pre-resolved handles in `sink`.
+    fn flush_minute(&mut self, metrics: &SimMetrics, sink: &mut SinkHandles) {
         let minute_ts = (self.now_secs() * 1000) as i64 - 60_000;
+        sink.batch.reset(minute_ts);
         for flat in 0..self.instances.len() {
             let info = self.instances[flat];
             let state = self.states[flat].clone();
             let salt = ((flat as u64) << 32) | (self.now_secs() / 60);
-            let comp = self.topology.components[info.comp_idx].name.as_str();
-            let is_spout = self.topology.components[info.comp_idx].kind.is_spout();
 
             let executed = state.executed * self.noise(salt ^ (1 << 17));
             let emitted = state.emitted * self.noise(salt ^ (2 << 17));
             let cpu = state.cpu_core_seconds / 60.0 * self.noise(salt ^ (3 << 17));
-            let rec = |name: &str, value: f64| {
-                metrics.record_instance(
-                    name,
-                    comp,
-                    info.inst_idx,
-                    info.container,
-                    minute_ts,
-                    value,
-                );
-            };
-            rec(metric::EXECUTE_COUNT, executed);
-            rec(metric::EMIT_COUNT, emitted);
-            rec(metric::CPU_LOAD, cpu);
-            rec(metric::BACKPRESSURE_TIME, state.bp_ms.min(60_000.0));
-            rec(metric::QUEUE_BYTES, state.queue_bytes);
-            rec(metric::FAIL_COUNT, state.failed);
             let latency_ms = if info.capacity > 0.0 {
                 state.queue_tuples / info.capacity * 1000.0
             } else {
                 0.0
             };
-            rec(metric::LATENCY_MS, latency_ms);
-            if is_spout {
-                rec(metric::SOURCE_OFFERED, state.offered);
+            let handles = &sink.instances[flat];
+            sink.batch.push(&handles.execute, executed);
+            sink.batch.push(&handles.emit, emitted);
+            sink.batch.push(&handles.cpu, cpu);
+            sink.batch
+                .push(&handles.backpressure, state.bp_ms.min(60_000.0));
+            sink.batch.push(&handles.queue, state.queue_bytes);
+            sink.batch.push(&handles.fail, state.failed);
+            sink.batch.push(&handles.latency, latency_ms);
+            if let Some(offered) = &handles.offered {
+                sink.batch.push(offered, state.offered);
             }
 
             let state = &mut self.states[flat];
@@ -541,19 +581,21 @@ impl Simulation {
         }
         for container in 0..self.plan.num_containers() {
             let routed = self.stmgr_tuples[container];
-            metrics.record_container(metric::STMGR_TUPLES, container as u32, minute_ts, routed);
+            sink.batch.push(&sink.containers[container], routed);
             self.stmgr_tuples[container] = 0.0;
         }
+        metrics.ingest(&sink.batch);
     }
 
     /// Runs `minutes` simulated minutes, recording metrics into `metrics`.
     pub fn run_minutes_into(&mut self, minutes: u64, metrics: &SimMetrics) {
+        let mut sink = self.register_sink(metrics);
         let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
         for _ in 0..minutes {
             for _ in 0..ticks_per_minute {
                 self.tick();
             }
-            self.flush_minute(metrics);
+            self.flush_minute(metrics, &mut sink);
         }
     }
 
@@ -569,14 +611,15 @@ impl Simulation {
     /// the paper's "allowed to run ... to attain steady state before
     /// measurements were retrieved".
     pub fn warmup_minutes(&mut self, minutes: u64) {
-        let sink = SimMetrics::new("warmup-discard");
+        let discard = SimMetrics::new("warmup-discard");
+        let mut sink = self.register_sink(&discard);
         let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
         for _ in 0..minutes {
             for _ in 0..ticks_per_minute {
                 self.tick();
             }
-            // Reset accumulators without recording.
-            self.flush_minute(&sink);
+            // Reset accumulators without recording into the real store.
+            self.flush_minute(&discard, &mut sink);
         }
     }
 }
@@ -585,6 +628,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::grouping::Grouping;
+    use crate::metrics::metric;
     use crate::profiles::RateProfile;
     use crate::topology::{TopologyBuilder, WorkProfile};
     use caladrius_tsdb::Aggregation;

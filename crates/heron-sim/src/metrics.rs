@@ -5,7 +5,9 @@
 //! [`caladrius_tsdb::MetricsDb`]. Caladrius's metrics provider reads them
 //! back through the tag-filtered query interface.
 
-use caladrius_tsdb::{Aggregation, MetricsDb, Sample, SeriesKey, TagFilter};
+use caladrius_tsdb::{
+    Aggregation, MetricBatch, MetricsDb, Sample, SeriesHandle, SeriesKey, TagFilter,
+};
 use std::sync::Arc;
 
 /// Canonical metric names.
@@ -42,6 +44,31 @@ pub mod tag {
     pub const INSTANCE: &str = "instance";
     /// Container id tag.
     pub const CONTAINER: &str = "container";
+}
+
+/// Pre-resolved series handles for one simulated instance.
+///
+/// Resolved once per run via [`SimMetrics::register_instance`] so the
+/// per-minute flush appends under only the per-series locks — no tag
+/// hashing or catalog contention on the steady-state write path.
+#[derive(Debug, Clone)]
+pub struct InstanceHandles {
+    /// `execute-count` series.
+    pub execute: SeriesHandle,
+    /// `emit-count` series.
+    pub emit: SeriesHandle,
+    /// `cpu-load` series.
+    pub cpu: SeriesHandle,
+    /// `backpressure-time` series.
+    pub backpressure: SeriesHandle,
+    /// `queue-bytes` series.
+    pub queue: SeriesHandle,
+    /// `fail-count` series.
+    pub fail: SeriesHandle,
+    /// `latency-ms` series.
+    pub latency: SeriesHandle,
+    /// `source-offered` series; `None` for bolts.
+    pub offered: Option<SeriesHandle>,
 }
 
 /// Metrics sink + typed read helpers for one topology's simulation run.
@@ -112,6 +139,45 @@ impl SimMetrics {
             .with_tag(tag::TOPOLOGY, self.topology.clone())
             .with_tag(tag::CONTAINER, container.to_string());
         self.db.write(&key, minute_ts, value);
+    }
+
+    /// Resolves all per-instance series handles for one instance up front.
+    ///
+    /// `is_spout` controls whether a `source-offered` series is registered.
+    pub fn register_instance(
+        &self,
+        component: &str,
+        instance: u32,
+        container: u32,
+        is_spout: bool,
+    ) -> InstanceHandles {
+        let register = |name: &str| {
+            self.db
+                .register(&self.instance_key(name, component, instance, container))
+        };
+        InstanceHandles {
+            execute: register(metric::EXECUTE_COUNT),
+            emit: register(metric::EMIT_COUNT),
+            cpu: register(metric::CPU_LOAD),
+            backpressure: register(metric::BACKPRESSURE_TIME),
+            queue: register(metric::QUEUE_BYTES),
+            fail: register(metric::FAIL_COUNT),
+            latency: register(metric::LATENCY_MS),
+            offered: is_spout.then(|| register(metric::SOURCE_OFFERED)),
+        }
+    }
+
+    /// Resolves the per-container stream-manager throughput handle.
+    pub fn register_container(&self, container: u32) -> SeriesHandle {
+        let key = SeriesKey::new(metric::STMGR_TUPLES)
+            .with_tag(tag::TOPOLOGY, self.topology.clone())
+            .with_tag(tag::CONTAINER, container.to_string());
+        self.db.register(&key)
+    }
+
+    /// Ingests one assembled minute batch.
+    pub fn ingest(&self, batch: &MetricBatch) {
+        self.db.ingest_batch(batch);
     }
 
     fn base_filters(&self, component: Option<&str>) -> Vec<TagFilter> {

@@ -6,7 +6,97 @@ use crate::query::{bucketed, combine, Aggregation, TagFilter};
 use crate::series::{Sample, Series, SeriesKey};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Sentinel meaning "no sample has ever been ingested".
+const WATERMARK_NONE: i64 = i64::MIN;
+
+/// An interned series: the id plus a direct handle to the series storage.
+///
+/// Resolved once per (metric, tag set) via [`MetricsDb::register`]; after
+/// that, appends through the handle touch only the per-series lock — no
+/// tag hashing, no catalog lock. This is the steady-state ingest path:
+/// the series universe of a running topology stabilises after the first
+/// minute, so registration cost is paid once per run, not per sample.
+#[derive(Debug, Clone)]
+pub struct SeriesHandle {
+    id: SeriesId,
+    series: Arc<RwLock<Series>>,
+}
+
+impl SeriesHandle {
+    /// The catalog id this handle is interned under.
+    pub fn id(&self) -> SeriesId {
+        self.id
+    }
+}
+
+/// A columnar batch of samples sharing one timestamp: `(handle, value)`
+/// rows, as assembled by a metrics producer once per reporting interval
+/// (the simulator emits one batch per simulated minute).
+///
+/// Ingesting a batch via [`MetricsDb::ingest_batch`] appends every row
+/// under its per-series lock and advances the ingest watermark once.
+#[derive(Debug, Clone, Default)]
+pub struct MetricBatch {
+    ts: i64,
+    rows: Vec<(SeriesHandle, f64)>,
+}
+
+impl MetricBatch {
+    /// Creates an empty batch stamped at `ts`.
+    pub fn new(ts: i64) -> Self {
+        Self {
+            ts,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with room for `capacity` rows.
+    pub fn with_capacity(ts: i64, capacity: usize) -> Self {
+        Self {
+            ts,
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Clears the rows and re-stamps the batch, keeping the allocation —
+    /// producers reuse one batch across intervals.
+    pub fn reset(&mut self, ts: i64) {
+        self.ts = ts;
+        self.rows.clear();
+    }
+
+    /// Appends one `(series, value)` row.
+    pub fn push(&mut self, handle: &SeriesHandle, value: f64) {
+        self.rows.push((handle.clone(), value));
+    }
+
+    /// The batch timestamp.
+    pub fn ts(&self) -> i64 {
+        self.ts
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Ingestion counters, as exposed on the API health endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Batches accepted by [`MetricsDb::ingest_batch`].
+    pub batches: u64,
+    /// Samples ingested (batched rows + per-sample writes).
+    pub samples: u64,
+}
 
 /// A concurrent, tag-indexed, in-memory metrics store.
 ///
@@ -14,11 +104,32 @@ use std::sync::Arc;
 /// then append under the per-series lock; readers snapshot the matching ids
 /// and read each series independently. This mirrors the ingestion path of
 /// production metric stores: catalog contention is rare because the series
-/// universe stabilises quickly.
-#[derive(Debug, Default)]
+/// universe stabilises quickly. Steady-state producers should go further
+/// and hold [`SeriesHandle`]s (see [`MetricsDb::register`]), which removes
+/// the catalog from the write path entirely.
+#[derive(Debug)]
 pub struct MetricsDb {
     catalog: RwLock<Catalog>,
     series: RwLock<HashMap<SeriesId, Arc<RwLock<Series>>>>,
+    /// Largest timestamp ever ingested (`WATERMARK_NONE` when empty).
+    /// Advanced with `fetch_max` on every append; recomputed under the
+    /// series map lock by `truncate_before` so it never points at
+    /// truncated data.
+    watermark: AtomicI64,
+    batches_ingested: AtomicU64,
+    samples_ingested: AtomicU64,
+}
+
+impl Default for MetricsDb {
+    fn default() -> Self {
+        Self {
+            catalog: RwLock::new(Catalog::default()),
+            series: RwLock::new(HashMap::new()),
+            watermark: AtomicI64::new(WATERMARK_NONE),
+            batches_ingested: AtomicU64::new(0),
+            samples_ingested: AtomicU64::new(0),
+        }
+    }
 }
 
 impl MetricsDb {
@@ -46,27 +157,87 @@ impl MetricsDb {
             .sum()
     }
 
-    fn series_handle(&self, key: &SeriesKey) -> Arc<RwLock<Series>> {
+    /// Interns `key`, returning a handle for catalog-free appends.
+    ///
+    /// The catalog lock is taken once here; subsequent
+    /// [`MetricsDb::append`] / [`MetricsDb::ingest_batch`] calls through
+    /// the handle only touch the per-series lock.
+    pub fn register(&self, key: &SeriesKey) -> SeriesHandle {
         let id = self.catalog.write().ensure(key);
         let mut map = self.series.write();
-        Arc::clone(
+        let series = Arc::clone(
             map.entry(id)
                 .or_insert_with(|| Arc::new(RwLock::new(Series::new()))),
-        )
+        );
+        SeriesHandle { id, series }
     }
 
-    /// Writes one sample.
+    /// Appends one sample through an interned handle — the lock-minimal
+    /// steady-state write path.
+    pub fn append(&self, handle: &SeriesHandle, ts: i64, value: f64) {
+        handle.series.write().push(Sample::new(ts, value));
+        self.watermark.fetch_max(ts, Ordering::AcqRel);
+        self.samples_ingested.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ingests a columnar batch: every row appends under only its
+    /// per-series lock, and the watermark and counters advance once per
+    /// batch instead of once per sample.
+    pub fn ingest_batch(&self, batch: &MetricBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let ts = batch.ts;
+        for (handle, value) in &batch.rows {
+            handle.series.write().push(Sample::new(ts, *value));
+        }
+        self.watermark.fetch_max(ts, Ordering::AcqRel);
+        self.batches_ingested.fetch_add(1, Ordering::Relaxed);
+        self.samples_ingested
+            .fetch_add(batch.rows.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Largest timestamp ever ingested, `None` while empty. O(1): read
+    /// off the per-db watermark, never a series scan.
+    pub fn watermark(&self) -> Option<i64> {
+        match self.watermark.load(Ordering::Acquire) {
+            WATERMARK_NONE => None,
+            ts => Some(ts),
+        }
+    }
+
+    /// Ingestion counters since the database was created.
+    pub fn ingest_stats(&self) -> IngestStats {
+        IngestStats {
+            batches: self.batches_ingested.load(Ordering::Relaxed),
+            samples: self.samples_ingested.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes one sample. Compatibility wrapper over
+    /// [`MetricsDb::register`] + [`MetricsDb::append`]; steady-state
+    /// producers should hold the handle instead of paying the catalog
+    /// lookup per sample.
     pub fn write(&self, key: &SeriesKey, ts: i64, value: f64) {
-        self.series_handle(key).write().push(Sample::new(ts, value));
+        self.append(&self.register(key), ts, value);
     }
 
     /// Writes many samples for one series, cheaper than repeated
     /// [`MetricsDb::write`] because the series is resolved once.
     pub fn write_batch(&self, key: &SeriesKey, samples: impl IntoIterator<Item = Sample>) {
-        let handle = self.series_handle(key);
-        let mut series = handle.write();
+        let handle = self.register(key);
+        let mut series = handle.series.write();
+        let mut count = 0u64;
+        let mut max_ts = WATERMARK_NONE;
         for s in samples {
+            max_ts = max_ts.max(s.ts);
             series.push(s);
+            count += 1;
+        }
+        drop(series);
+        if count > 0 {
+            self.watermark.fetch_max(max_ts, Ordering::AcqRel);
+            self.samples_ingested.fetch_add(count, Ordering::Relaxed);
         }
     }
 
@@ -200,7 +371,13 @@ impl MetricsDb {
     }
 
     /// Latest timestamp observed for a metric across matching series.
+    ///
+    /// The per-db [`MetricsDb::watermark`] short-circuits the empty case
+    /// and callers that don't need per-metric precision should read the
+    /// watermark directly — it is O(1) where this scans the matching
+    /// series.
     pub fn latest_ts(&self, name: &str, filters: &[TagFilter]) -> Option<i64> {
+        self.watermark()?;
         let ids = self.catalog.read().select(name, filters);
         let map = self.series.read();
         ids.iter()
@@ -225,12 +402,24 @@ impl MetricsDb {
 
     /// Applies a retention cutoff to every series (see
     /// [`crate::retention::RetentionPolicy`]). Returns total dropped samples.
+    ///
+    /// The ingest watermark is recomputed from the surviving data so it
+    /// never points at truncated samples. Retention is a rare maintenance
+    /// path; a write racing the recomputation can at worst leave the
+    /// watermark slightly behind, and the next append's `fetch_max`
+    /// catches it up.
     pub fn truncate_before(&self, cutoff: i64) -> Result<usize> {
         let map = self.series.read();
         let mut dropped = 0;
+        let mut surviving_max = WATERMARK_NONE;
         for series in map.values() {
-            dropped += series.write().truncate_before(cutoff)?;
+            let mut guard = series.write();
+            dropped += guard.truncate_before(cutoff)?;
+            if let Some(ts) = guard.latest_ts() {
+                surviving_max = surviving_max.max(ts);
+            }
         }
+        self.watermark.store(surviving_max, Ordering::Release);
         Ok(dropped)
     }
 }
@@ -434,5 +623,197 @@ mod tests {
         db.write(&SeriesKey::new("a"), 0, 1.0);
         db.write(&SeriesKey::new("b"), 0, 1.0);
         assert_eq!(db.metric_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn register_interns_one_id_per_key() {
+        let db = MetricsDb::new();
+        let h1 = db.register(&key("splitter", 0));
+        let h2 = db.register(&key("splitter", 0));
+        let h3 = db.register(&key("splitter", 1));
+        assert_eq!(h1.id(), h2.id());
+        assert_ne!(h1.id(), h3.id());
+        assert_eq!(db.series_count(), 2);
+    }
+
+    #[test]
+    fn append_through_handle_reads_back_via_key() {
+        let db = MetricsDb::new();
+        let h = db.register(&key("splitter", 0));
+        db.append(&h, 0, 1.0);
+        db.append(&h, 60_000, 2.0);
+        let samples = db.read(&key("splitter", 0), 0, i64::MAX).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].value, 2.0);
+    }
+
+    #[test]
+    fn ingest_batch_lands_all_rows_at_batch_ts() {
+        let db = MetricsDb::new();
+        let handles: Vec<SeriesHandle> = (0..5).map(|i| db.register(&key("splitter", i))).collect();
+        let mut batch = MetricBatch::with_capacity(60_000, handles.len());
+        for (i, h) in handles.iter().enumerate() {
+            batch.push(h, i as f64);
+        }
+        assert_eq!(batch.len(), 5);
+        db.ingest_batch(&batch);
+        for (i, _) in handles.iter().enumerate() {
+            let samples = db.read(&key("splitter", i as u32), 0, i64::MAX).unwrap();
+            assert_eq!(samples.len(), 1);
+            assert_eq!(samples[0].ts, 60_000);
+            assert_eq!(samples[0].value, i as f64);
+        }
+        let stats = db.ingest_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.samples, 5);
+    }
+
+    #[test]
+    fn batch_reset_reuses_allocation() {
+        let db = MetricsDb::new();
+        let h = db.register(&key("splitter", 0));
+        let mut batch = MetricBatch::new(0);
+        batch.push(&h, 1.0);
+        db.ingest_batch(&batch);
+        batch.reset(60_000);
+        assert!(batch.is_empty());
+        assert_eq!(batch.ts(), 60_000);
+        batch.push(&h, 2.0);
+        db.ingest_batch(&batch);
+        assert_eq!(db.read(&key("splitter", 0), 0, i64::MAX).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let db = MetricsDb::new();
+        db.ingest_batch(&MetricBatch::new(123));
+        assert_eq!(db.watermark(), None);
+        assert_eq!(db.ingest_stats(), IngestStats::default());
+    }
+
+    #[test]
+    fn watermark_tracks_every_ingest_path() {
+        let db = MetricsDb::new();
+        assert_eq!(db.watermark(), None);
+        db.write(&key("splitter", 0), 60_000, 1.0);
+        assert_eq!(db.watermark(), Some(60_000));
+        let h = db.register(&key("splitter", 1));
+        db.append(&h, 180_000, 1.0);
+        assert_eq!(db.watermark(), Some(180_000));
+        // Out-of-order appends never move the watermark backwards.
+        db.append(&h, 120_000, 1.0);
+        assert_eq!(db.watermark(), Some(180_000));
+        let mut batch = MetricBatch::new(240_000);
+        batch.push(&h, 1.0);
+        db.ingest_batch(&batch);
+        assert_eq!(db.watermark(), Some(240_000));
+        db.write_batch(
+            &key("splitter", 2),
+            (5..7).map(|m| Sample::new(m * 60_000, 1.0)),
+        );
+        assert_eq!(db.watermark(), Some(360_000));
+    }
+
+    #[test]
+    fn truncation_recomputes_watermark() {
+        let db = MetricsDb::new();
+        let h = db.register(&key("splitter", 0));
+        for m in 0..10i64 {
+            db.append(&h, m * 60_000, 1.0);
+        }
+        assert_eq!(db.watermark(), Some(9 * 60_000));
+        // Cutoff below the newest data: watermark unchanged and still
+        // pointing at surviving samples.
+        db.truncate_before(5 * 60_000).unwrap();
+        assert_eq!(db.watermark(), Some(9 * 60_000));
+        let newest = db.read(&key("splitter", 0), 0, i64::MAX).unwrap();
+        assert!(newest.iter().any(|s| Some(s.ts) == db.watermark()));
+        // Cutoff above everything: the watermark must not keep pointing
+        // at truncated data.
+        db.truncate_before(i64::MAX).unwrap();
+        assert_eq!(db.watermark(), None);
+        assert_eq!(db.latest_ts("emit-count", &[]), None);
+    }
+
+    #[test]
+    fn truncation_watermark_agrees_across_series() {
+        let db = MetricsDb::new();
+        let fresh = db.register(&key("splitter", 0));
+        let stale = db.register(&key("counter", 0));
+        db.append(&stale, 0, 1.0);
+        db.append(&stale, 60_000, 1.0);
+        db.append(&fresh, 300_000, 1.0);
+        assert_eq!(db.watermark(), Some(300_000));
+        // Drops the stale series entirely; the fresh one holds the max.
+        db.truncate_before(120_000).unwrap();
+        assert_eq!(db.watermark(), Some(300_000));
+        // Now drop the fresh sample too: the recomputed watermark must
+        // fall back to None, not linger at 300_000.
+        db.truncate_before(600_000).unwrap();
+        assert_eq!(db.watermark(), None);
+        // New ingest restarts the watermark from the new data.
+        db.append(&fresh, 660_000, 1.0);
+        assert_eq!(db.watermark(), Some(660_000));
+    }
+
+    #[test]
+    fn ingest_batch_roundtrips_gorilla_identically_to_write() {
+        // The same (ts, value) stream through the batched path and the
+        // per-sample path must produce byte-identical storage: both feed
+        // Series::push, which seals chunks through the same Gorilla
+        // encoder. Values are chosen to exercise the XOR window logic
+        // (repeats, sign flips, tiny deltas) across chunk seals.
+        let per_sample = MetricsDb::new();
+        let batched = MetricsDb::new();
+        let k = key("splitter", 0);
+        let handle = batched.register(&k);
+        let values: Vec<f64> = (0..600)
+            .map(|i| match i % 4 {
+                0 => 1000.0,
+                1 => 1000.0,
+                2 => -1000.0 - f64::from(i),
+                _ => 1e-9 * f64::from(i),
+            })
+            .collect();
+        for (i, v) in values.iter().enumerate() {
+            let ts = i as i64 * 60_000;
+            per_sample.write(&k, ts, *v);
+            let mut batch = MetricBatch::new(ts);
+            batch.push(&handle, *v);
+            batched.ingest_batch(&batch);
+        }
+        let a = per_sample.read(&k, 0, i64::MAX).unwrap();
+        let b = batched.read(&k, 0, i64::MAX).unwrap();
+        assert_eq!(a.len(), values.len());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ts, y.ts);
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+        assert_eq!(per_sample.storage_bytes(), batched.storage_bytes());
+        assert_eq!(per_sample.watermark(), batched.watermark());
+    }
+
+    #[test]
+    fn concurrent_handle_appends_do_not_lose_samples() {
+        let db = StdArc::new(MetricsDb::new());
+        let handles: Vec<SeriesHandle> = (0..8).map(|t| db.register(&key("splitter", t))).collect();
+        let mut threads = Vec::new();
+        for (t, h) in handles.into_iter().enumerate() {
+            let db = StdArc::clone(&db);
+            threads.push(thread::spawn(move || {
+                for m in 0..250i64 {
+                    let mut batch = MetricBatch::new(m * 60_000);
+                    batch.push(&h, (t as f64) + m as f64);
+                    db.ingest_batch(&batch);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(db.sample_count(), 8 * 250);
+        assert_eq!(db.watermark(), Some(249 * 60_000));
+        assert_eq!(db.ingest_stats().samples, 8 * 250);
     }
 }

@@ -1,0 +1,214 @@
+//! Vendored shim exposing the subset of `crossbeam` this workspace
+//! uses: `channel::{unbounded, Sender, Receiver}` with MPMC cloning
+//! and disconnect semantics, backed by a `Mutex<VecDeque>` + `Condvar`.
+//!
+//! See `vendor/` in the repo root for why external dependencies are
+//! vendored.
+
+pub mod channel {
+    //! Multi-producer multi-consumer unbounded FIFO channel.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// The sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded channel, returning the sender/receiver pair.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the channel is empty.
+        /// Fails once the channel is empty and all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<i32>();
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut sum = 0u32;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for i in 1..=100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            assert_eq!(total, 5050);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `true` or `false` with equal probability.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+/// The canonical boolean strategy.
+pub const ANY: AnyBool = AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

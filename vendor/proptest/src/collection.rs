@@ -1,0 +1,119 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Size specification for collection strategies: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Inclusive (min, max) bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for i32 {
+    fn bounds(&self) -> (usize, usize) {
+        (*self as usize, *self as usize)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// Generates vectors whose elements come from `element` and whose
+/// length is drawn uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.min + rng.below(self.max - self.min + 1);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K::Value, V::Value>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    min: usize,
+    max: usize,
+}
+
+/// Generates maps with `size` entries (post-deduplication the map may
+/// be smaller if the key strategy collides, matching upstream).
+pub fn btree_map<K, V>(key: K, value: V, size: impl IntoSizeRange) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    let (min, max) = size.bounds();
+    BTreeMapStrategy {
+        key,
+        value,
+        min,
+        max,
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let len = self.min + rng.below(self.max - self.min + 1);
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::from_name("vec_sizes");
+        for _ in 0..100 {
+            let v = vec(0u32..5, 1..8).generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let fixed = vec(0u32..5, 6).generate(&mut rng);
+            assert_eq!(fixed.len(), 6);
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_bounds() {
+        let mut rng = TestRng::from_name("btree_map");
+        for _ in 0..50 {
+            let m = btree_map(0u32..100, 0u32..5, 0..8).generate(&mut rng);
+            assert!(m.len() < 8);
+        }
+    }
+}

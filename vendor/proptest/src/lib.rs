@@ -1,0 +1,105 @@
+//! Vendored mini property-testing harness with the `proptest` API
+//! surface this workspace uses.
+//!
+//! Differences from the real crate, chosen deliberately for an offline
+//! build: no shrinking (failures report the generated inputs via the
+//! panic message from `assert!`), a fixed deterministic RNG seeded per
+//! test name (so failures reproduce exactly across runs), and
+//! `prop_assume!` skips the remaining body of the current case rather
+//! than resampling. The strategy combinators (`prop_map`,
+//! `prop_recursive`, `prop_oneof!`, collections, ranges, regex-subset
+//! string patterns) match the upstream semantics closely enough for
+//! every property in this repo.
+//!
+//! Case count defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prop` used as `prop::collection::vec`,
+/// `prop::bool::ANY` etc. after a prelude glob import.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]`-style function (the attribute comes from the
+/// caller's metas) that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    // The closure gives `prop_assume!` an early-exit via
+                    // `return` that skips only the current case.
+                    let __one_case = move || { $body };
+                    __one_case();
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the remainder of the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    }};
+}

@@ -1,0 +1,193 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the pattern shapes used in this repo's properties: literal
+//! characters, `.` (any printable-ish char), character classes with
+//! ranges (`[a-zA-Z0-9._~/-]`), and the quantifiers `*`, `+`, `?`,
+//! `{n}`, `{n,m}`. Unsupported regex syntax will generate literally,
+//! which surfaces quickly in tests rather than silently misbehaving.
+
+use crate::test_runner::TestRng;
+
+enum CharSet {
+    /// `.` — any character from a varied pool.
+    Any,
+    /// A class: inclusive char ranges (single chars are degenerate ranges).
+    Ranges(Vec<(char, char)>),
+}
+
+struct Elem {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Characters the `.` wildcard draws from beyond plain printable ASCII,
+/// so JSON/percent-encoding properties see escapes, controls and
+/// multi-byte UTF-8.
+const SPICE: &[char] = &['\n', '\t', '"', '\\', '\u{1}', 'é', '中', '🦀'];
+
+fn parse(pattern: &str) -> Vec<Elem> {
+    let mut chars = pattern.chars().peekable();
+    let mut elems = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut members: Vec<char> = Vec::new();
+                for m in chars.by_ref() {
+                    if m == ']' {
+                        break;
+                    }
+                    members.push(m);
+                }
+                let mut i = 0;
+                while i < members.len() {
+                    if i + 2 < members.len() && members[i + 1] == '-' {
+                        ranges.push((members[i], members[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((members[i], members[i]));
+                        i += 1;
+                    }
+                }
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                let escaped = chars.next().unwrap_or('\\');
+                CharSet::Ranges(vec![(escaped, escaped)])
+            }
+            literal => CharSet::Ranges(vec![(literal, literal)]),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut bounds = String::new();
+                for b in chars.by_ref() {
+                    if b == '}' {
+                        break;
+                    }
+                    bounds.push(b);
+                }
+                match bounds.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(16),
+                    ),
+                    None => {
+                        let n = bounds.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        elems.push(Elem { set, min, max });
+    }
+    elems
+}
+
+fn pick(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Any => {
+            // Mostly printable ASCII, occasionally something spicier.
+            if rng.below(8) == 0 {
+                SPICE[rng.below(SPICE.len())]
+            } else {
+                char::from(0x20 + rng.below(0x5f) as u8)
+            }
+        }
+        CharSet::Ranges(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut idx = rng.below(total as usize) as u32;
+            for &(lo, hi) in ranges {
+                let len = hi as u32 - lo as u32 + 1;
+                if idx < len {
+                    return char::from_u32(lo as u32 + idx).unwrap_or(lo);
+                }
+                idx -= len;
+            }
+            unreachable!("index within total class size")
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for elem in parse(pattern) {
+        let count = elem.min + rng.below(elem.max - elem.min + 1);
+        for _ in 0..count {
+            out.push(pick(&elem.set, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_name("class_with_quantifier");
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z][a-z0-9_]{0,12}", &mut rng);
+            let mut it = s.chars();
+            let first = it.next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s.len() <= 13);
+            for c in it {
+                assert!(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            }
+        }
+    }
+
+    #[test]
+    fn literal_prefix_and_dash_literal() {
+        let mut rng = TestRng::from_name("literal_prefix");
+        for _ in 0..100 {
+            let s = generate_pattern("/[a-z0-9/]{0,30}", &mut rng);
+            assert!(s.starts_with('/'));
+            let t = generate_pattern("[a-zA-Z0-9._~/-]{0,50}", &mut rng);
+            for c in t.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || ".-_~/".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_star_varies_length() {
+        let mut rng = TestRng::from_name("dot_star");
+        let lens: Vec<usize> = (0..50)
+            .map(|_| generate_pattern(".*", &mut rng).chars().count())
+            .collect();
+        assert!(lens.iter().any(|&l| l == 0) || lens.iter().any(|&l| l > 0));
+        assert!(lens.iter().all(|&l| l <= 16));
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::from_name("exact");
+        let s = generate_pattern("[ab]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+}

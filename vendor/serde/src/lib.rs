@@ -1,0 +1,17 @@
+//! Vendored shim for `serde`: marker traits plus re-exported no-op
+//! derives (behind the `derive` feature, matching the real crate's
+//! feature name).
+//!
+//! The workspace only ever *derives* these traits — serialization goes
+//! through the API crate's own JSON layer — so the traits carry no
+//! methods. See `vendor/` in the repo root for why external
+//! dependencies are vendored.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Vendored no-op derive macros for `Serialize`/`Deserialize`.
+//!
+//! The workspace derives these traits as forward-compatibility markers
+//! but never calls a serializer (the API crate has its own hand-rolled
+//! JSON layer), so empty expansions are sufficient. `attributes(serde)`
+//! is declared so `#[serde(...)]` field attributes, if ever added,
+//! parse instead of erroring.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
