@@ -10,11 +10,13 @@
 //! | POST | `/model/topology/heron/{topology}?async=true` | as above, `202` + job id |
 //! | GET  | `/model/packing/heron/{topology}?containers=N&parallelism=c:p,...` | packing-plan assessment (graph calculation interface) |
 //! | GET  | `/metrics/heron/{topology}?q=<selector>` | raw metric series (selector grammar: `name{tag=value,...}`) |
+//! | POST | `/topology/{topology}/plan` | horizon capacity plan, `202` + job id |
 //! | GET  | `/jobs/{id}` | poll an asynchronous job |
 
 use crate::http::{Handler, Request, Response};
 use crate::jobs::{JobRunner, JobState};
 use crate::json::{self, Value};
+use caladrius_core::capacity::CapacityPlanRequest;
 use caladrius_core::error::CoreError;
 use caladrius_core::service::{EvaluationReport, SourceRateSpec};
 use caladrius_core::traffic::TrafficForecast;
@@ -213,6 +215,135 @@ fn parse_evaluation_body(body: &str) -> Result<(HashMap<String, u32>, SourceRate
     Ok((parallelisms, source))
 }
 
+/// Parses the capacity-plan request body into a
+/// [`CapacityPlanRequest`]. Every field is optional; absent fields keep
+/// the planner defaults.
+fn parse_plan_body(body: &str) -> Result<CapacityPlanRequest, String> {
+    let value = if body.trim().is_empty() {
+        Value::Object(Default::default())
+    } else {
+        json::parse(body).map_err(|e| e.to_string())?
+    };
+    let mut request = CapacityPlanRequest::default();
+    if let Some(model) = value.get("traffic_model") {
+        request.traffic_model = Some(
+            model
+                .as_str()
+                .ok_or("traffic_model must be a string")?
+                .to_string(),
+        );
+    }
+    if let Some(v) = value.get("conservative") {
+        request.conservative = v.as_bool().ok_or("conservative must be a boolean")?;
+    }
+    let number = |key: &str| -> Result<Option<f64>, String> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("{key} must be a number")),
+        }
+    };
+    let whole = |key: &str| -> Result<Option<u64>, String> {
+        match number(key)? {
+            None => Ok(None),
+            Some(n) if n >= 1.0 && n.fract() == 0.0 => Ok(Some(n as u64)),
+            Some(_) => Err(format!("{key} must be a positive whole number")),
+        }
+    };
+    if let Some(headroom) = number("headroom")? {
+        request.planner.headroom = headroom;
+    }
+    if let Some(cap) = number("cpu_utilization_cap")? {
+        request.planner.cpu_utilization_cap = cap;
+    }
+    if let Some(minutes) = whole("window_minutes")? {
+        request.planner.window_minutes = minutes;
+    }
+    if let Some(h) = whole("hysteresis_windows")? {
+        request.planner.hysteresis_windows = h as usize;
+    }
+    if let Some(max_p) = whole("max_parallelism")? {
+        request.planner.limits.max_parallelism = max_p.min(u64::from(u32::MAX)) as u32;
+    }
+    request.planner.validate().map_err(|e| e.to_string())?;
+    Ok(request)
+}
+
+fn action_to_json(action: &caladrius_planner::PlanAction) -> Value {
+    use caladrius_planner::PlanAction;
+    let (direction, component, from, to) = match action {
+        PlanAction::ScaleUp {
+            component,
+            from,
+            to,
+        } => ("up", component, from, to),
+        PlanAction::ScaleDown {
+            component,
+            from,
+            to,
+        } => ("down", component, from, to),
+    };
+    Value::object([
+        ("direction", Value::from(direction)),
+        ("component", Value::from(component.clone())),
+        ("from", Value::from(*from)),
+        ("to", Value::from(*to)),
+    ])
+}
+
+fn cost_to_json(cost: &caladrius_planner::PlanCost) -> Value {
+    Value::object([
+        ("total_instances", Value::from(cost.total_instances)),
+        ("total_cores", Value::from(cost.total_cores)),
+        ("total_ram_mb", Value::from(cost.total_ram_mb as f64)),
+        ("containers", Value::from(cost.containers)),
+    ])
+}
+
+fn parallelisms_to_json(parallelisms: &[(String, u32)]) -> Value {
+    Value::Object(
+        parallelisms
+            .iter()
+            .map(|(name, p)| (name.clone(), Value::from(*p)))
+            .collect(),
+    )
+}
+
+fn timeline_to_json(topology: &str, timeline: &caladrius_planner::PlanTimeline) -> Value {
+    let windows = timeline
+        .windows
+        .iter()
+        .map(|w| {
+            Value::object([
+                ("window", Value::from(w.window)),
+                ("start_ts", Value::from(w.start_ts as f64)),
+                ("end_ts", Value::from(w.end_ts as f64)),
+                ("peak_rate", Value::from(w.peak_rate)),
+                ("planned_rate", Value::from(w.planned_rate)),
+                ("parallelisms", parallelisms_to_json(&w.parallelisms)),
+                ("cost", cost_to_json(&w.cost)),
+                ("saturation_rate", Value::from(w.saturation_rate)),
+                (
+                    "actions",
+                    Value::Array(w.actions.iter().map(action_to_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("topology", Value::from(topology)),
+        ("windows", Value::Array(windows)),
+        (
+            "peak_parallelisms",
+            parallelisms_to_json(&timeline.peak_parallelisms),
+        ),
+        ("peak_cost", cost_to_json(&timeline.peak_cost)),
+        ("oracle_evals", Value::from(timeline.oracle_evals as f64)),
+    ])
+}
+
 impl ApiService {
     /// Wraps a Caladrius service with `job_workers` asynchronous workers.
     pub fn new(caladrius: Arc<Caladrius>, job_workers: usize) -> Arc<Self> {
@@ -246,8 +377,13 @@ impl ApiService {
             ("POST", ["model", "topology", "heron", topology]) => self.evaluate(topology, &request),
             ("GET", ["model", "packing", "heron", topology]) => self.packing(topology, &request),
             ("GET", ["metrics", "heron", topology]) => self.metrics(topology, &request),
+            ("POST", ["topology", topology, "plan"]) => self.plan(topology, &request),
             ("GET", ["jobs", id]) => self.job_status(id),
-            (_, ["model", ..]) | (_, ["jobs", ..]) | (_, ["health"]) | (_, ["topologies"]) => {
+            (_, ["model", ..])
+            | (_, ["jobs", ..])
+            | (_, ["topology", _, "plan"])
+            | (_, ["health"])
+            | (_, ["topologies"]) => {
                 Response::json_status(405, "{\"error\":\"method not allowed\"}")
             }
             _ => Response::json_status(404, "{\"error\":\"no such endpoint\"}"),
@@ -267,6 +403,8 @@ impl ApiService {
                     ("hits", Value::from(cache.hits as f64)),
                     ("misses", Value::from(cache.misses as f64)),
                     ("fits", Value::from(cache.fits as f64)),
+                    ("plans", Value::from(cache.plans as f64)),
+                    ("plan_evals", Value::from(cache.plan_evals as f64)),
                 ]),
             ),
             ("jobs_tracked", Value::from(self.jobs.len() as f64)),
@@ -474,6 +612,42 @@ impl ApiService {
             }
             Err(e) => error_response(&e),
         }
+    }
+
+    /// `POST /topology/{t}/plan` — horizon capacity planning. Plan
+    /// searches forecast and probe the models across the whole horizon,
+    /// so the work always runs asynchronously through the job store:
+    /// the response is a `202` with a job id to poll.
+    fn plan(&self, topology: &str, request: &Request) -> Response {
+        let body = match request.body_str() {
+            Some(b) => b,
+            None => return Response::json_status(400, "{\"error\":\"body is not UTF-8\"}"),
+        };
+        let plan_request = match parse_plan_body(body) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                return Response::json_status(
+                    400,
+                    Value::object([("error", Value::from(msg))]).to_json(),
+                )
+            }
+        };
+        let caladrius = Arc::clone(&self.caladrius);
+        let topology = topology.to_string();
+        let id = self.jobs.submit(move || {
+            caladrius
+                .plan_capacity(&topology, &plan_request)
+                .map(|timeline| timeline_to_json(&topology, &timeline))
+                .map_err(|e| e.to_string())
+        });
+        Response::json_status(
+            202,
+            Value::object([
+                ("job_id", Value::from(id as f64)),
+                ("poll", Value::from(format!("/jobs/{id}"))),
+            ])
+            .to_json(),
+        )
     }
 
     fn job_status(&self, id: &str) -> Response {
@@ -732,6 +906,106 @@ mod tests {
         let cache = v.get("model_cache").unwrap();
         assert_eq!(cache.get("fits").unwrap().as_f64(), Some(fits_after_first));
         assert!(cache.get("hits").unwrap().as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn plan_endpoint_runs_async_and_reports_counters() {
+        let s = service();
+        let r = post(
+            &s,
+            "/topology/wordcount/plan",
+            r#"{"window_minutes": 15, "hysteresis_windows": 1, "max_parallelism": 32}"#,
+        );
+        assert_eq!(r.status, 202, "{}", String::from_utf8_lossy(&r.body));
+        let v = body_json(&r);
+        let id = v.get("job_id").unwrap().as_f64().unwrap() as u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let result = loop {
+            let r = get(&s, &format!("/jobs/{id}"));
+            let v = body_json(&r);
+            match v.get("state").unwrap().as_str() {
+                Some("pending") => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "plan job never finished"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Some("done") => break v.get("result").unwrap().clone(),
+                Some("failed") => panic!("plan failed: {:?}", v.get("error")),
+                other => panic!("unexpected job state {other:?}"),
+            }
+        };
+        assert_eq!(result.get("topology").unwrap().as_str(), Some("wordcount"));
+        let windows = result.get("windows").unwrap().as_array().unwrap();
+        // Default 60-minute horizon in 15-minute windows.
+        assert_eq!(windows.len(), 4);
+        for w in windows {
+            let parallelisms = w.get("parallelisms").unwrap().as_object().unwrap();
+            assert!(parallelisms.contains_key("splitter"));
+            assert!(parallelisms.contains_key("counter"));
+            assert!(
+                !parallelisms.contains_key("spout"),
+                "spouts are not planned"
+            );
+            assert!(
+                w.get("cost")
+                    .unwrap()
+                    .get("containers")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+                    >= 1.0
+            );
+        }
+        assert!(result.get("oracle_evals").unwrap().as_f64().unwrap() > 0.0);
+        assert!(result
+            .get("peak_parallelisms")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .contains_key("splitter"));
+
+        // Planner counters surface in /health.
+        let v = body_json(&get(&s, "/health"));
+        let cache = v.get("model_cache").unwrap();
+        assert_eq!(cache.get("plans").unwrap().as_f64(), Some(1.0));
+        assert!(cache.get("plan_evals").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn plan_endpoint_validates_requests() {
+        let s = service();
+        assert_eq!(
+            post(&s, "/topology/wordcount/plan", "{not json").status,
+            400
+        );
+        assert_eq!(
+            post(&s, "/topology/wordcount/plan", r#"{"headroom": 0.5}"#).status,
+            400
+        );
+        assert_eq!(
+            post(&s, "/topology/wordcount/plan", r#"{"window_minutes": 2.5}"#).status,
+            400
+        );
+        assert_eq!(get(&s, "/topology/wordcount/plan").status, 405);
+        // An unknown topology surfaces as a failed job, not a routing
+        // error (planning is always asynchronous).
+        let r = post(&s, "/topology/ghost/plan", "");
+        assert_eq!(r.status, 202);
+        let id = body_json(&r).get("job_id").unwrap().as_f64().unwrap() as u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let v = body_json(&get(&s, &format!("/jobs/{id}")));
+            match v.get("state").unwrap().as_str() {
+                Some("pending") => {
+                    assert!(std::time::Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Some("failed") => break,
+                other => panic!("expected failure for ghost topology, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   from observed history, compute the smallest sufficient parallelism
 //!   directly (Eq. 13), deploy once, verify.
 //!
+//! A third policy, [`planned::PlanFollower`], executes a configuration
+//! computed *offline* by the `caladrius-planner` horizon search:
+//! it drives the deployment to the planner's target assignment in one
+//! redeploy and degrades to reactive single-instance nudges if the
+//! plan undershoots.
+//!
 //! The [`harness`] runs a policy to convergence on a target load and
 //! scores it by deployments and simulated stabilisation time — the
 //! quantities behind the paper's "weeks for a production topology to be
@@ -29,6 +35,7 @@
 
 pub mod harness;
 pub mod modelled;
+pub mod planned;
 pub mod reactive;
 
 use heron_sim::topology::Topology;

@@ -1,0 +1,133 @@
+//! Planner search benchmark: the bottleneck-first joint search of
+//! `caladrius-planner` vs the naive exhaustive grid scan over the same
+//! parallelism space, plus a full 24 h horizon plan.
+//!
+//! The searches run against a closed-form analytic oracle (no
+//! simulator), so the numbers isolate search strategy cost: how many
+//! oracle evaluations each strategy spends and what that costs in wall
+//! time.
+
+use caladrius_planner::{
+    grid_min_cost, plan_horizon, plan_window, Assessment, CapacityOracle, PlanError, PlannerConfig,
+    ResourceLimits, WindowSpec,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A closed-form capacity model: component `i` sees `ratio` times the
+/// source rate and each instance serves `service` tuples/min, so the
+/// saturation rate of an assignment is `min_i(service_i * p_i /
+/// ratio_i)` — the same monotone structure the fitted Caladrius models
+/// expose, at zero evaluation cost.
+struct AnalyticOracle {
+    components: Vec<(String, f64, f64, f64)>, // (name, ratio, service, cpu_per_tuple)
+}
+
+impl AnalyticOracle {
+    fn chain(n: usize) -> Self {
+        let components = (0..n)
+            .map(|i| {
+                (
+                    format!("bolt{i}"),
+                    1.0 + i as f64 * 0.5,
+                    8.0e6 + i as f64 * 2.0e6,
+                    2.0e-8,
+                )
+            })
+            .collect();
+        Self { components }
+    }
+}
+
+impl CapacityOracle for AnalyticOracle {
+    fn components(&self) -> Vec<String> {
+        self.components.iter().map(|(n, ..)| n.clone()).collect()
+    }
+
+    fn assess(&self, parallelisms: &[(String, u32)], rate: f64) -> Result<Assessment, PlanError> {
+        let mut saturation = f64::INFINITY;
+        let mut bottleneck = None;
+        let mut cpu_per_instance = Vec::with_capacity(self.components.len());
+        for (name, ratio, service, cpu_per_tuple) in &self.components {
+            let p = parallelisms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| *p)
+                .unwrap_or(1);
+            let sat = service * f64::from(p) / ratio;
+            if sat < saturation {
+                saturation = sat;
+                bottleneck = Some(name.clone());
+            }
+            cpu_per_instance.push((
+                name.clone(),
+                0.05 + cpu_per_tuple * ratio * rate / f64::from(p),
+            ));
+        }
+        Ok(Assessment {
+            feasible: rate < saturation * 0.95,
+            bottleneck,
+            saturation_rate: saturation,
+            cpu_per_instance,
+        })
+    }
+}
+
+fn config(max_parallelism: u32) -> PlannerConfig {
+    PlannerConfig {
+        limits: ResourceLimits {
+            max_parallelism,
+            ..ResourceLimits::default()
+        },
+        ..PlannerConfig::default()
+    }
+}
+
+fn bench_window_search(c: &mut Criterion) {
+    let oracle = AnalyticOracle::chain(4);
+    let rate = 50.0e6;
+
+    // Report the evaluation counts once, outside the timing loop.
+    let joint = plan_window(&oracle, rate, &config(64)).unwrap();
+    let (_, grid_evals) = grid_min_cost(&oracle, rate, &config(12), 12).unwrap();
+    println!(
+        "evals at 50 M/min over 4 components: joint search {} (max_p 64) vs grid scan {} (max_p 12)",
+        joint.evals, grid_evals
+    );
+
+    let mut group = c.benchmark_group("planner_search");
+    group.sample_size(10);
+    group.bench_function("joint_bottleneck_first_maxp64", |b| {
+        b.iter(|| plan_window(&oracle, black_box(rate), &config(64)).unwrap());
+    });
+    group.bench_function("naive_grid_scan_maxp12", |b| {
+        b.iter(|| grid_min_cost(&oracle, black_box(rate), &config(12), 12).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_horizon(c: &mut Criterion) {
+    let oracle = AnalyticOracle::chain(4);
+    // A diurnal 24 h horizon at 15-minute windows (96 windows).
+    let windows: Vec<WindowSpec> = (0..96)
+        .map(|i| {
+            let phase = i as f64 / 96.0 * std::f64::consts::TAU;
+            WindowSpec {
+                start_ts: i as i64 * 900_000,
+                end_ts: (i as i64 + 1) * 900_000,
+                peak_rate: 30.0e6 + 25.0e6 * phase.sin(),
+            }
+        })
+        .collect();
+    let initial: Vec<(String, u32)> = oracle.components().into_iter().map(|n| (n, 1)).collect();
+
+    let mut group = c.benchmark_group("planner_horizon");
+    group.sample_size(10);
+    group.bench_function("diurnal_24h_96_windows", |b| {
+        b.iter(|| plan_horizon(&oracle, &initial, black_box(&windows), &config(64)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_search, bench_horizon);
+criterion_main!(benches);

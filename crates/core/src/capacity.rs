@@ -1,0 +1,209 @@
+//! Bridge between the fitted Caladrius models and the
+//! `caladrius-planner` horizon search: the model-backed
+//! [`CapacityOracle`] plus forecast-to-window chunking.
+
+use crate::error::CoreError;
+use crate::model::cpu::CpuModel;
+use crate::model::topology::{TopologyModel, RISK_MARGIN};
+use crate::traffic::TrafficForecast;
+use caladrius_planner::{Assessment, CapacityOracle, PlanError, PlannerConfig, WindowSpec};
+use std::collections::HashMap;
+
+/// Parameters of a [`crate::service::Caladrius::plan_capacity`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapacityPlanRequest {
+    /// Traffic model to forecast with (defaults to the first
+    /// configured).
+    pub traffic_model: Option<String>,
+    /// Plan each window against the forecast interval's upper bound
+    /// instead of the point forecast.
+    pub conservative: bool,
+    /// Planner search/cost knobs.
+    pub planner: PlannerConfig,
+}
+
+/// Chunks a traffic forecast into planning windows of
+/// `window_minutes`, taking each window's peak (point forecast, or
+/// upper bound when `conservative`).
+pub fn forecast_windows(
+    forecast: &TrafficForecast,
+    window_minutes: u64,
+    conservative: bool,
+) -> Result<Vec<WindowSpec>, CoreError> {
+    if window_minutes == 0 {
+        return Err(CoreError::InvalidRequest(
+            "window_minutes must be positive".into(),
+        ));
+    }
+    if forecast.points.is_empty() {
+        return Err(CoreError::Unpredictable(
+            "traffic forecast produced no points".into(),
+        ));
+    }
+    let mut windows = Vec::new();
+    for chunk in forecast.points.chunks(window_minutes as usize) {
+        let peak = chunk
+            .iter()
+            .map(|p| if conservative { p.upper } else { p.yhat })
+            .fold(f64::MIN, f64::max)
+            .max(0.0);
+        let start_ts = chunk.first().expect("chunks are non-empty").ts;
+        // Forecast points are minute-spaced; the window covers through
+        // the end of its last minute.
+        let end_ts = chunk.last().expect("chunks are non-empty").ts + 60_000;
+        windows.push(WindowSpec {
+            start_ts,
+            end_ts,
+            peak_rate: peak,
+        });
+    }
+    Ok(windows)
+}
+
+/// [`CapacityOracle`] over a fitted topology model and its per-bolt CPU
+/// models. Components are the modelled bolts (spouts have no component
+/// model — their output *is* the source rate, so scaling them is
+/// meaningless to the model).
+pub struct ModelOracle<'a> {
+    model: &'a TopologyModel,
+    cpu_models: &'a HashMap<String, CpuModel>,
+    components: Vec<String>,
+}
+
+impl<'a> ModelOracle<'a> {
+    /// Builds the oracle. `components` must be the modelled bolts in a
+    /// stable (topological or declaration) order.
+    pub fn new(
+        model: &'a TopologyModel,
+        cpu_models: &'a HashMap<String, CpuModel>,
+        components: Vec<String>,
+    ) -> Self {
+        Self {
+            model,
+            cpu_models,
+            components,
+        }
+    }
+}
+
+fn oracle_err(e: CoreError) -> PlanError {
+    PlanError::Oracle(e.to_string())
+}
+
+impl CapacityOracle for ModelOracle<'_> {
+    fn components(&self) -> Vec<String> {
+        self.components.clone()
+    }
+
+    fn assess(&self, parallelisms: &[(String, u32)], rate: f64) -> Result<Assessment, PlanError> {
+        let proposal: HashMap<String, u32> = parallelisms.iter().cloned().collect();
+        let saturation = self
+            .model
+            .saturation_source_rate(&proposal)
+            .map_err(oracle_err)?;
+        // Mirrors Eq. 14: risk is Low only when the offered rate clears
+        // the saturation point by the risk margin.
+        let feasible = match saturation {
+            Some(t_sat) => rate < t_sat * (1.0 - RISK_MARGIN),
+            None => true,
+        };
+        let bottleneck = if feasible {
+            None
+        } else {
+            // The limiting component shows up as the first saturated
+            // component when predicting just past the saturation point.
+            let probe = saturation.map_or(rate, |t| t.max(rate) * 1.001);
+            self.model
+                .predict(&proposal, probe)
+                .map_err(oracle_err)?
+                .bottleneck
+        };
+        let prediction = self.model.predict(&proposal, rate).map_err(oracle_err)?;
+        let mut cpu_per_instance = Vec::new();
+        for report in &prediction.per_component {
+            let Some(cpu) = self.cpu_models.get(&report.name) else {
+                continue;
+            };
+            // Hottest instance: headroom must hold for every instance,
+            // not just the average one.
+            let hottest = report
+                .per_instance_inputs
+                .iter()
+                .map(|input| cpu.predict_instance(*input))
+                .fold(0.0, f64::max);
+            cpu_per_instance.push((report.name.clone(), hottest));
+        }
+        Ok(Assessment {
+            feasible,
+            bottleneck,
+            saturation_rate: saturation.unwrap_or(f64::INFINITY),
+            cpu_per_instance,
+        })
+    }
+}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        match e {
+            PlanError::InvalidConfig(msg) => CoreError::InvalidRequest(msg),
+            PlanError::Oracle(msg) => CoreError::Substrate(format!("planner oracle: {msg}")),
+            infeasible @ PlanError::Infeasible { .. } => {
+                CoreError::Unpredictable(infeasible.to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caladrius_forecast::ForecastPoint;
+
+    fn forecast(rates: &[(f64, f64)]) -> TrafficForecast {
+        let points: Vec<ForecastPoint> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, (yhat, upper))| ForecastPoint {
+                ts: i as i64 * 60_000,
+                yhat: *yhat,
+                lower: yhat * 0.9,
+                upper: *upper,
+            })
+            .collect();
+        TrafficForecast {
+            model: "test".into(),
+            mean: points.iter().map(|p| p.yhat).sum::<f64>() / points.len() as f64,
+            peak: points.iter().map(|p| p.yhat).fold(f64::MIN, f64::max),
+            peak_upper: points.iter().map(|p| p.upper).fold(f64::MIN, f64::max),
+            points,
+        }
+    }
+
+    #[test]
+    fn windows_take_per_chunk_peaks() {
+        let f = forecast(&[(1.0, 2.0), (5.0, 9.0), (3.0, 4.0), (2.0, 8.0)]);
+        let windows = forecast_windows(&f, 2, false).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].peak_rate, 5.0);
+        assert_eq!(windows[1].peak_rate, 3.0);
+        assert_eq!(windows[0].start_ts, 0);
+        assert_eq!(windows[0].end_ts, 120_000);
+        let conservative = forecast_windows(&f, 2, true).unwrap();
+        assert_eq!(conservative[0].peak_rate, 9.0);
+        assert_eq!(conservative[1].peak_rate, 8.0);
+    }
+
+    #[test]
+    fn windows_reject_degenerate_input() {
+        let f = forecast(&[(1.0, 2.0)]);
+        assert!(forecast_windows(&f, 0, false).is_err());
+        let empty = TrafficForecast {
+            model: "test".into(),
+            points: Vec::new(),
+            mean: 0.0,
+            peak: 0.0,
+            peak_upper: 0.0,
+        };
+        assert!(forecast_windows(&empty, 5, false).is_err());
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod config;
 pub mod error;
 pub mod model;

@@ -93,6 +93,10 @@ pub struct ModelCacheStats {
     /// Individual model fits performed (one per component throughput
     /// model, one per CPU model).
     pub fits: u64,
+    /// Capacity-plan searches completed ([`Caladrius::plan_capacity`]).
+    pub plans: u64,
+    /// Oracle evaluations the plan searches spent in total.
+    pub plan_evals: u64,
 }
 
 /// One topology's fitted models plus the versions they were fitted
@@ -127,6 +131,8 @@ pub struct Caladrius {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     model_fits: AtomicU64,
+    plans_run: AtomicU64,
+    plan_evals: AtomicU64,
 }
 
 impl std::fmt::Debug for Caladrius {
@@ -162,6 +168,8 @@ impl Caladrius {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             model_fits: AtomicU64::new(0),
+            plans_run: AtomicU64::new(0),
+            plan_evals: AtomicU64::new(0),
         }
     }
 
@@ -528,6 +536,8 @@ impl Caladrius {
             hits: self.cache_hits.load(Ordering::Relaxed),
             misses: self.cache_misses.load(Ordering::Relaxed),
             fits: self.model_fits.load(Ordering::Relaxed),
+            plans: self.plans_run.load(Ordering::Relaxed),
+            plan_evals: self.plan_evals.load(Ordering::Relaxed),
         }
     }
 
@@ -649,6 +659,11 @@ impl Caladrius {
     /// `component` (all else unchanged) that keeps backpressure risk low
     /// at `source_rate`, up to `max_parallelism`. Returns `None` when no
     /// parallelism in range suffices.
+    ///
+    /// Raising a component's parallelism weakly raises the topology
+    /// saturation point, so "risk is Low at parallelism p" is a
+    /// monotone predicate — the boundary is found by binary search
+    /// (O(log max) risk evaluations instead of the old linear scan).
     pub fn recommend_parallelism(
         &self,
         topology: &str,
@@ -657,14 +672,83 @@ impl Caladrius {
         max_parallelism: u32,
     ) -> Result<Option<u32>> {
         let (model, _) = self.fitted_models(topology)?;
-        for p in 1..=max_parallelism {
+        let mut failure: Option<CoreError> = None;
+        let found = caladrius_planner::min_satisfying(1, max_parallelism, |p| {
             let proposal = HashMap::from([(component.to_string(), p)]);
-            let (risk, _) = model.backpressure_risk(&proposal, source_rate)?;
-            if risk == BackpressureRisk::Low {
-                return Ok(Some(p));
+            match model.backpressure_risk(&proposal, source_rate) {
+                Ok((risk, _)) => Ok(risk == BackpressureRisk::Low),
+                Err(e) => {
+                    failure = Some(e);
+                    Err(caladrius_planner::PlanError::Oracle(String::new()))
+                }
             }
+        });
+        match (found, failure) {
+            (_, Some(e)) => Err(e),
+            (Ok(found), None) => Ok(found),
+            (Err(e), None) => Err(e.into()),
         }
-        Ok(None)
+    }
+
+    /// Horizon capacity planning: forecasts source traffic, chunks the
+    /// horizon into windows, and searches the joint parallelism space of
+    /// every modelled bolt for the minimum-cost assignment that keeps
+    /// backpressure risk Low (with the request's CPU headroom) at each
+    /// window's peak forecast rate. Returns the hysteresis-smoothed plan
+    /// timeline with per-window scale actions; fitted models are served
+    /// from the watermark-keyed cache.
+    ///
+    /// Validate a returned timeline against the simulator with
+    /// [`caladrius_planner::replay_timeline`].
+    pub fn plan_capacity(
+        &self,
+        topology: &str,
+        request: &crate::capacity::CapacityPlanRequest,
+    ) -> Result<caladrius_planner::PlanTimeline> {
+        use crate::capacity::{forecast_windows, ModelOracle};
+        request.planner.validate().map_err(CoreError::from)?;
+        let (model, cpu_models) = self.fitted_models(topology)?;
+
+        let model_name = request
+            .traffic_model
+            .clone()
+            .or_else(|| self.config.traffic_models.first().cloned())
+            .ok_or_else(|| CoreError::InvalidRequest("no traffic model configured".into()))?;
+        let forecast = self
+            .forecast_traffic(topology, Some(std::slice::from_ref(&model_name)))?
+            .pop()
+            .expect("one model requested, one forecast returned");
+        let windows = forecast_windows(
+            &forecast,
+            request.planner.window_minutes,
+            request.conservative,
+        )?;
+
+        // Plan the modelled bolts in declaration order; the current
+        // deployment seeds the window-0 action diff.
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        let initial: Vec<(String, u32)> = logical
+            .spec
+            .components
+            .iter()
+            .filter(|(name, _)| model.component_model(name).is_some())
+            .map(|(name, p)| (name.clone(), *p))
+            .collect();
+        let components: Vec<String> = initial.iter().map(|(name, _)| name.clone()).collect();
+        if components.is_empty() {
+            return Err(CoreError::Unpredictable(format!(
+                "no modelled bolts to plan for {topology:?}"
+            )));
+        }
+
+        let oracle = ModelOracle::new(&model, &cpu_models, components);
+        let timeline =
+            caladrius_planner::plan_horizon(&oracle, &initial, &windows, &request.planner)
+                .map_err(CoreError::from)?;
+        self.plans_run.fetch_add(1, Ordering::Relaxed);
+        self.plan_evals
+            .fetch_add(timeline.oracle_evals, Ordering::Relaxed);
+        Ok(timeline)
     }
 }
 
@@ -1067,5 +1151,77 @@ mod tests {
             .evaluate("ghost", &HashMap::new(), &SourceRateSpec::Fixed(1.0))
             .is_err());
         assert!(caladrius.forecast_traffic("ghost", None).is_err());
+    }
+
+    #[test]
+    fn recommend_parallelism_matches_linear_scan() {
+        let caladrius = service();
+        let (model, _) = caladrius.fitted_models("wordcount").unwrap();
+        for rate in [
+            5.0e6, 10.0e6, 20.0e6, 30.0e6, 40.0e6, 55.0e6, 70.0e6, 90.0e6, 150.0e6, 1.0e12,
+        ] {
+            let linear = (1..=16u32).find(|p| {
+                let proposal = HashMap::from([("splitter".to_string(), *p)]);
+                let (risk, _) = model.backpressure_risk(&proposal, rate).unwrap();
+                risk == BackpressureRisk::Low
+            });
+            let binary = caladrius
+                .recommend_parallelism("wordcount", "splitter", rate, 16)
+                .unwrap();
+            assert_eq!(binary, linear, "binary/linear divergence at {rate:.3e}");
+        }
+    }
+
+    #[test]
+    fn plan_capacity_covers_the_horizon_and_counts_searches() {
+        use crate::capacity::CapacityPlanRequest;
+        let caladrius = service();
+        let request = CapacityPlanRequest::default();
+        let timeline = caladrius.plan_capacity("wordcount", &request).unwrap();
+
+        // Default horizon is 60 forecast minutes in 15-minute windows.
+        assert_eq!(timeline.windows.len(), 4);
+        for window in &timeline.windows {
+            // Only the modelled bolts are planned — never the spout.
+            let names: Vec<&str> = window
+                .parallelisms
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect();
+            assert_eq!(names, vec!["splitter", "counter"]);
+            assert!(window.cost.total_instances >= 2);
+            assert!(window.cost.containers >= 1);
+            // The model itself judges the planned configuration safe at
+            // the planned (headroomed) rate.
+            let proposal: HashMap<String, u32> = window.parallelisms.iter().cloned().collect();
+            let report = caladrius
+                .evaluate(
+                    "wordcount",
+                    &proposal,
+                    &SourceRateSpec::Fixed(window.planned_rate),
+                )
+                .unwrap();
+            assert_eq!(
+                report.risk,
+                BackpressureRisk::Low,
+                "window {} plan is not Low-risk at {:.3e}",
+                window.window,
+                window.planned_rate
+            );
+        }
+        assert!(!timeline.peak_parallelisms.is_empty());
+        assert!(timeline.peak_cost.total_instances > 0);
+
+        let stats = caladrius.model_cache_stats();
+        assert_eq!(stats.plans, 1);
+        assert!(stats.plan_evals >= timeline.oracle_evals);
+        assert!(stats.plan_evals > 0);
+
+        // A second plan on unchanged data reuses the cached fits.
+        let fits_before = stats.fits;
+        caladrius.plan_capacity("wordcount", &request).unwrap();
+        let stats = caladrius.model_cache_stats();
+        assert_eq!(stats.plans, 2);
+        assert_eq!(stats.fits, fits_before, "plan must reuse cached models");
     }
 }

@@ -9,12 +9,16 @@ use std::collections::VecDeque;
 pub enum AlgoError {
     /// The graph contains at least one directed cycle.
     NotADag,
+    /// A count exceeded the `u64` range (deep/wide fan-out DAGs grow the
+    /// path count multiplicatively per layer).
+    CountOverflow,
 }
 
 impl std::fmt::Display for AlgoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AlgoError::NotADag => write!(f, "graph contains a directed cycle"),
+            AlgoError::CountOverflow => write!(f, "path count exceeds the u64 range"),
         }
     }
 }
@@ -105,7 +109,10 @@ pub fn source_sink_paths(g: &Graph) -> Vec<Vec<VertexId>> {
 }
 
 /// Number of distinct source→sink paths in a DAG, counted by dynamic
-/// programming over the topological order (no enumeration).
+/// programming over the topological order (no enumeration). The count
+/// grows multiplicatively with depth, so every addition is checked:
+/// pathological topologies report [`AlgoError::CountOverflow`] instead of
+/// wrapping.
 pub fn count_source_sink_paths(g: &Graph) -> Result<u64, AlgoError> {
     let order = topo_sort(g)?;
     let mut counts: Vec<u64> = vec![0; g.vertex_count()];
@@ -118,10 +125,16 @@ pub fn count_source_sink_paths(g: &Graph) -> Result<u64, AlgoError> {
             continue;
         }
         for n in g.out_neighbors(*v, None) {
-            counts[n.0 as usize] += c;
+            counts[n.0 as usize] = counts[n.0 as usize]
+                .checked_add(c)
+                .ok_or(AlgoError::CountOverflow)?;
         }
     }
-    Ok(g.sinks().iter().map(|v| counts[v.0 as usize]).sum())
+    g.sinks().iter().try_fold(0u64, |total, v| {
+        total
+            .checked_add(counts[v.0 as usize])
+            .ok_or(AlgoError::CountOverflow)
+    })
 }
 
 /// Longest (maximum total weight) source→sink path in a DAG, with vertex
@@ -303,6 +316,38 @@ mod tests {
             g.add_edge(*l, t, "e");
         }
         assert_eq!(count_source_sink_paths(&g).unwrap(), 6);
+    }
+
+    #[test]
+    fn path_count_overflow_reported_not_wrapped() {
+        // 64 sequential 2-way diamonds: 2^64 paths, one past u64::MAX.
+        let mut g = Graph::new();
+        let mut join = g.add_vertex("v");
+        for _ in 0..64 {
+            let a = g.add_vertex("v");
+            let b = g.add_vertex("v");
+            let next = g.add_vertex("v");
+            g.add_edge(join, a, "e");
+            g.add_edge(join, b, "e");
+            g.add_edge(a, next, "e");
+            g.add_edge(b, next, "e");
+            join = next;
+        }
+        assert_eq!(count_source_sink_paths(&g), Err(AlgoError::CountOverflow));
+        // One diamond fewer (2^63) still fits.
+        let mut g = Graph::new();
+        let mut join = g.add_vertex("v");
+        for _ in 0..63 {
+            let a = g.add_vertex("v");
+            let b = g.add_vertex("v");
+            let next = g.add_vertex("v");
+            g.add_edge(join, a, "e");
+            g.add_edge(join, b, "e");
+            g.add_edge(a, next, "e");
+            g.add_edge(b, next, "e");
+            join = next;
+        }
+        assert_eq!(count_source_sink_paths(&g), Ok(1u64 << 63));
     }
 
     #[test]

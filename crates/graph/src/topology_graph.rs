@@ -21,6 +21,9 @@ pub enum TopologyGraphError {
     ZeroParallelism(String),
     /// The logical graph has a directed cycle.
     NotADag,
+    /// The instance-level path count exceeds the `u64` range (deep
+    /// topologies multiply per-layer parallelism).
+    PathCountOverflow,
 }
 
 impl std::fmt::Display for TopologyGraphError {
@@ -32,6 +35,9 @@ impl std::fmt::Display for TopologyGraphError {
                 write!(f, "component {c:?} has zero parallelism")
             }
             TopologyGraphError::NotADag => write!(f, "topology graph is not a DAG"),
+            TopologyGraphError::PathCountOverflow => {
+                write!(f, "instance path count exceeds the u64 range")
+            }
         }
     }
 }
@@ -39,8 +45,11 @@ impl std::fmt::Display for TopologyGraphError {
 impl std::error::Error for TopologyGraphError {}
 
 impl From<AlgoError> for TopologyGraphError {
-    fn from(_: AlgoError) -> Self {
-        TopologyGraphError::NotADag
+    fn from(e: AlgoError) -> Self {
+        match e {
+            AlgoError::NotADag => TopologyGraphError::NotADag,
+            AlgoError::CountOverflow => TopologyGraphError::PathCountOverflow,
+        }
     }
 }
 
@@ -422,6 +431,23 @@ mod tests {
     #[test]
     fn paper_fig1_has_16_paths() {
         assert_eq!(instance_path_count(&wordcount()).unwrap(), 16);
+    }
+
+    #[test]
+    fn path_count_overflow_is_an_error() {
+        // A 40-layer chain at parallelism 4 has 4^40 instance paths, far
+        // past u64::MAX (~1.8e19): the count must error, not wrap.
+        let mut spec = LogicalSpec::new("deep");
+        for layer in 0..40 {
+            spec = spec.component(format!("c{layer}"), 4);
+            if layer > 0 {
+                spec = spec.edge(format!("c{}", layer - 1), format!("c{layer}"), "shuffle");
+            }
+        }
+        assert_eq!(
+            instance_path_count(&spec),
+            Err(TopologyGraphError::PathCountOverflow)
+        );
     }
 
     #[test]

@@ -62,9 +62,12 @@ impl PackingPlan {
         self.containers.iter().map(|c| c.cpu_cores).sum()
     }
 
-    /// Total RAM (MB) across containers.
+    /// Total RAM (MB) across containers, saturating at `u64::MAX` (the
+    /// per-container totals are already overflow-checked at pack time).
     pub fn total_ram_mb(&self) -> u64 {
-        self.containers.iter().map(|c| c.ram_mb).sum()
+        self.containers
+            .iter()
+            .fold(0u64, |total, c| total.saturating_add(c.ram_mb))
     }
 
     /// Total number of placed instances.
@@ -81,6 +84,15 @@ impl PackingPlan {
             .max()
             .unwrap_or(0)
     }
+}
+
+/// Adds a RAM request to a container total, reporting an error instead of
+/// wrapping when the sum exceeds the `u64` range (pathological topologies
+/// can multiply per-instance RAM by enormous parallelism).
+fn checked_ram(total: u64, request: u64) -> Result<u64> {
+    total
+        .checked_add(request)
+        .ok_or_else(|| SimError::InvalidConfig("container RAM total exceeds the u64 range".into()))
 }
 
 /// Available packing algorithms.
@@ -129,7 +141,7 @@ impl PackingAlgorithm {
                             index,
                         });
                         c.cpu_cores += component.resources.cpu_cores;
-                        c.ram_mb += component.resources.ram_mb;
+                        c.ram_mb = checked_ram(c.ram_mb, component.resources.ram_mb)?;
                         next += 1;
                     }
                 }
@@ -177,13 +189,16 @@ impl PackingAlgorithm {
                 let mut containers: Vec<Container> = Vec::new();
                 for (inst, cpu, ram) in items {
                     let slot = containers.iter_mut().find(|c| {
-                        c.cpu_cores + cpu <= *container_cpu && c.ram_mb + ram <= *container_ram_mb
+                        c.cpu_cores + cpu <= *container_cpu
+                            && c.ram_mb
+                                .checked_add(ram)
+                                .is_some_and(|total| total <= *container_ram_mb)
                     });
                     match slot {
                         Some(c) => {
                             c.instances.push(inst);
                             c.cpu_cores += cpu;
-                            c.ram_mb += ram;
+                            c.ram_mb = checked_ram(c.ram_mb, ram)?;
                         }
                         None => containers.push(Container {
                             id: containers.len() as u32,
@@ -355,6 +370,45 @@ mod tests {
         }
         .pack(&topo)
         .is_err());
+    }
+
+    #[test]
+    fn ram_overflow_reports_error_instead_of_wrapping() {
+        // A pathological topology whose RAM requests sum past u64::MAX:
+        // three instances of u64::MAX/2 MB each on one container.
+        let topo = TopologyBuilder::new("pathological")
+            .spout_with(
+                "s",
+                3,
+                RateProfile::constant(1.0),
+                WorkProfile::new(1.0, 1.0, 8),
+                Resources {
+                    cpu_cores: 1.0,
+                    ram_mb: u64::MAX / 2,
+                },
+            )
+            .build()
+            .unwrap();
+        let err = PackingAlgorithm::RoundRobin { num_containers: 1 }
+            .pack(&topo)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("u64 range"),
+            "expected an overflow error, got {err}"
+        );
+        // FFD's fit check is overflow-aware: once a container cannot take
+        // another huge request without wrapping, a fresh container is opened
+        // instead, so the plan stays correct rather than erroring.
+        let plan = PackingAlgorithm::FirstFitDecreasing {
+            container_cpu: 64.0,
+            container_ram_mb: u64::MAX,
+        }
+        .pack(&topo)
+        .unwrap();
+        assert_eq!(plan.containers.len(), 2);
+        let mut counts: Vec<usize> = plan.containers.iter().map(|c| c.instances.len()).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2]);
     }
 
     #[test]

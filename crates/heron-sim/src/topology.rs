@@ -190,6 +190,30 @@ impl Topology {
         Ok(out)
     }
 
+    /// Returns a copy whose spouts offer a constant topology-level
+    /// `rate_per_min` (split evenly across spout components) — the
+    /// replay-at-a-forecast-rate operation capacity planning validation
+    /// needs.
+    pub fn with_source_rate(&self, rate_per_min: f64) -> Result<Topology> {
+        if !(rate_per_min.is_finite() && rate_per_min >= 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "source rate must be non-negative, got {rate_per_min}"
+            )));
+        }
+        let spouts = self.spout_indices();
+        if spouts.is_empty() {
+            return Err(SimError::InvalidTopology("topology has no spout".into()));
+        }
+        let per_spout = rate_per_min / spouts.len() as f64;
+        let mut out = self.clone();
+        for idx in spouts {
+            if let ComponentKind::Spout { profile, .. } = &mut out.components[idx].kind {
+                *profile = RateProfile::constant_per_min(per_spout);
+            }
+        }
+        Ok(out)
+    }
+
     /// Edges leaving component `idx`.
     pub fn out_edges(&self, idx: usize) -> impl Iterator<Item = &EdgeSpec> {
         self.edges.iter().filter(move |e| e.from == idx)

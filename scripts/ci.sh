@@ -14,6 +14,9 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo build --release (tier-1)"
 cargo build --release
 
+echo "==> cargo build --examples"
+cargo build --examples
+
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 

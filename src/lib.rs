@@ -12,6 +12,8 @@
 //! * [`graph`] — the property-graph substrate.
 //! * [`forecast`] — the Prophet-analog forecasting substrate.
 //! * [`workload`] — corpus/traffic generators and the WordCount topology.
+//! * [`planner`] — the horizon capacity planner: joint parallelism
+//!   search over the fitted models plus sim-replay validation.
 //! * [`api`] — the REST service tier.
 //! * [`autoscale`] — scaling policies: the Dhalion-style reactive
 //!   baseline vs Caladrius-driven one-shot scaling.
@@ -23,6 +25,7 @@ pub use caladrius_autoscale as autoscale;
 pub use caladrius_core as core;
 pub use caladrius_forecast as forecast;
 pub use caladrius_graph as graph;
+pub use caladrius_planner as planner;
 pub use caladrius_tsdb as tsdb;
 pub use caladrius_workload as workload;
 pub use heron_sim as sim;
