@@ -34,10 +34,22 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// Header carrying the request id (lower-case, as parsed).
+pub const REQUEST_ID_HEADER: &str = "x-request-id";
+
 impl Request {
     /// The body as UTF-8, if valid.
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The request id minted at the server edge (or supplied by the
+    /// client). Always present on requests delivered through
+    /// [`HttpServer::serve`]; absent only on hand-built requests.
+    pub fn request_id(&self) -> Option<caladrius_obs::RequestId> {
+        self.headers
+            .get(REQUEST_ID_HEADER)
+            .and_then(|v| caladrius_obs::RequestId::parse(v))
     }
 }
 
@@ -202,7 +214,15 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, stop: Arc<AtomicBoo
 fn handle_connection(stream: TcpStream, handler: &Handler) {
     let mut stream = stream;
     let response = match read_request(&mut stream) {
-        Ok(request) => handler(request),
+        Ok(mut request) => {
+            // Mint a request id at the service edge when the client did
+            // not send one; every downstream span records under it.
+            request
+                .headers
+                .entry(REQUEST_ID_HEADER.to_string())
+                .or_insert_with(|| caladrius_obs::next_request_id().to_string());
+            handler(request)
+        }
         Err(msg) => Response::text(400, msg),
     };
     let _ = response.write_to(&mut stream);

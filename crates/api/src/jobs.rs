@@ -7,11 +7,13 @@
 //! and poll for the result.
 
 use crate::json::Value;
+use caladrius_obs::{Gauge, RequestScope};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Default bound on tracked jobs per runner.
 pub const DEFAULT_JOB_CAPACITY: usize = 1024;
@@ -27,10 +29,48 @@ pub enum JobState {
     Failed(String),
 }
 
+/// Timing milestones of a job, all in Unix milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobTiming {
+    /// When the job was submitted.
+    pub queued_unix_ms: i64,
+    /// When a worker picked the job up (None while queued).
+    pub started_unix_ms: Option<i64>,
+    /// When the job finished (None while queued or running).
+    pub finished_unix_ms: Option<i64>,
+}
+
+impl JobTiming {
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub fn queue_wait_ms(&self) -> Option<i64> {
+        self.started_unix_ms.map(|s| s - self.queued_unix_ms)
+    }
+
+    /// Milliseconds of actual execution, once finished.
+    pub fn duration_ms(&self) -> Option<i64> {
+        match (self.started_unix_ms, self.finished_unix_ms) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+}
+
+fn unix_ms() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
+}
+
 type Task = Box<dyn FnOnce() -> Result<Value, String> + Send>;
 
+struct JobEntry {
+    state: JobState,
+    timing: JobTiming,
+}
+
 struct StoreInner {
-    states: HashMap<u64, JobState>,
+    states: HashMap<u64, JobEntry>,
     /// Insertion order of job ids, oldest first (drives eviction).
     order: VecDeque<u64>,
 }
@@ -73,29 +113,56 @@ impl JobStore {
     }
 
     /// Tracks a new job, evicting the oldest finished job if the store
-    /// is at capacity.
+    /// is at capacity. Stamps the queued timestamp.
     pub fn insert(&self, id: u64, state: JobState) {
         let mut inner = self.inner.lock();
         if inner.states.len() >= self.capacity {
             Self::evict_oldest_finished(&mut inner, 1);
         }
-        if inner.states.insert(id, state).is_none() {
+        let entry = JobEntry {
+            state,
+            timing: JobTiming {
+                queued_unix_ms: unix_ms(),
+                ..JobTiming::default()
+            },
+        };
+        if inner.states.insert(id, entry).is_none() {
             inner.order.push_back(id);
         }
     }
 
-    /// Records the outcome of a tracked job. Outcomes for jobs already
-    /// evicted are dropped (their slot was reclaimed while they ran).
+    /// Records the outcome of a tracked job, stamping the finished
+    /// timestamp for terminal states. Outcomes for jobs already evicted
+    /// are dropped (their slot was reclaimed while they ran).
     pub fn update(&self, id: u64, state: JobState) {
         let mut inner = self.inner.lock();
         if let Some(slot) = inner.states.get_mut(&id) {
-            *slot = state;
+            if !matches!(state, JobState::Pending) && slot.timing.finished_unix_ms.is_none() {
+                slot.timing.finished_unix_ms = Some(unix_ms());
+            }
+            slot.state = state;
         }
+    }
+
+    /// Stamps the started timestamp when a worker picks the job up and
+    /// returns the timing so far (None if the job was already evicted).
+    pub fn mark_started(&self, id: u64) -> Option<JobTiming> {
+        let mut inner = self.inner.lock();
+        let slot = inner.states.get_mut(&id)?;
+        if slot.timing.started_unix_ms.is_none() {
+            slot.timing.started_unix_ms = Some(unix_ms());
+        }
+        Some(slot.timing)
     }
 
     /// A job's current state.
     pub fn get(&self, id: u64) -> Option<JobState> {
-        self.inner.lock().states.get(&id).cloned()
+        self.inner.lock().states.get(&id).map(|e| e.state.clone())
+    }
+
+    /// A job's timing milestones.
+    pub fn timing(&self, id: u64) -> Option<JobTiming> {
+        self.inner.lock().states.get(&id).map(|e| e.timing)
     }
 
     /// Evicts oldest-first finished jobs until at most `keep` jobs remain
@@ -114,7 +181,10 @@ impl JobStore {
         }
         let mut kept = VecDeque::with_capacity(inner.order.len());
         while let Some(id) = inner.order.pop_front() {
-            let finished = !matches!(inner.states.get(&id), Some(JobState::Pending));
+            let finished = !matches!(
+                inner.states.get(&id).map(|e| &e.state),
+                Some(JobState::Pending)
+            );
             if finished && evicted < max_evictions {
                 inner.states.remove(&id);
                 evicted += 1;
@@ -142,6 +212,7 @@ pub struct JobRunner {
     next_id: AtomicU64,
     store: Arc<JobStore>,
     tx: Sender<(u64, Task)>,
+    queue_depth: Gauge,
 }
 
 impl std::fmt::Debug for JobRunner {
@@ -161,17 +232,47 @@ impl JobRunner {
     /// Starts a runner with `workers` threads tracking at most
     /// `capacity` jobs (oldest finished jobs are evicted beyond that).
     pub fn with_capacity(workers: usize, capacity: usize) -> Self {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_jobs_queue_depth",
+            "Jobs submitted but not yet picked up by a worker",
+        );
+        registry.describe(
+            "caladrius_job_queue_wait_seconds",
+            "Time jobs spent queued before a worker picked them up",
+        );
+        registry.describe(
+            "caladrius_job_duration_seconds",
+            "Execution time of jobs once running",
+        );
+        let runner_id = caladrius_obs::next_scope_id().to_string();
+        let labels: &[(&str, &str)] = &[("runner", &runner_id)];
+        let queue_depth = registry.gauge("caladrius_jobs_queue_depth", labels);
+        let queue_wait = registry.histogram("caladrius_job_queue_wait_seconds", labels);
+        let duration = registry.histogram("caladrius_job_duration_seconds", labels);
+
         let (tx, rx) = unbounded::<(u64, Task)>();
         let store = Arc::new(JobStore::new(capacity));
         for _ in 0..workers.max(1) {
             let rx = rx.clone();
             let store = Arc::clone(&store);
+            let queue_depth = queue_depth.clone();
+            let queue_wait = queue_wait.clone();
+            let duration = duration.clone();
             std::thread::spawn(move || {
                 while let Ok((id, task)) = rx.recv() {
+                    queue_depth.add(-1.0);
+                    if let Some(timing) = store.mark_started(id) {
+                        if let Some(wait) = timing.queue_wait_ms() {
+                            queue_wait.record(wait.max(0) as f64 / 1000.0);
+                        }
+                    }
+                    let started = Instant::now();
                     let outcome = match task() {
                         Ok(value) => JobState::Done(value),
                         Err(message) => JobState::Failed(message),
                     };
+                    duration.record_duration(started.elapsed());
                     store.update(id, outcome);
                 }
             });
@@ -180,15 +281,26 @@ impl JobRunner {
             next_id: AtomicU64::new(1),
             store,
             tx,
+            queue_depth,
         }
     }
 
-    /// Submits a job; returns its id immediately.
+    /// Submits a job; returns its id immediately. The submitter's request
+    /// id (if any) is re-installed around the job body so spans recorded
+    /// by the worker stay attributable to the originating HTTP request.
     pub fn submit(&self, task: impl FnOnce() -> Result<Value, String> + Send + 'static) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         self.store.insert(id, JobState::Pending);
+        self.queue_depth.add(1.0);
+        let request_id = caladrius_obs::current_request_id();
+        let task: Task = Box::new(move || {
+            let _scope = request_id.map(RequestScope::enter);
+            let mut span = caladrius_obs::global_span("api.job");
+            span.field("job", id);
+            task()
+        });
         self.tx
-            .send((id, Box::new(task)))
+            .send((id, task))
             .expect("workers outlive the runner");
         id
     }
@@ -196,6 +308,16 @@ impl JobRunner {
     /// Polls a job's state.
     pub fn state(&self, id: u64) -> Option<JobState> {
         self.store.get(id)
+    }
+
+    /// A job's timing milestones.
+    pub fn timing(&self, id: u64) -> Option<JobTiming> {
+        self.store.timing(id)
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> f64 {
+        self.queue_depth.get()
     }
 
     /// Blocks until the job completes (testing convenience).
@@ -310,6 +432,35 @@ mod tests {
         assert_eq!(runner.state(ids[0]), None, "oldest completed evicted");
         assert!(runner.state(ids[1]).is_some());
         assert!(runner.wait(newest).is_some());
+    }
+
+    #[test]
+    fn timing_milestones_progress_with_lifecycle() {
+        let runner = JobRunner::new(1);
+        let id = runner.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            Ok(Value::Null)
+        });
+        let queued = runner.timing(id).expect("tracked");
+        assert!(queued.queued_unix_ms > 0);
+        runner.wait(id);
+        let done = runner.timing(id).expect("tracked");
+        assert!(done.started_unix_ms.is_some(), "started stamped");
+        assert!(done.finished_unix_ms.is_some(), "finished stamped");
+        assert!(done.queue_wait_ms().unwrap() >= 0);
+        assert!(done.duration_ms().unwrap() >= 0);
+        assert!(done.finished_unix_ms.unwrap() >= done.started_unix_ms.unwrap());
+    }
+
+    #[test]
+    fn queue_depth_drains_to_zero() {
+        let runner = JobRunner::new(2);
+        let ids: Vec<u64> = (0..5).map(|_| runner.submit(|| Ok(Value::Null))).collect();
+        for id in ids {
+            runner.wait(id);
+        }
+        // Every submitted job has been picked up, so the gauge is back to 0.
+        assert_eq!(runner.queue_depth(), 0.0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! | GET  | `/metrics/heron/{topology}?q=<selector>` | raw metric series (selector grammar: `name{tag=value,...}`) |
 //! | POST | `/topology/{topology}/plan` | horizon capacity plan, `202` + job id |
 //! | GET  | `/jobs/{id}` | poll an asynchronous job |
+//! | GET  | `/metrics/service` | service-wide metrics, Prometheus text format |
+//! | GET  | `/trace/recent?limit=N` | recent spans from the trace ring, JSON |
 
 use crate::http::{Handler, Request, Response};
 use crate::jobs::{JobRunner, JobState};
@@ -21,8 +23,10 @@ use caladrius_core::error::CoreError;
 use caladrius_core::service::{EvaluationReport, SourceRateSpec};
 use caladrius_core::traffic::TrafficForecast;
 use caladrius_core::Caladrius;
+use caladrius_obs::RequestScope;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The HTTP-facing Caladrius service.
 pub struct ApiService {
@@ -347,6 +351,15 @@ fn timeline_to_json(topology: &str, timeline: &caladrius_planner::PlanTimeline) 
 impl ApiService {
     /// Wraps a Caladrius service with `job_workers` asynchronous workers.
     pub fn new(caladrius: Arc<Caladrius>, job_workers: usize) -> Arc<Self> {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_http_requests_total",
+            "HTTP requests by route pattern, method and status",
+        );
+        registry.describe(
+            "caladrius_http_request_duration_seconds",
+            "HTTP request handling time by route pattern",
+        );
         Arc::new(Self {
             caladrius,
             jobs: JobRunner::new(job_workers),
@@ -360,39 +373,160 @@ impl ApiService {
     }
 
     /// Routes one request (usable directly in tests, no sockets needed).
+    ///
+    /// Installs the request id (from `x-request-id`, minting one for
+    /// hand-built requests) for the duration of the handler so every span
+    /// recorded below attributes to this request, and records per-route
+    /// counters, latency histograms and an `http.request` span.
     pub fn handle(&self, request: Request) -> Response {
+        let request_id = request
+            .request_id()
+            .unwrap_or_else(caladrius_obs::next_request_id);
+        let _request_scope = RequestScope::enter(request_id);
+        let started = Instant::now();
+        let mut span = caladrius_obs::global_span("http.request");
+        let (route, response) = self.route(&request);
+        span.field("route", route)
+            .field("method", &request.method)
+            .field("status", response.status);
+        let registry = caladrius_obs::global_registry();
+        let status = response.status.to_string();
+        registry
+            .counter(
+                "caladrius_http_requests_total",
+                &[
+                    ("route", route),
+                    ("method", &request.method),
+                    ("status", &status),
+                ],
+            )
+            .inc();
+        registry
+            .histogram(
+                "caladrius_http_request_duration_seconds",
+                &[("route", route)],
+            )
+            .record_duration(started.elapsed());
+        response
+    }
+
+    /// Dispatches to a route handler, returning the normalized route
+    /// pattern (the metric label) alongside the response.
+    fn route(&self, request: &Request) -> (&'static str, Response) {
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         match (request.method.as_str(), segments.as_slice()) {
-            ("GET", ["health"]) => self.health(),
+            ("GET", ["health"]) => ("/health", self.health()),
             ("GET", ["topologies"]) => {
                 let names = self.caladrius.topologies();
-                Value::object([(
+                let response = Value::object([(
                     "topologies",
                     Value::Array(names.into_iter().map(Value::from).collect()),
                 )])
                 .to_json()
-                .pipe(Response::json)
+                .pipe(Response::json);
+                ("/topologies", response)
             }
-            ("GET", ["model", "traffic", "heron", topology]) => self.traffic(topology, &request),
-            ("POST", ["model", "topology", "heron", topology]) => self.evaluate(topology, &request),
-            ("GET", ["model", "packing", "heron", topology]) => self.packing(topology, &request),
-            ("GET", ["metrics", "heron", topology]) => self.metrics(topology, &request),
-            ("POST", ["topology", topology, "plan"]) => self.plan(topology, &request),
-            ("GET", ["jobs", id]) => self.job_status(id),
+            ("GET", ["model", "traffic", "heron", topology]) => (
+                "/model/traffic/heron/{topology}",
+                self.traffic(topology, request),
+            ),
+            ("POST", ["model", "topology", "heron", topology]) => (
+                "/model/topology/heron/{topology}",
+                self.evaluate(topology, request),
+            ),
+            ("GET", ["model", "packing", "heron", topology]) => (
+                "/model/packing/heron/{topology}",
+                self.packing(topology, request),
+            ),
+            ("GET", ["metrics", "service"]) => ("/metrics/service", Self::service_metrics()),
+            ("GET", ["metrics", "heron", topology]) => {
+                ("/metrics/heron/{topology}", self.metrics(topology, request))
+            }
+            ("GET", ["trace", "recent"]) => ("/trace/recent", Self::trace_recent(request)),
+            ("POST", ["topology", topology, "plan"]) => {
+                ("/topology/{topology}/plan", self.plan(topology, request))
+            }
+            ("GET", ["jobs", id]) => ("/jobs/{id}", self.job_status(id)),
             (_, ["model", ..])
             | (_, ["jobs", ..])
             | (_, ["topology", _, "plan"])
+            | (_, ["metrics", "service"])
+            | (_, ["trace", ..])
             | (_, ["health"])
-            | (_, ["topologies"]) => {
-                Response::json_status(405, "{\"error\":\"method not allowed\"}")
-            }
-            _ => Response::json_status(404, "{\"error\":\"no such endpoint\"}"),
+            | (_, ["topologies"]) => (
+                "method_not_allowed",
+                Response::json_status(405, "{\"error\":\"method not allowed\"}"),
+            ),
+            _ => (
+                "unmatched",
+                Response::json_status(404, "{\"error\":\"no such endpoint\"}"),
+            ),
         }
     }
 
-    /// Liveness plus data-plane observability: model-cache counters from
-    /// the service tier and ingest counters from the metrics store (when
-    /// the provider exposes them).
+    /// `GET /metrics/service` — every registered metric in Prometheus
+    /// text exposition format.
+    fn service_metrics() -> Response {
+        Response {
+            status: 200,
+            content_type: caladrius_obs::PROMETHEUS_CONTENT_TYPE.into(),
+            body: caladrius_obs::render_prometheus(caladrius_obs::global_registry()).into_bytes(),
+        }
+    }
+
+    /// `GET /trace/recent?limit=N` — the newest spans from the global
+    /// trace ring, newest first.
+    fn trace_recent(request: &Request) -> Response {
+        let limit = match request.query.get("limit") {
+            None => 100,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Response::json_status(
+                        400,
+                        "{\"error\":\"limit must be a non-negative integer\"}",
+                    )
+                }
+            },
+        };
+        let events = caladrius_obs::tracer()
+            .recent(limit)
+            .into_iter()
+            .map(|e| {
+                Value::object([
+                    ("seq", Value::from(e.seq as f64)),
+                    ("ts_unix_ms", Value::from(e.ts_unix_ms as f64)),
+                    ("name", Value::from(e.name.clone())),
+                    ("duration_us", Value::from(e.duration_us as f64)),
+                    (
+                        "request_id",
+                        e.request_id
+                            .map(|id| Value::from(id.to_string()))
+                            .unwrap_or(Value::Null),
+                    ),
+                    (
+                        "fields",
+                        Value::Object(
+                            e.fields
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::from(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Value::object([("events", Value::Array(events))])
+            .to_json()
+            .pipe(Response::json)
+    }
+
+    /// Liveness plus data-plane observability. A thin view over the obs
+    /// layer: the model-cache and ingest counters are `caladrius-obs`
+    /// handles read back through the service and provider tiers, so this
+    /// JSON and `/metrics/service` are two projections of the same
+    /// registry. Field names are a stable contract (see the
+    /// `health_shape_is_stable` regression test).
     fn health(&self) -> Response {
         let cache = self.caladrius.model_cache_stats();
         let mut fields = vec![
@@ -654,20 +788,37 @@ impl ApiService {
         let Ok(id) = id.parse::<u64>() else {
             return Response::json_status(400, "{\"error\":\"job id must be an integer\"}");
         };
+        let timing_fields = |fields: &mut Vec<(&'static str, Value)>| {
+            let Some(timing) = self.jobs.timing(id) else {
+                return;
+            };
+            let opt = |v: Option<i64>| v.map(|ms| Value::from(ms as f64)).unwrap_or(Value::Null);
+            fields.push(("queued_ms", Value::from(timing.queued_unix_ms as f64)));
+            fields.push(("started_ms", opt(timing.started_unix_ms)));
+            fields.push(("finished_ms", opt(timing.finished_unix_ms)));
+            fields.push(("queue_wait_ms", opt(timing.queue_wait_ms())));
+            fields.push(("duration_ms", opt(timing.duration_ms())));
+        };
         match self.jobs.state(id) {
             None => Response::json_status(404, "{\"error\":\"no such job\"}"),
-            Some(JobState::Pending) => Response::json_status(202, "{\"state\":\"pending\"}"),
-            Some(JobState::Done(result)) => {
-                Value::object([("state", Value::from("done")), ("result", result)])
-                    .to_json()
-                    .pipe(Response::json)
+            Some(JobState::Pending) => {
+                let mut fields = vec![("state", Value::from("pending"))];
+                timing_fields(&mut fields);
+                Response::json_status(202, Value::object(fields).to_json())
             }
-            Some(JobState::Failed(message)) => Value::object([
-                ("state", Value::from("failed")),
-                ("error", Value::from(message)),
-            ])
-            .to_json()
-            .pipe(Response::json),
+            Some(JobState::Done(result)) => {
+                let mut fields = vec![("state", Value::from("done")), ("result", result)];
+                timing_fields(&mut fields);
+                Value::object(fields).to_json().pipe(Response::json)
+            }
+            Some(JobState::Failed(message)) => {
+                let mut fields = vec![
+                    ("state", Value::from("failed")),
+                    ("error", Value::from(message)),
+                ];
+                timing_fields(&mut fields);
+                Value::object(fields).to_json().pipe(Response::json)
+            }
         }
     }
 }
@@ -1070,6 +1221,133 @@ mod tests {
         assert_eq!(get(&s, "/nope").status, 404);
         assert_eq!(post(&s, "/health", "").status, 405);
         assert_eq!(post(&s, "/model/traffic/heron/wordcount", "").status, 405);
+        assert_eq!(post(&s, "/metrics/service", "").status, 405);
+        assert_eq!(post(&s, "/trace/recent", "").status, 405);
+    }
+
+    /// The `/health` JSON field names are a stable contract; this test
+    /// pins the exact shape so the obs migration (and future refactors)
+    /// cannot silently rename or drop fields.
+    #[test]
+    fn health_shape_is_stable() {
+        let s = service();
+        let v = body_json(&get(&s, "/health"));
+        let top = v.as_object().unwrap();
+        let mut keys: Vec<&str> = top.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        assert_eq!(
+            keys,
+            vec!["ingest", "jobs_tracked", "model_cache", "status"]
+        );
+        let cache = v.get("model_cache").unwrap().as_object().unwrap();
+        let mut cache_keys: Vec<&str> = cache.keys().map(String::as_str).collect();
+        cache_keys.sort_unstable();
+        assert_eq!(
+            cache_keys,
+            vec!["fits", "hits", "misses", "plan_evals", "plans"]
+        );
+        let ingest = v.get("ingest").unwrap().as_object().unwrap();
+        let mut ingest_keys: Vec<&str> = ingest.keys().map(String::as_str).collect();
+        ingest_keys.sort_unstable();
+        assert_eq!(ingest_keys, vec!["batches", "samples"]);
+    }
+
+    #[test]
+    fn service_metrics_exposition_covers_instrumented_layers() {
+        let s = service();
+        // Drive a few routes so per-route metrics exist.
+        assert_eq!(get(&s, "/health").status, 200);
+        assert_eq!(
+            post(
+                &s,
+                "/model/topology/heron/wordcount",
+                r#"{"source_rate": 10000000}"#
+            )
+            .status,
+            200
+        );
+        let r = get(&s, "/metrics/service");
+        assert_eq!(r.status, 200);
+        assert!(r.content_type.starts_with("text/plain"));
+        let body = String::from_utf8(r.body).unwrap();
+        for metric in [
+            "caladrius_http_requests_total",
+            "caladrius_http_request_duration_seconds",
+            "caladrius_tsdb_ingest_samples_total",
+            "caladrius_model_cache_misses_total",
+            "caladrius_model_fit_duration_seconds",
+            "caladrius_sim_minute_duration_seconds",
+            "caladrius_jobs_queue_depth",
+        ] {
+            assert!(body.contains(metric), "missing {metric} in:\n{body}");
+        }
+        assert!(body.contains("route=\"/model/topology/heron/{topology}\""));
+        assert!(body.contains("method=\"POST\""));
+        assert!(body.contains("status=\"200\""));
+    }
+
+    #[test]
+    fn trace_recent_reports_request_ids() {
+        let s = service();
+        assert_eq!(get(&s, "/health").status, 200);
+        let r = get(&s, "/trace/recent?limit=50");
+        assert_eq!(r.status, 200);
+        let v = body_json(&r);
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        let http_span = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("http.request"))
+            .expect("http.request span recorded");
+        assert!(
+            http_span.get("request_id").unwrap().as_str().is_some(),
+            "request id attached"
+        );
+        assert_eq!(
+            http_span
+                .get("fields")
+                .unwrap()
+                .get("route")
+                .unwrap()
+                .as_str(),
+            Some("/health")
+        );
+        // Bad limit is rejected; limit=1 truncates.
+        assert_eq!(get(&s, "/trace/recent?limit=zz").status, 400);
+        let v = body_json(&get(&s, "/trace/recent?limit=1"));
+        assert_eq!(v.get("events").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn job_poll_includes_timing() {
+        let s = service();
+        let r = post(
+            &s,
+            "/model/topology/heron/wordcount?async=true",
+            r#"{"source_rate": 10000000}"#,
+        );
+        assert_eq!(r.status, 202);
+        let id = body_json(&r).get("job_id").unwrap().as_f64().unwrap() as u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let v = body_json(&get(&s, &format!("/jobs/{id}")));
+            match v.get("state").unwrap().as_str() {
+                Some("pending") => {
+                    assert!(v.get("queued_ms").unwrap().as_f64().unwrap() > 0.0);
+                    assert!(std::time::Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Some("done") => {
+                    assert!(v.get("queued_ms").unwrap().as_f64().unwrap() > 0.0);
+                    assert!(v.get("started_ms").unwrap().as_f64().is_some());
+                    assert!(v.get("finished_ms").unwrap().as_f64().is_some());
+                    assert!(v.get("queue_wait_ms").unwrap().as_f64().unwrap() >= 0.0);
+                    assert!(v.get("duration_ms").unwrap().as_f64().unwrap() >= 0.0);
+                    break;
+                }
+                other => panic!("unexpected job state {other:?}"),
+            }
+        }
     }
 
     #[test]

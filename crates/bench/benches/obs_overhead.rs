@@ -1,0 +1,76 @@
+//! Observability overhead: the per-call cost of the `caladrius-obs`
+//! hot paths. Instrumentation rides inside the model evaluation and
+//! simulator loops, so a histogram record must stay in the tens of
+//! nanoseconds — cheap enough to leave always-on.
+
+use caladrius_obs::{Histogram, MetricsRegistry, RequestId, RequestScope, TraceRing};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_record");
+    let histogram = Histogram::detached();
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1.0e-3;
+        b.iter(|| {
+            v = if v > 1.0 { 1.0e-3 } else { v * 1.001 };
+            histogram.record(black_box(v));
+        });
+    });
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("bench_total", &[("k", "v")]);
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let gauge = registry.gauge("bench_depth", &[]);
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0.0;
+        b.iter(|| {
+            v += 1.0;
+            gauge.set(black_box(v));
+        });
+    });
+    group.bench_function("registry_lookup_existing", |b| {
+        b.iter(|| registry.counter(black_box("bench_total"), &[("k", "v")]));
+    });
+    group.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_span");
+    let ring = TraceRing::new(2048);
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| drop(ring.span(black_box("bench.span"))));
+    });
+    group.bench_function("span_with_fields", |b| {
+        b.iter(|| {
+            let mut span = ring.span("bench.span");
+            span.field("topology", "wordcount").field("minutes", 10);
+        });
+    });
+    group.bench_function("request_scope_enter_exit", |b| {
+        b.iter(|| drop(RequestScope::enter(black_box(RequestId(7)))));
+    });
+    group.finish();
+}
+
+fn bench_exposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_exposition");
+    group.sample_size(10);
+    let registry = MetricsRegistry::new();
+    for i in 0..50 {
+        let shard = format!("{}", i % 5);
+        registry
+            .counter(&format!("family_{i}_total"), &[("shard", &shard)])
+            .add(i);
+        let h = registry.histogram(&format!("family_{i}_seconds"), &[("shard", &shard)]);
+        for j in 1..=100 {
+            h.record(j as f64 * 1e-4);
+        }
+    }
+    group.bench_function("render_prometheus_100_families", |b| {
+        b.iter(|| caladrius_obs::render_prometheus(black_box(&registry)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording, bench_spans, bench_exposition);
+criterion_main!(benches);

@@ -1,0 +1,340 @@
+//! The forecast-accuracy self-monitor: the paper's validation loop,
+//! running continuously inside the service.
+//!
+//! Every `evaluate`/`plan_capacity` run registers what it predicted
+//! (traffic peaks, sink throughput) keyed by the horizon window it
+//! predicted *for*. Once the metrics watermark passes a window's end —
+//! the future the model spoke about has been observed — a scoring pass
+//! compares the prediction against what the tsdb actually recorded and
+//! feeds the absolute percentage error into per-(topology, model, kind)
+//! histograms, so `/metrics/service` continuously answers the paper's
+//! central question: how wrong are the models, per model.
+
+use caladrius_obs::{Counter, Histogram, HistogramSnapshot};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Upper bound on outstanding predictions; the oldest are dropped first
+/// (a stuck watermark must not grow the queue without bound).
+const MAX_PENDING: usize = 4096;
+
+/// Guard against division by ~zero when the realized value vanishes.
+const APE_EPSILON: f64 = 1e-9;
+
+/// What a pending prediction claims about the future.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictionKind {
+    /// Peak offered source rate over the window (traffic model output).
+    Traffic,
+    /// Sink output rate at the evaluated source rate (topology model).
+    Throughput,
+}
+
+impl PredictionKind {
+    /// Stable label value for the exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PredictionKind::Traffic => "traffic",
+            PredictionKind::Throughput => "throughput",
+        }
+    }
+}
+
+/// One not-yet-scoreable prediction, waiting for its window to close.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingPrediction {
+    /// Topology the prediction is about.
+    pub topology: String,
+    /// Model that produced it (traffic model name, or the topology
+    /// model identifier for throughput predictions).
+    pub model: String,
+    /// What quantity was predicted.
+    pub kind: PredictionKind,
+    /// Window start (ms, inclusive).
+    pub window_start: i64,
+    /// Window end (ms, exclusive); scoreable once the metrics watermark
+    /// reaches it.
+    pub window_end: i64,
+    /// The predicted value (tuples/min).
+    pub predicted: f64,
+}
+
+/// Summary of one (topology, model, kind) error distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySummary {
+    /// Topology.
+    pub topology: String,
+    /// Model name.
+    pub model: String,
+    /// Predicted quantity.
+    pub kind: PredictionKind,
+    /// Scored predictions.
+    pub count: u64,
+    /// Mean absolute percentage error (1.0 = 100 %).
+    pub mean_ape: f64,
+    /// 90th-percentile absolute percentage error.
+    pub p90_ape: f64,
+}
+
+/// Absolute percentage error of `predicted` against `realized`.
+pub fn absolute_percentage_error(predicted: f64, realized: f64) -> f64 {
+    (predicted - realized).abs() / realized.abs().max(APE_EPSILON)
+}
+
+/// The monitor: a bounded queue of [`PendingPrediction`]s plus the APE
+/// histograms of everything scored so far.
+///
+/// The monitor itself is provider-agnostic — the owning service drains
+/// due predictions with [`AccuracyMonitor::take_due`], computes the
+/// realized value from its metrics provider, and feeds the result back
+/// through [`AccuracyMonitor::score`] (or
+/// [`AccuracyMonitor::drop_unrealizable`] when the window can no longer
+/// be reconstructed).
+pub struct AccuracyMonitor {
+    service_label: String,
+    pending: Mutex<VecDeque<PendingPrediction>>,
+    /// APE histograms per (topology, model, kind) — held here (not only
+    /// in the global registry) so summaries stay exact per service
+    /// instance even when many instances share one process.
+    histograms: Mutex<HashMap<(String, String, PredictionKind), Histogram>>,
+    recorded: Counter,
+    scored: Counter,
+    dropped: Counter,
+}
+
+impl std::fmt::Debug for AccuracyMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccuracyMonitor")
+            .field("pending", &self.pending_len())
+            .field("scored", &self.scored.get())
+            .field("dropped", &self.dropped.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccuracyMonitor {
+    /// A monitor registering its series under `service="service_label"`.
+    pub fn new(service_label: &str) -> Self {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_forecast_ape",
+            "Absolute percentage error of scored predictions (1 = 100%)",
+        );
+        registry.describe(
+            "caladrius_forecast_predictions_recorded_total",
+            "Predictions registered for future scoring",
+        );
+        registry.describe(
+            "caladrius_forecast_predictions_scored_total",
+            "Predictions scored against realized metrics",
+        );
+        registry.describe(
+            "caladrius_forecast_predictions_dropped_total",
+            "Predictions dropped unscored (queue overflow or unrealizable window)",
+        );
+        let labels: [(&str, &str); 1] = [("service", service_label)];
+        Self {
+            service_label: service_label.to_string(),
+            pending: Mutex::new(VecDeque::new()),
+            histograms: Mutex::new(HashMap::new()),
+            recorded: registry.counter("caladrius_forecast_predictions_recorded_total", &labels),
+            scored: registry.counter("caladrius_forecast_predictions_scored_total", &labels),
+            dropped: registry.counter("caladrius_forecast_predictions_dropped_total", &labels),
+        }
+    }
+
+    /// Registers a prediction for future scoring. Degenerate windows
+    /// (`end <= start`) and non-finite predictions are ignored.
+    pub fn record(&self, prediction: PendingPrediction) {
+        if prediction.window_end <= prediction.window_start || !prediction.predicted.is_finite() {
+            return;
+        }
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if pending.len() == MAX_PENDING {
+            pending.pop_front();
+            self.dropped.inc();
+        }
+        pending.push_back(prediction);
+        self.recorded.inc();
+    }
+
+    /// Drains every pending prediction whose window has closed according
+    /// to `watermark` (newest observed minute per topology; `None` means
+    /// the topology currently has no data and its predictions stay
+    /// queued).
+    pub fn take_due<F>(&self, mut watermark: F) -> Vec<PendingPrediction>
+    where
+        F: FnMut(&str) -> Option<i64>,
+    {
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut due = Vec::new();
+        pending.retain(|p| {
+            if watermark(&p.topology).is_some_and(|w| w >= p.window_end) {
+                due.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Scores one drained prediction against its realized value.
+    pub fn score(&self, prediction: &PendingPrediction, realized: f64) {
+        let ape = absolute_percentage_error(prediction.predicted, realized);
+        self.histogram(prediction).record(ape);
+        self.scored.inc();
+    }
+
+    /// Marks a drained prediction as unscoreable (e.g. the window's data
+    /// was truncated before scoring).
+    pub fn drop_unrealizable(&self, _prediction: &PendingPrediction) {
+        self.dropped.inc();
+    }
+
+    /// Predictions still waiting on their windows.
+    pub fn pending_len(&self) -> usize {
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Number of predictions scored so far.
+    pub fn scored_count(&self) -> u64 {
+        self.scored.get()
+    }
+
+    /// Per-(topology, model, kind) APE summaries, sorted for
+    /// determinism.
+    pub fn summaries(&self) -> Vec<AccuracySummary> {
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<AccuracySummary> = histograms
+            .iter()
+            .map(|((topology, model, kind), h)| {
+                let snapshot: HistogramSnapshot = h.snapshot();
+                AccuracySummary {
+                    topology: topology.clone(),
+                    model: model.clone(),
+                    kind: *kind,
+                    count: snapshot.count,
+                    mean_ape: snapshot.mean(),
+                    p90_ape: snapshot.quantile(0.9),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (&a.topology, &a.model, a.kind.as_str()).cmp(&(&b.topology, &b.model, b.kind.as_str()))
+        });
+        out
+    }
+
+    /// The APE histogram for one prediction's key, shared with the
+    /// global registry.
+    fn histogram(&self, prediction: &PendingPrediction) -> Histogram {
+        let key = (
+            prediction.topology.clone(),
+            prediction.model.clone(),
+            prediction.kind,
+        );
+        let mut histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        histograms
+            .entry(key)
+            .or_insert_with(|| {
+                caladrius_obs::global_registry().histogram(
+                    "caladrius_forecast_ape",
+                    &[
+                        ("topology", &prediction.topology),
+                        ("model", &prediction.model),
+                        ("kind", prediction.kind.as_str()),
+                        ("service", &self.service_label),
+                    ],
+                )
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(model: &str, window_end: i64, predicted: f64) -> PendingPrediction {
+        PendingPrediction {
+            topology: "wc".into(),
+            model: model.into(),
+            kind: PredictionKind::Traffic,
+            window_start: 0,
+            window_end,
+            predicted,
+        }
+    }
+
+    fn monitor() -> AccuracyMonitor {
+        AccuracyMonitor::new(&format!("accuracy-test-{}", caladrius_obs::next_scope_id()))
+    }
+
+    #[test]
+    fn due_predictions_drain_once_watermark_passes() {
+        let m = monitor();
+        m.record(pending("a", 60_000, 10.0));
+        m.record(pending("a", 120_000, 10.0));
+        assert_eq!(m.pending_len(), 2);
+        // Watermark short of both windows: nothing due.
+        assert!(m.take_due(|_| Some(30_000)).is_empty());
+        let due = m.take_due(|_| Some(60_000));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].window_end, 60_000);
+        assert_eq!(m.pending_len(), 1);
+        // Unknown topology keeps predictions queued.
+        assert!(m.take_due(|_| None).is_empty());
+        assert_eq!(m.pending_len(), 1);
+    }
+
+    #[test]
+    fn scoring_feeds_ape_histograms_and_summaries() {
+        let m = monitor();
+        let p = pending("stats", 60_000, 110.0);
+        m.record(p.clone());
+        for due in m.take_due(|_| Some(i64::MAX)) {
+            m.score(&due, 100.0);
+        }
+        assert_eq!(m.scored_count(), 1);
+        let summaries = m.summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].count, 1);
+        // APE = |110-100|/100 = 0.1, within its bucket's ~19 % width.
+        assert!((summaries[0].mean_ape - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn degenerate_predictions_are_ignored_and_queue_is_bounded() {
+        let m = monitor();
+        m.record(pending("a", 0, 1.0)); // end == start
+        m.record(pending("a", 60_000, f64::NAN));
+        assert_eq!(m.pending_len(), 0);
+        for i in 0..(MAX_PENDING + 10) {
+            m.record(pending("a", 60_000 + i as i64, 1.0));
+        }
+        assert_eq!(m.pending_len(), MAX_PENDING);
+    }
+
+    #[test]
+    fn ape_guards_zero_realized() {
+        assert!(absolute_percentage_error(5.0, 0.0).is_finite());
+        assert_eq!(absolute_percentage_error(100.0, 100.0), 0.0);
+        assert!((absolute_percentage_error(50.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod capacity;
 pub mod config;
 pub mod error;

@@ -4,6 +4,7 @@
 //! plan and the expected throughput is calculated without requiring
 //! topology deployment").
 
+use crate::accuracy::{AccuracyMonitor, AccuracySummary, PendingPrediction, PredictionKind};
 use crate::config::CaladriusConfig;
 use crate::error::{CoreError, Result};
 use crate::model::component::{ComponentModel, GroupingKind};
@@ -17,10 +18,11 @@ use crate::providers::metrics::{
 use crate::providers::tracker::TopologyTracker;
 use crate::traffic::{TrafficForecast, TrafficModelRegistry};
 use caladrius_forecast::DataPoint;
+use caladrius_obs::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How the evaluation picks the source rate to model against.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,11 +130,19 @@ pub struct Caladrius {
     performance: ModelRegistry,
     graphs: GraphService,
     model_cache: Mutex<HashMap<String, CachedModels>>,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    model_fits: AtomicU64,
-    plans_run: AtomicU64,
-    plan_evals: AtomicU64,
+    /// Cache/fit/plan counters live in the process-wide obs registry,
+    /// labelled `service="<instance id>"` so [`Caladrius::model_cache_stats`]
+    /// stays exact per instance while `/metrics/service` sees every
+    /// instance in the process.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    model_fits: Counter,
+    plans_run: Counter,
+    plan_evals: Counter,
+    evaluate_duration: Histogram,
+    fit_duration: Histogram,
+    plan_duration: Histogram,
+    accuracy: AccuracyMonitor,
 }
 
 impl std::fmt::Debug for Caladrius {
@@ -157,6 +167,38 @@ impl Caladrius {
         tracker: Arc<dyn TopologyTracker>,
         config: CaladriusConfig,
     ) -> Self {
+        let registry = caladrius_obs::global_registry();
+        let service_id = caladrius_obs::next_scope_id().to_string();
+        let labels: [(&str, &str); 1] = [("service", &service_id)];
+        registry.describe(
+            "caladrius_model_cache_hits_total",
+            "Evaluations served entirely from cached fitted models",
+        );
+        registry.describe(
+            "caladrius_model_cache_misses_total",
+            "Evaluations that had to (re)fit models",
+        );
+        registry.describe(
+            "caladrius_model_fits_total",
+            "Individual component/CPU model fits performed",
+        );
+        registry.describe("caladrius_plans_total", "Capacity-plan searches completed");
+        registry.describe(
+            "caladrius_plan_oracle_evals_total",
+            "Oracle evaluations spent inside plan searches",
+        );
+        registry.describe(
+            "caladrius_evaluate_duration_seconds",
+            "Wall-clock time of Caladrius::evaluate",
+        );
+        registry.describe(
+            "caladrius_model_fit_duration_seconds",
+            "Wall-clock time of a full model (re)fit on a cache miss",
+        );
+        registry.describe(
+            "caladrius_plan_duration_seconds",
+            "Wall-clock time of Caladrius::plan_capacity",
+        );
         Self {
             config,
             metrics,
@@ -165,11 +207,15 @@ impl Caladrius {
             performance: ModelRegistry::with_defaults(),
             graphs: GraphService::new(),
             model_cache: Mutex::new(HashMap::new()),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            model_fits: AtomicU64::new(0),
-            plans_run: AtomicU64::new(0),
-            plan_evals: AtomicU64::new(0),
+            cache_hits: registry.counter("caladrius_model_cache_hits_total", &labels),
+            cache_misses: registry.counter("caladrius_model_cache_misses_total", &labels),
+            model_fits: registry.counter("caladrius_model_fits_total", &labels),
+            plans_run: registry.counter("caladrius_plans_total", &labels),
+            plan_evals: registry.counter("caladrius_plan_oracle_evals_total", &labels),
+            evaluate_duration: registry.histogram("caladrius_evaluate_duration_seconds", &labels),
+            fit_duration: registry.histogram("caladrius_model_fit_duration_seconds", &labels),
+            plan_duration: registry.histogram("caladrius_plan_duration_seconds", &labels),
+            accuracy: AccuracyMonitor::new(&service_id),
         }
     }
 
@@ -456,7 +502,7 @@ impl Caladrius {
                 name.clone(),
                 ComponentModel::fit(name.clone(), *parallelism, grouping, &observations)?,
             );
-            self.model_fits.fetch_add(1, Ordering::Relaxed);
+            self.model_fits.inc();
         }
         TopologyModel::new(spec, models)
     }
@@ -479,7 +525,7 @@ impl Caladrius {
             match fitted {
                 Ok(model) => {
                     models.insert(name.clone(), model);
-                    self.model_fits.fetch_add(1, Ordering::Relaxed);
+                    self.model_fits.inc();
                 }
                 Err(CoreError::NotEnoughObservations { .. }) => continue,
                 Err(other) => return Err(other),
@@ -501,7 +547,7 @@ impl Caladrius {
             let cache = self.lock_cache();
             if let Some(entry) = cache.get(topology) {
                 if entry.watermark == watermark && entry.plan_version == plan_version {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache_hits.inc();
                     return Ok((
                         Arc::clone(&entry.topology_model),
                         Arc::clone(&entry.cpu_models),
@@ -509,9 +555,13 @@ impl Caladrius {
                 }
             }
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
+        let mut span = caladrius_obs::global_span("core.fit");
+        span.field("topology", topology);
+        let fit_started = Instant::now();
         let topology_model = Arc::new(self.fit_topology_model(topology)?);
         let cpu_models = Arc::new(self.fit_cpu_models(topology)?);
+        self.fit_duration.record_duration(fit_started.elapsed());
         self.lock_cache().insert(
             topology.to_string(),
             CachedModels {
@@ -533,11 +583,11 @@ impl Caladrius {
     /// Cumulative cache and fit counters.
     pub fn model_cache_stats(&self) -> ModelCacheStats {
         ModelCacheStats {
-            hits: self.cache_hits.load(Ordering::Relaxed),
-            misses: self.cache_misses.load(Ordering::Relaxed),
-            fits: self.model_fits.load(Ordering::Relaxed),
-            plans: self.plans_run.load(Ordering::Relaxed),
-            plan_evals: self.plan_evals.load(Ordering::Relaxed),
+            hits: self.cache_hits.get(),
+            misses: self.cache_misses.get(),
+            fits: self.model_fits.get(),
+            plans: self.plans_run.get(),
+            plan_evals: self.plan_evals.get(),
         }
     }
 
@@ -609,6 +659,10 @@ impl Caladrius {
         proposed_parallelisms: &HashMap<String, u32>,
         source: &SourceRateSpec,
     ) -> Result<EvaluationReport> {
+        self.score_pending();
+        let mut span = caladrius_obs::global_span("core.evaluate");
+        span.field("topology", topology);
+        let started = Instant::now();
         let (model, cpu_models) = self.fitted_models(topology)?;
         let (source_rate, traffic) = self.resolve_source_rate(topology, source)?;
 
@@ -638,6 +692,36 @@ impl Caladrius {
                 cpu.predict_component(component, report.parallelism, report.source_rate)?,
             );
         }
+
+        // Register what this evaluation claimed about the future so the
+        // accuracy monitor can score it once the window closes.
+        if let Some(forecast) = &traffic {
+            if let (Some(first), Some(last)) = (forecast.points.first(), forecast.points.last()) {
+                let window_start = first.ts;
+                let window_end = last.ts + 60_000;
+                self.accuracy.record(PendingPrediction {
+                    topology: topology.to_string(),
+                    model: forecast.model.clone(),
+                    kind: PredictionKind::Traffic,
+                    window_start,
+                    window_end,
+                    predicted: source_rate,
+                });
+                // Throughput claims are only realizable for the deployed
+                // parallelism — hypothetical proposals never run.
+                if proposed_parallelisms.is_empty() {
+                    self.accuracy.record(PendingPrediction {
+                        topology: topology.to_string(),
+                        model: "topology_model".to_string(),
+                        kind: PredictionKind::Throughput,
+                        window_start,
+                        window_end,
+                        predicted: prediction.sink_output_rate,
+                    });
+                }
+            }
+        }
+        self.evaluate_duration.record_duration(started.elapsed());
 
         Ok(EvaluationReport {
             topology: topology.to_string(),
@@ -706,6 +790,10 @@ impl Caladrius {
         request: &crate::capacity::CapacityPlanRequest,
     ) -> Result<caladrius_planner::PlanTimeline> {
         use crate::capacity::{forecast_windows, ModelOracle};
+        self.score_pending();
+        let mut span = caladrius_obs::global_span("core.plan");
+        span.field("topology", topology);
+        let started = Instant::now();
         request.planner.validate().map_err(CoreError::from)?;
         let (model, cpu_models) = self.fitted_models(topology)?;
 
@@ -745,10 +833,120 @@ impl Caladrius {
         let timeline =
             caladrius_planner::plan_horizon(&oracle, &initial, &windows, &request.planner)
                 .map_err(CoreError::from)?;
-        self.plans_run.fetch_add(1, Ordering::Relaxed);
-        self.plan_evals
-            .fetch_add(timeline.oracle_evals, Ordering::Relaxed);
+        self.plans_run.inc();
+        self.plan_evals.add(timeline.oracle_evals);
+        span.field("oracle_evals", timeline.oracle_evals);
+        // Each planning window is a dated traffic claim; register them
+        // all for future scoring.
+        for window in &windows {
+            self.accuracy.record(PendingPrediction {
+                topology: topology.to_string(),
+                model: model_name.clone(),
+                kind: PredictionKind::Traffic,
+                window_start: window.start_ts,
+                window_end: window.end_ts,
+                predicted: window.peak_rate,
+            });
+        }
+        self.plan_duration.record_duration(started.elapsed());
         Ok(timeline)
+    }
+
+    /// Sink component names of a topology (no outgoing edges).
+    fn sinks(&self, topology: &str) -> Result<Vec<String>> {
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        Ok(logical
+            .spec
+            .components
+            .iter()
+            .filter(|(name, _)| !logical.spec.edges.iter().any(|(from, _, _)| from == name))
+            .map(|(name, _)| name.clone())
+            .collect())
+    }
+
+    /// Scores every pending forecast-accuracy prediction whose window
+    /// has closed (the metrics watermark passed its end), feeding APE
+    /// histograms per (topology, model, kind). Runs automatically at the
+    /// top of [`Caladrius::evaluate`] and [`Caladrius::plan_capacity`];
+    /// callers may also invoke it directly (e.g. on a timer). Returns
+    /// the number of predictions scored by this pass.
+    pub fn score_pending(&self) -> usize {
+        let due = self
+            .accuracy
+            .take_due(|topology| self.metrics.latest_minute(topology));
+        let mut scored = 0;
+        for prediction in &due {
+            match self.realize(prediction) {
+                Some(realized) => {
+                    self.accuracy.score(prediction, realized);
+                    scored += 1;
+                }
+                None => self.accuracy.drop_unrealizable(prediction),
+            }
+        }
+        scored
+    }
+
+    /// What actually happened over a prediction's window: the realized
+    /// peak of the predicted quantity, or `None` when the window's data
+    /// is gone (truncated) or never materialised.
+    fn realize(&self, prediction: &PendingPrediction) -> Option<f64> {
+        let topology = &prediction.topology;
+        // Window ends are exclusive: the sample at `window_end` belongs
+        // to the next window.
+        let from = prediction.window_start;
+        let to = prediction.window_end - 1;
+        let peak = |series: Vec<DataPoint>| {
+            series
+                .iter()
+                .map(|p| p.y)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                })
+        };
+        match prediction.kind {
+            PredictionKind::Traffic => {
+                let spouts = self.spouts(topology).ok()?;
+                let history =
+                    source_history(self.metrics.as_ref(), topology, &spouts, from, to).ok()?;
+                peak(history)
+            }
+            PredictionKind::Throughput => {
+                let mut by_ts: BTreeMap<i64, f64> = BTreeMap::new();
+                for sink in self.sinks(topology).ok()? {
+                    let series = self
+                        .metrics
+                        .component_series(
+                            topology,
+                            &sink,
+                            heron_sim::metrics::metric::EMIT_COUNT,
+                            from,
+                            to,
+                        )
+                        .ok()?;
+                    for s in series {
+                        *by_ts.entry(s.ts).or_insert(0.0) += s.value;
+                    }
+                }
+                peak(
+                    by_ts
+                        .into_iter()
+                        .map(|(ts, y)| DataPoint::new(ts, y))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Per-(topology, model, kind) forecast-accuracy summaries scored so
+    /// far by this service instance.
+    pub fn accuracy_summaries(&self) -> Vec<AccuracySummary> {
+        self.accuracy.summaries()
+    }
+
+    /// Predictions still waiting for their horizon windows to close.
+    pub fn pending_predictions(&self) -> usize {
+        self.accuracy.pending_len()
     }
 }
 
@@ -1170,6 +1368,112 @@ mod tests {
                 .unwrap();
             assert_eq!(binary, linear, "binary/linear divergence at {rate:.3e}");
         }
+    }
+
+    #[test]
+    fn forecast_accuracy_scores_predictions_and_ranks_biased_model_worse() {
+        use caladrius_forecast::stats::StatsSummaryModel;
+        use caladrius_forecast::{ForecastError, ForecastPoint, Forecaster};
+
+        /// A deliberately miscalibrated forecaster: the fitted
+        /// stats-summary mean, tripled.
+        struct BiasedModel(StatsSummaryModel);
+        impl Forecaster for BiasedModel {
+            fn fit(&mut self, history: &[DataPoint]) -> std::result::Result<(), ForecastError> {
+                self.0.fit(history)
+            }
+            fn predict(
+                &self,
+                timestamps: &[i64],
+            ) -> std::result::Result<Vec<ForecastPoint>, ForecastError> {
+                Ok(self
+                    .0
+                    .predict(timestamps)?
+                    .into_iter()
+                    .map(|mut p| {
+                        p.yhat *= 3.0;
+                        p.lower *= 3.0;
+                        p.upper *= 3.0;
+                        p
+                    })
+                    .collect())
+            }
+            fn name(&self) -> &'static str {
+                "biased"
+            }
+        }
+
+        let (mut caladrius, metrics) = service_with_metrics();
+        caladrius.traffic_registry_mut().register("biased", || {
+            Box::new(BiasedModel(StatsSummaryModel::mean()))
+        });
+
+        // Two evaluations of the deployed topology, one per model. Each
+        // registers a traffic prediction for the coming horizon (and a
+        // throughput prediction for the deployed parallelism).
+        for model in ["stats_summary", "biased"] {
+            caladrius
+                .evaluate(
+                    "wordcount",
+                    &HashMap::new(),
+                    &SourceRateSpec::Forecast {
+                        model: Some(model.into()),
+                        conservative: false,
+                    },
+                )
+                .unwrap();
+        }
+        assert!(caladrius.pending_predictions() >= 3);
+        assert_eq!(caladrius.score_pending(), 0, "windows still open");
+
+        // Let the future happen: run the topology (at the final sweep
+        // leg's offered rate) through the full forecast horizon so the
+        // watermark passes every pending window's end.
+        let watermark = caladrius
+            .metrics_provider()
+            .latest_minute("wordcount")
+            .unwrap();
+        let topo = wordcount_topology(PARALLELISM, 26.0e6);
+        let mut sim = Simulation::new(
+            topo,
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.skip_to_minute(watermark as u64 / 60_000);
+        sim.run_minutes_into(65, &metrics);
+
+        let scored = caladrius.score_pending();
+        assert!(scored >= 3, "expected ≥3 scored predictions, got {scored}");
+
+        let summaries = caladrius.accuracy_summaries();
+        let ape_of = |model: &str, kind: PredictionKind| {
+            summaries
+                .iter()
+                .find(|s| s.model == model && s.kind == kind)
+                .unwrap_or_else(|| panic!("no summary for {model}/{kind:?}"))
+        };
+        let fitted = ape_of("stats_summary", PredictionKind::Traffic);
+        let biased = ape_of("biased", PredictionKind::Traffic);
+        assert!(fitted.count >= 1 && biased.count >= 1);
+        assert!(fitted.mean_ape.is_finite() && fitted.p90_ape >= 0.0);
+        assert!(
+            biased.mean_ape > fitted.mean_ape,
+            "biased model (APE {:.3}) must score worse than fitted (APE {:.3})",
+            biased.mean_ape,
+            fitted.mean_ape
+        );
+        let throughput = ape_of("topology_model", PredictionKind::Throughput);
+        assert!(throughput.count >= 1);
+
+        // The APE histograms surface on the global registry too.
+        let families = caladrius_obs::global_registry().families();
+        assert!(families.iter().any(|f| f.name == "caladrius_forecast_ape"
+            && f.rows
+                .iter()
+                .any(|r| r.labels.iter().any(|(k, v)| k == "model" && v == "biased"))));
     }
 
     #[test]

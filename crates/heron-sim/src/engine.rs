@@ -19,7 +19,25 @@ use crate::metrics::{InstanceHandles, SimMetrics};
 use crate::packing::{PackingAlgorithm, PackingPlan};
 use crate::profiles::hash64;
 use crate::topology::{ComponentKind, Topology};
+use caladrius_obs::Histogram;
 use caladrius_tsdb::{MetricBatch, SeriesHandle};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide histogram of wall-clock time per recorded simulated
+/// minute (tick loop + metric flush). One static handle: the simulator
+/// hot loop must not pay a registry lookup per minute.
+fn sim_minute_histogram() -> &'static Histogram {
+    static HANDLE: OnceLock<Histogram> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_sim_minute_duration_seconds",
+            "Wall-clock time to simulate one recorded minute (ticks + flush)",
+        );
+        registry.histogram("caladrius_sim_minute_duration_seconds", &[])
+    })
+}
 
 /// Pre-resolved sink state for one `(simulation, SimMetrics)` pairing:
 /// every series handle the per-minute flush appends to, plus the one
@@ -589,13 +607,19 @@ impl Simulation {
 
     /// Runs `minutes` simulated minutes, recording metrics into `metrics`.
     pub fn run_minutes_into(&mut self, minutes: u64, metrics: &SimMetrics) {
+        let mut span = caladrius_obs::global_span("sim.run");
+        span.field("topology", &self.topology.name)
+            .field("minutes", minutes);
+        let minute_hist = sim_minute_histogram();
         let mut sink = self.register_sink(metrics);
         let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
         for _ in 0..minutes {
+            let started = Instant::now();
             for _ in 0..ticks_per_minute {
                 self.tick();
             }
             self.flush_minute(metrics, &mut sink);
+            minute_hist.record_duration(started.elapsed());
         }
     }
 

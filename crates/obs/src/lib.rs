@@ -1,0 +1,34 @@
+//! Zero-dependency observability substrate for Caladrius.
+//!
+//! Three pieces, each usable standalone:
+//!
+//! * [`registry`] — a sharded [`MetricsRegistry`] of atomic
+//!   [`Counter`]s, [`Gauge`]s and lock-free log-bucketed
+//!   [`Histogram`]s (p50/p90/p99/max at read time).
+//! * [`span`] — [`RequestId`] propagation via thread-local
+//!   [`RequestScope`]s, RAII [`SpanGuard`] timing, and a bounded
+//!   [`TraceRing`] of recent [`SpanEvent`]s.
+//! * [`prom`] — Prometheus text-format exposition of a registry
+//!   snapshot.
+//!
+//! [`global::registry()`](global::registry) and
+//! [`global::tracer()`](global::tracer) are the process-wide instances
+//! everything in the workspace records into; `GET /metrics/service`
+//! and `GET /trace/recent` in `caladrius-api` read them back out.
+
+#![warn(missing_docs)]
+
+pub mod global;
+pub mod prom;
+pub mod registry;
+pub mod span;
+
+pub use global::{next_scope_id, registry as global_registry, span as global_span, tracer};
+pub use prom::{render as render_prometheus, PROMETHEUS_CONTENT_TYPE};
+pub use registry::{
+    BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricFamily, MetricHandle,
+    MetricKind, MetricRow, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    current_request_id, next_request_id, RequestId, RequestScope, SpanEvent, SpanGuard, TraceRing,
+};

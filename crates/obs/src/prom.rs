@@ -1,0 +1,206 @@
+//! Prometheus text-format exposition (version 0.0.4) over a
+//! [`MetricsRegistry`] snapshot.
+//!
+//! Counters and gauges render one sample per row; histograms render the
+//! standard cumulative `_bucket{le="..."}` series (non-empty buckets
+//! plus the mandatory `+Inf`), `_sum` and `_count`. Label values are
+//! escaped per the spec (`\\`, `\"`, `\n`), and metric names are
+//! sanitised to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset so the output
+//! always parses.
+
+use crate::registry::{MetricFamily, MetricHandle, MetricKind, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Content type for the text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Replaces characters outside `[a-zA-Z0-9_:]` with `_`, prefixing `_`
+/// when the first character is a digit.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if ok {
+            out.push(ch);
+        } else if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote and newline.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes help text: backslash and newline (quotes are legal here).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus expects (`+Inf`, integers
+/// without an exponent, everything else via shortest-round-trip `{}`).
+fn format_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", k, escape_label_value(v));
+    }
+    out.push('}');
+}
+
+fn kind_str(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+fn render_family(out: &mut String, family: &MetricFamily) {
+    let name = sanitize_name(&family.name);
+    if let Some(help) = &family.help {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {name} {}", kind_str(family.kind));
+    for row in &family.rows {
+        match &row.handle {
+            MetricHandle::Counter(c) => {
+                out.push_str(&name);
+                write_labels(out, &row.labels, None);
+                let _ = writeln!(out, " {}", c.get());
+            }
+            MetricHandle::Gauge(g) => {
+                out.push_str(&name);
+                write_labels(out, &row.labels, None);
+                let _ = writeln!(out, " {}", format_value(g.get()));
+            }
+            MetricHandle::Histogram(h) => {
+                let snapshot = h.snapshot();
+                let mut cumulative = 0u64;
+                for bucket in &snapshot.buckets {
+                    cumulative += bucket.count;
+                    if bucket.upper.is_infinite() {
+                        continue; // folded into the +Inf row below
+                    }
+                    let _ = write!(out, "{name}_bucket");
+                    write_labels(out, &row.labels, Some(("le", &format_value(bucket.upper))));
+                    let _ = writeln!(out, " {cumulative}");
+                }
+                let _ = write!(out, "{name}_bucket");
+                write_labels(out, &row.labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, " {}", snapshot.count);
+                let _ = write!(out, "{name}_sum");
+                write_labels(out, &row.labels, None);
+                let _ = writeln!(out, " {}", format_value(snapshot.sum));
+                let _ = write!(out, "{name}_count");
+                write_labels(out, &row.labels, None);
+                let _ = writeln!(out, " {}", snapshot.count);
+            }
+        }
+    }
+}
+
+/// Renders every family of `registry` in the Prometheus text format.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for family in registry.families() {
+        render_family(&mut out, &family);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = MetricsRegistry::new();
+        r.describe("req_total", "requests served");
+        r.counter("req_total", &[("route", "/health")]).add(3);
+        r.gauge("depth", &[]).set(2.5);
+        let h = r.histogram("lat_seconds", &[("route", "/x")]);
+        h.record(0.5);
+        h.record(0.5);
+        h.record(2.0);
+        let text = render(&r);
+        assert!(text.contains("# HELP req_total requests served\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{route=\"/health\"} 3\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("depth 2.5\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{route=\"/x\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_sum{route=\"/x\"} 3\n"));
+        assert!(text.contains("lat_seconds_count{route=\"/x\"} 3\n"));
+        // Cumulative counts: the bucket containing 0.5 must report 2.
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("lat_seconds_bucket") && l.ends_with(" 2")));
+    }
+
+    #[test]
+    fn escapes_labels_and_sanitizes_names() {
+        let r = MetricsRegistry::new();
+        r.counter("weird.name-1", &[("path", "a\\b\"c\nd")]).inc();
+        let text = render(&r);
+        assert!(text.contains("# TYPE weird_name_1 counter\n"));
+        assert!(text.contains("weird_name_1{path=\"a\\\\b\\\"c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert!(render(&MetricsRegistry::new()).is_empty());
+    }
+}

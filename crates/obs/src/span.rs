@@ -1,0 +1,276 @@
+//! Span timing, request-id propagation and the structured trace ring.
+//!
+//! A [`RequestId`] is minted at the service edge (the HTTP layer) and
+//! installed for the current thread with a [`RequestScope`] guard; any
+//! code downstream — model fits, simulator runs, planner searches — can
+//! read it with [`current_request_id`] without plumbing it through every
+//! signature. Finished spans are pushed into a bounded [`TraceRing`]
+//! that overwrites oldest-first, so tracing is always on and never
+//! grows without bound.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Identifier tying every span recorded while serving one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl RequestId {
+    /// Parses the hex form produced by `Display` (also accepts plain
+    /// decimal for hand-written requests).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        u64::from_str_radix(s, 16)
+            .ok()
+            .or_else(|| s.parse().ok())
+            .map(RequestId)
+    }
+}
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh process-unique request id.
+pub fn next_request_id() -> RequestId {
+    RequestId(NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+thread_local! {
+    static CURRENT_REQUEST: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The request id installed on this thread, if any.
+pub fn current_request_id() -> Option<RequestId> {
+    CURRENT_REQUEST.with(|c| c.get().map(RequestId))
+}
+
+/// Guard installing a request id for the current thread; dropping it
+/// restores whatever was installed before (scopes nest correctly).
+#[derive(Debug)]
+pub struct RequestScope {
+    previous: Option<u64>,
+}
+
+impl RequestScope {
+    /// Installs `id` as the current thread's request id.
+    pub fn enter(id: RequestId) -> Self {
+        let previous = CURRENT_REQUEST.with(|c| c.replace(Some(id.0)));
+        RequestScope { previous }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.previous));
+    }
+}
+
+/// A finished span as stored in the [`TraceRing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Monotone sequence number (total order of ring insertion).
+    pub seq: u64,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub ts_unix_ms: i64,
+    /// Span name, e.g. `"core.evaluate"`.
+    pub name: String,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+    /// Request the span belongs to (None for background work).
+    pub request_id: Option<RequestId>,
+    /// Free-form `key=value` annotations.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Bounded ring of recent [`SpanEvent`]s; pushes overwrite the oldest
+/// entry once `capacity` is reached.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    seq: AtomicU64,
+    events: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            capacity,
+            seq: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Records a finished span. `request_id` defaults to the thread's
+    /// current scope when `None` is passed explicitly by [`SpanGuard`].
+    pub fn record(
+        &self,
+        name: &str,
+        duration: Duration,
+        request_id: Option<RequestId>,
+        fields: Vec<(String, String)>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        let event = SpanEvent {
+            seq,
+            ts_unix_ms,
+            name: name.to_string(),
+            duration_us: duration.as_micros() as u64,
+            request_id,
+            fields,
+        };
+        let mut guard = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.len() == self.capacity {
+            guard.pop_front();
+        }
+        guard.push_back(event);
+    }
+
+    /// The most recent `limit` events, newest first.
+    pub fn recent(&self, limit: usize) -> Vec<SpanEvent> {
+        let guard = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Starts a span that records into this ring when dropped.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            ring: self,
+            name,
+            started: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+}
+
+/// RAII span: created via [`TraceRing::span`], records its elapsed time
+/// and the thread's current request id into the ring on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    ring: &'a TraceRing,
+    name: &'static str,
+    started: Instant,
+    fields: Vec<(String, String)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a `key=value` annotation to the span.
+    pub fn field(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.ring.record(
+            self.name,
+            self.started.elapsed(),
+            current_request_id(),
+            std::mem::take(&mut self.fields),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_round_trips_through_display() {
+        let id = RequestId(0xdead_beef);
+        assert_eq!(RequestId::parse(&id.to_string()), Some(id));
+        assert_eq!(RequestId::parse("42"), Some(RequestId(0x42)));
+        assert_eq!(RequestId::parse("zz"), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_request_id(), None);
+        let outer = RequestScope::enter(RequestId(1));
+        assert_eq!(current_request_id(), Some(RequestId(1)));
+        {
+            let _inner = RequestScope::enter(RequestId(2));
+            assert_eq!(current_request_id(), Some(RequestId(2)));
+        }
+        assert_eq!(current_request_id(), Some(RequestId(1)));
+        drop(outer);
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.record(&format!("s{i}"), Duration::from_micros(i), None, vec![]);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_recorded(), 5);
+        let recent = ring.recent(10);
+        let names: Vec<&str> = recent.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["s4", "s3", "s2"]);
+        assert_eq!(ring.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn span_guard_records_fields_and_request_id() {
+        let ring = TraceRing::new(8);
+        let _scope = RequestScope::enter(RequestId(7));
+        {
+            let mut span = ring.span("unit.test");
+            span.field("topology", "wordcount").field("n", 3);
+        }
+        let events = ring.recent(1);
+        assert_eq!(events[0].name, "unit.test");
+        assert_eq!(events[0].request_id, Some(RequestId(7)));
+        assert_eq!(
+            events[0].fields,
+            vec![
+                ("topology".to_string(), "wordcount".to_string()),
+                ("n".to_string(), "3".to_string())
+            ]
+        );
+    }
+}

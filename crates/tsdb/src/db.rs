@@ -4,9 +4,10 @@ use crate::catalog::{Catalog, SeriesId};
 use crate::error::{Error, Result};
 use crate::query::{bucketed, combine, Aggregation, TagFilter};
 use crate::series::{Sample, Series, SeriesKey};
+use caladrius_obs::{Counter, Histogram};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Sentinel meaning "no sample has ever been ingested".
@@ -116,18 +117,39 @@ pub struct MetricsDb {
     /// series map lock by `truncate_before` so it never points at
     /// truncated data.
     watermark: AtomicI64,
-    batches_ingested: AtomicU64,
-    samples_ingested: AtomicU64,
+    /// Ingest counters live in the process-wide obs registry, labelled
+    /// with this db's instance id so [`MetricsDb::ingest_stats`] stays
+    /// exact per database while one `/metrics/service` scrape sees every
+    /// db in the process.
+    batches_ingested: Counter,
+    samples_ingested: Counter,
+    batch_size: Histogram,
 }
 
 impl Default for MetricsDb {
     fn default() -> Self {
+        let registry = caladrius_obs::global_registry();
+        let db_id = caladrius_obs::next_scope_id().to_string();
+        let labels: [(&str, &str); 1] = [("db", &db_id)];
+        registry.describe(
+            "caladrius_tsdb_ingest_batches_total",
+            "Batches accepted by MetricsDb::ingest_batch",
+        );
+        registry.describe(
+            "caladrius_tsdb_ingest_samples_total",
+            "Samples ingested (batched rows plus per-sample writes)",
+        );
+        registry.describe(
+            "caladrius_tsdb_ingest_batch_size",
+            "Rows per ingested batch",
+        );
         Self {
             catalog: RwLock::new(Catalog::default()),
             series: RwLock::new(HashMap::new()),
             watermark: AtomicI64::new(WATERMARK_NONE),
-            batches_ingested: AtomicU64::new(0),
-            samples_ingested: AtomicU64::new(0),
+            batches_ingested: registry.counter("caladrius_tsdb_ingest_batches_total", &labels),
+            samples_ingested: registry.counter("caladrius_tsdb_ingest_samples_total", &labels),
+            batch_size: registry.histogram("caladrius_tsdb_ingest_batch_size", &labels),
         }
     }
 }
@@ -177,7 +199,7 @@ impl MetricsDb {
     pub fn append(&self, handle: &SeriesHandle, ts: i64, value: f64) {
         handle.series.write().push(Sample::new(ts, value));
         self.watermark.fetch_max(ts, Ordering::AcqRel);
-        self.samples_ingested.fetch_add(1, Ordering::Relaxed);
+        self.samples_ingested.inc();
     }
 
     /// Ingests a columnar batch: every row appends under only its
@@ -192,9 +214,9 @@ impl MetricsDb {
             handle.series.write().push(Sample::new(ts, *value));
         }
         self.watermark.fetch_max(ts, Ordering::AcqRel);
-        self.batches_ingested.fetch_add(1, Ordering::Relaxed);
-        self.samples_ingested
-            .fetch_add(batch.rows.len() as u64, Ordering::Relaxed);
+        self.batches_ingested.inc();
+        self.samples_ingested.add(batch.rows.len() as u64);
+        self.batch_size.record(batch.rows.len() as f64);
     }
 
     /// Largest timestamp ever ingested, `None` while empty. O(1): read
@@ -209,8 +231,8 @@ impl MetricsDb {
     /// Ingestion counters since the database was created.
     pub fn ingest_stats(&self) -> IngestStats {
         IngestStats {
-            batches: self.batches_ingested.load(Ordering::Relaxed),
-            samples: self.samples_ingested.load(Ordering::Relaxed),
+            batches: self.batches_ingested.get(),
+            samples: self.samples_ingested.get(),
         }
     }
 
@@ -237,7 +259,7 @@ impl MetricsDb {
         drop(series);
         if count > 0 {
             self.watermark.fetch_max(max_ts, Ordering::AcqRel);
-            self.samples_ingested.fetch_add(count, Ordering::Relaxed);
+            self.samples_ingested.add(count);
         }
     }
 

@@ -23,4 +23,7 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> observability smoke (scrape /metrics/service)"
+cargo run --release --example obs_smoke
+
 echo "CI gate passed."

@@ -17,6 +17,8 @@
 //! * [`api`] — the REST service tier.
 //! * [`autoscale`] — scaling policies: the Dhalion-style reactive
 //!   baseline vs Caladrius-driven one-shot scaling.
+//! * [`obs`] — the observability layer: metrics registry, span tracing,
+//!   Prometheus exposition and forecast-accuracy self-monitoring.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub use caladrius_autoscale as autoscale;
 pub use caladrius_core as core;
 pub use caladrius_forecast as forecast;
 pub use caladrius_graph as graph;
+pub use caladrius_obs as obs;
 pub use caladrius_planner as planner;
 pub use caladrius_tsdb as tsdb;
 pub use caladrius_workload as workload;

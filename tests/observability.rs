@@ -1,0 +1,191 @@
+//! End-to-end test of the observability layer through the REST surface:
+//! driving real traffic over HTTP must light up the Prometheus
+//! exposition at `/metrics/service` (covering the HTTP, job, service,
+//! tsdb and simulator layers) and leave attributable spans in
+//! `/trace/recent`.
+
+use caladrius::api::{json, ApiService, HttpClient, HttpServer};
+use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
+use caladrius::core::Caladrius;
+use caladrius::sim::prelude::*;
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_service() -> (HttpServer, HttpClient) {
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = SimMetrics::new("wordcount");
+    for (leg, rate) in [6.0e6, 14.0e6, 26.0e6].into_iter().enumerate() {
+        let mut sim =
+            Simulation::new(wordcount_topology(parallelism, rate), SimConfig::default()).unwrap();
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+    let caladrius = Caladrius::new(
+        Arc::new(SimMetricsProvider::new(metrics)),
+        Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 26.0e6))),
+    );
+    let api = ApiService::new(Arc::new(caladrius), 2);
+    let server = HttpServer::serve("127.0.0.1:0", 4, api.handler()).unwrap();
+    let client = HttpClient::new(server.local_addr());
+    (server, client)
+}
+
+/// Extracts the value of the first sample line whose name+labels prefix
+/// contains every given fragment.
+fn scrape(text: &str, fragments: &[&str]) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| fragments.iter().all(|f| l.contains(f)))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn metrics_service_covers_every_instrumented_layer() {
+    let (_server, client) = start_service();
+
+    // Generate observable work: sync evaluation, async job, health.
+    assert_eq!(client.get("/health").unwrap().0, 200);
+    let (status, body) = client
+        .post(
+            "/model/topology/heron/wordcount",
+            r#"{"source_rate": 20000000}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = client
+        .post(
+            "/model/topology/heron/wordcount?async=true",
+            r#"{"source_rate": 10000000}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let poll = json::parse(&body)
+        .unwrap()
+        .get("poll")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let final_poll = loop {
+        let (_, body) = client.get(&poll).unwrap();
+        let v = json::parse(&body).unwrap();
+        match v.get("state").unwrap().as_str().unwrap() {
+            "pending" => {
+                assert!(std::time::Instant::now() < deadline);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            "done" => break v,
+            other => panic!("job failed: {other} {body}"),
+        }
+    };
+    // Job timing rides along in the poll response.
+    assert!(final_poll.get("queued_ms").unwrap().as_f64().unwrap() > 0.0);
+    assert!(final_poll.get("duration_ms").unwrap().as_f64().unwrap() >= 0.0);
+
+    let (status, text) = client.get("/metrics/service").unwrap();
+    assert_eq!(status, 200);
+
+    // HTTP tier: per-route counters and latency histograms.
+    assert!(
+        scrape(
+            &text,
+            &["caladrius_http_requests_total", "route=\"/health\""]
+        )
+        .unwrap()
+            >= 1.0
+    );
+    assert!(
+        scrape(
+            &text,
+            &[
+                "caladrius_http_requests_total",
+                "route=\"/model/topology/heron/{topology}\"",
+                "status=\"200\"",
+            ],
+        )
+        .unwrap()
+            >= 1.0
+    );
+    assert!(
+        scrape(
+            &text,
+            &[
+                "caladrius_http_request_duration_seconds_count",
+                "route=\"/health\""
+            ],
+        )
+        .unwrap()
+            >= 1.0
+    );
+
+    // Job tier: the async evaluation ran through the worker pool.
+    assert!(scrape(&text, &["caladrius_job_duration_seconds_count"]).unwrap() >= 1.0);
+
+    // Service tier: model fits and cache traffic from the evaluations.
+    assert!(scrape(&text, &["caladrius_model_fits_total"]).unwrap() >= 1.0);
+    assert!(scrape(&text, &["caladrius_evaluate_duration_seconds_count"]).unwrap() >= 2.0);
+
+    // Data tier: the simulator legs were ingested through the tsdb.
+    assert!(scrape(&text, &["caladrius_tsdb_ingest_samples_total"]).unwrap() > 0.0);
+    assert!(scrape(&text, &["caladrius_tsdb_ingest_batch_size_count"]).unwrap() > 0.0);
+
+    // Simulator: per-minute step timing recorded while seeding metrics.
+    assert!(scrape(&text, &["caladrius_sim_minute_duration_seconds_count"]).unwrap() > 0.0);
+}
+
+#[test]
+fn trace_recent_spans_carry_request_ids() {
+    let (_server, client) = start_service();
+    assert_eq!(client.get("/health").unwrap().0, 200);
+    let (status, body) = client
+        .post(
+            "/model/topology/heron/wordcount",
+            r#"{"source_rate": 15000000}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = client.get("/trace/recent?limit=100").unwrap();
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    let events = v.get("events").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+
+    let span = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some(name))
+            .unwrap_or_else(|| panic!("no {name} span in {body}"))
+    };
+    // The evaluation's core span shares the request id of its enclosing
+    // HTTP span — the id was minted at the edge and propagated down.
+    let evaluate = span("core.evaluate");
+    let eval_request = evaluate.get("request_id").unwrap().as_str().unwrap();
+    let http_ids: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").unwrap().as_str() == Some("http.request"))
+        .map(|e| e.get("request_id").unwrap().as_str().unwrap())
+        .collect();
+    assert!(!http_ids.is_empty());
+    assert!(
+        http_ids.contains(&eval_request),
+        "core.evaluate request id {eval_request} not among http ids {http_ids:?}"
+    );
+    assert_eq!(
+        evaluate
+            .get("fields")
+            .unwrap()
+            .get("topology")
+            .unwrap()
+            .as_str(),
+        Some("wordcount")
+    );
+}
