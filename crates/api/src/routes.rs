@@ -349,6 +349,13 @@ fn timeline_to_json(topology: &str, timeline: &caladrius_planner::PlanTimeline) 
 }
 
 impl ApiService {
+    /// Wraps a Caladrius service with the process-default worker count
+    /// ([`caladrius_exec::configured_threads`]: the `CALADRIUS_THREADS`
+    /// override, else the host's available parallelism).
+    pub fn with_defaults(caladrius: Arc<Caladrius>) -> Arc<Self> {
+        Self::new(caladrius, caladrius_exec::configured_threads())
+    }
+
     /// Wraps a Caladrius service with `job_workers` asynchronous workers.
     pub fn new(caladrius: Arc<Caladrius>, job_workers: usize) -> Arc<Self> {
         let registry = caladrius_obs::global_registry();
@@ -539,6 +546,8 @@ impl ApiService {
                     ("fits", Value::from(cache.fits as f64)),
                     ("plans", Value::from(cache.plans as f64)),
                     ("plan_evals", Value::from(cache.plan_evals as f64)),
+                    ("oracle_hits", Value::from(cache.oracle_hits as f64)),
+                    ("oracle_misses", Value::from(cache.oracle_misses as f64)),
                 ]),
             ),
             ("jobs_tracked", Value::from(self.jobs.len() as f64)),
@@ -1244,7 +1253,15 @@ mod tests {
         cache_keys.sort_unstable();
         assert_eq!(
             cache_keys,
-            vec!["fits", "hits", "misses", "plan_evals", "plans"]
+            vec![
+                "fits",
+                "hits",
+                "misses",
+                "oracle_hits",
+                "oracle_misses",
+                "plan_evals",
+                "plans"
+            ]
         );
         let ingest = v.get("ingest").unwrap().as_object().unwrap();
         let mut ingest_keys: Vec<&str> = ingest.keys().map(String::as_str).collect();
@@ -1278,6 +1295,10 @@ mod tests {
             "caladrius_model_fit_duration_seconds",
             "caladrius_sim_minute_duration_seconds",
             "caladrius_jobs_queue_depth",
+            // The model fit above ran on the shared "fit" exec pool, so
+            // its per-pool series must surface here too.
+            "caladrius_exec_tasks_total{pool=\"fit\"}",
+            "caladrius_exec_task_duration_seconds",
         ] {
             assert!(body.contains(metric), "missing {metric} in:\n{body}");
         }

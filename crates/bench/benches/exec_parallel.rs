@@ -1,0 +1,263 @@
+//! Structured-parallelism benchmark: the compute-plane paths that fan
+//! out on `caladrius-exec` pools — horizon planning, sim-replay
+//! validation, and the cold model fit — timed on a forced 1-thread
+//! pool (the sequential reference) vs a multi-thread pool.
+//!
+//! The determinism suite (`tests/exec_determinism.rs`) proves both
+//! pools return byte-identical output, so these numbers compare *only*
+//! wall-clock. On hosts with a single hardware thread the multi-thread
+//! pool degrades to real threads contending for one core, so expect
+//! parity there and ≥ 2× on ≥ 4 hardware threads (replay windows are
+//! fully independent simulations).
+
+use caladrius_core::providers::metrics::SimMetricsProvider;
+use caladrius_core::providers::tracker::StaticTracker;
+use caladrius_core::service::SourceRateSpec;
+use caladrius_core::Caladrius;
+use caladrius_exec::ExecPool;
+use caladrius_planner::{
+    plan_horizon_with, replay_timeline_with, Assessment, CapacityOracle, PlanError, PlanTimeline,
+    PlannerConfig, ReplayConfig, ResourceLimits, WindowSpec,
+};
+use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
+use criterion::{criterion_group, criterion_main, Criterion};
+use heron_sim::engine::{SimConfig, Simulation};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Closed-form 4-component chain (same shape as `planner_search`).
+struct AnalyticOracle {
+    components: Vec<(String, f64, f64)>,
+}
+
+impl AnalyticOracle {
+    fn chain(n: usize) -> Self {
+        let components = (0..n)
+            .map(|i| {
+                (
+                    format!("bolt{i}"),
+                    1.0 + i as f64 * 0.5,
+                    8.0e6 + i as f64 * 2.0e6,
+                )
+            })
+            .collect();
+        Self { components }
+    }
+}
+
+impl CapacityOracle for AnalyticOracle {
+    fn components(&self) -> Vec<String> {
+        self.components.iter().map(|(n, ..)| n.clone()).collect()
+    }
+
+    fn assess(&self, parallelisms: &[(String, u32)], rate: f64) -> Result<Assessment, PlanError> {
+        let mut saturation = f64::INFINITY;
+        let mut bottleneck = None;
+        let mut cpu_per_instance = Vec::with_capacity(self.components.len());
+        for (name, ratio, service) in &self.components {
+            let p = parallelisms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| *p)
+                .unwrap_or(1);
+            let sat = service * f64::from(p) / ratio;
+            if sat < saturation {
+                saturation = sat;
+                bottleneck = Some(name.clone());
+            }
+            cpu_per_instance.push((name.clone(), 0.05 + 2.0e-8 * ratio * rate / f64::from(p)));
+        }
+        Ok(Assessment {
+            feasible: rate < saturation * 0.95,
+            bottleneck,
+            saturation_rate: saturation,
+            cpu_per_instance,
+        })
+    }
+}
+
+fn planner_config() -> PlannerConfig {
+    PlannerConfig {
+        limits: ResourceLimits {
+            max_parallelism: 64,
+            ..ResourceLimits::default()
+        },
+        ..PlannerConfig::default()
+    }
+}
+
+/// A diurnal 24 h horizon at 15-minute windows (96 windows).
+fn diurnal_windows() -> Vec<WindowSpec> {
+    (0..96)
+        .map(|i| {
+            let phase = i as f64 / 96.0 * std::f64::consts::TAU;
+            WindowSpec {
+                start_ts: i as i64 * 900_000,
+                end_ts: (i as i64 + 1) * 900_000,
+                peak_rate: 30.0e6 + 25.0e6 * phase.sin(),
+            }
+        })
+        .collect()
+}
+
+/// The bench's multi-thread width: at least 4 so the comparison is
+/// meaningful even where `available_parallelism` reports fewer (the
+/// pool honours explicit widths; on a small host the threads simply
+/// share cores).
+fn wide() -> usize {
+    caladrius_exec::configured_threads().max(4)
+}
+
+fn bench_plan_horizon(c: &mut Criterion) {
+    let oracle = AnalyticOracle::chain(4);
+    let windows = diurnal_windows();
+    let config = planner_config();
+    let initial: Vec<(String, u32)> = oracle.components().into_iter().map(|n| (n, 1)).collect();
+    let sequential = ExecPool::with_threads("bench-plan-seq", 1);
+    let parallel = ExecPool::with_threads("bench-plan-par", wide());
+
+    let timeline = plan_horizon_with(&oracle, &initial, &windows, &config, &sequential).unwrap();
+    // What the pre-dedup planner spent: one full search per window.
+    let naive_evals: u64 = windows
+        .iter()
+        .map(|w| {
+            caladrius_planner::plan_window(&oracle, w.peak_rate * config.headroom, &config)
+                .unwrap()
+                .evals
+        })
+        .sum();
+    println!(
+        "horizon plan: 96 windows, {} oracle evals after rate-dedup + smoothing memo \
+         vs {} for one search per window (hardware threads: {})",
+        timeline.oracle_evals,
+        naive_evals,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let mut group = c.benchmark_group("exec_plan_horizon");
+    group.sample_size(20);
+    group.bench_function("sequential_1_thread", |b| {
+        b.iter(|| {
+            plan_horizon_with(&oracle, &initial, black_box(&windows), &config, &sequential).unwrap()
+        });
+    });
+    group.bench_function(format!("parallel_{}_threads", wide()), |b| {
+        b.iter(|| {
+            plan_horizon_with(&oracle, &initial, black_box(&windows), &config, &parallel).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_replay_validation(c: &mut Criterion) {
+    // Plan a wordcount-shaped horizon analytically, then validate the
+    // first 8 windows in the simulator — the acceptance path of
+    // `POST /topology/{t}/plan` with replay validation.
+    let oracle = AnalyticOracle::chain(3);
+    let config = planner_config();
+    let windows: Vec<WindowSpec> = diurnal_windows().into_iter().take(8).collect();
+    let sequential = ExecPool::with_threads("bench-replay-seq", 1);
+    let parallel = ExecPool::with_threads("bench-replay-par", wide());
+    let timeline: PlanTimeline =
+        plan_horizon_with(&oracle, &[], &windows, &config, &sequential).unwrap();
+    // Rename the analytic components onto the deployable wordcount
+    // bolts: replay only needs (name, parallelism) pairs that exist in
+    // the base topology.
+    let timeline = PlanTimeline {
+        windows: timeline
+            .windows
+            .into_iter()
+            .map(|mut w| {
+                w.parallelisms = vec![
+                    ("splitter".to_string(), w.parallelisms[0].1.clamp(1, 16)),
+                    ("counter".to_string(), w.parallelisms[1].1.clamp(1, 16)),
+                ];
+                w.peak_rate = w.peak_rate.min(20.0e6);
+                w
+            })
+            .collect(),
+        ..timeline
+    };
+    let base = wordcount_topology(
+        WordCountParallelism {
+            spout: 8,
+            splitter: 2,
+            counter: 3,
+        },
+        10.0e6,
+    );
+    let replay_config = ReplayConfig {
+        warmup_minutes: 5,
+        measure_minutes: 3,
+        ..ReplayConfig::default()
+    };
+
+    let mut group = c.benchmark_group("exec_replay_validation");
+    group.sample_size(10);
+    group.bench_function("sequential_1_thread_8_windows", |b| {
+        b.iter(|| {
+            replay_timeline_with(&base, black_box(&timeline), &replay_config, &sequential).unwrap()
+        });
+    });
+    group.bench_function(format!("parallel_{}_threads_8_windows", wide()), |b| {
+        b.iter(|| {
+            replay_timeline_with(&base, black_box(&timeline), &replay_config, &parallel).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_cold_evaluate(c: &mut Criterion) {
+    // Cold evaluate fits one throughput model per bolt and one CPU
+    // model per bolt concurrently on the shared "fit" pool (its width
+    // is `configured_threads`, so set CALADRIUS_THREADS to compare).
+    let parallelism = WordCountParallelism {
+        spout: 8,
+        splitter: 2,
+        counter: 3,
+    };
+    let metrics = heron_sim::metrics::SimMetrics::new("wordcount");
+    for (leg, rate) in [6.0e6, 12.0e6, 18.0e6, 26.0e6].into_iter().enumerate() {
+        let topo = wordcount_topology(parallelism, rate);
+        let mut sim = Simulation::new(
+            topo,
+            SimConfig {
+                metric_noise: 0.0,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.skip_to_minute(leg as u64 * 60);
+        sim.warmup_minutes(25);
+        sim.run_minutes_into(10, &metrics);
+    }
+    let caladrius = Caladrius::new(
+        std::sync::Arc::new(SimMetricsProvider::new(metrics)),
+        std::sync::Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6))),
+    );
+    let none = HashMap::new();
+    let source = SourceRateSpec::Fixed(30.0e6);
+
+    let mut group = c.benchmark_group("exec_cold_evaluate");
+    group.sample_size(10);
+    group.bench_function(
+        format!("fit_pool_{}_threads", caladrius_exec::configured_threads()),
+        |b| {
+            b.iter(|| {
+                caladrius.invalidate_model_cache(None);
+                caladrius
+                    .evaluate(black_box("wordcount"), &none, &source)
+                    .unwrap()
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_horizon,
+    bench_replay_validation,
+    bench_cold_evaluate
+);
+criterion_main!(benches);

@@ -6,8 +6,11 @@ use crate::error::CoreError;
 use crate::model::cpu::CpuModel;
 use crate::model::topology::{TopologyModel, RISK_MARGIN};
 use crate::traffic::TrafficForecast;
+use caladrius_obs::Counter;
 use caladrius_planner::{Assessment, CapacityOracle, PlanError, PlannerConfig, WindowSpec};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Parameters of a [`crate::service::Caladrius::plan_capacity`] run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -64,18 +67,22 @@ pub fn forecast_windows(
 /// models. Components are the modelled bolts (spouts have no component
 /// model — their output *is* the source rate, so scaling them is
 /// meaningless to the model).
-pub struct ModelOracle<'a> {
-    model: &'a TopologyModel,
-    cpu_models: &'a HashMap<String, CpuModel>,
+///
+/// The oracle shares the fitted models by `Arc` — the same handles the
+/// service's watermark-keyed cache holds — so it is freely `Sync` and
+/// the planner can probe it from many worker threads at once.
+pub struct ModelOracle {
+    model: Arc<TopologyModel>,
+    cpu_models: Arc<HashMap<String, CpuModel>>,
     components: Vec<String>,
 }
 
-impl<'a> ModelOracle<'a> {
+impl ModelOracle {
     /// Builds the oracle. `components` must be the modelled bolts in a
     /// stable (topological or declaration) order.
     pub fn new(
-        model: &'a TopologyModel,
-        cpu_models: &'a HashMap<String, CpuModel>,
+        model: Arc<TopologyModel>,
+        cpu_models: Arc<HashMap<String, CpuModel>>,
         components: Vec<String>,
     ) -> Self {
         Self {
@@ -90,7 +97,7 @@ fn oracle_err(e: CoreError) -> PlanError {
     PlanError::Oracle(e.to_string())
 }
 
-impl CapacityOracle for ModelOracle<'_> {
+impl CapacityOracle for ModelOracle {
     fn components(&self) -> Vec<String> {
         self.components.clone()
     }
@@ -139,6 +146,77 @@ impl CapacityOracle for ModelOracle<'_> {
             saturation_rate: saturation.unwrap_or(f64::INFINITY),
             cpu_per_instance,
         })
+    }
+}
+
+/// Memoizing decorator over any [`CapacityOracle`]: repeated
+/// `(parallelisms, rate)` assessments — the planner's binary searches
+/// revisiting a configuration, hysteresis smoothing re-probing a plan
+/// some window already solved, adjacent windows sharing a forecast
+/// level — are answered from an interior cache instead of re-running
+/// the models.
+///
+/// The decorator is semantically transparent: the inner oracle must be
+/// pure (same inputs → same assessment), so a cached answer is
+/// indistinguishable from a computed one and the planner's determinism
+/// contract is preserved whatever the thread interleaving. Only the
+/// hit/miss telemetry depends on scheduling (two workers may race to
+/// compute the same miss), which is why it lives in counters and not
+/// in planner output.
+pub struct CachedOracle<O> {
+    inner: O,
+    #[allow(clippy::type_complexity)]
+    cache: Mutex<HashMap<(Vec<(String, u32)>, u64), Assessment>>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl<O: CapacityOracle> CachedOracle<O> {
+    /// Wraps `inner` with detached hit/miss counters.
+    pub fn new(inner: O) -> Self {
+        Self::with_counters(inner, Counter::detached(), Counter::detached())
+    }
+
+    /// Wraps `inner`, reporting hits and misses to the given counters
+    /// (the service wires its registry-backed `caladrius_oracle_cache_*`
+    /// series here).
+    pub fn with_counters(inner: O, hits: Counter, misses: Counter) -> Self {
+        Self {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits,
+            misses,
+        }
+    }
+
+    /// Assessments answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Assessments computed by the inner oracle.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+impl<O: CapacityOracle> CapacityOracle for CachedOracle<O> {
+    fn components(&self) -> Vec<String> {
+        self.inner.components()
+    }
+
+    fn assess(&self, parallelisms: &[(String, u32)], rate: f64) -> Result<Assessment, PlanError> {
+        let key = (parallelisms.to_vec(), rate.to_bits());
+        if let Some(hit) = self.cache.lock().get(&key) {
+            self.hits.inc();
+            return Ok(hit.clone());
+        }
+        // Computed outside the lock: concurrent workers may duplicate a
+        // miss, but never block each other on model evaluation.
+        let assessment = self.inner.assess(parallelisms, rate)?;
+        self.misses.inc();
+        self.cache.lock().insert(key, assessment.clone());
+        Ok(assessment)
     }
 }
 
@@ -191,6 +269,54 @@ mod tests {
         let conservative = forecast_windows(&f, 2, true).unwrap();
         assert_eq!(conservative[0].peak_rate, 9.0);
         assert_eq!(conservative[1].peak_rate, 8.0);
+    }
+
+    struct CountingOracle {
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl CapacityOracle for CountingOracle {
+        fn components(&self) -> Vec<String> {
+            vec!["a".into()]
+        }
+
+        fn assess(
+            &self,
+            parallelisms: &[(String, u32)],
+            rate: f64,
+        ) -> Result<Assessment, PlanError> {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let sat = f64::from(parallelisms[0].1) * 1.0e6;
+            Ok(Assessment {
+                feasible: rate <= sat,
+                bottleneck: Some("a".into()),
+                saturation_rate: sat,
+                cpu_per_instance: vec![("a".into(), 0.1)],
+            })
+        }
+    }
+
+    #[test]
+    fn cached_oracle_dedupes_identical_assessments() {
+        let oracle = CachedOracle::new(CountingOracle { calls: 0.into() });
+        let ps = vec![("a".to_string(), 3u32)];
+        let first = oracle.assess(&ps, 2.0e6).unwrap();
+        let again = oracle.assess(&ps, 2.0e6).unwrap();
+        assert_eq!(first, again, "cached answers must be transparent");
+        assert_eq!((oracle.hits(), oracle.misses()), (1, 1));
+        // A different rate or parallelism is a distinct key.
+        oracle.assess(&ps, 3.0e6).unwrap();
+        oracle.assess(&[("a".to_string(), 4)], 2.0e6).unwrap();
+        assert_eq!((oracle.hits(), oracle.misses()), (1, 3));
+        assert_eq!(
+            oracle
+                .inner
+                .calls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            3,
+            "the inner oracle must only see misses"
+        );
     }
 
     #[test]

@@ -99,6 +99,11 @@ pub struct ModelCacheStats {
     pub plans: u64,
     /// Oracle evaluations the plan searches spent in total.
     pub plan_evals: u64,
+    /// Capacity-oracle assessments answered from the plan-time memo
+    /// (`CachedOracle`) instead of re-running the fitted models.
+    pub oracle_hits: u64,
+    /// Capacity-oracle assessments computed by the fitted models.
+    pub oracle_misses: u64,
 }
 
 /// One topology's fitted models plus the versions they were fitted
@@ -139,6 +144,8 @@ pub struct Caladrius {
     model_fits: Counter,
     plans_run: Counter,
     plan_evals: Counter,
+    oracle_cache_hits: Counter,
+    oracle_cache_misses: Counter,
     evaluate_duration: Histogram,
     fit_duration: Histogram,
     plan_duration: Histogram,
@@ -188,6 +195,14 @@ impl Caladrius {
             "Oracle evaluations spent inside plan searches",
         );
         registry.describe(
+            "caladrius_oracle_cache_hits_total",
+            "Capacity-oracle assessments answered from the plan-time memo",
+        );
+        registry.describe(
+            "caladrius_oracle_cache_misses_total",
+            "Capacity-oracle assessments computed by the fitted models",
+        );
+        registry.describe(
             "caladrius_evaluate_duration_seconds",
             "Wall-clock time of Caladrius::evaluate",
         );
@@ -212,6 +227,8 @@ impl Caladrius {
             model_fits: registry.counter("caladrius_model_fits_total", &labels),
             plans_run: registry.counter("caladrius_plans_total", &labels),
             plan_evals: registry.counter("caladrius_plan_oracle_evals_total", &labels),
+            oracle_cache_hits: registry.counter("caladrius_oracle_cache_hits_total", &labels),
+            oracle_cache_misses: registry.counter("caladrius_oracle_cache_misses_total", &labels),
             evaluate_duration: registry.histogram("caladrius_evaluate_duration_seconds", &labels),
             fit_duration: registry.histogram("caladrius_model_fit_duration_seconds", &labels),
             plan_duration: registry.histogram("caladrius_plan_duration_seconds", &labels),
@@ -475,36 +492,51 @@ impl Caladrius {
             *out_degree.entry(from_c.as_str()).or_insert(0) += 1;
         }
 
-        let mut models = HashMap::new();
-        for (name, parallelism) in &spec.components {
-            let in_edges: Vec<&(String, String, String)> = spec
-                .edges
-                .iter()
-                .filter(|(_, to_c, _)| to_c == name)
-                .collect();
-            if in_edges.is_empty() {
-                continue; // spout
-            }
-            let upstreams: Vec<(String, f64)> = in_edges
-                .iter()
-                .map(|(from_c, _, _)| (from_c.clone(), 1.0 / out_degree[from_c.as_str()] as f64))
-                .collect();
-            let grouping = GroupingKind::from_name(&in_edges[0].2);
-            let observations = component_observations(
-                self.metrics.as_ref(),
-                topology,
-                name,
-                &upstreams,
-                from,
-                to,
-            )?;
-            models.insert(
-                name.clone(),
-                ComponentModel::fit(name.clone(), *parallelism, grouping, &observations)?,
-            );
-            self.model_fits.inc();
-        }
-        TopologyModel::new(spec, models)
+        // Per-bolt fit jobs: (name, parallelism, upstream weights,
+        // grouping). Bolts fit independently, so the cold path fans out
+        // on the shared "fit" pool; job order is declaration order, so
+        // a fit failure surfaces for the same component the sequential
+        // loop would have stopped on.
+        type FitJob = (String, u32, Vec<(String, f64)>, GroupingKind);
+        let jobs: Vec<FitJob> = spec
+            .components
+            .iter()
+            .filter_map(|(name, parallelism)| {
+                let in_edges: Vec<&(String, String, String)> = spec
+                    .edges
+                    .iter()
+                    .filter(|(_, to_c, _)| to_c == name)
+                    .collect();
+                if in_edges.is_empty() {
+                    return None; // spout
+                }
+                let upstreams: Vec<(String, f64)> = in_edges
+                    .iter()
+                    .map(|(from_c, _, _)| {
+                        (from_c.clone(), 1.0 / out_degree[from_c.as_str()] as f64)
+                    })
+                    .collect();
+                let grouping = GroupingKind::from_name(&in_edges[0].2);
+                Some((name.clone(), *parallelism, upstreams, grouping))
+            })
+            .collect();
+        let metrics = self.metrics.as_ref();
+        let fitted = caladrius_exec::shared_pool("fit").parallel_try_map(
+            &jobs,
+            |_, (name, parallelism, upstreams, grouping)| {
+                let observations =
+                    component_observations(metrics, topology, name, upstreams, from, to)?;
+                let model = ComponentModel::fit(
+                    name.clone(),
+                    *parallelism,
+                    grouping.clone(),
+                    &observations,
+                )?;
+                self.model_fits.inc();
+                Ok::<_, CoreError>((name.clone(), model))
+            },
+        )?;
+        TopologyModel::new(spec, fitted.into_iter().collect())
     }
 
     /// Fits a CPU model per bolt from the training window. Bolts whose
@@ -514,24 +546,27 @@ impl Caladrius {
     pub fn fit_cpu_models(&self, topology: &str) -> Result<HashMap<String, CpuModel>> {
         let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
         let (from, to) = self.window(topology)?;
-        let mut models = HashMap::new();
-        for (name, _) in &logical.spec.components {
-            let has_inputs = logical.spec.edges.iter().any(|(_, to_c, _)| to_c == name);
-            if !has_inputs {
-                continue;
-            }
-            let fitted = cpu_observations(self.metrics.as_ref(), topology, name, from, to)
+        let bolts: Vec<String> = logical
+            .spec
+            .components
+            .iter()
+            .filter(|(name, _)| logical.spec.edges.iter().any(|(_, to_c, _)| to_c == name))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let metrics = self.metrics.as_ref();
+        let fitted = caladrius_exec::shared_pool("fit").parallel_try_map(&bolts, |_, name| {
+            let outcome = cpu_observations(metrics, topology, name, from, to)
                 .and_then(|obs| CpuModel::fit(&obs));
-            match fitted {
+            match outcome {
                 Ok(model) => {
-                    models.insert(name.clone(), model);
                     self.model_fits.inc();
+                    Ok(Some((name.clone(), model)))
                 }
-                Err(CoreError::NotEnoughObservations { .. }) => continue,
-                Err(other) => return Err(other),
+                Err(CoreError::NotEnoughObservations { .. }) => Ok(None),
+                Err(other) => Err(other),
             }
-        }
-        Ok(models)
+        })?;
+        Ok(fitted.into_iter().flatten().collect())
     }
 
     /// Fitted models for `topology`, served from the watermark-keyed
@@ -588,6 +623,8 @@ impl Caladrius {
             fits: self.model_fits.get(),
             plans: self.plans_run.get(),
             plan_evals: self.plan_evals.get(),
+            oracle_hits: self.oracle_cache_hits.get(),
+            oracle_misses: self.oracle_cache_misses.get(),
         }
     }
 
@@ -789,7 +826,7 @@ impl Caladrius {
         topology: &str,
         request: &crate::capacity::CapacityPlanRequest,
     ) -> Result<caladrius_planner::PlanTimeline> {
-        use crate::capacity::{forecast_windows, ModelOracle};
+        use crate::capacity::{forecast_windows, CachedOracle, ModelOracle};
         self.score_pending();
         let mut span = caladrius_obs::global_span("core.plan");
         span.field("topology", topology);
@@ -829,7 +866,14 @@ impl Caladrius {
             )));
         }
 
-        let oracle = ModelOracle::new(&model, &cpu_models, components);
+        // The memo makes repeated assessments — smoothing probes, binary
+        // searches revisiting a configuration, adjacent same-rate
+        // windows — free across the whole plan.
+        let oracle = CachedOracle::with_counters(
+            ModelOracle::new(Arc::clone(&model), Arc::clone(&cpu_models), components),
+            self.oracle_cache_hits.clone(),
+            self.oracle_cache_misses.clone(),
+        );
         let timeline =
             caladrius_planner::plan_horizon(&oracle, &initial, &windows, &request.planner)
                 .map_err(CoreError::from)?;
@@ -1520,6 +1564,14 @@ mod tests {
         assert_eq!(stats.plans, 1);
         assert!(stats.plan_evals >= timeline.oracle_evals);
         assert!(stats.plan_evals > 0);
+        // The search revisits configurations (each ascent phase re-probes
+        // its final assignment, smoothing re-probes solved plans): the
+        // plan-time memo must absorb those instead of the models.
+        assert!(stats.oracle_misses > 0);
+        assert!(
+            stats.oracle_hits > 0,
+            "repeated assessments must hit the oracle memo"
+        );
 
         // A second plan on unchanged data reuses the cached fits.
         let fits_before = stats.fits;

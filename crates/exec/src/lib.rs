@@ -1,0 +1,445 @@
+//! Structured-parallelism executor for the Caladrius compute plane.
+//!
+//! Every expensive Caladrius path — horizon planning, sim-replay
+//! validation, cold model fitting — is a map over *independent* inputs,
+//! so this crate offers exactly one abstraction: an [`ExecPool`] whose
+//! [`parallel_map`](ExecPool::parallel_map) /
+//! [`parallel_try_map`](ExecPool::parallel_try_map) primitives fan a
+//! slice out over scoped worker threads while keeping the *observable
+//! semantics of the sequential loop*:
+//!
+//! - **Order preservation** — results come back indexed exactly like the
+//!   input slice, whatever order workers finished in.
+//! - **Deterministic error selection** — `parallel_try_map` always
+//!   reports the failure with the *lowest input index*, i.e. the same
+//!   error the sequential `for` loop would have stopped on. Workers
+//!   that observe a failure at index `i` stop picking up work beyond
+//!   `i`, but still drain every index `≤ i`, so the minimum failing
+//!   index is found exactly.
+//! - **Bounded width** — pools are sized from
+//!   [`configured_threads`] (`CALADRIUS_THREADS` override, else
+//!   [`std::thread::available_parallelism`]), and nested `parallel_*`
+//!   calls from inside a pool task degrade to the inline sequential
+//!   path instead of spawning threads-under-threads, so composing
+//!   parallel layers (a parallel plan calling a parallel oracle) can
+//!   never oversubscribe the host.
+//!
+//! Threads are *scoped* ([`std::thread::scope`]): a pool owns no
+//! persistent workers, borrows non-`'static` data freely, and costs
+//! nothing while idle. Work distribution is a single shared atomic
+//! cursor (work stealing by index claiming), which is ideal for the
+//! coarse tasks Caladrius runs (one window plan, one window sim, one
+//! model fit — microseconds to milliseconds each).
+//!
+//! Each pool reports to the process obs registry under its `pool`
+//! label: tasks/batches executed, a live queue-depth gauge, and a task
+//! latency histogram — all visible through `GET /metrics/service`.
+
+#![warn(missing_docs)]
+
+use caladrius_obs::{Counter, Gauge, Histogram};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Environment variable overriding the worker-thread count for every
+/// pool sized through [`configured_threads`].
+pub const THREADS_ENV: &str = "CALADRIUS_THREADS";
+
+/// Parses a `CALADRIUS_THREADS`-style override: a positive integer
+/// wins; anything else (unset, empty, garbage, zero) falls back.
+fn threads_from(var: Option<&str>, fallback: usize) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+/// The worker-thread count every default-sized pool (and the HTTP /
+/// job-runner tiers) should use: the `CALADRIUS_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`]. Read once per process.
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+        threads_from(std::env::var(THREADS_ENV).ok().as_deref(), fallback)
+    })
+}
+
+thread_local! {
+    /// Depth of `ExecPool` tasks on this thread's call stack. Non-zero
+    /// means "already inside a pool": further `parallel_*` calls run
+    /// inline so nesting cannot multiply thread counts.
+    static POOL_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// True when the current thread is executing inside an [`ExecPool`]
+/// task (so a nested `parallel_*` call would run inline).
+pub fn in_pool_task() -> bool {
+    POOL_DEPTH.with(|d| d.get() > 0)
+}
+
+/// RAII marker for "this thread is running a pool task".
+struct PoolTaskGuard;
+
+impl PoolTaskGuard {
+    fn enter() -> Self {
+        POOL_DEPTH.with(|d| d.set(d.get() + 1));
+        PoolTaskGuard
+    }
+}
+
+impl Drop for PoolTaskGuard {
+    fn drop(&mut self) {
+        POOL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// A named, fixed-width scoped worker pool. See the module docs for the
+/// semantics contract. Cheap to construct (four registry lookups, no
+/// threads); threads exist only for the duration of each batch.
+pub struct ExecPool {
+    name: String,
+    threads: usize,
+    tasks: Counter,
+    batches: Counter,
+    queue_depth: Gauge,
+    task_duration: Histogram,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("name", &self.name)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecPool {
+    /// A pool sized from [`configured_threads`].
+    pub fn new(name: &str) -> Self {
+        Self::with_threads(name, configured_threads())
+    }
+
+    /// A pool with an explicit width (clamped to ≥ 1). Explicit widths
+    /// are honoured even above the host's parallelism — determinism
+    /// tests rely on comparing a 1-thread pool against a wide one on
+    /// any machine.
+    pub fn with_threads(name: &str, threads: usize) -> Self {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_exec_tasks_total",
+            "Tasks executed by an exec pool (inline or on a worker)",
+        );
+        registry.describe(
+            "caladrius_exec_batches_total",
+            "parallel_map/parallel_try_map batches dispatched to an exec pool",
+        );
+        registry.describe(
+            "caladrius_exec_queue_depth",
+            "Tasks currently queued or running in an exec pool",
+        );
+        registry.describe(
+            "caladrius_exec_task_duration_seconds",
+            "Wall-clock time of individual exec-pool tasks",
+        );
+        let labels: [(&str, &str); 1] = [("pool", name)];
+        Self {
+            name: name.to_string(),
+            threads: threads.max(1),
+            tasks: registry.counter("caladrius_exec_tasks_total", &labels),
+            batches: registry.counter("caladrius_exec_batches_total", &labels),
+            queue_depth: registry.gauge("caladrius_exec_queue_depth", &labels),
+            task_duration: registry.histogram("caladrius_exec_task_duration_seconds", &labels),
+        }
+    }
+
+    /// The pool's name (its obs `pool` label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pool's worker-thread width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order. `f` receives `(index, &item)` and must be pure modulo
+    /// interior synchronisation — the pool guarantees each index is
+    /// evaluated exactly once.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        match self.parallel_try_map(items, |i, item| Ok::<R, Never>(f(i, item))) {
+            Ok(out) => out,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`parallel_map`](Self::parallel_map): on failure,
+    /// returns the error produced at the **lowest failing input index**
+    /// — exactly the error a sequential left-to-right loop would stop
+    /// on — regardless of thread interleaving. Indices after the lowest
+    /// known failure may be skipped (as the sequential loop skips
+    /// them); every index at or before it is evaluated.
+    pub fn parallel_try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        self.batches.inc();
+        let workers = self.threads.min(items.len());
+        if workers <= 1 || in_pool_task() {
+            return self.run_inline(items, &f);
+        }
+
+        self.queue_depth.add(items.len() as f64);
+        // Work stealing by index claiming: the next unclaimed index.
+        let cursor = AtomicUsize::new(0);
+        // Lowest index known to have failed; claims above it are
+        // skipped, claims at or below it always run, so the final floor
+        // is the true minimum failing index.
+        let error_floor = AtomicUsize::new(usize::MAX);
+        let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let _task_marker = PoolTaskGuard::enter();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        self.queue_depth.add(-1.0);
+                        if i > error_floor.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let started = Instant::now();
+                        let outcome = f(i, &items[i]);
+                        self.task_duration.record_duration(started.elapsed());
+                        self.tasks.inc();
+                        match outcome {
+                            Ok(value) => {
+                                *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+                            }
+                            Err(e) => {
+                                error_floor.fetch_min(i, Ordering::Relaxed);
+                                let mut slot = error.lock().unwrap_or_else(|p| p.into_inner());
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, e));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some((_, e)) = error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("every index is evaluated when no task failed")
+            })
+            .collect())
+    }
+
+    /// The sequential path: 1-wide pools, single-item batches, and
+    /// nested calls from inside a pool task. Identical observable
+    /// semantics, zero synchronisation.
+    fn run_inline<T, R, E, F>(&self, items: &[T], f: &F) -> Result<Vec<R>, E>
+    where
+        F: Fn(usize, &T) -> Result<R, E>,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let started = Instant::now();
+            let outcome = f(i, item);
+            self.task_duration.record_duration(started.elapsed());
+            self.tasks.inc();
+            out.push(outcome?);
+        }
+        Ok(out)
+    }
+}
+
+/// Local stand-in for the never type (`!` is unstable): makes
+/// `parallel_map` a zero-cost wrapper over `parallel_try_map`.
+enum Never {}
+
+static POOLS: OnceLock<Mutex<HashMap<String, &'static ExecPool>>> = OnceLock::new();
+
+/// The process-wide pool registered under `name`, created on first use
+/// with [`configured_threads`] width. Layers that parallelize by
+/// default (planner, replay, model fitting) share pools through this
+/// registry so their obs series have stable labels and their combined
+/// fan-out stays bounded by the nesting guard.
+pub fn shared_pool(name: &str) -> &'static ExecPool {
+    let mut pools = POOLS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if let Some(pool) = pools.get(name) {
+        return pool;
+    }
+    let pool: &'static ExecPool = Box::leak(Box::new(ExecPool::new(name)));
+    pools.insert(name.to_string(), pool);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn threads_from_prefers_valid_override() {
+        assert_eq!(threads_from(Some("6"), 2), 6);
+        assert_eq!(threads_from(Some(" 3 "), 2), 3);
+        assert_eq!(threads_from(Some("0"), 2), 2);
+        assert_eq!(threads_from(Some("-4"), 2), 2);
+        assert_eq!(threads_from(Some("lots"), 2), 2);
+        assert_eq!(threads_from(Some(""), 2), 2);
+        assert_eq!(threads_from(None, 2), 2);
+        assert_eq!(threads_from(None, 0), 1, "fallback is clamped to 1");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let pool = ExecPool::with_threads("test-order", 4);
+        let items: Vec<u64> = (0..257).collect();
+        let out = pool.parallel_map(&items, |i, v| {
+            // Skew task durations so completion order differs from
+            // input order even on a single hardware thread.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            v * 3 + 1
+        });
+        let expected: Vec<u64> = items.iter().map(|v| v * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn try_map_reports_the_lowest_failing_index() {
+        let pool = ExecPool::with_threads("test-error", 8);
+        let items: Vec<usize> = (0..100).collect();
+        // Indices 30, 31 and 90 fail; 30 must win however threads race.
+        for _ in 0..20 {
+            let err = pool
+                .parallel_try_map(&items, |i, _| {
+                    if i == 90 {
+                        return Err(i); // likely to fail first wall-clock
+                    }
+                    if i == 30 || i == 31 {
+                        std::thread::sleep(std::time::Duration::from_micros(300));
+                        return Err(i);
+                    }
+                    Ok(i)
+                })
+                .unwrap_err();
+            assert_eq!(err, 30);
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once_on_success() {
+        let pool = ExecPool::with_threads("test-once", 4);
+        let items: Vec<usize> = (0..500).collect();
+        let ran: Vec<AtomicU64> = items.iter().map(|_| AtomicU64::new(0)).collect();
+        let out = pool.parallel_map(&items, |i, v| {
+            ran[i].fetch_add(1, Ordering::Relaxed);
+            *v
+        });
+        assert_eq!(out, items);
+        assert!(ran.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_inline_execution() {
+        let outer = ExecPool::with_threads("test-nest-outer", 4);
+        let inner = ExecPool::with_threads("test-nest-inner", 4);
+        let items: Vec<usize> = (0..8).collect();
+        let out = outer.parallel_map(&items, |_, v| {
+            assert!(in_pool_task(), "pool tasks must be marked as such");
+            // The nested batch must run inline on this worker thread.
+            let inner_items: Vec<usize> = (0..4).collect();
+            let inner_out = inner.parallel_map(&inner_items, |_, w| {
+                assert!(in_pool_task());
+                w + v
+            });
+            inner_out.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = items.iter().map(|v| 6 + 4 * v).collect();
+        assert_eq!(out, expected);
+        assert!(!in_pool_task(), "marker must clear after the batch");
+    }
+
+    #[test]
+    fn empty_and_single_item_batches_run_inline() {
+        let pool = ExecPool::with_threads("test-small", 8);
+        let none: Vec<u32> = Vec::new();
+        assert!(pool.parallel_map(&none, |_, v| *v).is_empty());
+        assert_eq!(pool.parallel_map(&[7u32], |_, v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn one_thread_pool_matches_wide_pool() {
+        let narrow = ExecPool::with_threads("test-det-1", 1);
+        let wide = ExecPool::with_threads("test-det-8", 8);
+        let items: Vec<u64> = (0..199).collect();
+        let f = |i: usize, v: &u64| -> Result<u64, String> {
+            if *v == 120 {
+                Err(format!("boom at {i}"))
+            } else {
+                Ok(v.wrapping_mul(2_654_435_761))
+            }
+        };
+        assert_eq!(
+            narrow.parallel_try_map(&items, f),
+            wide.parallel_try_map(&items, f)
+        );
+        let ok: Vec<u64> = (0..64).collect();
+        assert_eq!(
+            narrow.parallel_try_map(&ok, f),
+            wide.parallel_try_map(&ok, f)
+        );
+    }
+
+    #[test]
+    fn pool_metrics_count_tasks_and_batches() {
+        let pool = ExecPool::with_threads("test-metrics", 4);
+        let items: Vec<u32> = (0..32).collect();
+        pool.parallel_map(&items, |_, v| v + 1);
+        pool.parallel_map(&items, |_, v| v + 2);
+        assert_eq!(pool.batches.get(), 2);
+        assert_eq!(pool.tasks.get(), 64);
+        assert_eq!(pool.queue_depth.get(), 0.0, "gauge must drain to zero");
+        let rendered = caladrius_obs::render_prometheus(caladrius_obs::global_registry());
+        assert!(rendered.contains("caladrius_exec_tasks_total{pool=\"test-metrics\"} 64"));
+    }
+
+    #[test]
+    fn shared_pool_returns_one_instance_per_name() {
+        let a = shared_pool("test-shared") as *const ExecPool;
+        let b = shared_pool("test-shared") as *const ExecPool;
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(shared_pool("test-shared").threads(), configured_threads());
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the exec pool's determinism contract: whatever
+//! the pool width, task durations, and thread interleaving,
+//! `parallel_try_map` must report the failure at the lowest input
+//! index and `parallel_map` must return results in input order.
+
+use caladrius_exec::ExecPool;
+use proptest::prelude::*;
+
+/// A failure mask where each index fails with probability ~15 %.
+fn arb_failure_mask() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(0u8..100, 1..120)
+        .prop_map(|draws| draws.into_iter().map(|d| d < 15).collect())
+}
+
+proptest! {
+    /// The reported error index equals the first `true` in the failure
+    /// mask — the exact index a sequential loop would stop on.
+    #[test]
+    fn try_map_error_is_the_lowest_failing_index(
+        mask in arb_failure_mask(),
+        threads in 1usize..9,
+        jitter in 0u64..5,
+    ) {
+        let pool = ExecPool::with_threads("prop-lowest-index", threads);
+        let items: Vec<usize> = (0..mask.len()).collect();
+        let outcome = pool.parallel_try_map(&items, |i, _| {
+            // Deterministic per-index duration skew so completion order
+            // disagrees with input order across runs.
+            let delay = (i as u64).wrapping_mul(2_654_435_761) % (jitter * 40 + 1);
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+            if mask[i] {
+                Err(i)
+            } else {
+                Ok(i * 2)
+            }
+        });
+        match mask.iter().position(|failed| *failed) {
+            Some(first) => prop_assert_eq!(outcome, Err(first)),
+            None => {
+                let expected: Vec<usize> = items.iter().map(|i| i * 2).collect();
+                prop_assert_eq!(outcome, Ok(expected));
+            }
+        }
+    }
+
+    /// Results always come back in input order, whatever the width.
+    #[test]
+    fn map_preserves_order_for_any_width(
+        values in prop::collection::vec(0u64..1_000_000, 0..200),
+        threads in 1usize..9,
+    ) {
+        let pool = ExecPool::with_threads("prop-order", threads);
+        let out = pool.parallel_map(&values, |_, v| v.wrapping_mul(31).wrapping_add(7));
+        let expected: Vec<u64> =
+            values.iter().map(|v| v.wrapping_mul(31).wrapping_add(7)).collect();
+        prop_assert_eq!(out, expected);
+    }
+}

@@ -30,7 +30,8 @@ pub use plan::{
     PlanAction, PlanCost, PlanError, PlanTimeline, PlannerConfig, ResourceLimits, WindowPlan,
     WindowSpec,
 };
-pub use replay::{replay_timeline, ReplayConfig, WindowReplay};
+pub use replay::{replay_timeline, replay_timeline_with, ReplayConfig, WindowReplay};
 pub use search::{
-    grid_min_cost, min_satisfying, plan_horizon, plan_window, Assessment, CapacityOracle,
+    grid_min_cost, min_satisfying, plan_horizon, plan_horizon_with, plan_window, Assessment,
+    CapacityOracle,
 };

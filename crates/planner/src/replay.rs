@@ -4,7 +4,8 @@
 //! throughput and backpressure are reported next to the model's
 //! prediction.
 
-use crate::plan::{PlanError, PlanTimeline};
+use crate::plan::{PlanError, PlanTimeline, WindowPlan};
+use caladrius_exec::ExecPool;
 use caladrius_tsdb::Aggregation;
 use heron_sim::engine::{SimConfig, Simulation};
 use heron_sim::metrics::metric;
@@ -58,61 +59,88 @@ pub struct WindowReplay {
 
 /// Replays every window of `timeline` on `base` (parallelism and spout
 /// rate swapped per window) and reports the simulated outcomes.
+///
+/// Windows simulate independently on the process-wide `"replay"` exec
+/// pool; use [`replay_timeline_with`] to supply an explicit pool. Each
+/// window's simulator is seeded `config.seed ^ window`, so reports are
+/// bit-identical for any pool width.
 pub fn replay_timeline(
     base: &Topology,
     timeline: &PlanTimeline,
     config: &ReplayConfig,
+) -> Result<Vec<WindowReplay>, PlanError> {
+    replay_timeline_with(
+        base,
+        timeline,
+        config,
+        caladrius_exec::shared_pool("replay"),
+    )
+}
+
+/// [`replay_timeline`] on an explicit exec pool.
+pub fn replay_timeline_with(
+    base: &Topology,
+    timeline: &PlanTimeline,
+    config: &ReplayConfig,
+    pool: &ExecPool,
 ) -> Result<Vec<WindowReplay>, PlanError> {
     if config.measure_minutes == 0 {
         return Err(PlanError::InvalidConfig(
             "measure_minutes must be positive".into(),
         ));
     }
-    let mut out = Vec::with_capacity(timeline.windows.len());
-    for plan in &timeline.windows {
-        let updates: Vec<(&str, u32)> = plan
-            .parallelisms
-            .iter()
-            .map(|(n, p)| (n.as_str(), *p))
-            .collect();
-        let topo = base
-            .with_parallelisms(&updates)
-            .and_then(|t| t.with_source_rate(plan.peak_rate))
-            .map_err(|e| PlanError::Oracle(format!("replay deploy failed: {e}")))?;
-        let mut sim = Simulation::new(
-            topo,
-            SimConfig {
-                seed: config.seed ^ plan.window as u64,
-                metric_noise: config.metric_noise,
-                ..SimConfig::default()
-            },
-        )
-        .map_err(|e| PlanError::Oracle(format!("replay simulation failed: {e}")))?;
-        let metrics = sim.run_minutes(config.warmup_minutes + config.measure_minutes);
-        let observe_from = (config.warmup_minutes * 60_000) as i64;
-        let mean = |name: &str, component: &str| -> f64 {
-            let series = metrics.component_sum(name, Some(component), observe_from, i64::MAX);
-            Aggregation::Mean.apply(series.iter().map(|s| s.value))
-        };
-        let mut sink_rate = 0.0;
-        let mut backpressure_ms = 0.0;
-        let topology = sim.topology();
-        for (idx, component) in topology.components.iter().enumerate() {
-            let name = component.name.as_str();
-            backpressure_ms += mean(metric::BACKPRESSURE_TIME, name);
-            if topology.out_edges(idx).next().is_none() {
-                sink_rate += mean(metric::EXECUTE_COUNT, name);
-            }
+    pool.parallel_try_map(&timeline.windows, |_, plan| {
+        replay_window(base, plan, config)
+    })
+}
+
+/// Deploys and simulates one window's plan.
+fn replay_window(
+    base: &Topology,
+    plan: &WindowPlan,
+    config: &ReplayConfig,
+) -> Result<WindowReplay, PlanError> {
+    let updates: Vec<(&str, u32)> = plan
+        .parallelisms
+        .iter()
+        .map(|(n, p)| (n.as_str(), *p))
+        .collect();
+    let topo = base
+        .with_parallelisms(&updates)
+        .and_then(|t| t.with_source_rate(plan.peak_rate))
+        .map_err(|e| PlanError::Oracle(format!("replay deploy failed: {e}")))?;
+    let mut sim = Simulation::new(
+        topo,
+        SimConfig {
+            seed: config.seed ^ plan.window as u64,
+            metric_noise: config.metric_noise,
+            ..SimConfig::default()
+        },
+    )
+    .map_err(|e| PlanError::Oracle(format!("replay simulation failed: {e}")))?;
+    let metrics = sim.run_minutes(config.warmup_minutes + config.measure_minutes);
+    let observe_from = (config.warmup_minutes * 60_000) as i64;
+    let mean = |name: &str, component: &str| -> f64 {
+        let series = metrics.component_sum(name, Some(component), observe_from, i64::MAX);
+        Aggregation::Mean.apply(series.iter().map(|s| s.value))
+    };
+    let mut sink_rate = 0.0;
+    let mut backpressure_ms = 0.0;
+    let topology = sim.topology();
+    for (idx, component) in topology.components.iter().enumerate() {
+        let name = component.name.as_str();
+        backpressure_ms += mean(metric::BACKPRESSURE_TIME, name);
+        if topology.out_edges(idx).next().is_none() {
+            sink_rate += mean(metric::EXECUTE_COUNT, name);
         }
-        out.push(WindowReplay {
-            window: plan.window,
-            offered_rate: plan.peak_rate,
-            sink_rate,
-            backpressure_ms,
-            low_risk: backpressure_ms <= config.backpressure_tolerance_ms,
-        });
     }
-    Ok(out)
+    Ok(WindowReplay {
+        window: plan.window,
+        offered_rate: plan.peak_rate,
+        sink_rate,
+        backpressure_ms,
+        low_risk: backpressure_ms <= config.backpressure_tolerance_ms,
+    })
 }
 
 #[cfg(test)]

@@ -22,6 +22,8 @@
 use crate::plan::{
     diff_actions, PlanCost, PlanError, PlanTimeline, PlannerConfig, WindowPlan, WindowSpec,
 };
+use caladrius_exec::ExecPool;
+use std::collections::HashMap;
 
 /// The oracle's verdict on one (configuration, rate) probe.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,7 +43,13 @@ pub struct Assessment {
 
 /// A capacity model the planner can drive. Implementations must honour
 /// the monotonicity facts in the module docs.
-pub trait CapacityOracle {
+///
+/// Oracles must be [`Sync`]: [`plan_horizon`] probes them from several
+/// worker threads at once, and `assess` must be a pure function of its
+/// arguments (same inputs → same verdict) for the planner's
+/// determinism contract to hold. Interior caching is fine as long as
+/// it is transparent (see `CachedOracle` in `caladrius-core`).
+pub trait CapacityOracle: Sync {
     /// Names of the components whose parallelism the planner may set,
     /// in a stable order.
     fn components(&self) -> Vec<String>;
@@ -311,11 +319,41 @@ fn componentwise_max(a: &[(String, u32)], b: &[(String, u32)]) -> Vec<(String, u
 /// `initial` is the currently deployed assignment actions are diffed
 /// against for window 0 (pass the topology's current parallelisms, or
 /// an empty slice to treat everything as newly provisioned).
+///
+/// Window searches run on the process-wide `"planner"` exec pool; use
+/// [`plan_horizon_with`] to supply an explicit pool. Both produce
+/// bit-identical timelines for any pool width.
 pub fn plan_horizon(
     oracle: &dyn CapacityOracle,
     initial: &[(String, u32)],
     windows: &[WindowSpec],
     config: &PlannerConfig,
+) -> Result<PlanTimeline, PlanError> {
+    plan_horizon_with(
+        oracle,
+        initial,
+        windows,
+        config,
+        caladrius_exec::shared_pool("planner"),
+    )
+}
+
+/// [`plan_horizon`] on an explicit exec pool.
+///
+/// Determinism contract: the returned timeline — parallelisms, costs,
+/// actions and the `oracle_evals` telemetry — is a pure function of
+/// the inputs, independent of the pool's width or scheduling. Windows
+/// sharing a planned rate are solved once; `oracle_evals` counts the
+/// distinct probes the horizon *needs*, so a repeated rate or a
+/// smoothed plan already assessed costs zero extra. On an infeasible
+/// horizon the error names the earliest infeasible window, exactly as
+/// a sequential left-to-right scan would.
+pub fn plan_horizon_with(
+    oracle: &dyn CapacityOracle,
+    initial: &[(String, u32)],
+    windows: &[WindowSpec],
+    config: &PlannerConfig,
+    pool: &ExecPool,
 ) -> Result<PlanTimeline, PlanError> {
     config.validate()?;
     if windows.is_empty() {
@@ -323,41 +361,71 @@ pub fn plan_horizon(
             "horizon must contain at least one window".into(),
         ));
     }
-    let mut evals = 0u64;
-    let mut raw: Vec<WindowSolution> = Vec::with_capacity(windows.len());
+    // Windows sharing a planned rate (common under diurnal forecasts)
+    // need a single search. Unique rates are kept in first-occurrence
+    // order, so `parallel_try_map`'s lowest-index error is the error of
+    // the earliest infeasible window: a rate that fails anywhere fails
+    // at its first occurrence too.
+    let mut unique: Vec<(f64, usize)> = Vec::new(); // (rate, first window)
+    let mut unique_of_bits: HashMap<u64, usize> = HashMap::new();
+    let mut rate_idx: Vec<usize> = Vec::with_capacity(windows.len());
     for (i, w) in windows.iter().enumerate() {
-        let solved =
-            plan_window(oracle, w.peak_rate * config.headroom, config).map_err(|e| match e {
+        let rate = w.peak_rate * config.headroom;
+        let idx = *unique_of_bits.entry(rate.to_bits()).or_insert_with(|| {
+            unique.push((rate, i));
+            unique.len() - 1
+        });
+        rate_idx.push(idx);
+    }
+    let solved: Vec<WindowSolution> =
+        pool.parallel_try_map(&unique, |_, (rate, first_window)| {
+            plan_window(oracle, *rate, config).map_err(|e| match e {
                 PlanError::Infeasible {
                     rate, component, ..
                 } => PlanError::Infeasible {
-                    window: i,
+                    window: *first_window,
                     rate,
                     component,
                 },
                 other => other,
-            })?;
-        evals += solved.evals;
-        raw.push(solved);
-    }
+            })
+        })?;
+    let mut evals: u64 = solved.iter().map(|s| s.evals).sum();
 
     // Hysteresis: each window adopts the componentwise max of the next
     // `hysteresis_windows` raw plans, so capacity is raised *before* a
     // spike and short dips never trigger a scale-down/up pair.
+    //
+    // Smoothed plans are assessed through a memo seeded with the raw
+    // solutions: a smoothed plan equal to some window's raw plan at the
+    // same rate is free, and consecutive windows smoothing to the same
+    // (plan, rate) — the common case inside a lookahead run — pay for
+    // one probe instead of one per window.
+    let mut memo: HashMap<(Vec<(String, u32)>, u64), f64> = HashMap::new();
+    for (idx, (rate, _)) in unique.iter().enumerate() {
+        memo.insert(
+            (solved[idx].parallelisms.clone(), rate.to_bits()),
+            solved[idx].saturation_rate,
+        );
+    }
     let h = config.hysteresis_windows;
     let mut plans: Vec<WindowPlan> = Vec::with_capacity(windows.len());
     let mut prev: Vec<(String, u32)> = initial.to_vec();
     for (i, w) in windows.iter().enumerate() {
-        let mut smoothed = raw[i].parallelisms.clone();
-        for ahead in raw.iter().skip(i + 1).take(h - 1) {
-            smoothed = componentwise_max(&smoothed, &ahead.parallelisms);
+        let mut smoothed = solved[rate_idx[i]].parallelisms.clone();
+        for ahead in rate_idx.iter().skip(i + 1).take(h - 1) {
+            smoothed = componentwise_max(&smoothed, &solved[*ahead].parallelisms);
         }
-        let saturation_rate = if smoothed == raw[i].parallelisms {
-            raw[i].saturation_rate
-        } else {
-            let a = oracle.assess(&smoothed, w.peak_rate * config.headroom)?;
-            evals += 1;
-            a.saturation_rate
+        let rate = w.peak_rate * config.headroom;
+        let key = (smoothed.clone(), rate.to_bits());
+        let saturation_rate = match memo.get(&key) {
+            Some(sat) => *sat,
+            None => {
+                let a = oracle.assess(&smoothed, rate)?;
+                evals += 1;
+                memo.insert(key, a.saturation_rate);
+                a.saturation_rate
+            }
         };
         let actions = diff_actions(&prev, &smoothed);
         plans.push(WindowPlan {
@@ -590,7 +658,41 @@ mod tests {
             }]
         );
         assert_eq!(timeline.peak_parallelisms, vec![("a".to_string(), 5)]);
-        assert!(timeline.oracle_evals > 0);
+        // Exactly one search per distinct planned rate (2 M and 8 M —
+        // the repeated 2 M window is deduplicated) plus one probe for
+        // the single smoothed plan ([5] @ 2 M) not already assessed.
+        let low = plan_window(&oracle, 2.0e6, &cfg).unwrap();
+        let high = plan_window(&oracle, 8.0e6, &cfg).unwrap();
+        assert_eq!(timeline.oracle_evals, low.evals + high.evals + 1);
+    }
+
+    #[test]
+    fn consecutive_identical_smoothed_plans_assess_once() {
+        let oracle = AnalyticOracle::new(&[("a", 1.0, 2.0e6)]);
+        let mut cfg = config(64);
+        cfg.hysteresis_windows = 3;
+        let windows: Vec<WindowSpec> = [2.0e6, 2.0e6, 8.0e6, 2.0e6]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| WindowSpec {
+                start_ts: i as i64 * 900_000,
+                end_ts: (i as i64 + 1) * 900_000,
+                peak_rate: *r,
+            })
+            .collect();
+        let timeline = plan_horizon(&oracle, &[], &windows, &cfg).unwrap();
+        let ps: Vec<u32> = timeline
+            .windows
+            .iter()
+            .map(|w| w.parallelisms[0].1)
+            .collect();
+        assert_eq!(ps, vec![5, 5, 5, 2]);
+        // Windows 0 and 1 both smooth to [5] @ 2 M: the memo must
+        // charge that probe once, on top of one search per distinct
+        // rate. (The unmemoized smoothing pass paid for it twice.)
+        let low = plan_window(&oracle, 2.0e6, &cfg).unwrap();
+        let high = plan_window(&oracle, 8.0e6, &cfg).unwrap();
+        assert_eq!(timeline.oracle_evals, low.evals + high.evals + 1);
     }
 
     #[test]

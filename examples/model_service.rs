@@ -37,8 +37,13 @@ fn main() {
     );
 
     // Launch the web service on an ephemeral port.
-    let api = ApiService::new(Arc::new(caladrius), 2);
-    let server = HttpServer::serve("127.0.0.1:0", 4, api.handler()).unwrap();
+    let api = ApiService::with_defaults(Arc::new(caladrius));
+    let server = HttpServer::serve(
+        "127.0.0.1:0",
+        caladrius::exec::configured_threads(),
+        api.handler(),
+    )
+    .unwrap();
     let addr = server.local_addr();
     println!("Caladrius listening on http://{addr}");
     let client = HttpClient::new(addr);

@@ -33,8 +33,13 @@ fn main() {
         Arc::new(SimMetricsProvider::new(metrics)),
         Arc::new(StaticTracker::new().with(wordcount_topology(parallelism, 26.0e6))),
     );
-    let api = ApiService::new(Arc::new(caladrius), 2);
-    let server = HttpServer::serve("127.0.0.1:0", 4, api.handler()).unwrap();
+    let api = ApiService::with_defaults(Arc::new(caladrius));
+    let server = HttpServer::serve(
+        "127.0.0.1:0",
+        caladrius::exec::configured_threads(),
+        api.handler(),
+    )
+    .unwrap();
     let addr = server.local_addr();
     println!("Caladrius listening on http://{addr}");
     let client = HttpClient::new(addr);

@@ -17,11 +17,21 @@ cargo build --release
 echo "==> cargo build --examples"
 cargo build --examples
 
+echo "==> cargo bench --no-run (compile-gate bench code)"
+cargo bench --no-run
+
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+# Forced single-threading: every exec pool degrades to its inline
+# sequential path, so any output depending on parallel scheduling
+# (and any accidental nondeterminism) shows up as a diff here.
+echo "==> CALADRIUS_THREADS=1 determinism variant"
+CALADRIUS_THREADS=1 cargo test -q -p caladrius-exec
+CALADRIUS_THREADS=1 cargo test -q --test exec_determinism --test capacity_plan
 
 echo "==> observability smoke (scrape /metrics/service)"
 cargo run --release --example obs_smoke

@@ -37,7 +37,9 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         port: 8080,
-        workers: 4,
+        // Default: CALADRIUS_THREADS override, else available
+        // parallelism — one config point for every worker tier.
+        workers: caladrius::exec::configured_threads(),
         config_path: None,
         demo: false,
     };

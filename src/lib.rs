@@ -19,12 +19,15 @@
 //!   baseline vs Caladrius-driven one-shot scaling.
 //! * [`obs`] — the observability layer: metrics registry, span tracing,
 //!   Prometheus exposition and forecast-accuracy self-monitoring.
+//! * [`exec`] — the structured-parallelism executor: scoped worker
+//!   pools with order-preserving, deterministic map primitives.
 
 #![warn(missing_docs)]
 
 pub use caladrius_api as api;
 pub use caladrius_autoscale as autoscale;
 pub use caladrius_core as core;
+pub use caladrius_exec as exec;
 pub use caladrius_forecast as forecast;
 pub use caladrius_graph as graph;
 pub use caladrius_obs as obs;

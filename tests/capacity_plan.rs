@@ -215,8 +215,8 @@ fn diamond_plan_scales_branches_and_replays_low_risk() {
     let model = caladrius.fit_topology_model("diamond").unwrap();
     let cpu_models = caladrius.fit_cpu_models("diamond").unwrap();
     let oracle = ModelOracle::new(
-        &model,
-        &cpu_models,
+        Arc::new(model),
+        Arc::new(cpu_models),
         vec![
             "enrich".into(),
             "geo".into(),

@@ -1,0 +1,229 @@
+//! Determinism regression suite for the structured-parallelism
+//! executor: a wide exec pool must produce *byte-identical* planner
+//! and replay output to a 1-thread pool (whose batches run on the
+//! zero-synchronisation inline path), and infeasible horizons must
+//! surface the same earliest-window error either way.
+
+use caladrius::exec::ExecPool;
+use caladrius::planner::{
+    plan_horizon_with, replay_timeline_with, Assessment, CapacityOracle, PlanCost, PlanError,
+    PlanTimeline, PlannerConfig, ReplayConfig, ResourceLimits, WindowPlan, WindowSpec,
+};
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+
+/// Analytic four-component chain: component `c` receives
+/// `ratio_c × source_rate` tuples/min and an instance serves
+/// `service_c` tuples/min, with a 5 % feasibility margin.
+struct ChainOracle {
+    comps: Vec<(String, f64, f64)>,
+}
+
+impl ChainOracle {
+    fn new() -> Self {
+        Self {
+            comps: vec![
+                ("ingest".to_string(), 1.0, 2.0e6),
+                ("parse".to_string(), 2.0, 5.0e6),
+                ("join".to_string(), 1.5, 3.0e6),
+                ("sink".to_string(), 0.5, 1.0e6),
+            ],
+        }
+    }
+}
+
+impl CapacityOracle for ChainOracle {
+    fn components(&self) -> Vec<String> {
+        self.comps.iter().map(|c| c.0.clone()).collect()
+    }
+
+    fn assess(&self, parallelisms: &[(String, u32)], rate: f64) -> Result<Assessment, PlanError> {
+        let mut saturation = f64::INFINITY;
+        let mut bottleneck = None;
+        let mut cpu = Vec::new();
+        for (name, ratio, service) in &self.comps {
+            let p = parallelisms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(1.0, |(_, p)| f64::from(*p));
+            let sat = service * p / ratio;
+            if sat < saturation {
+                saturation = sat;
+                bottleneck = Some(name.clone());
+            }
+            cpu.push((name.clone(), 0.05 + 1.0e-8 * ratio * rate / p));
+        }
+        Ok(Assessment {
+            feasible: rate <= saturation * 0.95,
+            bottleneck,
+            saturation_rate: saturation,
+            cpu_per_instance: cpu,
+        })
+    }
+}
+
+fn planner_config() -> PlannerConfig {
+    PlannerConfig {
+        headroom: 1.1,
+        cpu_utilization_cap: 0.9,
+        hysteresis_windows: 4,
+        limits: ResourceLimits {
+            max_parallelism: 128,
+            ..ResourceLimits::default()
+        },
+        ..PlannerConfig::default()
+    }
+}
+
+/// 96 quarter-hour windows of diurnal traffic (a repeating 24-step
+/// ramp), so many windows share a planned rate and both the rate dedup
+/// and the smoothing memo are exercised.
+fn diurnal_windows(n: usize) -> Vec<WindowSpec> {
+    (0..n)
+        .map(|i| {
+            let phase = i % 24;
+            let tri = if phase < 12 { phase } else { 24 - phase } as f64;
+            WindowSpec {
+                start_ts: i as i64 * 900_000,
+                end_ts: (i as i64 + 1) * 900_000,
+                peak_rate: 2.0e6 + 0.9e6 * tri,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_plan_horizon_is_bit_identical_to_sequential() {
+    let oracle = ChainOracle::new();
+    let windows = diurnal_windows(96);
+    let config = planner_config();
+    let initial = vec![("ingest".to_string(), 2), ("parse".to_string(), 1)];
+
+    let sequential = ExecPool::with_threads("det-plan-seq", 1);
+    let parallel = ExecPool::with_threads("det-plan-par", 8);
+    let seq: PlanTimeline =
+        plan_horizon_with(&oracle, &initial, &windows, &config, &sequential).unwrap();
+    let par: PlanTimeline =
+        plan_horizon_with(&oracle, &initial, &windows, &config, &parallel).unwrap();
+
+    assert_eq!(seq, par);
+    // Debug formatting covers every field bit-for-bit (floats included).
+    assert_eq!(
+        format!("{seq:?}").into_bytes(),
+        format!("{par:?}").into_bytes()
+    );
+    assert!(seq.oracle_evals > 0);
+}
+
+#[test]
+fn parallel_plan_reports_the_same_infeasible_window() {
+    let oracle = ChainOracle::new();
+    let mut windows = diurnal_windows(24);
+    // Window 7 is far beyond any feasible capacity; window 19 too. The
+    // error must name window 7 — the one a sequential scan hits first —
+    // whatever order a wide pool explores.
+    windows[7].peak_rate = 9.0e12;
+    windows[19].peak_rate = 8.0e12;
+    let config = planner_config();
+
+    let sequential = ExecPool::with_threads("det-err-seq", 1);
+    let parallel = ExecPool::with_threads("det-err-par", 8);
+    let seq_err = plan_horizon_with(&oracle, &[], &windows, &config, &sequential).unwrap_err();
+    let par_err = plan_horizon_with(&oracle, &[], &windows, &config, &parallel).unwrap_err();
+
+    assert_eq!(seq_err, par_err);
+    match par_err {
+        PlanError::Infeasible { window, .. } => assert_eq!(window, 7),
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+}
+
+fn wordcount_timeline() -> PlanTimeline {
+    let limits = PlannerConfig::default().limits;
+    let specs = [
+        (12.0e6, [("spout", 8u32), ("splitter", 2), ("counter", 3)]),
+        (30.0e6, [("spout", 8), ("splitter", 4), ("counter", 5)]),
+        (30.0e6, [("spout", 8), ("splitter", 4), ("counter", 5)]),
+        (8.0e6, [("spout", 8), ("splitter", 1), ("counter", 2)]),
+    ];
+    let windows: Vec<WindowPlan> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (rate, ps))| {
+            let parallelisms: Vec<(String, u32)> =
+                ps.iter().map(|(n, p)| (n.to_string(), *p)).collect();
+            WindowPlan {
+                window: i,
+                start_ts: i as i64 * 900_000,
+                end_ts: (i as i64 + 1) * 900_000,
+                peak_rate: *rate,
+                planned_rate: *rate,
+                cost: PlanCost::of(&parallelisms, &limits),
+                parallelisms,
+                saturation_rate: f64::INFINITY,
+                actions: Vec::new(),
+            }
+        })
+        .collect();
+    let peak = windows[1].parallelisms.clone();
+    let peak_cost = windows[1].cost;
+    PlanTimeline {
+        windows,
+        peak_parallelisms: peak,
+        peak_cost,
+        oracle_evals: 0,
+    }
+}
+
+#[test]
+fn parallel_replay_is_bit_identical_to_sequential() {
+    let base = wordcount_topology(
+        WordCountParallelism {
+            spout: 8,
+            splitter: 2,
+            counter: 3,
+        },
+        10.0e6,
+    );
+    let timeline = wordcount_timeline();
+    let config = ReplayConfig {
+        warmup_minutes: 5,
+        measure_minutes: 3,
+        ..ReplayConfig::default()
+    };
+
+    let sequential = ExecPool::with_threads("det-replay-seq", 1);
+    let parallel = ExecPool::with_threads("det-replay-par", 8);
+    let seq = replay_timeline_with(&base, &timeline, &config, &sequential).unwrap();
+    let par = replay_timeline_with(&base, &timeline, &config, &parallel).unwrap();
+
+    assert_eq!(seq, par);
+    assert_eq!(
+        format!("{seq:?}").into_bytes(),
+        format!("{par:?}").into_bytes()
+    );
+    // Sanity: the replays actually simulated traffic.
+    assert!(seq.iter().all(|w| w.sink_rate > 0.0));
+    // Windows are reported in timeline order whatever finished first.
+    let order: Vec<usize> = par.iter().map(|w| w.window).collect();
+    assert_eq!(order, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn default_entrypoints_match_explicit_one_thread_pools() {
+    // plan_horizon / replay_timeline route through the shared pools at
+    // the configured width; whatever that width is on this host, the
+    // output must equal the forced-sequential reference.
+    let oracle = ChainOracle::new();
+    let windows = diurnal_windows(48);
+    let config = planner_config();
+    let reference = plan_horizon_with(
+        &oracle,
+        &[],
+        &windows,
+        &config,
+        &ExecPool::with_threads("det-ref", 1),
+    )
+    .unwrap();
+    let shared = caladrius::planner::plan_horizon(&oracle, &[], &windows, &config).unwrap();
+    assert_eq!(reference, shared);
+}
