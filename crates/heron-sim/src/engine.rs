@@ -12,17 +12,58 @@
 //! deployment reports (see [`crate::metrics::metric`]), with optional
 //! multiplicative observation noise so repeated runs produce confidence
 //! bands like the paper's Figs. 4-12.
+//!
+//! # Kernel layout
+//!
+//! The hot loop is a struct-of-arrays kernel: every per-instance constant
+//! (capacity, selectivity, fail rate, gateway overhead, container, CPU
+//! cores) lives in a parallel `Vec` built once in [`Simulation::new`]
+//! ([`InstanceTable`]), routing fan-out is a flat CSR edge table
+//! ([`EdgeTable`]), and mutable queue state is split from the per-minute
+//! accumulators ([`LiveState`] vs [`MinuteAccum`]) so a tick touches only
+//! contiguous arrays and a minute flush reads the accumulators in place.
+//! `tick()` performs **zero heap allocations**: backpressure attribution
+//! reuses a scratch buffer, and the per-component spout offer is staged in
+//! a pre-sized vector. The per-tick arithmetic is bit-for-bit identical to
+//! the retained seed kernel in [`crate::reference`]; the workspace
+//! equivalence suite enforces this with `to_bits()` comparisons.
+//!
+//! # Steady-state macro-stepping
+//!
+//! With [`SimConfig::macro_step`] enabled the engine may advance the rest
+//! of a minute in closed form. The step is taken only when all of the
+//! following hold:
+//!
+//! 1. every spout profile is provably constant over the remaining ticks
+//!    ([`crate::profiles::RateProfile::constant_over`]),
+//! 2. backpressure is inactive before a probe tick and still inactive
+//!    after it, and
+//! 3. the probe tick is a **bitwise fixed point** of the live state:
+//!    queues, backlogs and stream-manager buffers are unchanged to the
+//!    last bit.
+//!
+//! At a bitwise fixed point every subsequent tick would add the exact
+//! same deltas to the minute accumulators, so the engine multiplies the
+//! probe deltas by the skipped tick count instead of iterating. Macro
+//! results are *not* bit-identical to exact runs (a×k vs k additions of
+//! a); the flag therefore defaults to **off** and is opted into by
+//! `planner::replay`, whose tolerance tests bound the divergence.
 
 use crate::backpressure::{BackpressureTracker, WatermarkConfig};
 use crate::error::{Result, SimError};
-use crate::metrics::{InstanceHandles, SimMetrics};
+use crate::metrics::SimMetrics;
 use crate::packing::{PackingAlgorithm, PackingPlan};
 use crate::profiles::hash64;
 use crate::topology::{ComponentKind, Topology};
-use caladrius_obs::Histogram;
-use caladrius_tsdb::{MetricBatch, SeriesHandle};
-use std::sync::OnceLock;
+use caladrius_obs::{Counter, Histogram};
+use caladrius_tsdb::{MetricsDb, Sample, SeriesHandle};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// After a failed macro-step probe (state still converging), wait this
+/// many exact ticks before probing again so the snapshot cost cannot
+/// approach the cost of the ticks it tries to elide.
+const MACRO_RETRY_TICKS: u64 = 8;
 
 /// Process-wide histogram of wall-clock time per recorded simulated
 /// minute (tick loop + metric flush). One static handle: the simulator
@@ -39,15 +80,40 @@ fn sim_minute_histogram() -> &'static Histogram {
     })
 }
 
+/// Process-wide counters of simulated ticks: executed exactly vs skipped
+/// by the steady-state macro-step. Their ratio on `/metrics/service`
+/// shows how often macro-stepping engages in replay.
+fn sim_tick_counters() -> &'static (Counter, Counter) {
+    static HANDLE: OnceLock<(Counter, Counter)> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_sim_ticks_total",
+            "Simulation ticks executed exactly",
+        );
+        registry.describe(
+            "caladrius_sim_ticks_skipped_total",
+            "Simulation ticks skipped by the steady-state macro-step",
+        );
+        (
+            registry.counter("caladrius_sim_ticks_total", &[]),
+            registry.counter("caladrius_sim_ticks_skipped_total", &[]),
+        )
+    })
+}
+
 /// Pre-resolved sink state for one `(simulation, SimMetrics)` pairing:
-/// every series handle the per-minute flush appends to, plus the one
-/// [`MetricBatch`] reused (via [`MetricBatch::reset`]) across minutes.
-/// Registered once at the top of a run so the steady-state flush path
-/// never touches the catalog.
+/// one `(series handle, sample column)` pair per series the flush writes,
+/// laid out in flush order. Registered once at the top of a run so the
+/// steady-state flush path never touches the catalog — and buffered for
+/// the whole run so the flush path never touches a lock either: each
+/// minute appends one `Sample` per column, and the run commits every
+/// column with a single [`caladrius_tsdb::MetricsDb::append_series`]
+/// call per series. Stored samples are identical (same series ids, same
+/// timestamps, same order) to per-minute ingestion; only the lock
+/// traffic moves out of the hot loop.
 struct SinkHandles {
-    instances: Vec<InstanceHandles>,
-    containers: Vec<SeriesHandle>,
-    batch: MetricBatch,
+    columns: Vec<(SeriesHandle, Vec<Sample>)>,
 }
 
 /// Engine configuration.
@@ -79,6 +145,14 @@ pub struct SimConfig {
     /// instances per container. Set a finite capacity to study when that
     /// assumption breaks (the `stmgr_ablation` bench).
     pub stmgr_capacity: Option<f64>,
+    /// Opt-in steady-state macro-stepping (default `false`). When the
+    /// spout rate is provably constant for the rest of a minute, no
+    /// backpressure is active, and a probe tick leaves the live state
+    /// bitwise unchanged, the remaining ticks of the minute are applied
+    /// in closed form. Leave off wherever the bit-identical determinism
+    /// contract applies; `planner::replay` enables it behind a
+    /// tolerance-validated flag.
+    pub macro_step: bool,
 }
 
 impl Default for SimConfig {
@@ -91,59 +165,147 @@ impl Default for SimConfig {
             base_cpu_overhead: 0.05,
             ticks_per_second: 1,
             stmgr_capacity: None,
+            macro_step: false,
         }
     }
 }
 
-/// Routing entry: one downstream instance of one edge.
-#[derive(Debug, Clone, Copy)]
-struct Route {
-    dst: usize,
-    share: f64,
-    dst_container: u32,
+/// Per-instance constants, struct-of-arrays. Built once in
+/// [`Simulation::new`]; the tick loop indexes these flat vectors instead
+/// of matching on `ComponentKind` per instance.
+#[derive(Debug)]
+struct InstanceTable {
+    /// Number of instances (length of every column).
+    n: usize,
+    /// Owning component index.
+    comp_idx: Vec<u32>,
+    /// Index within the component.
+    inst_idx: Vec<u32>,
+    /// Container the instance is packed on.
+    container: Vec<u32>,
+    /// Processing capacity, tuples/second.
+    capacity: Vec<f64>,
+    /// Allocated CPU cores.
+    cpu_cores: Vec<f64>,
+    /// `capacity / cpu_cores`, precomputed (division is deterministic, so
+    /// hoisting it out of the tick preserves bit-identity).
+    cap_per_core: Vec<f64>,
+    /// Output tuples per executed tuple.
+    selectivity: Vec<f64>,
+    /// Capacity fraction lost to the gateway thread at full pressure.
+    gateway_overhead: Vec<f64>,
+    /// Fraction of executed tuples failed by user logic.
+    fail_rate: Vec<f64>,
 }
 
-/// Static (per-run) data for one edge leaving a component.
+/// Per-component constants plus the CSR index into [`EdgeTable`].
+#[derive(Debug)]
+struct ComponentTable {
+    /// Spout/bolt tag, flattened out of the `ComponentKind` enum.
+    is_spout: Vec<bool>,
+    /// True when the component has no outgoing edges.
+    is_sink: Vec<bool>,
+    /// Parallelism as `f64` (spout rate division).
+    parallelism: Vec<f64>,
+    /// CSR: instances of component `c` occupy
+    /// `inst_start[c]..inst_start[c + 1]` in the instance table. The tick
+    /// iterates per component so per-component constants (capacity,
+    /// selectivity, fail rate, edge range) hoist out of the instance loop.
+    inst_start: Vec<usize>,
+    /// CSR: edges leaving component `c` occupy
+    /// `edge_start[c]..edge_start[c + 1]` in the edge table.
+    edge_start: Vec<usize>,
+    /// Component indices that are spouts (per-tick offer computation).
+    spout_comps: Vec<usize>,
+}
+
+/// All edges and their per-destination routes, flattened CSR-style so the
+/// tick never takes `out_edges` out of `self`.
+#[derive(Debug)]
+struct EdgeTable {
+    /// Per edge: grouping replicates to every downstream instance.
+    replicates: Vec<bool>,
+    /// Per edge: bytes per emitted tuple.
+    tuple_bytes: Vec<f64>,
+    /// CSR: routes of edge `e` occupy `route_start[e]..route_start[e+1]`.
+    route_start: Vec<usize>,
+    /// Per route: destination flat instance id.
+    route_dst: Vec<usize>,
+    /// Per route: share of the edge's output (non-replicating groupings).
+    route_share: Vec<f64>,
+    /// Per route: destination's container.
+    route_dst_container: Vec<u32>,
+}
+
+/// Mutable queue state, struct-of-arrays. Split from [`MinuteAccum`] so
+/// the minute flush reads accumulators in place (no per-instance clone)
+/// and the macro-step fixed-point check compares only what a tick may
+/// change.
 #[derive(Debug, Clone)]
-struct EdgeRuntime {
-    routes: Vec<Route>,
-    replicates: bool,
-    tuple_bytes: f64,
-}
-
-/// Mutable state of one instance.
-#[derive(Debug, Clone, Default)]
-struct InstanceState {
-    queue_tuples: f64,
-    queue_bytes: f64,
-    incoming_tuples: f64,
-    incoming_bytes: f64,
+struct LiveState {
+    queue_tuples: Vec<f64>,
+    queue_bytes: Vec<f64>,
+    incoming_tuples: Vec<f64>,
+    incoming_bytes: Vec<f64>,
     /// Spouts only: tuples accumulated at the external source while the
     /// spout was throttled ("data will begin to accumulate in the external
     /// system waiting to be fetched", paper §II-C). Drained as fast as the
     /// spout allows once backpressure lifts — which is what makes the
     /// per-minute backpressure-time metric bimodal (paper §IV-B1).
-    backlog: f64,
-    // Per-minute accumulators.
-    executed: f64,
-    emitted: f64,
-    offered: f64,
-    failed: f64,
-    bp_ms: f64,
-    cpu_core_seconds: f64,
+    backlog: Vec<f64>,
 }
 
-/// Static description of one instance.
-#[derive(Debug, Clone, Copy)]
-struct InstanceInfo {
-    comp_idx: usize,
-    inst_idx: u32,
-    container: u32,
-    capacity: f64,
-    cpu_cores: f64,
-    selectivity: f64,
-    gateway_overhead: f64,
-    fail_rate: f64,
+impl LiveState {
+    fn zeroed(n: usize) -> Self {
+        Self {
+            queue_tuples: vec![0.0; n],
+            queue_bytes: vec![0.0; n],
+            incoming_tuples: vec![0.0; n],
+            incoming_bytes: vec![0.0; n],
+            backlog: vec![0.0; n],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.queue_tuples.fill(0.0);
+        self.queue_bytes.fill(0.0);
+        self.incoming_tuples.fill(0.0);
+        self.incoming_bytes.fill(0.0);
+        self.backlog.fill(0.0);
+    }
+}
+
+/// Per-minute metric accumulators, struct-of-arrays.
+#[derive(Debug, Clone)]
+struct MinuteAccum {
+    executed: Vec<f64>,
+    emitted: Vec<f64>,
+    offered: Vec<f64>,
+    failed: Vec<f64>,
+    bp_ms: Vec<f64>,
+    cpu_core_seconds: Vec<f64>,
+}
+
+impl MinuteAccum {
+    fn zeroed(n: usize) -> Self {
+        Self {
+            executed: vec![0.0; n],
+            emitted: vec![0.0; n],
+            offered: vec![0.0; n],
+            failed: vec![0.0; n],
+            bp_ms: vec![0.0; n],
+            cpu_core_seconds: vec![0.0; n],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.executed.fill(0.0);
+        self.emitted.fill(0.0);
+        self.offered.fill(0.0);
+        self.failed.fill(0.0);
+        self.bp_ms.fill(0.0);
+        self.cpu_core_seconds.fill(0.0);
+    }
 }
 
 /// Per-container stream-manager forwarding queue (only used when
@@ -173,6 +335,44 @@ impl StmgrState {
         self.total_tuples += tuples;
         self.total_bytes += bytes;
     }
+
+    fn reset(&mut self) {
+        self.pending_tuples.fill(0.0);
+        self.pending_bytes.fill(0.0);
+        self.total_tuples = 0.0;
+        self.total_bytes = 0.0;
+    }
+
+    fn copy_from(&mut self, other: &StmgrState) {
+        self.pending_tuples.copy_from_slice(&other.pending_tuples);
+        self.pending_bytes.copy_from_slice(&other.pending_bytes);
+        self.total_tuples = other.total_tuples;
+        self.total_bytes = other.total_bytes;
+    }
+
+    fn bits_eq(&self, other: &StmgrState) -> bool {
+        self.total_tuples.to_bits() == other.total_tuples.to_bits()
+            && self.total_bytes.to_bits() == other.total_bytes.to_bits()
+            && bits_eq(&self.pending_tuples, &other.pending_tuples)
+            && bits_eq(&self.pending_bytes, &other.pending_bytes)
+    }
+}
+
+/// Pre-sized snapshot buffers for the macro-step fixed-point probe. All
+/// copies go through `copy_from_slice`: taking a snapshot allocates
+/// nothing.
+#[derive(Debug)]
+struct MacroScratch {
+    live: LiveState,
+    accum: MinuteAccum,
+    stmgr_tuples: Vec<f64>,
+    stmgrs: Vec<StmgrState>,
+}
+
+/// Bitwise slice equality (`to_bits` per element).
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// A runnable simulation of one topology.
@@ -181,10 +381,11 @@ pub struct Simulation {
     topology: Topology,
     plan: PackingPlan,
     config: SimConfig,
-    instances: Vec<InstanceInfo>,
-    states: Vec<InstanceState>,
-    /// Per component: runtime data of its outgoing edges.
-    out_edges: Vec<Vec<EdgeRuntime>>,
+    inst: InstanceTable,
+    comps: ComponentTable,
+    edges: EdgeTable,
+    live: LiveState,
+    accum: MinuteAccum,
     tracker: BackpressureTracker,
     /// Simulation clock in ticks (see `SimConfig::ticks_per_second`).
     now_ticks: u64,
@@ -193,6 +394,43 @@ pub struct Simulation {
     /// Per-container forwarding queues; empty when stream managers are
     /// transparent.
     stmgrs: Vec<StmgrState>,
+    /// Per-component spout offer for the current tick (scratch).
+    spout_offered: Vec<f64>,
+    /// Per-instance emitted mass for the current tick (scratch): written
+    /// by each component's compute phase, read by its routing phase.
+    emit_scratch: Vec<f64>,
+    /// Reused buffer for backpressure attribution (no per-tick alloc).
+    bp_scratch: Vec<usize>,
+    /// Snapshot buffers for the macro-step probe.
+    macro_scratch: MacroScratch,
+    /// Cumulative ticks executed exactly over this simulation's lifetime
+    /// (survives [`Simulation::reset_with`]).
+    ticks_executed: u64,
+    /// Cumulative ticks skipped by macro-stepping (ditto).
+    ticks_skipped: u64,
+    /// Sink handles kept across runs against the same metrics store (see
+    /// [`Simulation::run_minutes_into`]). Dropped whenever a parallelism
+    /// change rebuilds the instance tables.
+    sink_cache: Option<SinkCache>,
+}
+
+/// A [`SinkHandles`] retained across runs, together with the store
+/// identity it was registered against. Pooled replay runs every window
+/// against the same (truncated) per-worker store, so re-resolving ~8
+/// series per instance per window would otherwise rival the tick loop.
+struct SinkCache {
+    db: Arc<MetricsDb>,
+    topology: String,
+    sink: SinkHandles,
+}
+
+impl std::fmt::Debug for SinkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkCache")
+            .field("topology", &self.topology)
+            .field("series", &self.sink.columns.len())
+            .finish()
+    }
 }
 
 impl Simulation {
@@ -225,67 +463,128 @@ impl Simulation {
         });
         let plan = packing.pack(&topology)?;
 
-        // Flat instance table in (component, index) order.
-        let mut instances = Vec::with_capacity(topology.total_instances() as usize);
-        let mut comp_instances = vec![Vec::new(); topology.components.len()];
+        let n_comps = topology.components.len();
+        let n = topology.total_instances() as usize;
+
+        // Instance table in flat (component, index) order — the same
+        // iteration order as the reference kernel.
+        let mut inst = InstanceTable {
+            n,
+            comp_idx: Vec::with_capacity(n),
+            inst_idx: Vec::with_capacity(n),
+            container: Vec::with_capacity(n),
+            capacity: Vec::with_capacity(n),
+            cpu_cores: Vec::with_capacity(n),
+            cap_per_core: Vec::with_capacity(n),
+            selectivity: Vec::with_capacity(n),
+            gateway_overhead: Vec::with_capacity(n),
+            fail_rate: Vec::with_capacity(n),
+        };
+        let mut inst_start = Vec::with_capacity(n_comps + 1);
+        inst_start.push(0);
         for (comp_idx, comp) in topology.components.iter().enumerate() {
             let work = comp.kind.work();
+            let capacity = work.capacity_per_core * comp.resources.cpu_cores;
             for inst_idx in 0..comp.parallelism {
                 let container = plan
                     .container_of(&comp.name, inst_idx)
                     .expect("packing places every instance");
-                comp_instances[comp_idx].push(instances.len());
-                instances.push(InstanceInfo {
-                    comp_idx,
-                    inst_idx,
-                    container,
-                    capacity: work.capacity_per_core * comp.resources.cpu_cores,
-                    cpu_cores: comp.resources.cpu_cores,
-                    selectivity: work.selectivity,
-                    gateway_overhead: work.gateway_overhead,
-                    fail_rate: work.fail_rate,
-                });
+                inst.comp_idx.push(comp_idx as u32);
+                inst.inst_idx.push(inst_idx);
+                inst.container.push(container);
+                inst.capacity.push(capacity);
+                inst.cpu_cores.push(comp.resources.cpu_cores);
+                inst.cap_per_core.push(capacity / comp.resources.cpu_cores);
+                inst.selectivity.push(work.selectivity);
+                inst.gateway_overhead.push(work.gateway_overhead);
+                inst.fail_rate.push(work.fail_rate);
             }
+            inst_start.push(inst.comp_idx.len());
         }
 
-        // Pre-compute routing tables per component edge.
-        let mut out_edges: Vec<Vec<EdgeRuntime>> = vec![Vec::new(); topology.components.len()];
-        for edge in &topology.edges {
-            let downstream = &comp_instances[edge.to];
-            let shares = edge.grouping.shares(downstream.len());
-            let routes: Vec<Route> = downstream
+        // CSR edge/route tables. Edges are grouped per source component in
+        // `topology.edges` order — the order the reference kernel's
+        // per-component `Vec<EdgeRuntime>` preserves.
+        let mut edges = EdgeTable {
+            replicates: Vec::with_capacity(topology.edges.len()),
+            tuple_bytes: Vec::with_capacity(topology.edges.len()),
+            route_start: Vec::with_capacity(topology.edges.len() + 1),
+            route_dst: Vec::new(),
+            route_share: Vec::new(),
+            route_dst_container: Vec::new(),
+        };
+        edges.route_start.push(0);
+        let mut edge_start = Vec::with_capacity(n_comps + 1);
+        edge_start.push(0);
+        for comp_idx in 0..n_comps {
+            for edge in topology.edges.iter().filter(|e| e.from == comp_idx) {
+                let dst_lo = inst_start[edge.to];
+                let dst_hi = inst_start[edge.to + 1];
+                let shares = edge.grouping.shares(dst_hi - dst_lo);
+                for (dst, share) in (dst_lo..dst_hi).zip(&shares) {
+                    edges.route_dst.push(dst);
+                    edges.route_share.push(*share);
+                    edges.route_dst_container.push(inst.container[dst]);
+                }
+                edges.replicates.push(edge.grouping.replicates());
+                edges.tuple_bytes.push(f64::from(
+                    topology.components[comp_idx].kind.work().out_tuple_bytes,
+                ));
+                edges.route_start.push(edges.route_dst.len());
+            }
+            edge_start.push(edges.replicates.len());
+        }
+
+        let comps = ComponentTable {
+            is_spout: topology
+                .components
                 .iter()
-                .zip(&shares)
-                .map(|(dst, share)| Route {
-                    dst: *dst,
-                    share: *share,
-                    dst_container: instances[*dst].container,
-                })
-                .collect();
-            out_edges[edge.from].push(EdgeRuntime {
-                routes,
-                replicates: edge.grouping.replicates(),
-                tuple_bytes: f64::from(topology.components[edge.from].kind.work().out_tuple_bytes),
-            });
-        }
+                .map(|c| c.kind.is_spout())
+                .collect(),
+            is_sink: (0..n_comps)
+                .map(|c| edge_start[c] == edge_start[c + 1])
+                .collect(),
+            parallelism: topology
+                .components
+                .iter()
+                .map(|c| f64::from(c.parallelism))
+                .collect(),
+            inst_start,
+            edge_start,
+            spout_comps: topology.spout_indices(),
+        };
 
-        let n = instances.len();
         let plan_containers = plan.num_containers();
+        let stmgrs = if config.stmgr_capacity.is_some() {
+            vec![StmgrState::sized(n); plan_containers]
+        } else {
+            Vec::new()
+        };
         Ok(Self {
             plan,
-            instances,
-            states: vec![InstanceState::default(); n],
-            out_edges,
+            live: LiveState::zeroed(n),
+            accum: MinuteAccum::zeroed(n),
             tracker: BackpressureTracker::new(config.watermarks),
             now_ticks: 0,
             stmgr_tuples: vec![0.0; 64.max(n)],
-            stmgrs: if config.stmgr_capacity.is_some() {
-                vec![StmgrState::sized(n); plan_containers]
-            } else {
-                Vec::new()
+            spout_offered: vec![0.0; n_comps],
+            emit_scratch: vec![0.0; n],
+            bp_scratch: Vec::with_capacity(n),
+            macro_scratch: MacroScratch {
+                live: LiveState::zeroed(n),
+                accum: MinuteAccum::zeroed(n),
+                stmgr_tuples: vec![0.0; 64.max(n)],
+                stmgrs: stmgrs.clone(),
             },
+            stmgrs,
+            inst,
+            comps,
+            edges,
             topology,
             config,
+            ticks_executed: 0,
+            ticks_skipped: 0,
+            sink_cache: None,
         })
     }
 
@@ -302,6 +601,65 @@ impl Simulation {
     /// Current simulation time in seconds.
     pub fn now_secs(&self) -> u64 {
         self.now_ticks / u64::from(self.config.ticks_per_second)
+    }
+
+    /// Cumulative ticks this simulation executed exactly (lifetime,
+    /// surviving [`Simulation::reset_with`]).
+    pub fn ticks_executed(&self) -> u64 {
+        self.ticks_executed
+    }
+
+    /// Cumulative ticks skipped by the steady-state macro-step (lifetime,
+    /// surviving [`Simulation::reset_with`]).
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
+    }
+
+    /// Replaces the observation-noise seed for subsequent runs.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.config.seed = seed;
+    }
+
+    /// Rewinds this simulation to the zero state of a freshly built one
+    /// with `updates` applied and the spouts offering `rate_per_min`,
+    /// reusing the flattened tables when no parallelism changed.
+    ///
+    /// Contract: after `reset_with`, runs are bit-identical to those of
+    /// `Simulation::new(topo.with_parallelisms(updates)?.with_source_rate
+    /// (rate_per_min)?, config)` with the current config (including any
+    /// [`Simulation::set_seed`]). Only the clock, queues, accumulators,
+    /// backpressure tracker and spout profiles are reset; the lifetime
+    /// tick counters keep counting.
+    pub fn reset_with(&mut self, updates: &[(&str, u32)], rate_per_min: f64) -> Result<()> {
+        let mut parallelism_changed = false;
+        for (name, p) in updates {
+            if self.topology.component(name)?.parallelism != *p {
+                parallelism_changed = true;
+            }
+        }
+        if parallelism_changed {
+            // Packing and routing change shape: rebuild the tables, but
+            // keep the lifetime tick counters.
+            let topo = self
+                .topology
+                .with_parallelisms(updates)?
+                .with_source_rate(rate_per_min)?;
+            let (executed, skipped) = (self.ticks_executed, self.ticks_skipped);
+            *self = Simulation::new(topo, self.config.clone())?;
+            self.ticks_executed = executed;
+            self.ticks_skipped = skipped;
+            return Ok(());
+        }
+        self.topology = self.topology.with_source_rate(rate_per_min)?;
+        self.live.reset();
+        self.accum.reset();
+        self.stmgr_tuples.fill(0.0);
+        for stmgr in &mut self.stmgrs {
+            stmgr.reset();
+        }
+        self.tracker = BackpressureTracker::new(self.config.watermarks);
+        self.now_ticks = 0;
+        Ok(())
     }
 
     /// Moves the clock forward to `minute` (without simulating) so that a
@@ -328,118 +686,192 @@ impl Simulation {
         self.tracker.active()
     }
 
-    /// Advances one second.
+    /// Advances one tick. Allocation-free; arithmetic is bit-identical to
+    /// the reference kernel (see module docs).
+    ///
+    /// The loop is organised for the optimiser rather than the reader:
+    /// one sub-loop per component (so every per-component constant —
+    /// capacity, selectivity, fail rate, edge range — is hoisted out of
+    /// the per-instance body), with all hot columns rebound to local
+    /// slices up front (distinct `&mut` borrows carry no-alias guarantees
+    /// the per-field `self.x[i]` form loses). Every hoisted expression
+    /// uses the same operands and operations as the reference kernel's
+    /// per-instance form, so results stay bit-identical.
     fn tick(&mut self) {
-        let bp = self.tracker.active();
-        let dt = 1.0 / f64::from(self.config.ticks_per_second);
+        let Simulation {
+            topology,
+            config,
+            inst,
+            comps,
+            edges,
+            live,
+            accum,
+            tracker,
+            stmgr_tuples,
+            stmgrs,
+            spout_offered,
+            emit_scratch,
+            bp_scratch,
+            ..
+        } = self;
+        let bp = tracker.active();
+        let dt = 1.0 / f64::from(config.ticks_per_second);
+        let now_secs = self.now_ticks / u64::from(config.ticks_per_second);
+        let finite_stmgr = config.stmgr_capacity.is_some();
+        let base_cpu = config.base_cpu_overhead;
+        let high_watermark = config.watermarks.high_bytes;
+        let n = inst.n;
+
+        // Per-tick spout offer, once per spout component. Same operands
+        // and operations as the reference's per-instance computation, so
+        // the hoisted value is bit-identical.
+        for &c in &comps.spout_comps {
+            if let ComponentKind::Spout { profile, .. } = &topology.components[c].kind {
+                spout_offered[c] = profile.rate_at(now_secs) / comps.parallelism[c] * dt;
+            }
+        }
+
+        let backlog = &mut live.backlog[..n];
+        let queue_tuples = &mut live.queue_tuples[..n];
+        let queue_bytes = &mut live.queue_bytes[..n];
+        let incoming_tuples = &mut live.incoming_tuples[..n];
+        let incoming_bytes = &mut live.incoming_bytes[..n];
+        let acc_executed = &mut accum.executed[..n];
+        let acc_emitted = &mut accum.emitted[..n];
+        let acc_offered = &mut accum.offered[..n];
+        let acc_failed = &mut accum.failed[..n];
+        let acc_cpu = &mut accum.cpu_core_seconds[..n];
+        let emitted_now = &mut emit_scratch[..n];
 
         // Emissions staged into `incoming_*` buffers so routing happens
-        // after all instances have run (simultaneous update).
-        for flat in 0..self.instances.len() {
-            let info = self.instances[flat];
-            let is_spout = self.topology.components[info.comp_idx].kind.is_spout();
-            let (executed, emitted_base, offered) =
-                match &self.topology.components[info.comp_idx].kind {
-                    ComponentKind::Spout { profile, .. } => {
-                        let parallelism =
-                            f64::from(self.topology.components[info.comp_idx].parallelism);
-                        let now_secs = self.now_ticks / u64::from(self.config.ticks_per_second);
-                        let offered = profile.rate_at(now_secs) / parallelism * dt;
-                        let state = &mut self.states[flat];
-                        state.backlog += offered;
-                        let emitted = if bp {
-                            0.0
-                        } else {
-                            state.backlog.min(info.capacity * dt)
-                        };
-                        state.backlog -= emitted;
-                        (emitted, emitted, offered)
-                    }
-                    ComponentKind::Bolt { .. } => {
-                        let state = &self.states[flat];
-                        // Gateway contention: the worker thread loses a small
-                        // capacity fraction proportional to input pressure.
-                        let pressure = if state.queue_tuples > 0.0 {
-                            1.0
-                        } else {
-                            (state.incoming_tuples / (info.capacity * dt)).min(1.0)
-                        };
-                        let eff_capacity = info.capacity * (1.0 - info.gateway_overhead * pressure);
-                        let processed = state.queue_tuples.min(eff_capacity * dt);
-                        (processed, processed * (1.0 - info.fail_rate), 0.0)
-                    }
-                };
+        // after all instances have run (simultaneous update). Earlier
+        // instances' stagings are visible to later instances' pressure
+        // reads, exactly as in the reference: instances run in flat
+        // order, a component never routes to itself, and each component
+        // runs a straight-line *compute* pass (vectorisable — stores its
+        // emissions into `emitted_now`) before its *routing* pass, which
+        // preserves the reference's visibility order.
+        for (c, &comp_is_spout) in comps.is_spout.iter().enumerate() {
+            let lo = comps.inst_start[c];
+            let hi = comps.inst_start[c + 1];
+            // Constants shared by every instance of the component.
+            let capacity = inst.capacity[lo];
+            let cap_dt = capacity * dt;
+            let cap_per_core = inst.cap_per_core[lo];
+            let cpu_cores = inst.cpu_cores[lo];
+            let selectivity = inst.selectivity[lo];
+            let fail_rate = inst.fail_rate[lo];
+            let one_minus_fail = 1.0 - fail_rate;
+            let is_sink = comps.is_sink[c];
 
-            // Consume from the queue (bolts) proportionally in bytes.
-            if !is_spout && executed > 0.0 {
-                let state = &mut self.states[flat];
-                let byte_ratio = state.queue_bytes / state.queue_tuples;
-                state.queue_tuples -= executed;
-                state.queue_bytes -= executed * byte_ratio;
-                if state.queue_tuples < 1e-9 {
-                    state.queue_tuples = 0.0;
-                    state.queue_bytes = 0.0;
+            // Compute pass.
+            if comp_is_spout {
+                let offered = spout_offered[c];
+                if bp {
+                    // Throttled: nothing emitted (so routing below would
+                    // move zero mass — skipped outright), executed is 0,
+                    // and the CPU term collapses to the constant
+                    // `(base + 0/dt/cap).min(cores)`. Adding an exact 0.0
+                    // to the non-negative accumulators is a bitwise
+                    // no-op, so only `offered` and idle CPU are stored.
+                    let idle_cpu_dt = (base_cpu + 0.0 / dt / cap_per_core).min(cpu_cores) * dt;
+                    for flat in lo..hi {
+                        backlog[flat] += offered;
+                        acc_offered[flat] += offered;
+                        acc_cpu[flat] += idle_cpu_dt;
+                    }
+                    continue;
                 }
-            }
-
-            // Route outputs downstream. The edge table is temporarily taken
-            // out of `self` so destination states can be updated in place.
-            let mut total_emitted = 0.0;
-            let edges = std::mem::take(&mut self.out_edges[info.comp_idx]);
-            for edge in &edges {
-                let produced = emitted_base * info.selectivity;
-                for route in &edge.routes {
-                    let amount = if edge.replicates {
-                        produced
+                for flat in lo..hi {
+                    let backed = backlog[flat] + offered;
+                    let emitted = backed.min(cap_dt);
+                    backlog[flat] = backed - emitted;
+                    emitted_now[flat] = emitted;
+                    acc_executed[flat] += emitted;
+                    acc_offered[flat] += offered;
+                    let cpu = (base_cpu + emitted / dt / cap_per_core).min(cpu_cores);
+                    acc_cpu[flat] += cpu * dt;
+                }
+            } else {
+                let gateway = inst.gateway_overhead[lo];
+                for flat in lo..hi {
+                    // Gateway contention: the worker thread loses a small
+                    // capacity fraction proportional to input pressure.
+                    let queue = queue_tuples[flat];
+                    let pressure = if queue > 0.0 {
+                        1.0
                     } else {
-                        produced * route.share
+                        (incoming_tuples[flat] / cap_dt).min(1.0)
                     };
-                    if amount <= 0.0 {
-                        continue;
-                    }
-                    if self.config.stmgr_capacity.is_some() {
-                        // Every tuple leaves through the local stream
-                        // manager; remote hops are taken when forwarding.
-                        self.stmgrs[info.container as usize].enqueue(
-                            route.dst,
-                            amount,
-                            amount * edge.tuple_bytes,
-                        );
-                    } else {
-                        let dst = &mut self.states[route.dst];
-                        dst.incoming_tuples += amount;
-                        dst.incoming_bytes += amount * edge.tuple_bytes;
-                        self.stmgr_tuples[info.container as usize] += amount;
-                        if route.dst_container != info.container {
-                            self.stmgr_tuples[route.dst_container as usize] += amount;
+                    let eff_capacity = capacity * (1.0 - gateway * pressure);
+                    let processed = queue.min(eff_capacity * dt);
+                    // Consume from the queue proportionally in bytes.
+                    if processed > 0.0 {
+                        let byte_ratio = queue_bytes[flat] / queue;
+                        queue_tuples[flat] -= processed;
+                        queue_bytes[flat] -= processed * byte_ratio;
+                        if queue_tuples[flat] < 1e-9 {
+                            queue_tuples[flat] = 0.0;
+                            queue_bytes[flat] = 0.0;
                         }
                     }
-                    total_emitted += amount;
+                    emitted_now[flat] = processed * one_minus_fail;
+                    acc_executed[flat] += processed;
+                    acc_failed[flat] += processed * fail_rate;
+                    let cpu = (base_cpu + processed / dt / cap_per_core).min(cpu_cores);
+                    acc_cpu[flat] += cpu * dt;
                 }
             }
-            let is_sink = edges.is_empty();
-            self.out_edges[info.comp_idx] = edges;
-            // Sinks (no out edges) still count their processed output, the
-            // way the paper treats the Counter's processing throughput as
-            // the topology output.
-            if is_sink {
-                total_emitted = emitted_base;
-            }
 
-            let cpu = (self.config.base_cpu_overhead
-                + executed / dt / (info.capacity / info.cpu_cores))
-                .min(info.cpu_cores);
-            let failed = if is_spout {
-                0.0
-            } else {
-                executed * info.fail_rate
-            };
-            let state = &mut self.states[flat];
-            state.executed += executed;
-            state.emitted += total_emitted;
-            state.offered += offered;
-            state.failed += failed;
-            state.cpu_core_seconds += cpu * dt;
+            // Routing pass: move each instance's emissions downstream
+            // through the CSR tables; live state and edge tables are
+            // disjoint fields, so no `mem::take`. Sinks (no out edges)
+            // still count their processed output, the way the paper
+            // treats the Counter's processing throughput as the topology
+            // output.
+            if is_sink {
+                for flat in lo..hi {
+                    acc_emitted[flat] += emitted_now[flat];
+                }
+                continue;
+            }
+            let e_range = comps.edge_start[c]..comps.edge_start[c + 1];
+            for flat in lo..hi {
+                let mut total_emitted = 0.0;
+                let container = inst.container[flat] as usize;
+                let produced = emitted_now[flat] * selectivity;
+                for e in e_range.clone() {
+                    let tuple_bytes = edges.tuple_bytes[e];
+                    let replicates = edges.replicates[e];
+                    for r in edges.route_start[e]..edges.route_start[e + 1] {
+                        let amount = if replicates {
+                            produced
+                        } else {
+                            produced * edges.route_share[r]
+                        };
+                        if amount <= 0.0 {
+                            continue;
+                        }
+                        let dst = edges.route_dst[r];
+                        if finite_stmgr {
+                            // Every tuple leaves through the local stream
+                            // manager; remote hops are taken when
+                            // forwarding.
+                            stmgrs[container].enqueue(dst, amount, amount * tuple_bytes);
+                        } else {
+                            incoming_tuples[dst] += amount;
+                            incoming_bytes[dst] += amount * tuple_bytes;
+                            stmgr_tuples[container] += amount;
+                            let dst_container = edges.route_dst_container[r] as usize;
+                            if dst_container != container {
+                                stmgr_tuples[dst_container] += amount;
+                            }
+                        }
+                        total_emitted += amount;
+                    }
+                }
+                acc_emitted[flat] += total_emitted;
+            }
         }
 
         // Stream-manager forwarding (finite-capacity mode): each stream
@@ -447,18 +879,21 @@ impl Simulation {
         // proportionally across destinations. Remote deliveries hop into
         // the destination container's stream manager and spend its
         // capacity on a later tick, as in Heron's two-stmgr path.
-        if let Some(capacity) = self.config.stmgr_capacity {
-            let n_instances = self.instances.len();
-            for container in 0..self.stmgrs.len() {
-                let total = self.stmgrs[container].total_tuples;
+        if let Some(capacity) = config.stmgr_capacity {
+            for container in 0..stmgrs.len() {
+                let total = stmgrs[container].total_tuples;
                 if total <= 0.0 {
-                    self.tracker.observe(n_instances + container, 0.0);
+                    // `observe(_, 0.0)` only removes the id from the
+                    // triggering set — a no-op while nothing triggers.
+                    if tracker.active() {
+                        tracker.observe(n + container, 0.0);
+                    }
                     continue;
                 }
                 let ship = total.min(capacity * dt);
                 let fraction = ship / total;
-                let mut stmgr = std::mem::take(&mut self.stmgrs[container]);
-                for dst in 0..n_instances {
+                let mut stmgr = std::mem::take(&mut stmgrs[container]);
+                for dst in 0..n {
                     let tuples = stmgr.pending_tuples[dst] * fraction;
                     if tuples <= 0.0 {
                         continue;
@@ -468,49 +903,175 @@ impl Simulation {
                     stmgr.pending_bytes[dst] -= bytes;
                     stmgr.total_tuples -= tuples;
                     stmgr.total_bytes -= bytes;
-                    self.stmgr_tuples[container] += tuples;
-                    let dst_container = self.instances[dst].container as usize;
+                    stmgr_tuples[container] += tuples;
+                    let dst_container = inst.container[dst] as usize;
                     if dst_container == container {
-                        let state = &mut self.states[dst];
-                        state.incoming_tuples += tuples;
-                        state.incoming_bytes += bytes;
+                        incoming_tuples[dst] += tuples;
+                        incoming_bytes[dst] += bytes;
                     } else {
-                        self.stmgrs[dst_container].enqueue(dst, tuples, bytes);
+                        stmgrs[dst_container].enqueue(dst, tuples, bytes);
                     }
                 }
                 // The stream manager's buffer participates in watermark
                 // backpressure exactly like an instance queue (in Heron it
                 // is in fact the stream manager that owns the buffers).
-                self.tracker
-                    .observe(n_instances + container, stmgr.total_bytes);
-                self.stmgrs[container] = stmgr;
+                if tracker.active() || stmgr.total_bytes > high_watermark {
+                    tracker.observe(n + container, stmgr.total_bytes);
+                }
+                stmgrs[container] = stmgr;
             }
         }
 
-        // Apply staged arrivals and observe queues for backpressure.
-        for flat in 0..self.instances.len() {
-            let state = &mut self.states[flat];
-            state.queue_tuples += state.incoming_tuples;
-            state.queue_bytes += state.incoming_bytes;
-            state.incoming_tuples = 0.0;
-            state.incoming_bytes = 0.0;
-            self.tracker.observe(flat, state.queue_bytes);
+        // Apply staged arrivals (vectorisable: independent columns plus a
+        // running max, no calls) …
+        let mut max_queue_bytes = 0.0f64;
+        for flat in 0..n {
+            queue_tuples[flat] += incoming_tuples[flat];
+            let qb = queue_bytes[flat] + incoming_bytes[flat];
+            queue_bytes[flat] = qb;
+            incoming_tuples[flat] = 0.0;
+            incoming_bytes[flat] = 0.0;
+            max_queue_bytes = max_queue_bytes.max(qb);
+        }
+        // … then observe queues for backpressure. While nothing triggers,
+        // `observe` can only matter by *inserting* (a queue over the high
+        // watermark); every other call is a structural no-op on an empty
+        // set. So unless something triggers or could start to, the whole
+        // pass is skipped; otherwise every queue is observed in the
+        // reference's order, keeping the tracker state identical tick
+        // for tick.
+        if tracker.active() || max_queue_bytes > high_watermark {
+            for (flat, qb) in queue_bytes.iter().enumerate() {
+                tracker.observe(flat, *qb);
+            }
         }
 
         // Attribute backpressure time to the instances holding it (ids at
         // or beyond the instance count are stream managers; their
-        // suppression time is visible through the spout throttling).
-        if self.tracker.active() {
-            let n_instances = self.instances.len();
-            let triggering: Vec<usize> = self.tracker.triggering_instances().collect();
-            for id in triggering {
-                if id < n_instances {
-                    self.states[id].bp_ms += 1000.0 * dt;
+        // suppression time is visible through the spout throttling). The
+        // triggering set is drained into a reused scratch buffer.
+        if tracker.active() {
+            bp_scratch.clear();
+            bp_scratch.extend(tracker.triggering_instances());
+            for &id in bp_scratch.iter() {
+                if id < n {
+                    accum.bp_ms[id] += 1000.0 * dt;
                 }
             }
         }
 
         self.now_ticks += 1;
+        self.ticks_executed += 1;
+    }
+
+    /// True when every spout profile is provably constant over the next
+    /// `remaining_ticks` ticks (inclusive of the current tick).
+    fn rates_constant_for(&self, remaining_ticks: u64) -> bool {
+        let tps = u64::from(self.config.ticks_per_second);
+        let from = self.now_ticks / tps;
+        let to = (self.now_ticks + remaining_ticks - 1) / tps;
+        self.comps
+            .spout_comps
+            .iter()
+            .all(|&c| match &self.topology.components[c].kind {
+                ComponentKind::Spout { profile, .. } => profile.constant_over(from, to),
+                ComponentKind::Bolt { .. } => true,
+            })
+    }
+
+    /// Snapshots all state a tick may change into the macro scratch.
+    fn macro_snapshot(&mut self) {
+        let scratch = &mut self.macro_scratch;
+        scratch
+            .live
+            .queue_tuples
+            .copy_from_slice(&self.live.queue_tuples);
+        scratch
+            .live
+            .queue_bytes
+            .copy_from_slice(&self.live.queue_bytes);
+        scratch.live.backlog.copy_from_slice(&self.live.backlog);
+        scratch.accum.executed.copy_from_slice(&self.accum.executed);
+        scratch.accum.emitted.copy_from_slice(&self.accum.emitted);
+        scratch.accum.offered.copy_from_slice(&self.accum.offered);
+        scratch.accum.failed.copy_from_slice(&self.accum.failed);
+        scratch.accum.bp_ms.copy_from_slice(&self.accum.bp_ms);
+        scratch
+            .accum
+            .cpu_core_seconds
+            .copy_from_slice(&self.accum.cpu_core_seconds);
+        scratch.stmgr_tuples.copy_from_slice(&self.stmgr_tuples);
+        for (snap, live) in scratch.stmgrs.iter_mut().zip(&self.stmgrs) {
+            snap.copy_from(live);
+        }
+    }
+
+    /// True when the live state is bitwise unchanged since
+    /// [`Simulation::macro_snapshot`] — the probe tick was a fixed point.
+    /// (`incoming_*` are always zero between ticks and need no check.)
+    fn at_fixed_point(&self) -> bool {
+        let snap = &self.macro_scratch;
+        bits_eq(&self.live.queue_tuples, &snap.live.queue_tuples)
+            && bits_eq(&self.live.queue_bytes, &snap.live.queue_bytes)
+            && bits_eq(&self.live.backlog, &snap.live.backlog)
+            && self
+                .stmgrs
+                .iter()
+                .zip(&snap.stmgrs)
+                .all(|(live, s)| live.bits_eq(s))
+    }
+
+    /// Applies `skip` ticks in closed form: at a bitwise fixed point every
+    /// tick adds the same accumulator deltas, so add the probe deltas
+    /// times `skip`. Live state is unchanged by construction; backpressure
+    /// time is zero (the tracker was inactive on both sides of the probe).
+    fn apply_macro_step(&mut self, skip: u64) {
+        let k = skip as f64;
+        let snap = &self.macro_scratch;
+        let scale = |now: &mut [f64], before: &[f64]| {
+            for (a, s) in now.iter_mut().zip(before) {
+                *a += (*a - *s) * k;
+            }
+        };
+        scale(&mut self.accum.executed, &snap.accum.executed);
+        scale(&mut self.accum.emitted, &snap.accum.emitted);
+        scale(&mut self.accum.offered, &snap.accum.offered);
+        scale(&mut self.accum.failed, &snap.accum.failed);
+        scale(
+            &mut self.accum.cpu_core_seconds,
+            &snap.accum.cpu_core_seconds,
+        );
+        scale(&mut self.stmgr_tuples, &snap.stmgr_tuples);
+        self.now_ticks += skip;
+        self.ticks_skipped += skip;
+    }
+
+    /// Advances one simulated minute, macro-stepping through the steady
+    /// state when enabled and safe (see module docs for the conditions).
+    fn advance_minute(&mut self) {
+        let mut remaining = 60 * u64::from(self.config.ticks_per_second);
+        let mut retry_in = 0u64;
+        while remaining > 0 {
+            if self.config.macro_step
+                && remaining >= 2
+                && retry_in == 0
+                && !self.tracker.active()
+                && self.rates_constant_for(remaining)
+            {
+                self.macro_snapshot();
+                self.tick();
+                remaining -= 1;
+                if !self.tracker.active() && self.at_fixed_point() {
+                    self.apply_macro_step(remaining);
+                    return;
+                }
+                retry_in = MACRO_RETRY_TICKS;
+                continue;
+            }
+            self.tick();
+            remaining -= 1;
+            retry_in = retry_in.saturating_sub(1);
+        }
     }
 
     fn noise(&self, salt: u64) -> f64 {
@@ -522,105 +1083,147 @@ impl Simulation {
         1.0 + self.config.metric_noise * 2.0 * unit
     }
 
-    /// Resolves every series handle the per-minute flush will append to.
-    /// One catalog pass per run; the flush loop itself is catalog-free.
-    fn register_sink(&self, metrics: &SimMetrics) -> SinkHandles {
-        let rows_per_minute = self
-            .instances
-            .iter()
-            .map(|info| {
-                if self.topology.components[info.comp_idx].kind.is_spout() {
-                    8
-                } else {
-                    7
-                }
-            })
-            .sum::<usize>()
-            + self.plan.num_containers();
-        SinkHandles {
-            instances: self
-                .instances
-                .iter()
-                .map(|info| {
-                    let comp = &self.topology.components[info.comp_idx];
-                    metrics.register_instance(
-                        &comp.name,
-                        info.inst_idx,
-                        info.container,
-                        comp.kind.is_spout(),
-                    )
-                })
-                .collect(),
-            containers: (0..self.plan.num_containers())
-                .map(|c| metrics.register_container(c as u32))
-                .collect(),
-            batch: MetricBatch::with_capacity(0, rows_per_minute),
+    /// Resolves every series handle the per-minute flush will append to,
+    /// with one pre-sized sample column per series in flush order. One
+    /// catalog pass per run; the flush loop itself is catalog- and
+    /// lock-free. Registration order matches the reference kernel's so
+    /// both assign identical series ids.
+    fn register_sink(&self, metrics: &SimMetrics, minutes: u64) -> SinkHandles {
+        let cap = minutes as usize;
+        let mut columns = Vec::with_capacity(self.inst.n * 8 + self.plan.num_containers());
+        for flat in 0..self.inst.n {
+            let comp = &self.topology.components[self.inst.comp_idx[flat] as usize];
+            let handles = metrics.register_instance(
+                &comp.name,
+                self.inst.inst_idx[flat],
+                self.inst.container[flat],
+                comp.kind.is_spout(),
+            );
+            for handle in [
+                &handles.execute,
+                &handles.emit,
+                &handles.cpu,
+                &handles.backpressure,
+                &handles.queue,
+                &handles.fail,
+                &handles.latency,
+            ] {
+                columns.push((handle.clone(), Vec::with_capacity(cap)));
+            }
+            if let Some(offered) = &handles.offered {
+                columns.push((offered.clone(), Vec::with_capacity(cap)));
+            }
         }
+        for container in 0..self.plan.num_containers() {
+            columns.push((
+                metrics.register_container(container as u32),
+                Vec::with_capacity(cap),
+            ));
+        }
+        SinkHandles { columns }
     }
 
-    /// Flushes per-minute metrics for the minute ending now as one
-    /// columnar batch through the pre-resolved handles in `sink`.
-    fn flush_minute(&mut self, metrics: &SimMetrics, sink: &mut SinkHandles) {
+    /// Flushes per-minute metrics for the minute ending now into the
+    /// run's sample columns (no db call — see [`SinkHandles`]). The
+    /// accumulators are read in place (they are split from the live queue
+    /// state) and zeroed for the next minute. Columns are written in
+    /// `register_sink` order: per instance the seven (eight for spouts)
+    /// instance series, then one stream-manager series per container.
+    fn flush_minute(&mut self, sink: &mut SinkHandles) {
         let minute_ts = (self.now_secs() * 1000) as i64 - 60_000;
-        sink.batch.reset(minute_ts);
-        for flat in 0..self.instances.len() {
-            let info = self.instances[flat];
-            let state = self.states[flat].clone();
-            let salt = ((flat as u64) << 32) | (self.now_secs() / 60);
+        let minute = self.now_secs() / 60;
+        let mut cols = sink.columns.iter_mut();
+        let mut push = |value: f64| {
+            cols.next()
+                .expect("sink column count matches flush row count")
+                .1
+                .push(Sample::new(minute_ts, value));
+        };
+        for flat in 0..self.inst.n {
+            let salt = ((flat as u64) << 32) | minute;
 
-            let executed = state.executed * self.noise(salt ^ (1 << 17));
-            let emitted = state.emitted * self.noise(salt ^ (2 << 17));
-            let cpu = state.cpu_core_seconds / 60.0 * self.noise(salt ^ (3 << 17));
-            let latency_ms = if info.capacity > 0.0 {
-                state.queue_tuples / info.capacity * 1000.0
+            let executed = self.accum.executed[flat] * self.noise(salt ^ (1 << 17));
+            let emitted = self.accum.emitted[flat] * self.noise(salt ^ (2 << 17));
+            let cpu = self.accum.cpu_core_seconds[flat] / 60.0 * self.noise(salt ^ (3 << 17));
+            let capacity = self.inst.capacity[flat];
+            let latency_ms = if capacity > 0.0 {
+                self.live.queue_tuples[flat] / capacity * 1000.0
             } else {
                 0.0
             };
-            let handles = &sink.instances[flat];
-            sink.batch.push(&handles.execute, executed);
-            sink.batch.push(&handles.emit, emitted);
-            sink.batch.push(&handles.cpu, cpu);
-            sink.batch
-                .push(&handles.backpressure, state.bp_ms.min(60_000.0));
-            sink.batch.push(&handles.queue, state.queue_bytes);
-            sink.batch.push(&handles.fail, state.failed);
-            sink.batch.push(&handles.latency, latency_ms);
-            if let Some(offered) = &handles.offered {
-                sink.batch.push(offered, state.offered);
+            push(executed);
+            push(emitted);
+            push(cpu);
+            push(self.accum.bp_ms[flat].min(60_000.0));
+            push(self.live.queue_bytes[flat]);
+            push(self.accum.failed[flat]);
+            push(latency_ms);
+            if self.comps.is_spout[self.inst.comp_idx[flat] as usize] {
+                push(self.accum.offered[flat]);
             }
 
-            let state = &mut self.states[flat];
-            state.executed = 0.0;
-            state.emitted = 0.0;
-            state.offered = 0.0;
-            state.failed = 0.0;
-            state.bp_ms = 0.0;
-            state.cpu_core_seconds = 0.0;
+            self.accum.executed[flat] = 0.0;
+            self.accum.emitted[flat] = 0.0;
+            self.accum.offered[flat] = 0.0;
+            self.accum.failed[flat] = 0.0;
+            self.accum.bp_ms[flat] = 0.0;
+            self.accum.cpu_core_seconds[flat] = 0.0;
         }
         for container in 0..self.plan.num_containers() {
-            let routed = self.stmgr_tuples[container];
-            sink.batch.push(&sink.containers[container], routed);
+            push(self.stmgr_tuples[container]);
             self.stmgr_tuples[container] = 0.0;
         }
-        metrics.ingest(&sink.batch);
+    }
+
+    /// Commits the run's buffered sample columns: one
+    /// [`caladrius_tsdb::MetricsDb::append_series`] call (one lock round)
+    /// per series. The stored samples are exactly what per-minute
+    /// ingestion would have stored.
+    fn commit_sink(metrics: &SimMetrics, sink: &mut SinkHandles) {
+        let db = metrics.db();
+        for (handle, column) in &mut sink.columns {
+            db.append_series(handle, column);
+            column.clear();
+        }
     }
 
     /// Runs `minutes` simulated minutes, recording metrics into `metrics`.
+    ///
+    /// Series handles are resolved on the first run against a given store
+    /// and cached on the simulation: a pooled sim replaying window after
+    /// window into the same (truncated between windows) store registers
+    /// once and then runs catalog-free. The cache is dropped when the
+    /// store, its topology name, or the packing plan changes.
     pub fn run_minutes_into(&mut self, minutes: u64, metrics: &SimMetrics) {
         let mut span = caladrius_obs::global_span("sim.run");
         span.field("topology", &self.topology.name)
             .field("minutes", minutes);
         let minute_hist = sim_minute_histogram();
-        let mut sink = self.register_sink(metrics);
-        let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
+        let (exec_before, skip_before) = (self.ticks_executed, self.ticks_skipped);
+        let db = metrics.db();
+        let mut sink = match self.sink_cache.take() {
+            Some(cache) if Arc::ptr_eq(&cache.db, &db) && cache.topology == metrics.topology() => {
+                cache.sink
+            }
+            _ => self.register_sink(metrics, minutes),
+        };
         for _ in 0..minutes {
             let started = Instant::now();
-            for _ in 0..ticks_per_minute {
-                self.tick();
-            }
-            self.flush_minute(metrics, &mut sink);
+            self.advance_minute();
+            self.flush_minute(&mut sink);
             minute_hist.record_duration(started.elapsed());
         }
+        Self::commit_sink(metrics, &mut sink);
+        self.sink_cache = Some(SinkCache {
+            db,
+            topology: metrics.topology().to_string(),
+            sink,
+        });
+        let skipped = self.ticks_skipped - skip_before;
+        let (ticks_total, ticks_skipped) = sim_tick_counters();
+        ticks_total.add(self.ticks_executed - exec_before);
+        ticks_skipped.add(skipped);
+        span.field("ticks_skipped", skipped);
     }
 
     /// Runs `minutes` simulated minutes into a fresh metrics store and
@@ -636,15 +1239,14 @@ impl Simulation {
     /// measurements were retrieved".
     pub fn warmup_minutes(&mut self, minutes: u64) {
         let discard = SimMetrics::new("warmup-discard");
-        let mut sink = self.register_sink(&discard);
-        let ticks_per_minute = 60 * u64::from(self.config.ticks_per_second);
+        let mut sink = self.register_sink(&discard, minutes);
         for _ in 0..minutes {
-            for _ in 0..ticks_per_minute {
-                self.tick();
-            }
+            self.advance_minute();
             // Reset accumulators without recording into the real store.
-            self.flush_minute(&discard, &mut sink);
+            self.flush_minute(&mut sink);
         }
+        // The buffered columns are dropped uncommitted — warmup records
+        // nothing.
     }
 }
 
@@ -910,6 +1512,36 @@ mod tests {
     }
 
     #[test]
+    fn cached_sink_after_truncate_matches_a_fresh_run() {
+        // The pooled-replay pattern: run, wipe the store, rewind, run
+        // again — the second run reuses the cached sink handles and must
+        // be bit-identical to a fresh simulation on a fresh store.
+        let cfg = SimConfig {
+            metric_noise: 0.004,
+            ..SimConfig::default()
+        };
+        let topo = wordcount(1000.0, 2, 5000.0);
+        let mut pooled = Simulation::new(topo.clone(), cfg.clone()).unwrap();
+        let metrics = SimMetrics::new(topo.name.clone());
+        pooled.run_minutes_into(2, &metrics);
+        metrics.db().truncate_before(i64::MAX).unwrap();
+        pooled.reset_with(&[], 1000.0 * 60.0).unwrap();
+        pooled.run_minutes_into(2, &metrics);
+
+        let mut fresh = Simulation::new(topo, cfg).unwrap();
+        let fresh_metrics = fresh.run_minutes(2);
+        for name in [metric::EXECUTE_COUNT, metric::EMIT_COUNT, metric::CPU_LOAD] {
+            let a = metrics.component_sum(name, None, 0, i64::MAX);
+            let b = fresh_metrics.component_sum(name, None, 0, i64::MAX);
+            assert_eq!(a.len(), b.len());
+            assert!(a
+                .iter()
+                .zip(&b)
+                .all(|(x, y)| x.ts == y.ts && x.value.to_bits() == y.value.to_bits()));
+        }
+    }
+
+    #[test]
     fn metric_noise_produces_variation_deterministically() {
         let cfg = SimConfig {
             metric_noise: 0.01,
@@ -1078,5 +1710,116 @@ mod tests {
             transitions >= 4,
             "expected on/off oscillation, got {transitions} transitions"
         );
+    }
+
+    #[test]
+    fn macro_step_skips_ticks_and_stays_within_tolerance() {
+        let run = |macro_step: bool| {
+            let cfg = SimConfig {
+                metric_noise: 0.0,
+                macro_step,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), cfg).unwrap();
+            sim.warmup_minutes(3);
+            let m = sim.run_minutes(5);
+            let sink =
+                mean_of(&m.component_sum(metric::EXECUTE_COUNT, Some("counter"), 0, i64::MAX));
+            (sink, sim.ticks_skipped(), sim.backpressure_active())
+        };
+        let (exact_sink, exact_skipped, exact_bp) = run(false);
+        let (macro_sink, macro_skipped, macro_bp) = run(true);
+        assert_eq!(exact_skipped, 0, "macro-stepping off must not skip");
+        assert!(
+            macro_skipped > 200,
+            "constant-rate steady state must macro-step most ticks, skipped {macro_skipped}"
+        );
+        assert!(
+            (macro_sink - exact_sink).abs() / exact_sink < 0.001,
+            "sink rate tolerance: exact {exact_sink} vs macro {macro_sink}"
+        );
+        assert_eq!(exact_bp, macro_bp);
+    }
+
+    #[test]
+    fn macro_step_never_engages_under_backpressure() {
+        let cfg = SimConfig {
+            metric_noise: 0.0,
+            macro_step: true,
+            watermarks: WatermarkConfig {
+                high_bytes: 600_000.0,
+                low_bytes: 300_000.0,
+            },
+            ..SimConfig::default()
+        };
+        // Saturated: the throttle/drain oscillation never reaches a
+        // no-backpressure fixed point.
+        let mut sim = Simulation::new(wordcount(8000.0, 1, 5000.0), cfg).unwrap();
+        sim.warmup_minutes(10);
+        assert_eq!(
+            sim.ticks_skipped(),
+            0,
+            "oscillating runs must never macro-step"
+        );
+    }
+
+    #[test]
+    fn reset_with_matches_fresh_simulation() {
+        let base = wordcount(1000.0, 2, 5000.0);
+        let cfg = SimConfig {
+            metric_noise: 0.01,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        // Dirty the simulation, then reset to a new rate + parallelism.
+        let mut reused = Simulation::new(base.clone(), cfg.clone()).unwrap();
+        reused.warmup_minutes(3);
+        reused
+            .reset_with(&[("splitter", 3), ("counter", 3)], 90_000.0)
+            .unwrap();
+        let m_reused = reused.run_minutes(4);
+
+        let fresh_topo = base
+            .with_parallelisms(&[("splitter", 3), ("counter", 3)])
+            .unwrap()
+            .with_source_rate(90_000.0)
+            .unwrap();
+        let mut fresh = Simulation::new(fresh_topo, cfg.clone()).unwrap();
+        let m_fresh = fresh.run_minutes(4);
+
+        for name in [metric::EXECUTE_COUNT, metric::EMIT_COUNT, metric::CPU_LOAD] {
+            let a = m_reused.component_sum(name, None, 0, i64::MAX);
+            let b = m_fresh.component_sum(name, None, 0, i64::MAX);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{name} diverged");
+            }
+        }
+
+        // Same-parallelism reset takes the table-reuse path and must be
+        // equally bit-identical.
+        reused.reset_with(&[("splitter", 3)], 120_000.0).unwrap();
+        let m2 = reused.run_minutes(2);
+        let fresh2_topo = base
+            .with_parallelisms(&[("splitter", 3), ("counter", 3)])
+            .unwrap()
+            .with_source_rate(120_000.0)
+            .unwrap();
+        let mut fresh2 = Simulation::new(fresh2_topo, cfg).unwrap();
+        let f2 = fresh2.run_minutes(2);
+        let a = m2.component_sum(metric::EXECUTE_COUNT, None, 0, i64::MAX);
+        let b = f2.component_sum(metric::EXECUTE_COUNT, None, 0, i64::MAX);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_with_rejects_bad_updates() {
+        let mut sim = Simulation::new(wordcount(1000.0, 1, 5000.0), quiet()).unwrap();
+        assert!(sim.reset_with(&[("ghost", 2)], 60_000.0).is_err());
+        assert!(sim.reset_with(&[("splitter", 0)], 60_000.0).is_err());
+        assert!(sim.reset_with(&[], f64::NAN).is_err());
     }
 }

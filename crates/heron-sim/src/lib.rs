@@ -59,6 +59,7 @@ pub mod grouping;
 pub mod metrics;
 pub mod packing;
 pub mod profiles;
+pub mod reference;
 pub mod topology;
 
 /// Convenient re-exports of the types most users need.

@@ -65,6 +65,26 @@ impl RateProfile {
         RateProfile::Constant { rate }
     }
 
+    /// True when the offered rate is provably constant over every whole
+    /// second in `[from_secs, to_secs]` — the rate-stability precondition
+    /// for the engine's steady-state macro-step. Conservative: `Seasonal`
+    /// always reports `false` (its per-minute noise and continuous daily
+    /// cycle change every evaluation).
+    pub fn constant_over(&self, from_secs: u64, to_secs: u64) -> bool {
+        match self {
+            RateProfile::Constant { .. } => true,
+            // A step at exactly `from_secs` is already in effect; only a
+            // change point strictly inside the window breaks constancy.
+            RateProfile::Steps { steps, .. } => !steps
+                .iter()
+                .any(|(at, _)| *at > from_secs && *at <= to_secs),
+            RateProfile::Seasonal { .. } => false,
+            RateProfile::Ramp { duration_secs, .. } => {
+                *duration_secs == 0 || from_secs >= *duration_secs
+            }
+        }
+    }
+
     /// Offered rate (tuples/second) at simulation time `t_secs`.
     pub fn rate_at(&self, t_secs: u64) -> f64 {
         match self {
@@ -223,6 +243,36 @@ mod tests {
             duration_secs: 0,
         };
         assert_eq!(z.rate_at(0), 2.0);
+    }
+
+    #[test]
+    fn constant_over_is_exact_per_variant() {
+        assert!(RateProfile::constant(5.0).constant_over(0, u64::MAX));
+        let steps = RateProfile::Steps {
+            initial: 1.0,
+            steps: vec![(100, 2.0)],
+        };
+        assert!(steps.constant_over(0, 99));
+        assert!(!steps.constant_over(0, 100));
+        assert!(!steps.constant_over(99, 150));
+        // The step at 100 is already in effect at from=100.
+        assert!(steps.constant_over(100, 10_000));
+        let ramp = RateProfile::Ramp {
+            from: 0.0,
+            to: 10.0,
+            duration_secs: 60,
+        };
+        assert!(!ramp.constant_over(0, 30));
+        assert!(!ramp.constant_over(59, 61));
+        assert!(ramp.constant_over(60, 10_000));
+        let seasonal = RateProfile::Seasonal {
+            base: 1.0,
+            daily_amplitude: 0.0,
+            weekend_delta: 0.0,
+            noise: 0.0,
+            seed: 1,
+        };
+        assert!(!seasonal.constant_over(0, 1), "seasonal is never constant");
     }
 
     #[test]

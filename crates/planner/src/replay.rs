@@ -8,9 +8,14 @@ use crate::plan::{PlanError, PlanTimeline, WindowPlan};
 use caladrius_exec::ExecPool;
 use caladrius_tsdb::Aggregation;
 use heron_sim::engine::{SimConfig, Simulation};
-use heron_sim::metrics::metric;
+use heron_sim::metrics::{metric, SimMetrics};
 use heron_sim::topology::Topology;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+fn default_macro_step() -> bool {
+    true
+}
 
 /// Replay knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,6 +31,15 @@ pub struct ReplayConfig {
     /// Mean per-minute backpressure (ms) above which a window is
     /// flagged as risky.
     pub backpressure_tolerance_ms: f64,
+    /// Steady-state macro-stepping in the per-window simulations
+    /// (default `true`). Replays run at a constant per-window rate, the
+    /// regime macro-stepping is built for; results stay deterministic
+    /// for any pool width but are not bit-identical to an exact-tick
+    /// run — the replay suite bounds the divergence (sink rate within
+    /// 0.1 %, identical backpressure verdicts). Disable for strict
+    /// tick-for-tick replays.
+    #[serde(default = "default_macro_step")]
+    pub macro_step: bool,
 }
 
 impl Default for ReplayConfig {
@@ -36,6 +50,7 @@ impl Default for ReplayConfig {
             seed: 0xCA1AD,
             metric_noise: 0.0,
             backpressure_tolerance_ms: 1.0,
+            macro_step: default_macro_step(),
         }
     }
 }
@@ -55,6 +70,11 @@ pub struct WindowReplay {
     pub backpressure_ms: f64,
     /// Whether the window stayed under the backpressure tolerance.
     pub low_risk: bool,
+    /// Simulator ticks this window's replay skipped via steady-state
+    /// macro-stepping (0 when [`ReplayConfig::macro_step`] is off or the
+    /// window never settled).
+    #[serde(default)]
+    pub ticks_skipped: u64,
 }
 
 /// Replays every window of `timeline` on `base` (parallelism and spout
@@ -63,7 +83,11 @@ pub struct WindowReplay {
 /// Windows simulate independently on the process-wide `"replay"` exec
 /// pool; use [`replay_timeline_with`] to supply an explicit pool. Each
 /// window's simulator is seeded `config.seed ^ window`, so reports are
-/// bit-identical for any pool width.
+/// bit-identical for any pool width. Simulations are pooled and rewound
+/// via [`Simulation::reset_with`] between windows, so packing/routing
+/// tables are rebuilt only when a window changes parallelism — the
+/// `reset_with` contract makes a reused simulation bit-identical to a
+/// fresh one, keeping the pool-width determinism guarantee intact.
 pub fn replay_timeline(
     base: &Topology,
     timeline: &PlanTimeline,
@@ -89,36 +113,58 @@ pub fn replay_timeline_with(
             "measure_minutes must be positive".into(),
         ));
     }
+    // Idle simulations, reused across windows (at most one per worker is
+    // ever live, so the pool stays small). Each carries its own metrics
+    // store, truncated between windows, so series registration and the
+    // simulation's cached sink handles survive across windows too.
+    let idle: Mutex<Vec<(Simulation, SimMetrics)>> = Mutex::new(Vec::new());
     pool.parallel_try_map(&timeline.windows, |_, plan| {
-        replay_window(base, plan, config)
+        replay_window(base, plan, config, &idle)
     })
 }
 
-/// Deploys and simulates one window's plan.
+/// Deploys and simulates one window's plan on a pooled simulation.
 fn replay_window(
     base: &Topology,
     plan: &WindowPlan,
     config: &ReplayConfig,
+    idle: &Mutex<Vec<(Simulation, SimMetrics)>>,
 ) -> Result<WindowReplay, PlanError> {
     let updates: Vec<(&str, u32)> = plan
         .parallelisms
         .iter()
         .map(|(n, p)| (n.as_str(), *p))
         .collect();
-    let topo = base
-        .with_parallelisms(&updates)
-        .and_then(|t| t.with_source_rate(plan.peak_rate))
+    let pooled = idle.lock().expect("replay sim pool poisoned").pop();
+    let (mut sim, metrics) = match pooled {
+        Some(pair) => pair,
+        None => {
+            let sim = Simulation::new(
+                base.clone(),
+                SimConfig {
+                    metric_noise: config.metric_noise,
+                    macro_step: config.macro_step,
+                    ..SimConfig::default()
+                },
+            )
+            .map_err(|e| PlanError::Oracle(format!("replay simulation failed: {e}")))?;
+            let metrics = SimMetrics::new(sim.topology().name.clone());
+            (sim, metrics)
+        }
+    };
+    // Wipe the previous window's samples; registered series (and the
+    // simulation's cached sink handles) survive the truncation, so the
+    // steady-state window pays no catalog work at all.
+    metrics
+        .db()
+        .truncate_before(i64::MAX)
+        .map_err(|e| PlanError::Oracle(format!("replay store reset failed: {e}")))?;
+    sim.set_seed(config.seed ^ plan.window as u64);
+    sim.reset_with(&updates, plan.peak_rate)
         .map_err(|e| PlanError::Oracle(format!("replay deploy failed: {e}")))?;
-    let mut sim = Simulation::new(
-        topo,
-        SimConfig {
-            seed: config.seed ^ plan.window as u64,
-            metric_noise: config.metric_noise,
-            ..SimConfig::default()
-        },
-    )
-    .map_err(|e| PlanError::Oracle(format!("replay simulation failed: {e}")))?;
-    let metrics = sim.run_minutes(config.warmup_minutes + config.measure_minutes);
+    let skipped_before = sim.ticks_skipped();
+    sim.run_minutes_into(config.warmup_minutes + config.measure_minutes, &metrics);
+    let ticks_skipped = sim.ticks_skipped() - skipped_before;
     let observe_from = (config.warmup_minutes * 60_000) as i64;
     let mean = |name: &str, component: &str| -> f64 {
         let series = metrics.component_sum(name, Some(component), observe_from, i64::MAX);
@@ -134,12 +180,16 @@ fn replay_window(
             sink_rate += mean(metric::EXECUTE_COUNT, name);
         }
     }
+    idle.lock()
+        .expect("replay sim pool poisoned")
+        .push((sim, metrics));
     Ok(WindowReplay {
         window: plan.window,
         offered_rate: plan.peak_rate,
         sink_rate,
         backpressure_ms,
         low_risk: backpressure_ms <= config.backpressure_tolerance_ms,
+        ticks_skipped,
     })
 }
 

@@ -93,7 +93,8 @@ impl MetricBatch {
 /// Ingestion counters, as exposed on the API health endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IngestStats {
-    /// Batches accepted by [`MetricsDb::ingest_batch`].
+    /// Bulk ingests accepted: [`MetricsDb::ingest_batch`] batches plus
+    /// [`MetricsDb::append_series`] column appends.
     pub batches: u64,
     /// Samples ingested (batched rows + per-sample writes).
     pub samples: u64,
@@ -217,6 +218,31 @@ impl MetricsDb {
         self.batches_ingested.inc();
         self.samples_ingested.add(batch.rows.len() as u64);
         self.batch_size.record(batch.rows.len() as f64);
+    }
+
+    /// Appends a whole column of samples to one series under a single
+    /// acquisition of its per-series lock.
+    ///
+    /// This is the cheapest bulk-ingest path: producers that buffer one
+    /// run's worth of samples per series (e.g. the simulator's run-long
+    /// sink) commit each column with one lock round instead of one
+    /// [`MetricBatch`] per interval. Samples are appended in slice order;
+    /// the watermark and ingest counters advance once per call.
+    pub fn append_series(&self, handle: &SeriesHandle, samples: &[Sample]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut series = handle.series.write();
+        let mut max_ts = WATERMARK_NONE;
+        for s in samples {
+            max_ts = max_ts.max(s.ts);
+            series.push(*s);
+        }
+        drop(series);
+        self.watermark.fetch_max(max_ts, Ordering::AcqRel);
+        self.batches_ingested.inc();
+        self.samples_ingested.add(samples.len() as u64);
+        self.batch_size.record(samples.len() as f64);
     }
 
     /// Largest timestamp ever ingested, `None` while empty. O(1): read
@@ -467,6 +493,24 @@ mod tests {
         let samples = db.read(&key("splitter", 0), 0, i64::MAX).unwrap();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[1].value, 7.0);
+    }
+
+    #[test]
+    fn append_series_commits_a_column_and_advances_watermark() {
+        let db = MetricsDb::new();
+        let handle = db.register(&key("splitter", 0));
+        let column = [
+            Sample::new(60_000, 5.0),
+            Sample::new(120_000, 7.0),
+            Sample::new(180_000, 6.0),
+        ];
+        db.append_series(&handle, &column);
+        db.append_series(&handle, &[]);
+        let samples = db.read(&key("splitter", 0), 0, i64::MAX).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[1].value, 7.0);
+        assert_eq!(db.watermark(), Some(180_000));
+        assert_eq!(db.ingest_stats().samples, 3);
     }
 
     #[test]

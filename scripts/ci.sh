@@ -32,6 +32,7 @@ cargo test --workspace -q
 echo "==> CALADRIUS_THREADS=1 determinism variant"
 CALADRIUS_THREADS=1 cargo test -q -p caladrius-exec
 CALADRIUS_THREADS=1 cargo test -q --test exec_determinism --test capacity_plan
+CALADRIUS_THREADS=1 cargo test -q --test sim_kernel_equivalence
 
 echo "==> observability smoke (scrape /metrics/service)"
 cargo run --release --example obs_smoke
