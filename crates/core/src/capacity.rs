@@ -232,10 +232,19 @@ pub struct PlanValidation {
     pub windows: Vec<WindowReplay>,
     /// True when every window stayed under the backpressure tolerance.
     pub all_low_risk: bool,
-    /// Simulator ticks skipped by steady-state macro-stepping, summed
-    /// over all windows — the replay-acceleration telemetry mirrored by
-    /// the `caladrius_sim_ticks_skipped_total` counter.
+    /// Simulator ticks not executed exactly (macro-stepped or advanced
+    /// in closed form), summed over all windows — the
+    /// replay-acceleration telemetry mirrored by the
+    /// `caladrius_sim_ticks_skipped_total` counter.
     pub ticks_skipped: u64,
+    /// Scheduler events processed by the event-driven core, summed over
+    /// all windows (mirrors `caladrius_sim_events_total`).
+    pub sim_events: u64,
+    /// Ticks advanced in closed form between scheduler events, summed
+    /// over all windows — the event-mode share of
+    /// [`PlanValidation::ticks_skipped`] (mirrors
+    /// `caladrius_sim_ticks_closed_form_total`).
+    pub closed_form_ticks: u64,
 }
 
 /// Replays every window of `timeline` on `base` at its peak forecast
@@ -255,10 +264,14 @@ pub fn validate_plan(
     let windows = replay_timeline(base, timeline, config)?;
     let all_low_risk = windows.iter().all(|w| w.low_risk);
     let ticks_skipped = windows.iter().map(|w| w.ticks_skipped).sum();
+    let sim_events = windows.iter().map(|w| w.sim_events).sum();
+    let closed_form_ticks = windows.iter().map(|w| w.closed_form_ticks).sum();
     Ok(PlanValidation {
         windows,
         all_low_risk,
         ticks_skipped,
+        sim_events,
+        closed_form_ticks,
     })
 }
 

@@ -42,6 +42,34 @@ impl WatermarkConfig {
         }
         Ok(())
     }
+
+    /// Seconds until a queue at `queue_bytes`, filling at a constant
+    /// `fill_bytes_per_sec`, first *exceeds* the high watermark (the
+    /// trigger condition is strict `>`), or `None` if it never will.
+    /// Used by the event scheduler to jump straight to the crossing
+    /// instead of probing tick-by-tick.
+    pub fn secs_to_high(&self, queue_bytes: f64, fill_bytes_per_sec: f64) -> Option<f64> {
+        if queue_bytes > self.high_bytes {
+            return Some(0.0);
+        }
+        if fill_bytes_per_sec <= 0.0 {
+            return None;
+        }
+        Some((self.high_bytes - queue_bytes) / fill_bytes_per_sec)
+    }
+
+    /// Seconds until a queue at `queue_bytes`, draining at a constant
+    /// `drain_bytes_per_sec`, first falls *below* the low watermark (the
+    /// release condition is strict `<`), or `None` if it never will.
+    pub fn secs_to_low(&self, queue_bytes: f64, drain_bytes_per_sec: f64) -> Option<f64> {
+        if queue_bytes < self.low_bytes {
+            return Some(0.0);
+        }
+        if drain_bytes_per_sec <= 0.0 {
+            return None;
+        }
+        Some((queue_bytes - self.low_bytes) / drain_bytes_per_sec)
+    }
 }
 
 /// Tracks which instances currently hold the topology in backpressure.
@@ -172,6 +200,34 @@ mod tests {
         // 70 MB without ever crossing high: not triggering.
         t.observe(0, 70.0 * MB);
         assert!(!t.active());
+    }
+
+    #[test]
+    fn crossing_time_to_high_watermark() {
+        let c = WatermarkConfig::default();
+        // 10 MB short of the high mark, filling at 2 MB/s → 5 s.
+        let t = c.secs_to_high(90.0 * MB, 2.0 * MB).unwrap();
+        assert!((t - 5.0).abs() < 1e-9);
+        // Already above: crossing is immediate.
+        assert_eq!(c.secs_to_high(150.0 * MB, 0.0), Some(0.0));
+        // Exactly at the mark with no fill: strict `>` never fires.
+        assert_eq!(c.secs_to_high(100.0 * MB, 0.0), None);
+        // Draining queues never reach the high mark.
+        assert_eq!(c.secs_to_high(90.0 * MB, -1.0 * MB), None);
+    }
+
+    #[test]
+    fn crossing_time_to_low_watermark() {
+        let c = WatermarkConfig::default();
+        // 20 MB above the low mark, draining at 4 MB/s → 5 s.
+        let t = c.secs_to_low(70.0 * MB, 4.0 * MB).unwrap();
+        assert!((t - 5.0).abs() < 1e-9);
+        // Already below: release is immediate.
+        assert_eq!(c.secs_to_low(10.0 * MB, 0.0), Some(0.0));
+        // Exactly at the mark with no drain: strict `<` never fires.
+        assert_eq!(c.secs_to_low(50.0 * MB, 0.0), None);
+        // Filling queues never release.
+        assert_eq!(c.secs_to_low(70.0 * MB, -1.0 * MB), None);
     }
 
     #[test]

@@ -48,12 +48,39 @@
 //! results are *not* bit-identical to exact runs (a×k vs k additions of
 //! a); the flag therefore defaults to **off** and is opted into by
 //! `planner::replay`, whose tolerance tests bound the divergence.
+//!
+//! # Event-driven advancement
+//!
+//! [`SimConfig::event_mode`] generalises macro-stepping from *constant*
+//! spout rates to any **piecewise-linear** rate profile. Each minute
+//! runs on a binary-heap event scheduler ([`crate::scheduler`]): the
+//! agenda holds the minute boundary, every rate-profile breakpoint
+//! (shifted by each pipeline delay so per-instance flows stay linear
+//! between events), and analytically computed saturation-onset /
+//! watermark-crossing ticks. Between consecutive events the fluid model
+//! ([`crate::fluid`]) advances queue depths, throughput accumulators and
+//! clamped CPU in closed form — arithmetic series over the profile
+//! segments, the exact sums the tick loop would accumulate. Spans are
+//! guarded twice: an entry probe requires the live state to match the
+//! model within `1e-6` relative, and the span plan truncates at the
+//! first analytic capacity or watermark crossing so the crossing tick
+//! itself always executes exactly and the [`BackpressureTracker`]
+//! observes it. Congested regimes therefore run on the exact kernel
+//! tick-for-tick, keeping backpressure verdicts identical to exact
+//! runs, while relaxed stretches of ramping or diurnal traffic — where
+//! `macro_step` coverage is zero — advance whole inter-event spans at a
+//! time. Like macro-stepping the flag defaults to **off** (closed-form
+//! results are not bit-identical); `planner::replay` enables it by
+//! default behind the workspace equivalence suite's 0.1 % sink-rate
+//! tolerance contract.
 
 use crate::backpressure::{BackpressureTracker, WatermarkConfig};
 use crate::error::{Result, SimError};
+use crate::fluid::{FluidEngine, FluidTargets, SpanPlan};
 use crate::metrics::SimMetrics;
 use crate::packing::{PackingAlgorithm, PackingPlan};
 use crate::profiles::hash64;
+use crate::scheduler::{EventKind, EventQueue};
 use crate::topology::{ComponentKind, Topology};
 use caladrius_obs::{Counter, Histogram};
 use caladrius_tsdb::{MetricsDb, Sample, SeriesHandle};
@@ -64,6 +91,12 @@ use std::time::Instant;
 /// many exact ticks before probing again so the snapshot cost cannot
 /// approach the cost of the ticks it tries to elide.
 const MACRO_RETRY_TICKS: u64 = 8;
+
+/// After a failed event-mode entry probe (live state does not yet match
+/// the fluid model — pipeline refilling after cold start or a
+/// backpressure episode), tick exactly this many times before probing
+/// again.
+const EVENT_RETRY_TICKS: u64 = 8;
 
 /// Process-wide histogram of wall-clock time per recorded simulated
 /// minute (tick loop + metric flush). One static handle: the simulator
@@ -98,6 +131,30 @@ fn sim_tick_counters() -> &'static (Counter, Counter) {
         (
             registry.counter("caladrius_sim_ticks_total", &[]),
             registry.counter("caladrius_sim_ticks_skipped_total", &[]),
+        )
+    })
+}
+
+/// Process-wide counters for the event-driven core: scheduler events
+/// processed, and simulated ticks advanced in closed form between
+/// events. `caladrius_sim_ticks_closed_form_total` over
+/// `caladrius_sim_ticks_total + closed_form` is the event-mode coverage
+/// ratio on `/metrics/service`.
+fn sim_event_counters() -> &'static (Counter, Counter) {
+    static HANDLE: OnceLock<(Counter, Counter)> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        let registry = caladrius_obs::global_registry();
+        registry.describe(
+            "caladrius_sim_events_total",
+            "Scheduler events processed by the event-driven simulation core",
+        );
+        registry.describe(
+            "caladrius_sim_ticks_closed_form_total",
+            "Simulated ticks advanced in closed form between scheduler events",
+        );
+        (
+            registry.counter("caladrius_sim_events_total", &[]),
+            registry.counter("caladrius_sim_ticks_closed_form_total", &[]),
         )
     })
 }
@@ -153,6 +210,19 @@ pub struct SimConfig {
     /// contract applies; `planner::replay` enables it behind a
     /// tolerance-validated flag.
     pub macro_step: bool,
+    /// Opt-in event-driven advancement (default `false`). Minutes run on
+    /// a binary-heap event scheduler ([`crate::scheduler`]): rate-profile
+    /// breakpoints, analytically computed saturation onsets and watermark
+    /// crossings, and the minute boundary are events, and between events
+    /// the fluid state advances in closed form ([`crate::fluid`]) for any
+    /// piecewise-linear spout profile — including the ramping and diurnal
+    /// regimes `macro_step` cannot touch. Falls back to exact ticking
+    /// (per tick) whenever closed form is not provably valid, so
+    /// backpressure verdicts match exact runs; sink rates agree within
+    /// the equivalence suite's 0.1 % tolerance rather than bitwise.
+    /// Requires `ticks_per_second == 1` and transparent stream managers;
+    /// otherwise the engine silently runs exact.
+    pub event_mode: bool,
 }
 
 impl Default for SimConfig {
@@ -166,6 +236,7 @@ impl Default for SimConfig {
             ticks_per_second: 1,
             stmgr_capacity: None,
             macro_step: false,
+            event_mode: false,
         }
     }
 }
@@ -406,12 +477,40 @@ pub struct Simulation {
     /// Cumulative ticks executed exactly over this simulation's lifetime
     /// (survives [`Simulation::reset_with`]).
     ticks_executed: u64,
-    /// Cumulative ticks skipped by macro-stepping (ditto).
+    /// Cumulative ticks *not* executed exactly — macro-stepped or
+    /// advanced in closed form by the event-driven core (ditto).
     ticks_skipped: u64,
+    /// Cumulative scheduler events processed in event mode (ditto).
+    sim_events: u64,
+    /// Cumulative ticks advanced in closed form by the event-driven core
+    /// — the event-mode subset of `ticks_skipped` (ditto).
+    ticks_closed_form: u64,
+    /// Lazily built fluid model for event mode.
+    fluid: FluidState,
+    /// The topology's spout profiles changed since the fluid model last
+    /// decomposed them into segments.
+    fluid_profiles_dirty: bool,
+    /// Every spout profile decomposed successfully on the last refresh.
+    fluid_profiles_ok: bool,
     /// Sink handles kept across runs against the same metrics store (see
     /// [`Simulation::run_minutes_into`]). Dropped whenever a parallelism
     /// change rebuilds the instance tables.
     sink_cache: Option<SinkCache>,
+}
+
+/// Cache state of the event-mode fluid model. `Ineligible` is sticky per
+/// instance-table build (the term count only depends on topology shape);
+/// profile eligibility is tracked separately since profiles may be
+/// swapped by [`Simulation::reset_with`].
+#[derive(Debug, Default)]
+enum FluidState {
+    /// Not built yet (or invalidated by a table rebuild).
+    #[default]
+    Unbuilt,
+    /// The topology's fan-in exceeds the fluid model's term budget.
+    Ineligible,
+    /// Built and structurally valid.
+    Ready(Box<FluidEngine>),
 }
 
 /// A [`SinkHandles`] retained across runs, together with the store
@@ -584,6 +683,11 @@ impl Simulation {
             config,
             ticks_executed: 0,
             ticks_skipped: 0,
+            sim_events: 0,
+            ticks_closed_form: 0,
+            fluid: FluidState::Unbuilt,
+            fluid_profiles_dirty: true,
+            fluid_profiles_ok: false,
             sink_cache: None,
         })
     }
@@ -609,10 +713,25 @@ impl Simulation {
         self.ticks_executed
     }
 
-    /// Cumulative ticks skipped by the steady-state macro-step (lifetime,
-    /// surviving [`Simulation::reset_with`]).
+    /// Cumulative ticks not executed exactly — skipped by the
+    /// steady-state macro-step or advanced in closed form by the
+    /// event-driven core (lifetime, surviving
+    /// [`Simulation::reset_with`]).
     pub fn ticks_skipped(&self) -> u64 {
         self.ticks_skipped
+    }
+
+    /// Cumulative scheduler events processed in event mode (lifetime,
+    /// surviving [`Simulation::reset_with`]).
+    pub fn sim_events(&self) -> u64 {
+        self.sim_events
+    }
+
+    /// Cumulative ticks advanced in closed form by the event-driven core
+    /// — the event-mode subset of [`Simulation::ticks_skipped`]
+    /// (lifetime, surviving [`Simulation::reset_with`]).
+    pub fn ticks_closed_form(&self) -> u64 {
+        self.ticks_closed_form
     }
 
     /// Replaces the observation-noise seed for subsequent runs.
@@ -631,26 +750,46 @@ impl Simulation {
     /// backpressure tracker and spout profiles are reset; the lifetime
     /// tick counters keep counting.
     pub fn reset_with(&mut self, updates: &[(&str, u32)], rate_per_min: f64) -> Result<()> {
-        let mut parallelism_changed = false;
-        for (name, p) in updates {
-            if self.topology.component(name)?.parallelism != *p {
-                parallelism_changed = true;
-            }
-        }
+        let topo = self.topology.with_parallelisms(updates)?;
+        self.rewind_to(topo.with_source_rate(rate_per_min)?)
+    }
+
+    /// [`Simulation::reset_with`] with an arbitrary spout rate profile
+    /// instead of a constant rate — the same bit-identity contract,
+    /// against `Simulation::new(topo.with_parallelisms(updates)?
+    /// .with_source_profile(profile)?, config)`.
+    pub fn reset_with_profile(
+        &mut self,
+        updates: &[(&str, u32)],
+        profile: &crate::profiles::RateProfile,
+    ) -> Result<()> {
+        let topo = self.topology.with_parallelisms(updates)?;
+        self.rewind_to(topo.with_source_profile(profile)?)
+    }
+
+    /// Rewinds to the zero state of `topo` (which must differ from the
+    /// current topology only in parallelisms and spout profiles),
+    /// rebuilding the flattened tables only when parallelism changed.
+    fn rewind_to(&mut self, topo: Topology) -> Result<()> {
+        let parallelism_changed = topo
+            .components
+            .iter()
+            .zip(&self.topology.components)
+            .any(|(new, old)| new.parallelism != old.parallelism);
         if parallelism_changed {
             // Packing and routing change shape: rebuild the tables, but
             // keep the lifetime tick counters.
-            let topo = self
-                .topology
-                .with_parallelisms(updates)?
-                .with_source_rate(rate_per_min)?;
             let (executed, skipped) = (self.ticks_executed, self.ticks_skipped);
+            let (events, closed_form) = (self.sim_events, self.ticks_closed_form);
             *self = Simulation::new(topo, self.config.clone())?;
             self.ticks_executed = executed;
             self.ticks_skipped = skipped;
+            self.sim_events = events;
+            self.ticks_closed_form = closed_form;
             return Ok(());
         }
-        self.topology = self.topology.with_source_rate(rate_per_min)?;
+        self.topology = topo;
+        self.fluid_profiles_dirty = true;
         self.live.reset();
         self.accum.reset();
         self.stmgr_tuples.fill(0.0);
@@ -1046,9 +1185,121 @@ impl Simulation {
         self.ticks_skipped += skip;
     }
 
+    /// Ensures the event-mode fluid model is built and its spout-profile
+    /// segment decompositions are current. `false` when event mode
+    /// cannot engage for this simulation: sub-second resolution, finite
+    /// stream managers, a topology over the fluid term budget, or a
+    /// spout profile that is not piecewise-linear.
+    fn ensure_fluid(&mut self) -> bool {
+        if self.config.ticks_per_second != 1 || self.config.stmgr_capacity.is_some() {
+            return false;
+        }
+        if matches!(self.fluid, FluidState::Unbuilt) {
+            self.fluid = match FluidEngine::build(&self.topology, &self.plan) {
+                Some(mut engine) => {
+                    engine.configure(self.config.base_cpu_overhead, self.config.watermarks);
+                    FluidState::Ready(Box::new(engine))
+                }
+                None => FluidState::Ineligible,
+            };
+            self.fluid_profiles_dirty = true;
+        }
+        let FluidState::Ready(engine) = &mut self.fluid else {
+            return false;
+        };
+        if self.fluid_profiles_dirty {
+            self.fluid_profiles_ok = engine.refresh_profiles(&self.topology);
+            self.fluid_profiles_dirty = false;
+        }
+        self.fluid_profiles_ok
+    }
+
+    /// Advances one simulated minute on the event scheduler: seed the
+    /// minute's agenda (profile breakpoints shifted by every pipeline
+    /// delay, plus the minute boundary), then alternate between
+    /// closed-form spans and exact ticks. A span runs in closed form only
+    /// when the live state passes the fluid model's entry probe and the
+    /// span plan proves the relaxed regime holds; analytic saturation /
+    /// watermark crossings truncate spans so the crossing tick itself
+    /// always executes exactly (the backpressure tracker must observe
+    /// it). Failed probes back off [`EVENT_RETRY_TICKS`] exact ticks.
+    fn run_minute_with_events(&mut self, engine: &FluidEngine) {
+        let minute_end = self.now_ticks + 60;
+        let mut queue = EventQueue::new();
+        queue.push(minute_end, EventKind::MinuteEnd);
+        engine.for_each_breakpoint_event(self.now_ticks, minute_end, |tick| {
+            queue.push(tick, EventKind::RateBreakpoint);
+        });
+        let mut retry_at = 0u64;
+        while self.now_ticks < minute_end {
+            let t0 = self.now_ticks;
+            self.sim_events += queue.fire_until(t0);
+            let next = queue.next_tick().unwrap_or(minute_end).min(minute_end);
+            if next > t0
+                && t0 >= retry_at
+                && !self.tracker.active()
+                && engine.entry_matches(
+                    t0,
+                    &self.live.queue_tuples,
+                    &self.live.queue_bytes,
+                    &self.live.backlog,
+                )
+            {
+                let (stop, stop_kind) = match engine.plan_span(t0, next) {
+                    SpanPlan::Full => (next, None),
+                    SpanPlan::Stop { tick, kind } => (tick, Some(kind)),
+                };
+                if stop > t0 {
+                    let n = self.inst.n;
+                    engine.apply(
+                        t0,
+                        stop,
+                        &mut FluidTargets {
+                            executed: &mut self.accum.executed[..n],
+                            emitted: &mut self.accum.emitted[..n],
+                            offered: &mut self.accum.offered[..n],
+                            failed: &mut self.accum.failed[..n],
+                            cpu_core_seconds: &mut self.accum.cpu_core_seconds[..n],
+                            stmgr_tuples: &mut self.stmgr_tuples,
+                            queue_tuples: &mut self.live.queue_tuples[..n],
+                            queue_bytes: &mut self.live.queue_bytes[..n],
+                            backlog: &mut self.live.backlog[..n],
+                        },
+                    );
+                    self.now_ticks = stop;
+                    self.ticks_skipped += stop - t0;
+                    self.ticks_closed_form += stop - t0;
+                    if let Some(kind) = stop_kind {
+                        queue.push(stop, kind);
+                    }
+                    continue;
+                }
+                // Congested at the doorstep: the crossing tick is now.
+                // Run it (and a backoff window) exactly.
+                retry_at = t0 + EVENT_RETRY_TICKS;
+                queue.push(retry_at, EventKind::ProbeRetry);
+            } else if next > t0 && t0 >= retry_at && !self.tracker.active() {
+                // Entry probe failed: live state still converging toward
+                // the model (pipeline refill). Back off before reprobing.
+                retry_at = t0 + EVENT_RETRY_TICKS;
+                queue.push(retry_at, EventKind::ProbeRetry);
+            }
+            self.tick();
+        }
+        self.sim_events += queue.fire_until(minute_end);
+    }
+
     /// Advances one simulated minute, macro-stepping through the steady
     /// state when enabled and safe (see module docs for the conditions).
     fn advance_minute(&mut self) {
+        if self.config.event_mode && self.ensure_fluid() {
+            let FluidState::Ready(engine) = std::mem::take(&mut self.fluid) else {
+                unreachable!("ensure_fluid returned true");
+            };
+            self.run_minute_with_events(&engine);
+            self.fluid = FluidState::Ready(engine);
+            return;
+        }
         let mut remaining = 60 * u64::from(self.config.ticks_per_second);
         let mut retry_in = 0u64;
         while remaining > 0 {
@@ -1200,6 +1451,7 @@ impl Simulation {
             .field("minutes", minutes);
         let minute_hist = sim_minute_histogram();
         let (exec_before, skip_before) = (self.ticks_executed, self.ticks_skipped);
+        let (events_before, cf_before) = (self.sim_events, self.ticks_closed_form);
         let db = metrics.db();
         let mut sink = match self.sink_cache.take() {
             Some(cache) if Arc::ptr_eq(&cache.db, &db) && cache.topology == metrics.topology() => {
@@ -1224,6 +1476,13 @@ impl Simulation {
         ticks_total.add(self.ticks_executed - exec_before);
         ticks_skipped.add(skipped);
         span.field("ticks_skipped", skipped);
+        let events = self.sim_events - events_before;
+        let closed_form = self.ticks_closed_form - cf_before;
+        let (events_total, cf_total) = sim_event_counters();
+        events_total.add(events);
+        cf_total.add(closed_form);
+        span.field("sim_events", events)
+            .field("ticks_closed_form", closed_form);
     }
 
     /// Runs `minutes` simulated minutes into a fresh metrics store and
@@ -1821,5 +2080,252 @@ mod tests {
         assert!(sim.reset_with(&[("ghost", 2)], 60_000.0).is_err());
         assert!(sim.reset_with(&[("splitter", 0)], 60_000.0).is_err());
         assert!(sim.reset_with(&[], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn reset_with_profile_matches_fresh_simulation() {
+        let base = wordcount(1000.0, 2, 5000.0);
+        let cfg = SimConfig {
+            metric_noise: 0.01,
+            seed: 23,
+            ..SimConfig::default()
+        };
+        let ramp = RateProfile::Ramp {
+            from: 400.0,
+            to: 2200.0,
+            duration_secs: 180,
+        };
+        let mut reused = Simulation::new(base.clone(), cfg.clone()).unwrap();
+        reused.warmup_minutes(3);
+        reused.reset_with_profile(&[], &ramp).unwrap();
+        let m_reused = reused.run_minutes(4);
+
+        let fresh_topo = base.with_source_profile(&ramp).unwrap();
+        let mut fresh = Simulation::new(fresh_topo, cfg).unwrap();
+        let m_fresh = fresh.run_minutes(4);
+
+        for name in [metric::EXECUTE_COUNT, metric::EMIT_COUNT, metric::CPU_LOAD] {
+            let a = m_reused.component_sum(name, None, 0, i64::MAX);
+            let b = m_fresh.component_sum(name, None, 0, i64::MAX);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{name} diverged");
+            }
+        }
+    }
+
+    /// WordCount with an arbitrary spout profile (event-mode cases).
+    fn wordcount_profiled(profile: RateProfile, splitter_cap: f64) -> Topology {
+        TopologyBuilder::new("wc")
+            .spout("spout", 8, profile, 60)
+            .bolt(
+                "splitter",
+                2,
+                WorkProfile::new(splitter_cap, 7.63, 8).with_gateway_overhead(0.0),
+            )
+            .bolt("counter", 3, WorkProfile::new(1.0e9, 1.0, 16))
+            .edge("spout", "splitter", Grouping::shuffle())
+            .edge("splitter", "counter", Grouping::fields_uniform())
+            .build()
+            .unwrap()
+    }
+
+    /// Runs `topo` for `minutes` (no warmup) and returns the mean sink
+    /// execute-count plus coverage counters.
+    fn run_mode(topo: Topology, event_mode: bool, minutes: u64) -> (f64, u64, u64, bool) {
+        let cfg = SimConfig {
+            metric_noise: 0.0,
+            event_mode,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(topo, cfg).unwrap();
+        let m = sim.run_minutes(minutes);
+        let sink = mean_of(&m.component_sum(metric::EXECUTE_COUNT, Some("counter"), 0, i64::MAX));
+        (
+            sink,
+            sim.ticks_closed_form(),
+            sim.sim_events(),
+            sim.backpressure_active(),
+        )
+    }
+
+    #[test]
+    fn event_mode_covers_constant_load_and_matches_exact() {
+        let (exact, _, _, _) = run_mode(wordcount(1000.0, 1, 5000.0), false, 5);
+        let (event, closed_form, events, bp) = run_mode(wordcount(1000.0, 1, 5000.0), true, 5);
+        assert!(!bp);
+        assert!(events >= 5, "at least one MinuteEnd event per minute");
+        // Cold start loses at most the pipeline depth + one retry window
+        // per run; everything else advances in closed form.
+        assert!(
+            closed_form > 280,
+            "constant load should be nearly all closed form, got {closed_form}"
+        );
+        assert!(
+            (event - exact).abs() / exact < 1e-3,
+            "sink tolerance: exact {exact} vs event {event}"
+        );
+    }
+
+    #[test]
+    fn event_mode_matches_exact_on_ramp() {
+        // 500 → 4000 sentences/s over 20 minutes: macro-stepping cannot
+        // engage anywhere on the ramp, the event core must.
+        let profile = RateProfile::Ramp {
+            from: 500.0,
+            to: 4000.0,
+            duration_secs: 1200,
+        };
+        let (exact, exact_cf, _, _) =
+            run_mode(wordcount_profiled(profile.clone(), 5000.0), false, 20);
+        let (event, closed_form, _, bp) = run_mode(wordcount_profiled(profile, 5000.0), true, 20);
+        assert_eq!(exact_cf, 0);
+        assert!(!bp);
+        assert!(
+            closed_form > 1000,
+            "ramp should advance mostly in closed form, got {closed_form}"
+        );
+        assert!(
+            (event - exact).abs() / exact < 1e-3,
+            "sink tolerance: exact {exact} vs event {event}"
+        );
+    }
+
+    #[test]
+    fn event_mode_matches_exact_on_steps() {
+        let profile = RateProfile::Steps {
+            initial: 800.0,
+            steps: vec![(90, 2500.0), (200, 1200.0), (400, 3600.0)],
+        };
+        let (exact, _, _, _) = run_mode(wordcount_profiled(profile.clone(), 5000.0), false, 10);
+        let (event, closed_form, _, _) = run_mode(wordcount_profiled(profile, 5000.0), true, 10);
+        assert!(closed_form > 400, "got {closed_form}");
+        assert!(
+            (event - exact).abs() / exact < 1e-3,
+            "sink tolerance: exact {exact} vs event {event}"
+        );
+    }
+
+    #[test]
+    fn event_mode_backpressure_verdicts_match_exact() {
+        // A ramp that crosses the splitter knee (2 × 5000/s) mid-run:
+        // backpressure must engage in both modes, and the event core must
+        // detect the watermark crossing analytically rather than sail
+        // past it.
+        let profile = RateProfile::Ramp {
+            from: 1000.0,
+            to: 16000.0,
+            duration_secs: 600,
+        };
+        let run = |event_mode: bool| {
+            let cfg = SimConfig {
+                metric_noise: 0.0,
+                event_mode,
+                watermarks: WatermarkConfig {
+                    high_bytes: 600_000.0,
+                    low_bytes: 300_000.0,
+                },
+                ..SimConfig::default()
+            };
+            let mut sim =
+                Simulation::new(wordcount_profiled(profile.clone(), 5000.0), cfg).unwrap();
+            let m = sim.run_minutes(15);
+            let bp_mins: Vec<bool> = m
+                .component_sum(metric::BACKPRESSURE_TIME, Some("splitter"), 0, i64::MAX)
+                .iter()
+                .map(|s| s.value > 1.0)
+                .collect();
+            let sink =
+                mean_of(&m.component_sum(metric::EXECUTE_COUNT, Some("counter"), 0, i64::MAX));
+            (sink, bp_mins, sim.ticks_closed_form())
+        };
+        let (exact_sink, exact_bp, _) = run(false);
+        let (event_sink, event_bp, closed_form) = run(true);
+        assert!(
+            exact_bp.iter().any(|&b| b),
+            "case must exercise backpressure"
+        );
+        assert_eq!(
+            exact_bp, event_bp,
+            "per-minute backpressure verdicts must match"
+        );
+        assert!(
+            closed_form > 200,
+            "pre-knee ramp should still run in closed form, got {closed_form}"
+        );
+        assert!(
+            (event_sink - exact_sink).abs() / exact_sink < 1e-3,
+            "sink tolerance: exact {exact_sink} vs event {event_sink}"
+        );
+    }
+
+    #[test]
+    fn event_mode_falls_back_bitwise_on_seasonal_profiles() {
+        // Seasonal profiles have no piecewise-linear decomposition: the
+        // event core must decline entirely, leaving runs bit-identical
+        // to exact mode.
+        let profile = RateProfile::Seasonal {
+            base: 1000.0,
+            daily_amplitude: 0.4,
+            weekend_delta: -0.3,
+            noise: 0.0,
+            seed: 7,
+        };
+        let run = |event_mode: bool| {
+            let cfg = SimConfig {
+                metric_noise: 0.0,
+                event_mode,
+                ..SimConfig::default()
+            };
+            let mut sim =
+                Simulation::new(wordcount_profiled(profile.clone(), 5000.0), cfg).unwrap();
+            let m = sim.run_minutes(5);
+            (
+                m.component_sum(metric::EXECUTE_COUNT, None, 0, i64::MAX),
+                sim.ticks_closed_form(),
+            )
+        };
+        let (exact, _) = run(false);
+        let (event, closed_form) = run(true);
+        assert_eq!(
+            closed_form, 0,
+            "seasonal profiles must not engage closed form"
+        );
+        assert_eq!(exact.len(), event.len());
+        for (a, b) in exact.iter().zip(&event) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn event_mode_survives_reset_with_profile_swap() {
+        let cfg = SimConfig {
+            metric_noise: 0.0,
+            event_mode: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(wordcount(1000.0, 2, 5000.0), cfg.clone()).unwrap();
+        sim.run_minutes(2);
+        let before = sim.ticks_closed_form();
+        assert!(before > 0);
+        // Rate-only reset keeps the fluid structure but must re-decompose
+        // the swapped profiles; a fresh sim at the new rate is the oracle.
+        sim.reset_with(&[], 90_000.0).unwrap();
+        let m_reused = sim.run_minutes(3);
+        assert!(
+            sim.ticks_closed_form() > before,
+            "closed form must re-engage"
+        );
+        let fresh_topo = wordcount(1000.0, 2, 5000.0)
+            .with_source_rate(90_000.0)
+            .unwrap();
+        let mut fresh = Simulation::new(fresh_topo, cfg).unwrap();
+        let m_fresh = fresh.run_minutes(3);
+        let a = m_reused.component_sum(metric::EXECUTE_COUNT, None, 0, i64::MAX);
+        let b = m_fresh.component_sum(metric::EXECUTE_COUNT, None, 0, i64::MAX);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
     }
 }

@@ -55,11 +55,13 @@ pub mod backpressure;
 pub mod cluster;
 pub mod engine;
 pub mod error;
+mod fluid;
 pub mod grouping;
 pub mod metrics;
 pub mod packing;
 pub mod profiles;
 pub mod reference;
+mod scheduler;
 pub mod topology;
 
 /// Convenient re-exports of the types most users need.

@@ -1,0 +1,146 @@
+//! Binary-heap event scheduler for the event-driven simulation core.
+//!
+//! The event-driven engine (see `engine::Simulation::advance_minute` with
+//! [`crate::engine::SimConfig::event_mode`]) advances fluid state in
+//! closed form *between* events instead of probing tick-by-tick. The
+//! scheduler owns the minute's event agenda:
+//!
+//! - [`EventKind::RateBreakpoint`] — a spout rate-profile segment
+//!   boundary (shifted by each pipeline delay in the topology, so every
+//!   per-instance flow stays linear between consecutive events),
+//! - [`EventKind::SaturationOnset`] — the analytically computed first
+//!   tick at which some instance's modelled input reaches its effective
+//!   capacity,
+//! - [`EventKind::WatermarkCrossing`] — the analytically computed tick
+//!   at which some queue's modelled bytes would cross the backpressure
+//!   high watermark (via `WatermarkConfig::secs_to_high`),
+//! - [`EventKind::ProbeRetry`] — re-check closed-form eligibility after
+//!   a failed entry probe (state still converging),
+//! - [`EventKind::MinuteEnd`] — the minute-boundary metric flush.
+//!
+//! Ordering is fully deterministic: events pop by tick, then by kind
+//! (the enum's declaration order), then by insertion sequence — so two
+//! runs that schedule the same events process them identically, which
+//! the replay determinism suite relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event at a given tick means to the engine's event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EventKind {
+    /// A spout rate-profile breakpoint (shifted by a pipeline delay).
+    RateBreakpoint,
+    /// Modelled input reaches an instance's effective capacity.
+    SaturationOnset,
+    /// Modelled queue bytes reach the backpressure high watermark.
+    WatermarkCrossing,
+    /// Re-probe closed-form entry after a failed state check.
+    ProbeRetry,
+    /// Minute boundary: stop advancing, flush metrics.
+    MinuteEnd,
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Event {
+    /// Tick the event fires at.
+    pub tick: u64,
+    /// Why it fires.
+    pub kind: EventKind,
+    /// Insertion sequence (deterministic FIFO tie-break).
+    seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops
+        // first, with (kind, seq) as deterministic tie-breaks.
+        (other.tick, other.kind, other.seq).cmp(&(self.tick, self.kind, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The minute's event agenda: a deterministic min-heap of [`Event`]s.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `tick`.
+    pub fn push(&mut self, tick: u64, kind: EventKind) {
+        self.heap.push(Event {
+            tick,
+            kind,
+            seq: self.seq,
+        });
+        self.seq += 1;
+    }
+
+    /// Tick of the next pending event, if any.
+    pub fn next_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.tick)
+    }
+
+    /// Pops every event scheduled at or before `tick`, returning how
+    /// many fired.
+    pub fn fire_until(&mut self, tick: u64) -> u64 {
+        let mut fired = 0;
+        while self.heap.peek().is_some_and(|e| e.tick <= tick) {
+            self.heap.pop();
+            fired += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_tick_then_kind_then_seq_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::MinuteEnd);
+        q.push(10, EventKind::ProbeRetry);
+        q.push(10, EventKind::RateBreakpoint);
+        q.push(5, EventKind::WatermarkCrossing);
+        let order: Vec<Event> = std::iter::from_fn(|| q.heap.pop()).collect();
+        assert_eq!(order[0].tick, 5);
+        assert_eq!(
+            order[1],
+            Event {
+                tick: 10,
+                kind: EventKind::RateBreakpoint,
+                seq: 2
+            }
+        );
+        assert_eq!(order[2].kind, EventKind::ProbeRetry);
+        assert_eq!(order[3].kind, EventKind::MinuteEnd);
+    }
+
+    #[test]
+    fn fire_until_counts_processed_events() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::RateBreakpoint);
+        q.push(20, EventKind::RateBreakpoint);
+        q.push(60, EventKind::MinuteEnd);
+        assert_eq!(q.next_tick(), Some(10));
+        assert_eq!(q.fire_until(20), 2);
+        assert_eq!(q.next_tick(), Some(60));
+        assert_eq!(q.fire_until(59), 0);
+        assert_eq!(q.fire_until(60), 1);
+        assert_eq!(q.next_tick(), None);
+    }
+}

@@ -214,6 +214,23 @@ impl Topology {
         Ok(out)
     }
 
+    /// A copy of this topology with every spout following `source`
+    /// (each spout component offers the full profile; split the rate
+    /// beforehand for multi-spout topologies).
+    pub fn with_source_profile(&self, source: &RateProfile) -> Result<Topology> {
+        let spouts = self.spout_indices();
+        if spouts.is_empty() {
+            return Err(SimError::InvalidTopology("topology has no spout".into()));
+        }
+        let mut out = self.clone();
+        for idx in spouts {
+            if let ComponentKind::Spout { profile, .. } = &mut out.components[idx].kind {
+                *profile = source.clone();
+            }
+        }
+        Ok(out)
+    }
+
     /// Edges leaving component `idx`.
     pub fn out_edges(&self, idx: usize) -> impl Iterator<Item = &EdgeSpec> {
         self.edges.iter().filter(move |e| e.from == idx)

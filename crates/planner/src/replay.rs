@@ -17,6 +17,10 @@ fn default_macro_step() -> bool {
     true
 }
 
+fn default_event_mode() -> bool {
+    true
+}
+
 /// Replay knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReplayConfig {
@@ -40,6 +44,16 @@ pub struct ReplayConfig {
     /// tick-for-tick replays.
     #[serde(default = "default_macro_step")]
     pub macro_step: bool,
+    /// Event-driven advancement in the per-window simulations (default
+    /// `true`). The window minutes run on the simulator's event
+    /// scheduler, advancing relaxed stretches in closed form even where
+    /// macro-stepping cannot engage; congested windows fall back to
+    /// exact ticks, so backpressure verdicts are unchanged. Per-window
+    /// coverage is reported in [`WindowReplay::sim_events`] /
+    /// [`WindowReplay::closed_form_ticks`]. Disable for strict
+    /// tick-for-tick replays.
+    #[serde(default = "default_event_mode")]
+    pub event_mode: bool,
 }
 
 impl Default for ReplayConfig {
@@ -51,6 +65,7 @@ impl Default for ReplayConfig {
             metric_noise: 0.0,
             backpressure_tolerance_ms: 1.0,
             macro_step: default_macro_step(),
+            event_mode: default_event_mode(),
         }
     }
 }
@@ -70,11 +85,20 @@ pub struct WindowReplay {
     pub backpressure_ms: f64,
     /// Whether the window stayed under the backpressure tolerance.
     pub low_risk: bool,
-    /// Simulator ticks this window's replay skipped via steady-state
-    /// macro-stepping (0 when [`ReplayConfig::macro_step`] is off or the
-    /// window never settled).
+    /// Simulator ticks this window's replay did not execute exactly —
+    /// macro-stepped or advanced in closed form (0 when both
+    /// [`ReplayConfig::macro_step`] and [`ReplayConfig::event_mode`] are
+    /// off, or the window never settled).
     #[serde(default)]
     pub ticks_skipped: u64,
+    /// Scheduler events this window's replay processed in event mode.
+    #[serde(default)]
+    pub sim_events: u64,
+    /// Ticks this window's replay advanced in closed form between
+    /// scheduler events — the event-mode coverage of
+    /// [`WindowReplay::ticks_skipped`].
+    #[serde(default)]
+    pub closed_form_ticks: u64,
 }
 
 /// Replays every window of `timeline` on `base` (parallelism and spout
@@ -144,6 +168,7 @@ fn replay_window(
                 SimConfig {
                     metric_noise: config.metric_noise,
                     macro_step: config.macro_step,
+                    event_mode: config.event_mode,
                     ..SimConfig::default()
                 },
             )
@@ -163,8 +188,12 @@ fn replay_window(
     sim.reset_with(&updates, plan.peak_rate)
         .map_err(|e| PlanError::Oracle(format!("replay deploy failed: {e}")))?;
     let skipped_before = sim.ticks_skipped();
+    let events_before = sim.sim_events();
+    let closed_form_before = sim.ticks_closed_form();
     sim.run_minutes_into(config.warmup_minutes + config.measure_minutes, &metrics);
     let ticks_skipped = sim.ticks_skipped() - skipped_before;
+    let sim_events = sim.sim_events() - events_before;
+    let closed_form_ticks = sim.ticks_closed_form() - closed_form_before;
     let observe_from = (config.warmup_minutes * 60_000) as i64;
     let mean = |name: &str, component: &str| -> f64 {
         let series = metrics.component_sum(name, Some(component), observe_from, i64::MAX);
@@ -190,6 +219,8 @@ fn replay_window(
         backpressure_ms,
         low_risk: backpressure_ms <= config.backpressure_tolerance_ms,
         ticks_skipped,
+        sim_events,
+        closed_form_ticks,
     })
 }
 

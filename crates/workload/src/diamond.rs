@@ -64,13 +64,14 @@ impl Default for DiamondParallelism {
 /// selectivity of 1 (every event goes to both branches); each branch
 /// keeps selectivity 1; the aggregator receives the union.
 pub fn diamond_topology(parallelism: DiamondParallelism, rate_per_min: f64) -> Topology {
+    diamond_topology_with(parallelism, RateProfile::constant_per_min(rate_per_min))
+}
+
+/// Full-control variant: the `events` spout follows an arbitrary rate
+/// profile (diurnal, flash-crowd, ramping, ...).
+pub fn diamond_topology_with(parallelism: DiamondParallelism, profile: RateProfile) -> Topology {
     TopologyBuilder::new("diamond")
-        .spout(
-            "events",
-            parallelism.events,
-            RateProfile::constant_per_min(rate_per_min),
-            EVENT_BYTES,
-        )
+        .spout("events", parallelism.events, profile, EVENT_BYTES)
         .bolt(
             "enrich",
             parallelism.enrich,

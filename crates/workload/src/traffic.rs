@@ -118,6 +118,90 @@ pub fn to_rate_profile(series: &[TrafficPoint]) -> RateProfile {
     }
 }
 
+/// Parameters for the piecewise-linear diurnal generator — the first
+/// cell of the workload matrix (ROADMAP item 5), and the canonical
+/// event-scheduler workload: unlike [`SeasonalTraffic`] (whose sinusoid
+/// has no linear decomposition), it approximates the daily cycle with
+/// straight ramps between evenly spaced knots, so the simulator's
+/// event-driven core advances it in closed form between breakpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalTraffic {
+    /// Mean offered rate in tuples/second.
+    pub base_rate: f64,
+    /// Relative cycle amplitude (0.4 = peak 40 % above / trough 40 %
+    /// below `base_rate`).
+    pub amplitude: f64,
+    /// Cycle period in seconds (86 400 = one day).
+    pub period_secs: u64,
+    /// Phase shift in seconds: where in the cycle `t = 0` falls.
+    pub phase_secs: u64,
+    /// Knots per period of the piecewise-linear approximation (≥ 4; 24
+    /// ≈ hourly knots on a daily cycle, sinusoid error < 1 %).
+    pub knots_per_period: u32,
+}
+
+impl Default for DiurnalTraffic {
+    fn default() -> Self {
+        Self {
+            base_rate: 2000.0,
+            amplitude: 0.4,
+            period_secs: 86_400,
+            phase_secs: 0,
+            knots_per_period: 24,
+        }
+    }
+}
+
+impl DiurnalTraffic {
+    /// Builds the piecewise-linear profile covering `[0, horizon_secs]`:
+    /// knots every `period / knots_per_period` seconds sampling
+    /// `base · (1 + amplitude · sin(2π (t + phase) / period))`, flat
+    /// after the horizon.
+    pub fn to_profile(&self, horizon_secs: u64) -> RateProfile {
+        assert!(
+            self.knots_per_period >= 4,
+            "need at least 4 knots per period"
+        );
+        assert!(self.period_secs > 0, "period must be positive");
+        let step = (self.period_secs / u64::from(self.knots_per_period)).max(1);
+        let mut points = Vec::with_capacity((horizon_secs / step + 2) as usize);
+        let mut t = 0u64;
+        loop {
+            let cycle = (t + self.phase_secs) as f64 / self.period_secs as f64;
+            let rate = self.base_rate * (1.0 + self.amplitude * (TAU * cycle).sin());
+            points.push((t, rate.max(0.0)));
+            if t >= horizon_secs {
+                break;
+            }
+            t = (t + step).min(horizon_secs);
+        }
+        RateProfile::PiecewiseLinear { points }
+    }
+}
+
+/// Builds a flash-crowd profile: steady `base_rate` until `onset_secs`,
+/// a linear surge to `peak_rate` over `ramp_secs` (a news event hitting
+/// the timeline), a dwell at the peak for `hold_secs`, then a symmetric
+/// linear decay back to `base_rate`.
+pub fn flash_crowd(
+    base_rate: f64,
+    peak_rate: f64,
+    onset_secs: u64,
+    ramp_secs: u64,
+    hold_secs: u64,
+) -> RateProfile {
+    assert!(ramp_secs > 0, "ramp must take time");
+    RateProfile::PiecewiseLinear {
+        points: vec![
+            (0, base_rate),
+            (onset_secs, base_rate),
+            (onset_secs + ramp_secs, peak_rate),
+            (onset_secs + ramp_secs + hold_secs, peak_rate),
+            (onset_secs + 2 * ramp_secs + hold_secs, base_rate),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +307,70 @@ mod tests {
         let a = SeasonalTraffic::default().generate(2, 5);
         let b = SeasonalTraffic::default().generate(2, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diurnal_profile_tracks_the_sinusoid() {
+        let cfg = DiurnalTraffic {
+            base_rate: 1000.0,
+            amplitude: 0.4,
+            period_secs: 86_400,
+            phase_secs: 0,
+            knots_per_period: 24,
+        };
+        let profile = cfg.to_profile(86_400);
+        // Knot samples are exact; between knots the linear interpolation
+        // stays within ~1 % of the sinusoid at hourly resolution.
+        for t in (0..86_400).step_by(600) {
+            let want = 1000.0 * (1.0 + 0.4 * (TAU * t as f64 / 86_400.0).sin());
+            let got = profile.rate_at(t);
+            assert!(
+                (got - want).abs() <= 0.01 * 1000.0,
+                "t={t}: got {got}, want {want}"
+            );
+        }
+        // Peak near quarter period, trough near three quarters.
+        assert!(profile.rate_at(21_600) > 1390.0);
+        assert!(profile.rate_at(64_800) < 610.0);
+    }
+
+    #[test]
+    fn diurnal_profile_is_event_scheduler_eligible() {
+        let profile = DiurnalTraffic::default().to_profile(3600);
+        let segs = profile.segments().expect("piecewise-linear decomposition");
+        assert!(segs.as_slice().len() >= 2);
+        // Flat after the horizon.
+        assert!(profile.constant_over(3600, 1_000_000));
+    }
+
+    #[test]
+    fn diurnal_phase_shifts_the_peak() {
+        let base = DiurnalTraffic {
+            phase_secs: 0,
+            ..Default::default()
+        };
+        let shifted = DiurnalTraffic {
+            phase_secs: 21_600,
+            ..Default::default()
+        };
+        let horizon = 86_400;
+        // A quarter-period phase advance turns the peak into the start.
+        let a = base.to_profile(horizon).rate_at(21_600);
+        let b = shifted.to_profile(horizon).rate_at(0);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn flash_crowd_ramps_and_recovers() {
+        let profile = flash_crowd(1000.0, 5000.0, 300, 60, 120);
+        assert_eq!(profile.rate_at(0), 1000.0);
+        assert_eq!(profile.rate_at(299), 1000.0);
+        assert!((profile.rate_at(330) - 3000.0).abs() < 1e-9, "mid-ramp");
+        assert_eq!(profile.rate_at(360), 5000.0);
+        assert_eq!(profile.rate_at(480), 5000.0);
+        assert!((profile.rate_at(510) - 3000.0).abs() < 1e-9, "mid-decay");
+        assert_eq!(profile.rate_at(540), 1000.0);
+        assert_eq!(profile.rate_at(10_000), 1000.0, "flat after recovery");
+        assert!(profile.segments().is_some());
     }
 }

@@ -17,7 +17,7 @@ cargo build --release
 echo "==> cargo build --examples"
 cargo build --examples
 
-echo "==> cargo bench --no-run (compile-gate bench code)"
+echo "==> cargo bench --no-run (compile-gate bench code, incl. diurnal event section)"
 cargo bench --no-run
 
 echo "==> cargo test -q (tier-1)"
@@ -28,8 +28,12 @@ cargo test --workspace -q
 
 # Forced single-threading: every exec pool degrades to its inline
 # sequential path, so any output depending on parallel scheduling
-# (and any accidental nondeterminism) shows up as a diff here.
-echo "==> CALADRIUS_THREADS=1 determinism variant"
+# (and any accidental nondeterminism) shows up as a diff here. The
+# equivalence suite carries the event-scheduler contract (closed-form
+# advancement within 0.1% of exact across profile regimes), and
+# exec_determinism covers event-mode replay (replay defaults to
+# event_mode=true), so wide-vs-1-thread replay stays byte-identical.
+echo "==> CALADRIUS_THREADS=1 determinism variant (incl. event-mode equivalence)"
 CALADRIUS_THREADS=1 cargo test -q -p caladrius-exec
 CALADRIUS_THREADS=1 cargo test -q --test exec_determinism --test capacity_plan
 CALADRIUS_THREADS=1 cargo test -q --test sim_kernel_equivalence

@@ -142,6 +142,31 @@ fn metrics_service_covers_every_instrumented_layer() {
 }
 
 #[test]
+fn event_scheduler_counters_surface_in_service_metrics() {
+    let (_server, client) = start_service();
+
+    // Drive an event-mode simulation in-process: a relaxed constant
+    // load advances almost entirely in closed form, so both scheduler
+    // counters must accumulate.
+    let mut sim = Simulation::new(
+        wordcount_topology(WordCountParallelism::default(), 8.0e6),
+        SimConfig {
+            event_mode: true,
+            metric_noise: 0.0,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim.run_minutes(3);
+    assert!(sim.ticks_closed_form() > 0);
+
+    let (status, text) = client.get("/metrics/service").unwrap();
+    assert_eq!(status, 200);
+    assert!(scrape(&text, &["caladrius_sim_events_total"]).unwrap() > 0.0);
+    assert!(scrape(&text, &["caladrius_sim_ticks_closed_form_total"]).unwrap() > 0.0);
+}
+
+#[test]
 fn trace_recent_spans_carry_request_ids() {
     let (_server, client) = start_service();
     assert_eq!(client.get("/health").unwrap().0, 200);

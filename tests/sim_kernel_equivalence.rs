@@ -11,7 +11,12 @@
 //! Macro-stepping (`SimConfig::macro_step`) intentionally trades that
 //! guarantee for speed, so it is checked against a tolerance instead:
 //! sink throughput within 0.1 % of the exact run and the same
-//! backpressure verdict.
+//! backpressure verdict. Event-driven advancement
+//! (`SimConfig::event_mode`) carries the same tolerance contract and is
+//! checked across constant, stepped, ramping, diurnal and flash-crowd
+//! rate profiles — including overloaded runs, where it must fall back
+//! to exact ticks and reproduce the exact kernel's backpressure
+//! verdict.
 
 use caladrius::sim::engine::{SimConfig, Simulation};
 use caladrius::sim::metrics::{metric, SimMetrics};
@@ -19,8 +24,11 @@ use caladrius::sim::profiles::RateProfile;
 use caladrius::sim::reference::ReferenceSimulation;
 use caladrius::sim::topology::Topology;
 use caladrius::tsdb::Aggregation;
-use caladrius::workload::diamond::{diamond_topology, DiamondParallelism};
-use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use caladrius::workload::diamond::{diamond_topology, diamond_topology_with, DiamondParallelism};
+use caladrius::workload::traffic::{flash_crowd, DiurnalTraffic};
+use caladrius::workload::wordcount::{
+    wordcount_topology, wordcount_topology_with, WordCountParallelism,
+};
 use proptest::prelude::*;
 
 /// Every metric family either kernel can emit.
@@ -228,4 +236,205 @@ fn macro_step_matches_exact_under_backpressure() {
     // engaging, so this exercises the "verdicts must agree" side.
     let topology = wordcount_topology(WordCountParallelism::default(), 22.0e6);
     assert_macro_within_tolerance(topology, false);
+}
+
+/// Runs the same topology exact and event-driven; asserts closed-form
+/// coverage (when expected), matching backpressure verdicts and sink
+/// throughput within 0.1 %.
+fn assert_event_within_tolerance(topology: Topology, expect_closed_form: bool) {
+    let exact_cfg = SimConfig {
+        metric_noise: 0.0,
+        ..SimConfig::default()
+    };
+    let event_cfg = SimConfig {
+        event_mode: true,
+        ..exact_cfg.clone()
+    };
+    let minutes = 30;
+    let warmup_ms = 5 * 60_000;
+    let mut exact = Simulation::new(topology.clone(), exact_cfg).unwrap();
+    let mut fast = Simulation::new(topology, event_cfg).unwrap();
+    let exact_metrics = exact.run_minutes(minutes);
+    let fast_metrics = fast.run_minutes(minutes);
+    assert_eq!(exact.ticks_closed_form(), 0);
+    if expect_closed_form {
+        assert!(
+            fast.ticks_closed_form() > 60,
+            "relaxed run should advance mostly in closed form, covered only {}",
+            fast.ticks_closed_form()
+        );
+        assert!(
+            fast.sim_events() > 0,
+            "closed-form spans are bounded by scheduler events"
+        );
+    }
+    let (exact_sink, exact_bp) = sink_and_bp(&exact_metrics, exact.topology(), warmup_ms);
+    let (fast_sink, fast_bp) = sink_and_bp(&fast_metrics, fast.topology(), warmup_ms);
+    assert!(
+        (fast_sink - exact_sink).abs() <= 1e-3 * exact_sink.max(1.0),
+        "sink rate diverged beyond 0.1%: exact {exact_sink} vs event {fast_sink}"
+    );
+    let tolerance = 1.0;
+    assert_eq!(
+        exact_bp > tolerance,
+        fast_bp > tolerance,
+        "backpressure verdicts diverged: exact {exact_bp} ms vs event {fast_bp} ms"
+    );
+}
+
+#[test]
+fn event_mode_matches_exact_on_steady_wordcount() {
+    let topology = wordcount_topology(WordCountParallelism::default(), 8.0e6);
+    assert_event_within_tolerance(topology, true);
+}
+
+#[test]
+fn event_mode_matches_exact_on_steady_diamond() {
+    let topology = diamond_topology(DiamondParallelism::default(), 12.0e6);
+    assert_event_within_tolerance(topology, true);
+}
+
+#[test]
+fn event_mode_matches_exact_on_ramping_diamond() {
+    let topology = diamond_topology_with(
+        DiamondParallelism::default(),
+        RateProfile::Ramp {
+            from: 6.0e6 / 60.0,
+            to: 24.0e6 / 60.0,
+            duration_secs: 1200,
+        },
+    );
+    assert_event_within_tolerance(topology, true);
+}
+
+#[test]
+fn event_mode_matches_exact_on_diurnal_wordcount() {
+    // A compressed day: the sinusoid sweeps 5.6–10.4 M words/min inside
+    // the 30-minute run, so breakpoint events fire throughout.
+    let diurnal = DiurnalTraffic {
+        base_rate: 8.0e6 / 60.0,
+        amplitude: 0.3,
+        period_secs: 1200,
+        phase_secs: 0,
+        knots_per_period: 12,
+    };
+    let topology = wordcount_topology_with(
+        WordCountParallelism::default(),
+        diurnal.to_profile(30 * 60),
+        None,
+    );
+    assert_event_within_tolerance(topology, true);
+}
+
+#[test]
+fn event_mode_matches_exact_on_flash_crowd() {
+    // The crowd peaks at 2x the splitter knee: the run enters sustained
+    // backpressure mid-flight and recovers. The scheduler must fall back
+    // to exact ticks through the congested stretch yet still cover the
+    // relaxed head and tail in closed form.
+    let topology = wordcount_topology_with(
+        WordCountParallelism::default(),
+        flash_crowd(8.0e6 / 60.0, 22.0e6 / 60.0, 360, 120, 420),
+        None,
+    );
+    assert_event_within_tolerance(topology, true);
+}
+
+#[test]
+fn event_mode_matches_exact_under_sustained_backpressure() {
+    // Permanently overloaded: the saturation probe never passes, so the
+    // scheduler degenerates to exact ticks — verdicts must still agree.
+    let topology = wordcount_topology(WordCountParallelism::default(), 22.0e6);
+    assert_event_within_tolerance(topology, false);
+}
+
+#[derive(Debug, Clone)]
+struct EventCase {
+    topology: Topology,
+    minutes: u64,
+    regime: u8,
+    load: f64,
+    diamond: bool,
+}
+
+fn arb_event_case() -> impl Strategy<Value = EventCase> {
+    (
+        prop::bool::ANY, // wordcount vs diamond
+        0u8..4,          // constant / stepped / ramping / diurnal
+        0.2f64..1.8,     // offered rate as a fraction of the bottleneck knee
+    )
+        .prop_map(|(diamond, regime, load)| {
+            let knee = if diamond { 30.0e6 } else { 11.0e6 };
+            let per_sec = load * knee / 60.0;
+            let profile = match regime {
+                0 => RateProfile::Constant { rate: per_sec },
+                1 => RateProfile::Steps {
+                    initial: per_sec,
+                    steps: vec![(150, per_sec * 1.5), (330, per_sec * 0.6)],
+                },
+                2 => RateProfile::Ramp {
+                    from: per_sec * 0.5,
+                    to: per_sec * 1.4,
+                    duration_secs: 420,
+                },
+                _ => DiurnalTraffic {
+                    base_rate: per_sec,
+                    amplitude: 0.35,
+                    period_secs: 480,
+                    phase_secs: 0,
+                    knots_per_period: 8,
+                }
+                .to_profile(12 * 60),
+            };
+            let topology = if diamond {
+                diamond_topology_with(DiamondParallelism::default(), profile)
+            } else {
+                wordcount_topology_with(WordCountParallelism::default(), profile, None)
+            };
+            EventCase {
+                topology,
+                minutes: 12,
+                regime,
+                load,
+                diamond,
+            }
+        })
+}
+
+proptest! {
+    /// Event-driven advancement stays within the tolerance contract —
+    /// sink rate within 0.1 % of the exact kernel and identical
+    /// backpressure verdicts — across constant, stepped, ramping and
+    /// diurnal profiles on both topologies, above and below the knee.
+    #[test]
+    fn event_mode_is_equivalent_across_profile_regimes(case in arb_event_case()) {
+        let exact_cfg = SimConfig { metric_noise: 0.0, ..SimConfig::default() };
+        let event_cfg = SimConfig { event_mode: true, ..exact_cfg.clone() };
+        let warmup_ms = 3 * 60_000;
+        let mut exact = Simulation::new(case.topology.clone(), exact_cfg).unwrap();
+        let mut fast = Simulation::new(case.topology, event_cfg).unwrap();
+        let exact_metrics = exact.run_minutes(case.minutes);
+        let fast_metrics = fast.run_minutes(case.minutes);
+        let (exact_sink, exact_bp) = sink_and_bp(&exact_metrics, exact.topology(), warmup_ms);
+        let (fast_sink, fast_bp) = sink_and_bp(&fast_metrics, fast.topology(), warmup_ms);
+        prop_assert!(
+            (fast_sink - exact_sink).abs() <= 1e-3 * exact_sink.max(1.0),
+            "sink rate diverged beyond 0.1%: exact {} vs event {} (regime {} load {} diamond {})",
+            exact_sink,
+            fast_sink,
+            case.regime,
+            case.load,
+            case.diamond
+        );
+        prop_assert_eq!(
+            exact_bp > 1.0,
+            fast_bp > 1.0,
+            "backpressure verdicts diverged: exact {} ms vs event {} ms (regime {} load {} diamond {})",
+            exact_bp,
+            fast_bp,
+            case.regime,
+            case.load,
+            case.diamond
+        );
+    }
 }
