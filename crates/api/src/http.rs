@@ -62,6 +62,9 @@ pub struct Response {
     pub content_type: String,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers beyond the standard set (e.g.
+    /// `Retry-After` on load-shedding 429s).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -71,6 +74,7 @@ impl Response {
             status: 200,
             content_type: "application/json".into(),
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -88,7 +92,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8".into(),
             body: body.into().into_bytes(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Builder-style extra header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     fn status_text(&self) -> &'static str {
@@ -99,6 +110,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             _ => "Unknown",
         }
@@ -107,12 +119,16 @@ impl Response {
     fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.status_text(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -336,12 +352,34 @@ impl HttpClient {
 
     /// Issues a GET and returns `(status, body)`.
     pub fn get(&self, target: &str) -> std::io::Result<(u16, String)> {
-        self.request("GET", target, None)
+        let (status, _, body) = self.request("GET", target, None, &[])?;
+        Ok((status, body))
     }
 
     /// Issues a POST with a JSON body and returns `(status, body)`.
     pub fn post(&self, target: &str, body: &str) -> std::io::Result<(u16, String)> {
-        self.request("POST", target, Some(body))
+        let (status, _, body) = self.request("POST", target, Some(body), &[])?;
+        Ok((status, body))
+    }
+
+    /// [`HttpClient::post`] with request headers, returning the response
+    /// headers too (keys lower-cased) — load-shedding clients read
+    /// `Retry-After` off 429s, and priority rides in on `x-priority`.
+    pub fn post_full(
+        &self,
+        target: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<(u16, BTreeMap<String, String>, String)> {
+        self.request("POST", target, Some(body), headers)
+    }
+
+    /// [`HttpClient::get`] returning response headers (keys lower-cased).
+    pub fn get_full(
+        &self,
+        target: &str,
+    ) -> std::io::Result<(u16, BTreeMap<String, String>, String)> {
+        self.request("GET", target, None, &[])
     }
 
     fn request(
@@ -349,15 +387,19 @@ impl HttpClient {
         method: &str,
         target: &str,
         body: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<(u16, BTreeMap<String, String>, String)> {
         let mut stream = TcpStream::connect(self.addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         let body = body.unwrap_or("");
-        write!(
-            stream,
-            "{method} {target} HTTP/1.1\r\nHost: caladrius\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: caladrius\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
             body.len()
-        )?;
+        );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        write!(stream, "{head}\r\n{body}")?;
         stream.flush()?;
         let mut raw = String::new();
         stream.read_to_string(&mut raw)?;
@@ -366,11 +408,17 @@ impl HttpClient {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| std::io::Error::other("malformed response"))?;
-        let body = raw
+        let (head, body) = raw
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
+            .map(|(h, b)| (h.to_string(), b.to_string()))
             .unwrap_or_default();
-        Ok((status, body))
+        let mut headers = BTreeMap::new();
+        for line in head.lines().skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.insert(name.trim().to_lowercase(), value.trim().to_string());
+            }
+        }
+        Ok((status, headers, body))
     }
 }
 

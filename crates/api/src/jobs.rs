@@ -18,6 +18,35 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 /// Default bound on tracked jobs per runner.
 pub const DEFAULT_JOB_CAPACITY: usize = 1024;
 
+/// Default bound on in-flight (pending or running) jobs per fairness
+/// key — one tenant topology cannot monopolize the worker pool.
+pub const DEFAULT_PER_KEY_IN_FLIGHT: u32 = 16;
+
+/// A keyed submission was refused: the key already has `in_flight`
+/// unfinished jobs against a cap of `cap`. Maps to `429 Too Many
+/// Requests` at the HTTP edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRejected {
+    /// The fairness key (topology id) that hit its cap.
+    pub key: String,
+    /// Unfinished jobs currently held by the key.
+    pub in_flight: u32,
+    /// The per-key in-flight cap.
+    pub cap: u32,
+}
+
+impl std::fmt::Display for JobRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job for {:?} rejected: {} of {} in-flight jobs already held",
+            self.key, self.in_flight, self.cap
+        )
+    }
+}
+
+impl std::error::Error for JobRejected {}
+
 /// The lifecycle of a job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobState {
@@ -67,12 +96,16 @@ type Task = Box<dyn FnOnce() -> Result<Value, String> + Send>;
 struct JobEntry {
     state: JobState,
     timing: JobTiming,
+    /// Fairness key (topology id) the job counts against, if any.
+    key: Option<String>,
 }
 
 struct StoreInner {
     states: HashMap<u64, JobEntry>,
     /// Insertion order of job ids, oldest first (drives eviction).
     order: VecDeque<u64>,
+    /// Unfinished jobs per fairness key (pending or running).
+    in_flight: HashMap<String, u32>,
 }
 
 /// A capacity-bounded store of job states.
@@ -103,6 +136,7 @@ impl JobStore {
             inner: Mutex::new(StoreInner {
                 states: HashMap::new(),
                 order: VecDeque::new(),
+                in_flight: HashMap::new(),
             }),
         }
     }
@@ -116,8 +150,43 @@ impl JobStore {
     /// is at capacity. Stamps the queued timestamp.
     pub fn insert(&self, id: u64, state: JobState) {
         let mut inner = self.inner.lock();
-        if inner.states.len() >= self.capacity {
-            Self::evict_oldest_finished(&mut inner, 1);
+        Self::insert_entry(&mut inner, self.capacity, id, state, None);
+    }
+
+    /// Tracks a new job counted against fairness key `key`, refusing the
+    /// insert when the key already holds `cap` unfinished jobs. The
+    /// check-and-increment runs under the store lock, so concurrent
+    /// submitters can never jointly exceed the cap.
+    pub fn insert_keyed(&self, id: u64, key: &str, cap: u32) -> Result<(), JobRejected> {
+        let mut inner = self.inner.lock();
+        let in_flight = inner.in_flight.get(key).copied().unwrap_or(0);
+        if in_flight >= cap {
+            return Err(JobRejected {
+                key: key.to_string(),
+                in_flight,
+                cap,
+            });
+        }
+        *inner.in_flight.entry(key.to_string()).or_insert(0) += 1;
+        Self::insert_entry(
+            &mut inner,
+            self.capacity,
+            id,
+            JobState::Pending,
+            Some(key.to_string()),
+        );
+        Ok(())
+    }
+
+    fn insert_entry(
+        inner: &mut StoreInner,
+        capacity: usize,
+        id: u64,
+        state: JobState,
+        key: Option<String>,
+    ) {
+        if inner.states.len() >= capacity {
+            Self::evict_oldest_finished(inner, 1);
         }
         let entry = JobEntry {
             state,
@@ -125,22 +194,39 @@ impl JobStore {
                 queued_unix_ms: unix_ms(),
                 ..JobTiming::default()
             },
+            key,
         };
         if inner.states.insert(id, entry).is_none() {
             inner.order.push_back(id);
         }
     }
 
+    /// Unfinished jobs currently counted against a fairness key.
+    pub fn in_flight(&self, key: &str) -> u32 {
+        self.inner.lock().in_flight.get(key).copied().unwrap_or(0)
+    }
+
     /// Records the outcome of a tracked job, stamping the finished
-    /// timestamp for terminal states. Outcomes for jobs already evicted
-    /// are dropped (their slot was reclaimed while they ran).
+    /// timestamp for terminal states (and releasing the job's fairness
+    /// slot, if keyed). Outcomes for jobs already evicted are dropped
+    /// (their slot was reclaimed while they ran).
     pub fn update(&self, id: u64, state: JobState) {
         let mut inner = self.inner.lock();
+        let mut release = None;
         if let Some(slot) = inner.states.get_mut(&id) {
             if !matches!(state, JobState::Pending) && slot.timing.finished_unix_ms.is_none() {
                 slot.timing.finished_unix_ms = Some(unix_ms());
+                release = slot.key.clone();
             }
             slot.state = state;
+        }
+        if let Some(key) = release {
+            if let Some(count) = inner.in_flight.get_mut(&key) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    inner.in_flight.remove(&key);
+                }
+            }
         }
     }
 
@@ -213,6 +299,7 @@ pub struct JobRunner {
     store: Arc<JobStore>,
     tx: Sender<(u64, Task)>,
     queue_depth: Gauge,
+    per_key_cap: u32,
 }
 
 impl std::fmt::Debug for JobRunner {
@@ -282,7 +369,50 @@ impl JobRunner {
             store,
             tx,
             queue_depth,
+            per_key_cap: DEFAULT_PER_KEY_IN_FLIGHT,
         }
+    }
+
+    /// Sets the per-key in-flight cap enforced by
+    /// [`JobRunner::submit_keyed`] (minimum 1).
+    pub fn with_per_key_cap(mut self, cap: u32) -> Self {
+        self.per_key_cap = cap.max(1);
+        self
+    }
+
+    /// The per-key in-flight cap enforced by [`JobRunner::submit_keyed`].
+    pub fn per_key_cap(&self) -> u32 {
+        self.per_key_cap
+    }
+
+    /// Unfinished jobs currently counted against a fairness key.
+    pub fn in_flight(&self, key: &str) -> u32 {
+        self.store.in_flight(key)
+    }
+
+    /// [`JobRunner::submit`] counted against fairness key `key`
+    /// (topology id): the submission is refused with [`JobRejected`]
+    /// when `key` already holds [`JobRunner::per_key_cap`] unfinished
+    /// jobs, so one tenant cannot monopolize the worker pool.
+    pub fn submit_keyed(
+        &self,
+        key: &str,
+        task: impl FnOnce() -> Result<Value, String> + Send + 'static,
+    ) -> Result<u64, JobRejected> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.store.insert_keyed(id, key, self.per_key_cap)?;
+        self.queue_depth.add(1.0);
+        let request_id = caladrius_obs::current_request_id();
+        let task: Task = Box::new(move || {
+            let _scope = request_id.map(RequestScope::enter);
+            let mut span = caladrius_obs::global_span("api.job");
+            span.field("job", id);
+            task()
+        });
+        self.tx
+            .send((id, task))
+            .expect("workers outlive the runner");
+        Ok(id)
     }
 
     /// Submits a job; returns its id immediately. The submitter's request
@@ -450,6 +580,43 @@ mod tests {
         assert!(done.queue_wait_ms().unwrap() >= 0);
         assert!(done.duration_ms().unwrap() >= 0);
         assert!(done.finished_unix_ms.unwrap() >= done.started_unix_ms.unwrap());
+    }
+
+    /// Two-tenant fairness regression: tenant `a` saturating its per-key
+    /// cap must not block tenant `b`, and finishing releases the slots.
+    #[test]
+    fn per_key_caps_prevent_tenant_monopoly() {
+        let runner = JobRunner::new(1).with_per_key_cap(2);
+        assert_eq!(runner.per_key_cap(), 2);
+        // Occupy the single worker so keyed jobs stay in flight until we
+        // release the gate.
+        let (gate_tx, gate_rx) = crossbeam::channel::unbounded::<()>();
+        let blocker = runner.submit(move || {
+            gate_rx.recv().ok();
+            Ok(Value::Null)
+        });
+        let a1 = runner.submit_keyed("tenant-a", || Ok(Value::Null)).unwrap();
+        let a2 = runner.submit_keyed("tenant-a", || Ok(Value::Null)).unwrap();
+        assert_eq!(runner.in_flight("tenant-a"), 2);
+        // Tenant a is at its cap: the third submission is refused...
+        let rejected = runner
+            .submit_keyed("tenant-a", || Ok(Value::Null))
+            .unwrap_err();
+        assert_eq!(rejected.key, "tenant-a");
+        assert_eq!((rejected.in_flight, rejected.cap), (2, 2));
+        // ...while tenant b is admitted despite a's backlog.
+        let b1 = runner.submit_keyed("tenant-b", || Ok(Value::Null)).unwrap();
+        assert_eq!(runner.in_flight("tenant-b"), 1);
+        gate_tx.send(()).unwrap();
+        for id in [blocker, a1, a2, b1] {
+            assert_eq!(runner.wait(id), Some(JobState::Done(Value::Null)));
+        }
+        // Terminal states release the fairness slots.
+        assert_eq!(runner.in_flight("tenant-a"), 0);
+        assert_eq!(runner.in_flight("tenant-b"), 0);
+        runner
+            .submit_keyed("tenant-a", || Ok(Value::Null))
+            .expect("slots released after completion");
     }
 
     #[test]

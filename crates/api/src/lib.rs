@@ -12,7 +12,11 @@
 //! * [`jobs`] — asynchronous model execution: requests can take seconds,
 //!   so the API supports `202 Accepted` + job polling, "allowing the
 //!   client to continue with other operations while the modelling is
-//!   being processed".
+//!   being processed". Keyed submission caps each topology's in-flight
+//!   jobs so one tenant cannot monopolize the workers.
+//! * [`admission`] — token-bucket + p99-SLO + queue-watermark admission
+//!   control: under overload, low-priority requests are shed with `429`
+//!   and `Retry-After` instead of queueing without bound.
 //! * [`routes`] — Caladrius's REST endpoints wired to
 //!   [`caladrius_core::Caladrius`]:
 //!   `GET /model/traffic/heron/{topology}`,
@@ -21,11 +25,14 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod routes;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Priority};
 pub use http::{HttpClient, HttpServer, Request, Response};
+pub use jobs::{JobRejected, JobRunner};
 pub use json::Value;
 pub use routes::ApiService;

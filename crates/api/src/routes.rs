@@ -15,6 +15,7 @@
 //! | GET  | `/metrics/service` | service-wide metrics, Prometheus text format |
 //! | GET  | `/trace/recent?limit=N` | recent spans from the trace ring, JSON |
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Priority};
 use crate::http::{Handler, Request, Response};
 use crate::jobs::{JobRunner, JobState};
 use crate::json::{self, Value};
@@ -32,6 +33,7 @@ use std::time::Instant;
 pub struct ApiService {
     caladrius: Arc<Caladrius>,
     jobs: JobRunner,
+    admission: AdmissionController,
 }
 
 impl std::fmt::Debug for ApiService {
@@ -221,8 +223,9 @@ fn parse_evaluation_body(body: &str) -> Result<(HashMap<String, u32>, SourceRate
 
 /// Parses the capacity-plan request body into a
 /// [`CapacityPlanRequest`]. Every field is optional; absent fields keep
-/// the planner defaults.
-fn parse_plan_body(body: &str) -> Result<CapacityPlanRequest, String> {
+/// the planner defaults. Public so the fleet tier's plan route shares
+/// one body dialect with the single-topology route.
+pub fn parse_plan_body(body: &str) -> Result<CapacityPlanRequest, String> {
     let value = if body.trim().is_empty() {
         Value::Object(Default::default())
     } else {
@@ -270,6 +273,9 @@ fn parse_plan_body(body: &str) -> Result<CapacityPlanRequest, String> {
     }
     if let Some(max_p) = whole("max_parallelism")? {
         request.planner.limits.max_parallelism = max_p.min(u64::from(u32::MAX)) as u32;
+    }
+    if let Some(budget) = whole("max_containers")? {
+        request.planner.limits.max_containers = budget.min(u64::from(u32::MAX)) as u32;
     }
     request.planner.validate().map_err(|e| e.to_string())?;
     Ok(request)
@@ -356,8 +362,33 @@ impl ApiService {
         Self::new(caladrius, caladrius_exec::configured_threads())
     }
 
-    /// Wraps a Caladrius service with `job_workers` asynchronous workers.
+    /// Wraps a Caladrius service with `job_workers` asynchronous workers
+    /// and admission control disabled.
     pub fn new(caladrius: Arc<Caladrius>, job_workers: usize) -> Arc<Self> {
+        Self::with_parts(
+            caladrius,
+            JobRunner::new(job_workers),
+            AdmissionConfig::default(),
+        )
+    }
+
+    /// Wraps a Caladrius service with an explicit admission-control
+    /// configuration on the sheddable routes (currently the plan route).
+    pub fn with_admission(
+        caladrius: Arc<Caladrius>,
+        job_workers: usize,
+        admission: AdmissionConfig,
+    ) -> Arc<Self> {
+        Self::with_parts(caladrius, JobRunner::new(job_workers), admission)
+    }
+
+    /// Fully explicit constructor: caller-built job runner (per-key caps,
+    /// capacity) plus an admission configuration.
+    pub fn with_parts(
+        caladrius: Arc<Caladrius>,
+        jobs: JobRunner,
+        admission: AdmissionConfig,
+    ) -> Arc<Self> {
         let registry = caladrius_obs::global_registry();
         registry.describe(
             "caladrius_http_requests_total",
@@ -369,8 +400,19 @@ impl ApiService {
         );
         Arc::new(Self {
             caladrius,
-            jobs: JobRunner::new(job_workers),
+            jobs,
+            admission: AdmissionController::new(admission),
         })
+    }
+
+    /// The wrapped core service.
+    pub fn caladrius(&self) -> &Arc<Caladrius> {
+        &self.caladrius
+    }
+
+    /// The async job runner (fleet health reads its queue depth).
+    pub fn jobs(&self) -> &JobRunner {
+        &self.jobs
     }
 
     /// A handler suitable for [`crate::http::HttpServer::serve`].
@@ -478,6 +520,7 @@ impl ApiService {
             status: 200,
             content_type: caladrius_obs::PROMETHEUS_CONTENT_TYPE.into(),
             body: caladrius_obs::render_prometheus(caladrius_obs::global_registry()).into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -757,11 +800,55 @@ impl ApiService {
         }
     }
 
+    /// Observed p99 latency of a route, read from the same per-route
+    /// histogram [`ApiService::handle`] records into. `None` until the
+    /// route has served at least one request.
+    fn route_p99(route: &str) -> Option<f64> {
+        let histogram = caladrius_obs::global_registry().histogram(
+            "caladrius_http_request_duration_seconds",
+            &[("route", route)],
+        );
+        (histogram.count() > 0).then(|| histogram.snapshot().quantile(0.99))
+    }
+
+    /// `429 Too Many Requests` with a `Retry-After` hint — both load
+    /// shedding and per-topology fairness caps surface this shape.
+    fn too_many_requests(error: &str, retry_after_seconds: u32) -> Response {
+        Response::json_status(
+            429,
+            Value::object([("error", Value::from(error))]).to_json(),
+        )
+        .with_header("Retry-After", retry_after_seconds.to_string())
+    }
+
     /// `POST /topology/{t}/plan` — horizon capacity planning. Plan
     /// searches forecast and probe the models across the whole horizon,
     /// so the work always runs asynchronously through the job store:
     /// the response is a `202` with a job id to poll.
+    ///
+    /// The route is guarded twice: admission control may shed
+    /// low-priority requests while the route is over its latency SLO
+    /// (or the job queue over its watermark), and keyed submission caps
+    /// each topology's unfinished plan jobs. Both refusals surface as
+    /// `429` with `Retry-After`.
     fn plan(&self, topology: &str, request: &Request) -> Response {
+        const ROUTE: &str = "/topology/{topology}/plan";
+        let priority = Priority::from_header(
+            request
+                .headers
+                .get(crate::admission::PRIORITY_HEADER)
+                .map(String::as_str),
+        );
+        if let AdmissionDecision::Shed {
+            retry_after_seconds,
+        } = self.admission.decide(
+            ROUTE,
+            priority,
+            Self::route_p99(ROUTE),
+            self.jobs.queue_depth(),
+        ) {
+            return Self::too_many_requests("shed by admission control", retry_after_seconds);
+        }
         let body = match request.body_str() {
             Some(b) => b,
             None => return Response::json_status(400, "{\"error\":\"body is not UTF-8\"}"),
@@ -777,12 +864,22 @@ impl ApiService {
         };
         let caladrius = Arc::clone(&self.caladrius);
         let topology = topology.to_string();
-        let id = self.jobs.submit(move || {
+        let task_topology = topology.clone();
+        let submitted = self.jobs.submit_keyed(&topology, move || {
             caladrius
-                .plan_capacity(&topology, &plan_request)
-                .map(|timeline| timeline_to_json(&topology, &timeline))
+                .plan_capacity(&task_topology, &plan_request)
+                .map(|timeline| timeline_to_json(&task_topology, &timeline))
                 .map_err(|e| e.to_string())
         });
+        let id = match submitted {
+            Ok(id) => id,
+            Err(rejected) => {
+                return Self::too_many_requests(
+                    &rejected.to_string(),
+                    self.admission.config().retry_after_seconds,
+                )
+            }
+        };
         Response::json_status(
             202,
             Value::object([
@@ -850,7 +947,7 @@ mod tests {
     use heron_sim::engine::{SimConfig, Simulation};
     use std::collections::BTreeMap;
 
-    fn service() -> Arc<ApiService> {
+    fn caladrius() -> Arc<Caladrius> {
         let parallelism = WordCountParallelism {
             spout: 8,
             splitter: 2,
@@ -872,11 +969,14 @@ mod tests {
             sim.run_minutes_into(10, &metrics);
         }
         let tracker = StaticTracker::new().with(wordcount_topology(parallelism, 20.0e6));
-        let caladrius = Caladrius::new(
+        Arc::new(Caladrius::new(
             Arc::new(SimMetricsProvider::new(metrics)),
             Arc::new(tracker),
-        );
-        ApiService::new(Arc::new(caladrius), 2)
+        ))
+    }
+
+    fn service() -> Arc<ApiService> {
+        ApiService::new(caladrius(), 2)
     }
 
     fn get(service: &ApiService, target: &str) -> Response {
@@ -891,12 +991,24 @@ mod tests {
     }
 
     fn post(service: &ApiService, target: &str, body: &str) -> Response {
+        post_with(service, target, body, &[])
+    }
+
+    fn post_with(
+        service: &ApiService,
+        target: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> Response {
         let (path, query) = crate::http::parse_target(target);
         service.handle(Request {
             method: "POST".into(),
             path,
             query,
-            headers: BTreeMap::new(),
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
             body: body.as_bytes().to_vec(),
         })
     }
@@ -1166,6 +1278,97 @@ mod tests {
                 other => panic!("expected failure for ghost topology, got {other:?}"),
             }
         }
+    }
+
+    /// Forced shed: with an impossible latency SLO, any low-priority
+    /// plan request is shed once the route has observed latency at all,
+    /// while high-priority requests always pass.
+    #[test]
+    fn plan_requests_shed_under_admission_pressure() {
+        let s = ApiService::with_admission(
+            caladrius(),
+            2,
+            AdmissionConfig {
+                enabled: true,
+                slo_p99_seconds: -1.0,
+                retry_after_seconds: 3,
+                ..AdmissionConfig::default()
+            },
+        );
+        // Prime the route's latency histogram: high priority bypasses
+        // shedding unconditionally.
+        let r = post_with(
+            &s,
+            "/topology/wordcount/plan",
+            "",
+            &[("x-priority", "high")],
+        );
+        assert_eq!(r.status, 202, "{}", String::from_utf8_lossy(&r.body));
+        // Low priority now sheds — the observed p99 exceeds the SLO.
+        let r = post(&s, "/topology/wordcount/plan", "");
+        assert_eq!(r.status, 429, "{}", String::from_utf8_lossy(&r.body));
+        assert!(
+            r.headers
+                .iter()
+                .any(|(n, v)| n == "Retry-After" && v == "3"),
+            "Retry-After hint on shed responses: {:?}",
+            r.headers
+        );
+        let shed = caladrius_obs::global_registry().counter(
+            "caladrius_fleet_shed_total",
+            &[("route", "/topology/{topology}/plan"), ("priority", "low")],
+        );
+        assert!(shed.get() >= 1);
+        // High priority still passes under the same pressure.
+        let r = post_with(
+            &s,
+            "/topology/wordcount/plan",
+            "",
+            &[("x-priority", "high")],
+        );
+        assert_eq!(r.status, 202);
+    }
+
+    /// Per-topology fairness at the route: with the single worker gated
+    /// and the per-key cap at 1, a second plan for the same topology is
+    /// refused with `429` + `Retry-After`.
+    #[test]
+    fn plan_requests_hit_per_topology_cap() {
+        let s = ApiService::with_parts(
+            caladrius(),
+            crate::jobs::JobRunner::new(1).with_per_key_cap(1),
+            AdmissionConfig::default(),
+        );
+        let (gate_tx, gate_rx) = crossbeam::channel::unbounded::<()>();
+        s.jobs().submit(move || {
+            gate_rx.recv().ok();
+            Ok(Value::Null)
+        });
+        let r = post(&s, "/topology/wordcount/plan", "");
+        assert_eq!(r.status, 202, "{}", String::from_utf8_lossy(&r.body));
+        let r = post(&s, "/topology/wordcount/plan", "");
+        assert_eq!(r.status, 429, "{}", String::from_utf8_lossy(&r.body));
+        assert!(r.headers.iter().any(|(n, _)| n == "Retry-After"));
+        // A different topology is not starved by wordcount's backlog
+        // (the job itself will fail — ghost is unknown — but submission
+        // must be admitted).
+        let r = post(&s, "/topology/ghost/plan", "");
+        assert_eq!(r.status, 202, "{}", String::from_utf8_lossy(&r.body));
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn plan_body_accepts_container_budget() {
+        let request = parse_plan_body(r#"{"max_containers": 7}"#).unwrap();
+        assert_eq!(request.planner.limits.max_containers, 7);
+        // Zero is rejected by planner validation.
+        assert!(parse_plan_body(r#"{"max_containers": 0}"#).is_err());
+        // Absent keeps the unlimited default.
+        let request = parse_plan_body("{}").unwrap();
+        assert_eq!(
+            request.planner.limits.max_containers,
+            caladrius_planner::UNLIMITED_CONTAINERS
+        );
     }
 
     #[test]

@@ -174,9 +174,24 @@ impl Caladrius {
         tracker: Arc<dyn TopologyTracker>,
         config: CaladriusConfig,
     ) -> Self {
+        Self::with_config_labelled(metrics, tracker, config, &[])
+    }
+
+    /// [`Caladrius::with_config`] with extra labels on every obs series
+    /// this instance registers (cache counters, fit/plan histograms).
+    /// The fleet tier labels each shard's service `shard="<index>"` so
+    /// one `/metrics` exposition separates per-shard cache and plan
+    /// behaviour; the per-instance `service` label is always present.
+    pub fn with_config_labelled(
+        metrics: Arc<dyn MetricsProvider>,
+        tracker: Arc<dyn TopologyTracker>,
+        config: CaladriusConfig,
+        extra_labels: &[(&str, &str)],
+    ) -> Self {
         let registry = caladrius_obs::global_registry();
         let service_id = caladrius_obs::next_scope_id().to_string();
-        let labels: [(&str, &str); 1] = [("service", &service_id)];
+        let mut labels: Vec<(&str, &str)> = vec![("service", &service_id)];
+        labels.extend_from_slice(extra_labels);
         registry.describe(
             "caladrius_model_cache_hits_total",
             "Evaluations served entirely from cached fitted models",

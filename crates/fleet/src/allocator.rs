@@ -1,0 +1,353 @@
+//! Cluster-level container-budget allocation.
+//!
+//! Each topology's *unconstrained* plan timeline yields a per-window
+//! container demand `d_w` (the containers its cheapest feasible plan
+//! needs in window `w`). The cluster has `B` containers to split across
+//! competing topologies for the horizon. Granting `c` containers to a
+//! topology with demand curve `d` earns utility
+//!
+//! ```text
+//! u(c) = Σ_w min(c, d_w) / d_w        (over windows with d_w > 0)
+//! ```
+//!
+//! — the fraction of each window's demand that is served, summed over
+//! windows. The complementary *backpressure risk* is the mean unserved
+//! fraction, `mean_w max(0, 1 − c/d_w)`: a granted budget below demand
+//! forces the constrained re-plan to run fewer containers than the
+//! models say the window needs, leaving the topology at risk of
+//! backpressure in proportion to the shortfall.
+//!
+//! `u` is concave and non-decreasing in `c` (the marginal gain of the
+//! `c`-th container is `Σ_w [d_w ≥ c]/d_w`, non-increasing in `c`), so
+//! greedy-by-marginal-gain is *exact*: it matches the DP optimum, and
+//! with a deterministic tie-break the greedy sequence for budget `B` is
+//! a prefix of the sequence for `B+1`, which makes per-topology grants
+//! — and therefore risks — monotone in the budget. Both properties are
+//! enforced by tests against [`allocate_exact_dp`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One topology's per-window container demand, read off its
+/// unconstrained plan timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyDemand {
+    /// Topology id.
+    pub topology: String,
+    /// Containers demanded per horizon window (`PlanCost::containers`).
+    pub per_window_containers: Vec<u32>,
+}
+
+impl TopologyDemand {
+    /// Peak demand across the horizon (0 for an empty curve).
+    pub fn peak(&self) -> u32 {
+        self.per_window_containers
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One topology's share of the cluster budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetGrant {
+    /// Topology id.
+    pub topology: String,
+    /// Containers granted for the horizon.
+    pub containers: u32,
+    /// Residual backpressure risk under the grant (see [`risk`]).
+    pub risk: f64,
+}
+
+/// Outcome of a fleet allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-topology grants, in input order.
+    pub grants: Vec<BudgetGrant>,
+    /// Containers handed out (`≤ budget`; surplus beyond every
+    /// topology's peak demand is left unallocated).
+    pub total_granted: u32,
+    /// The cluster budget the allocation ran under.
+    pub budget: u32,
+}
+
+impl Allocation {
+    /// Total utility of the allocation (for optimality comparisons).
+    pub fn total_utility(&self, demands: &[TopologyDemand]) -> f64 {
+        self.grants
+            .iter()
+            .zip(demands)
+            .map(|(g, d)| utility(&d.per_window_containers, g.containers))
+            .sum()
+    }
+}
+
+/// Served-demand utility of granting `containers` against `demand`
+/// (see the module docs). Zero-demand windows contribute nothing.
+pub fn utility(demand: &[u32], containers: u32) -> f64 {
+    demand
+        .iter()
+        .filter(|d| **d > 0)
+        .map(|d| f64::from((*d).min(containers)) / f64::from(*d))
+        .sum()
+}
+
+/// Mean unserved-demand fraction across demand windows: `0.0` when the
+/// grant covers every window (or the curve has no demand), approaching
+/// `1.0` as the grant starves the horizon.
+pub fn risk(demand: &[u32], containers: u32) -> f64 {
+    let windows: Vec<&u32> = demand.iter().filter(|d| **d > 0).collect();
+    if windows.is_empty() {
+        return 0.0;
+    }
+    windows
+        .iter()
+        .map(|d| (1.0 - f64::from(containers) / f64::from(**d)).max(0.0))
+        .sum::<f64>()
+        / windows.len() as f64
+}
+
+/// Marginal utility of the `c`-th container (`c ≥ 1`): the summed
+/// per-window gain `Σ_w [d_w ≥ c] / d_w`.
+fn marginal_gain(demand: &[u32], c: u32) -> f64 {
+    demand
+        .iter()
+        .filter(|d| **d >= c)
+        .map(|d| 1.0 / f64::from(*d))
+        .sum()
+}
+
+/// Greedy allocation by marginal-gain-per-container. Exact for this
+/// concave utility (see module docs); `O((B + n) log n)`.
+///
+/// Tie-break: equal gains go to the lower input index, making the
+/// allocation deterministic and budget-monotone.
+pub fn allocate_greedy(demands: &[TopologyDemand], budget: u32) -> Allocation {
+    let mut granted = vec![0u32; demands.len()];
+    // Max-heap of (gain, Reverse(index)) — f64 gains are finite here, so
+    // compare via total_cmp through a bit-exact ordered wrapper.
+    #[derive(PartialEq)]
+    struct Gain(f64);
+    impl Eq for Gain {}
+    impl PartialOrd for Gain {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Gain {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+    let mut heap: BinaryHeap<(Gain, Reverse<usize>)> = demands
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.peak() > 0)
+        .map(|(i, d)| (Gain(marginal_gain(&d.per_window_containers, 1)), Reverse(i)))
+        .collect();
+    let mut remaining = budget;
+    while remaining > 0 {
+        let Some((Gain(gain), Reverse(i))) = heap.pop() else {
+            break;
+        };
+        if gain <= 0.0 {
+            break;
+        }
+        granted[i] += 1;
+        remaining -= 1;
+        let next = granted[i] + 1;
+        if next <= demands[i].peak() {
+            heap.push((
+                Gain(marginal_gain(&demands[i].per_window_containers, next)),
+                Reverse(i),
+            ));
+        }
+    }
+    finish(demands, granted, budget)
+}
+
+/// Exact allocation by dynamic programming over (topology prefix,
+/// budget) — `O(n · B · max_peak)` time, small-case oracle for tests.
+pub fn allocate_exact_dp(demands: &[TopologyDemand], budget: u32) -> Allocation {
+    let b = budget as usize;
+    // best[j] = max utility using exactly the prefix of topologies
+    // processed so far and at most j containers.
+    let mut best = vec![0.0f64; b + 1];
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(demands.len());
+    for demand in demands {
+        let cap = demand.peak().min(budget);
+        let mut next = vec![f64::NEG_INFINITY; b + 1];
+        let mut pick = vec![0u32; b + 1];
+        for j in 0..=b {
+            for c in 0..=cap.min(j as u32) {
+                let value = best[j - c as usize] + utility(&demand.per_window_containers, c);
+                // Strict improvement keeps the smallest grant on ties,
+                // mirroring the greedy tie-break.
+                if value > next[j] + 1e-12 {
+                    next[j] = value;
+                    pick[j] = c;
+                }
+            }
+        }
+        best = next;
+        choice.push(pick);
+    }
+    // Walk back the choices from the full budget.
+    let mut granted = vec![0u32; demands.len()];
+    let mut j = b;
+    for i in (0..demands.len()).rev() {
+        granted[i] = choice[i][j];
+        j -= granted[i] as usize;
+    }
+    finish(demands, granted, budget)
+}
+
+fn finish(demands: &[TopologyDemand], granted: Vec<u32>, budget: u32) -> Allocation {
+    let total_granted = granted.iter().sum();
+    let grants = demands
+        .iter()
+        .zip(&granted)
+        .map(|(d, c)| BudgetGrant {
+            topology: d.topology.clone(),
+            containers: *c,
+            risk: risk(&d.per_window_containers, *c),
+        })
+        .collect();
+    Allocation {
+        grants,
+        total_granted,
+        budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn demand(name: &str, curve: &[u32]) -> TopologyDemand {
+        TopologyDemand {
+            topology: name.to_string(),
+            per_window_containers: curve.to_vec(),
+        }
+    }
+
+    #[test]
+    fn utility_and_risk_bounds() {
+        let d = [4u32, 2, 0, 8];
+        assert_eq!(utility(&d, 0), 0.0);
+        assert!((utility(&d, 8) - 3.0).abs() < 1e-12, "fully served");
+        assert_eq!(risk(&d, 8), 0.0);
+        assert_eq!(risk(&d, 0), 1.0);
+        // Grant 2: window demands 4, 2, 8 → unserved 1/2, 0, 3/4.
+        assert!((risk(&d, 2) - (0.5 + 0.0 + 0.75) / 3.0).abs() < 1e-12);
+        // Zero-demand curve carries no risk.
+        assert_eq!(risk(&[0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn greedy_prefers_cheap_demand_first() {
+        // "small" serves a whole window per container; "big" needs 10
+        // containers for the same credit. With budget 3 the small
+        // topology is fully served first.
+        let demands = vec![demand("small", &[1, 1]), demand("big", &[10, 10])];
+        let a = allocate_greedy(&demands, 3);
+        assert_eq!(a.grants[0].containers, 1);
+        assert_eq!(a.grants[1].containers, 2);
+        assert_eq!(a.total_granted, 3);
+        assert_eq!(a.grants[0].risk, 0.0);
+        assert!(a.grants[1].risk > 0.0);
+    }
+
+    #[test]
+    fn surplus_budget_is_left_unallocated() {
+        let demands = vec![demand("a", &[2, 3]), demand("b", &[1])];
+        let a = allocate_greedy(&demands, 100);
+        assert_eq!(a.grants[0].containers, 3, "capped at peak demand");
+        assert_eq!(a.grants[1].containers, 1);
+        assert_eq!(a.total_granted, 4);
+        assert!(a.grants.iter().all(|g| g.risk == 0.0));
+    }
+
+    #[test]
+    fn grants_never_exceed_budget() {
+        let demands = vec![demand("a", &[5, 5]), demand("b", &[5, 5])];
+        for budget in 0..12 {
+            let a = allocate_greedy(&demands, budget);
+            assert!(a.total_granted <= budget);
+            let dp = allocate_exact_dp(&demands, budget);
+            assert!(dp.total_granted <= budget);
+        }
+    }
+
+    #[test]
+    fn dp_matches_greedy_on_a_worked_example() {
+        let demands = vec![
+            demand("a", &[4, 2, 1]),
+            demand("b", &[3, 3, 3]),
+            demand("c", &[0, 6, 2]),
+        ];
+        for budget in [0, 1, 3, 5, 8, 13] {
+            let g = allocate_greedy(&demands, budget);
+            let e = allocate_exact_dp(&demands, budget);
+            assert!(
+                (g.total_utility(&demands) - e.total_utility(&demands)).abs() < 1e-9,
+                "budget {budget}: greedy {:?} vs dp {:?}",
+                g.grants,
+                e.grants
+            );
+        }
+    }
+
+    proptest! {
+        /// Satellite: greedy is within (numerically: equal to) the exact
+        /// DP optimum on randomized small fleets.
+        #[test]
+        fn greedy_matches_dp_utility(
+            curves in prop::collection::vec(
+                prop::collection::vec(0u32..10, 1..6), 1..8),
+            budget in 0u32..32,
+        ) {
+            let demands: Vec<TopologyDemand> = curves
+                .iter()
+                .enumerate()
+                .map(|(i, c)| demand(&format!("t{i}"), c))
+                .collect();
+            let g = allocate_greedy(&demands, budget);
+            let e = allocate_exact_dp(&demands, budget);
+            prop_assert!(
+                (g.total_utility(&demands) - e.total_utility(&demands)).abs() < 1e-9,
+                "greedy {:?} vs dp {:?}", g.grants, e.grants
+            );
+            prop_assert!(g.total_granted <= budget);
+        }
+
+        /// Satellite: more budget never increases any topology's risk
+        /// (per-topology grants are monotone in the budget).
+        #[test]
+        fn budget_monotonicity(
+            curves in prop::collection::vec(
+                prop::collection::vec(0u32..10, 1..6), 1..8),
+            budget in 0u32..31,
+        ) {
+            let demands: Vec<TopologyDemand> = curves
+                .iter()
+                .enumerate()
+                .map(|(i, c)| demand(&format!("t{i}"), c))
+                .collect();
+            let lo = allocate_greedy(&demands, budget);
+            let hi = allocate_greedy(&demands, budget + 1);
+            for (l, h) in lo.grants.iter().zip(&hi.grants) {
+                prop_assert!(
+                    h.containers >= l.containers,
+                    "grants shrank with more budget: {:?} -> {:?}", l, h
+                );
+                prop_assert!(
+                    h.risk <= l.risk + 1e-12,
+                    "risk rose with more budget: {:?} -> {:?}", l, h
+                );
+            }
+        }
+    }
+}

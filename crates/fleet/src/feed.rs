@@ -1,0 +1,226 @@
+//! Stage-once, replicate-everywhere synthetic fleet workload.
+//!
+//! Driving 1k+ topologies through the real simulator would spend the
+//! whole benchmark inside `heron-sim`. Instead the feed runs the
+//! simulator **once** into a staging store, snapshots every recorded
+//! series, and then replays the same per-minute samples into each fleet
+//! topology's own tsdb under that topology's identity. Every topology
+//! therefore carries a full, model-fittable metric history while ingest
+//! cost stays a pure tsdb write path — which is exactly what the fleet
+//! tier's ingest fan-out is supposed to exercise.
+
+use caladrius_tsdb::{MetricBatch, SeriesHandle, SeriesKey, TagFilter};
+use caladrius_workload::wordcount::{wordcount_topology, WordCountParallelism};
+use heron_sim::engine::{SimConfig, Simulation};
+use heron_sim::metrics::{metric, tag, SimMetrics};
+
+/// Identity of one staged series, minus the topology tag (re-applied
+/// per fleet topology at bind time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleIdent {
+    /// Metric name (`execute-count`, ...).
+    pub metric: String,
+    /// Component tag value.
+    pub component: String,
+    /// Instance tag value.
+    pub instance: String,
+    /// Container tag value.
+    pub container: String,
+}
+
+/// The staged workload: series identities plus per-minute samples,
+/// index-aligned so replay is a flat scan.
+#[derive(Debug, Clone)]
+pub struct StagedWorkload {
+    idents: Vec<SampleIdent>,
+    /// `(minute timestamp ms, [(ident index, value)])`, minutes sorted.
+    minutes: Vec<(i64, Vec<(usize, f64)>)>,
+}
+
+/// Staging topology name (never registered in the fleet).
+const STAGING: &str = "staged";
+
+/// Metrics replicated per topology — the set the models fit from
+/// (component I/O, backpressure, CPU) plus the spout offered-load series
+/// the traffic forecaster trains on.
+const REPLICATED_METRICS: [&str; 5] = [
+    metric::EXECUTE_COUNT,
+    metric::EMIT_COUNT,
+    metric::BACKPRESSURE_TIME,
+    metric::CPU_LOAD,
+    metric::SOURCE_OFFERED,
+];
+
+impl StagedWorkload {
+    /// Runs the reference WordCount sweep once (four rate legs with
+    /// warmup, noise-free) and snapshots every replicated series. The
+    /// sweep matches the service-tier test fixture, so replayed
+    /// topologies are known to fit and plan.
+    pub fn stage_wordcount() -> StagedWorkload {
+        let parallelism = WordCountParallelism {
+            spout: 8,
+            splitter: 2,
+            counter: 3,
+        };
+        let metrics = SimMetrics::new(STAGING);
+        for (leg, rate) in [6.0e6, 12.0e6, 18.0e6, 26.0e6].into_iter().enumerate() {
+            let mut topology = wordcount_topology(parallelism, rate);
+            topology.name = STAGING.to_string();
+            let mut sim = Simulation::new(
+                topology,
+                SimConfig {
+                    metric_noise: 0.0,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("staging topology is valid");
+            sim.skip_to_minute(leg as u64 * 60);
+            sim.warmup_minutes(25);
+            sim.run_minutes_into(10, &metrics);
+        }
+        Self::from_staged(&metrics)
+    }
+
+    /// Snapshots every replicated series of a staged metrics store.
+    pub fn from_staged(metrics: &SimMetrics) -> StagedWorkload {
+        let mut idents = Vec::new();
+        let mut minutes: std::collections::BTreeMap<i64, Vec<(usize, f64)>> = Default::default();
+        let filter = [TagFilter::eq(tag::TOPOLOGY, metrics.topology())];
+        for name in REPLICATED_METRICS {
+            let series = metrics
+                .db()
+                .select(name, &filter, 0, i64::MAX)
+                .expect("staging store is well-formed");
+            for (key, samples) in series {
+                let ident_idx = idents.len();
+                idents.push(SampleIdent {
+                    metric: name.to_string(),
+                    component: key.tag(tag::COMPONENT).unwrap_or_default().to_string(),
+                    instance: key.tag(tag::INSTANCE).unwrap_or_default().to_string(),
+                    container: key.tag(tag::CONTAINER).unwrap_or_default().to_string(),
+                });
+                for sample in samples {
+                    minutes
+                        .entry(sample.ts)
+                        .or_default()
+                        .push((ident_idx, sample.value));
+                }
+            }
+        }
+        StagedWorkload {
+            idents,
+            minutes: minutes.into_iter().collect(),
+        }
+    }
+
+    /// Number of staged minutes.
+    pub fn minutes(&self) -> usize {
+        self.minutes.len()
+    }
+
+    /// Number of staged series.
+    pub fn series(&self) -> usize {
+        self.idents.len()
+    }
+
+    /// Timestamp (ms) of staged minute `idx`.
+    pub fn minute_ts(&self, idx: usize) -> i64 {
+        self.minutes[idx].0
+    }
+
+    /// Registers the staged series (re-tagged to `metrics`' topology) in
+    /// that topology's own store, returning index-aligned handles for
+    /// [`BoundWorkload::fill`].
+    pub fn bind(&self, metrics: &SimMetrics) -> BoundWorkload {
+        let handles = self
+            .idents
+            .iter()
+            .map(|ident| {
+                let key = SeriesKey::new(ident.metric.clone())
+                    .with_tag(tag::TOPOLOGY, metrics.topology())
+                    .with_tag(tag::COMPONENT, ident.component.clone())
+                    .with_tag(tag::INSTANCE, ident.instance.clone())
+                    .with_tag(tag::CONTAINER, ident.container.clone());
+                metrics.db().register(&key)
+            })
+            .collect();
+        BoundWorkload { handles }
+    }
+}
+
+/// The staged workload bound to one fleet topology's tsdb: series
+/// handles in staged-ident order.
+#[derive(Debug, Clone)]
+pub struct BoundWorkload {
+    handles: Vec<SeriesHandle>,
+}
+
+impl BoundWorkload {
+    /// Fills `batch` (reset to the staged minute's timestamp) with
+    /// staged minute `idx`'s samples against this topology's handles.
+    /// The caller ships the batch through `Fleet::ingest`, reusing one
+    /// batch allocation across the whole fleet.
+    pub fn fill(&self, staged: &StagedWorkload, idx: usize, batch: &mut MetricBatch) {
+        self.fill_at(staged, idx, 0, batch);
+    }
+
+    /// [`BoundWorkload::fill`] with the minute timestamp shifted by
+    /// `offset_ms` — sustained-ingest benches cycle the staged minutes
+    /// with a growing offset so every replayed minute advances the
+    /// topology's watermark (and therefore invalidates cached models)
+    /// the way live ingest would.
+    pub fn fill_at(
+        &self,
+        staged: &StagedWorkload,
+        idx: usize,
+        offset_ms: i64,
+        batch: &mut MetricBatch,
+    ) {
+        let (ts, samples) = &staged.minutes[idx];
+        batch.reset(*ts + offset_ms);
+        for (ident_idx, value) in samples {
+            batch.push(&self.handles[*ident_idx], *value);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Staging runs the simulator; share one copy across tests.
+    pub(crate) fn staged() -> &'static StagedWorkload {
+        static STAGED: OnceLock<StagedWorkload> = OnceLock::new();
+        STAGED.get_or_init(StagedWorkload::stage_wordcount)
+    }
+
+    #[test]
+    fn staging_captures_a_fittable_history() {
+        let w = staged();
+        assert_eq!(w.minutes(), 40, "4 legs x 10 recorded minutes");
+        // 13 instances (8 spout + 2 splitter + 3 counter) with
+        // execute/emit/backpressure/cpu each, plus 8 spout offered-load
+        // series.
+        assert!(w.series() >= 13 * 4 + 8, "staged {} series", w.series());
+        assert!(w.minute_ts(0) < w.minute_ts(w.minutes() - 1));
+    }
+
+    #[test]
+    fn replay_reproduces_the_staged_series() {
+        let w = staged();
+        let replica = SimMetrics::new("replica-0");
+        let bound = w.bind(&replica);
+        let mut batch = MetricBatch::new(0);
+        for idx in 0..w.minutes() {
+            bound.fill(w, idx, &mut batch);
+            replica.ingest(&batch);
+        }
+        // The replica's watermark is the staged history's newest minute...
+        assert_eq!(replica.db().watermark(), Some(w.minute_ts(w.minutes() - 1)));
+        // ...and component sums match a fresh staging run exactly.
+        let splitter = replica.component_sum(metric::EXECUTE_COUNT, Some("splitter"), 0, i64::MAX);
+        assert_eq!(splitter.len(), 40);
+        assert!(splitter.iter().all(|s| s.value > 0.0));
+    }
+}

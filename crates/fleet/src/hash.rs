@@ -1,0 +1,95 @@
+//! Rendezvous (highest-random-weight) hashing for topology→shard
+//! assignment.
+//!
+//! Every (topology, shard) pair gets a pseudo-random weight; the
+//! topology lives on the shard with the highest weight. Compared to
+//! `hash(topology) % shards`, growing the fleet by one shard only moves
+//! the topologies whose new shard wins the draw — no global reshuffle,
+//! so per-shard model caches and tsdb contents stay warm.
+
+/// 64-bit FNV-1a over `bytes` — stable across platforms and releases,
+/// which the shard assignment must be (a rehash after an upgrade would
+/// cold-start every model cache in the fleet).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Weight of `topology` on shard `shard` — FNV-1a over the topology id,
+/// a `0xff` separator (topology ids are UTF-8, so this cannot collide
+/// with a longer id), and the shard index.
+fn weight(topology: &str, shard: usize) -> u64 {
+    let mut bytes = Vec::with_capacity(topology.len() + 9);
+    bytes.extend_from_slice(topology.as_bytes());
+    bytes.push(0xff);
+    bytes.extend_from_slice(&(shard as u64).to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// The shard (0-based, `< shards`) owning `topology` under rendezvous
+/// hashing. Deterministic; panics if `shards` is zero.
+pub fn assign_shard(topology: &str, shards: usize) -> usize {
+    assert!(shards > 0, "a fleet needs at least one shard");
+    (0..shards)
+        .max_by_key(|shard| (weight(topology, *shard), usize::MAX - *shard))
+        .expect("non-empty shard range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Reference FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn assignment_is_stable_and_in_range() {
+        for i in 0..256 {
+            let name = format!("topology-{i}");
+            let shard = assign_shard(&name, 4);
+            assert!(shard < 4);
+            assert_eq!(shard, assign_shard(&name, 4), "deterministic");
+        }
+    }
+
+    #[test]
+    fn shards_are_roughly_balanced() {
+        let mut counts = [0usize; 4];
+        for i in 0..256 {
+            counts[assign_shard(&format!("topology-{i}"), 4)] += 1;
+        }
+        // Expected 64 per shard; allow a generous band.
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                (32..=96).contains(count),
+                "shard {shard} holds {count} of 256"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_only_moves_topologies_to_the_new_shard() {
+        // The rendezvous property: adding shard 4 never moves a topology
+        // between the existing shards 0..4.
+        for i in 0..256 {
+            let name = format!("topology-{i}");
+            let before = assign_shard(&name, 4);
+            let after = assign_shard(&name, 5);
+            assert!(
+                after == before || after == 4,
+                "{name}: moved {before} -> {after} on grow"
+            );
+        }
+    }
+}

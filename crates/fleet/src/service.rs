@@ -1,0 +1,458 @@
+//! Fleet HTTP front door.
+//!
+//! Reuses the API tier's building blocks — HTTP server, JSON model,
+//! async job store, and admission controller — and adds the
+//! fleet-level endpoints:
+//!
+//! * `POST /fleet/plan` — cluster planning as an async job (`202` +
+//!   poll URL). The body may set `"budget"` (containers) to override
+//!   the configured cluster budget, plus the same planner knobs as the
+//!   single-topology plan route. Low-priority requests are shed with
+//!   `429` + `Retry-After` under overload.
+//! * `GET /fleet/jobs/{id}` — poll a fleet plan job.
+//! * `GET /fleet/health` — per-shard topology counts, model-cache
+//!   counters and ingest totals.
+//! * `GET /metrics/service` — Prometheus exposition (includes the
+//!   per-shard `shard="<i>"` series and the fleet shed/ingest
+//!   counters).
+
+use crate::fleet::{Fleet, FleetPlan, TopologyPlanOutcome};
+use caladrius_api::admission::PRIORITY_HEADER;
+use caladrius_api::http::{Handler, Request, Response};
+use caladrius_api::jobs::JobState;
+use caladrius_api::json::Value;
+use caladrius_api::{AdmissionConfig, AdmissionController, AdmissionDecision, JobRunner, Priority};
+use caladrius_core::capacity::CapacityPlanRequest;
+use caladrius_obs::RequestScope;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The fleet tier's HTTP service: routes fleet requests to a shared
+/// [`Fleet`] behind admission control and the async job store.
+pub struct FleetService {
+    fleet: Arc<Fleet>,
+    jobs: JobRunner,
+    admission: AdmissionController,
+}
+
+/// Route label of the fleet plan endpoint (admission + metrics key).
+const PLAN_ROUTE: &str = "/fleet/plan";
+
+impl FleetService {
+    /// Wraps a fleet with `job_workers` async workers and admission
+    /// control disabled.
+    pub fn new(fleet: Arc<Fleet>, job_workers: usize) -> Arc<Self> {
+        Self::with_admission(fleet, job_workers, AdmissionConfig::default())
+    }
+
+    /// Wraps a fleet with an explicit admission-control configuration
+    /// on the plan route.
+    pub fn with_admission(
+        fleet: Arc<Fleet>,
+        job_workers: usize,
+        admission: AdmissionConfig,
+    ) -> Arc<Self> {
+        Arc::new(FleetService {
+            fleet,
+            jobs: JobRunner::new(job_workers),
+            admission: AdmissionController::new(admission),
+        })
+    }
+
+    /// The wrapped fleet.
+    pub fn fleet(&self) -> &Arc<Fleet> {
+        &self.fleet
+    }
+
+    /// The job runner (tests gate its workers to force queueing).
+    pub fn jobs(&self) -> &JobRunner {
+        &self.jobs
+    }
+
+    /// A connection handler for [`caladrius_api::HttpServer::serve`].
+    pub fn handler(self: &Arc<Self>) -> Handler {
+        let service = Arc::clone(self);
+        Arc::new(move |request| service.handle(request))
+    }
+
+    /// Routes one request, recording the same per-route counters and
+    /// latency histograms as the API tier (so admission's p99 signal
+    /// works unchanged for fleet routes).
+    pub fn handle(&self, request: Request) -> Response {
+        let request_id = request
+            .request_id()
+            .unwrap_or_else(caladrius_obs::next_request_id);
+        let _request_scope = RequestScope::enter(request_id);
+        let started = Instant::now();
+        let mut span = caladrius_obs::global_span("http.request");
+        let (route, response) = self.route(&request);
+        span.field("route", route)
+            .field("method", &request.method)
+            .field("status", response.status);
+        let registry = caladrius_obs::global_registry();
+        let status = response.status.to_string();
+        registry
+            .counter(
+                "caladrius_http_requests_total",
+                &[
+                    ("route", route),
+                    ("method", &request.method),
+                    ("status", &status),
+                ],
+            )
+            .inc();
+        registry
+            .histogram(
+                "caladrius_http_request_duration_seconds",
+                &[("route", route)],
+            )
+            .record_duration(started.elapsed());
+        response
+    }
+
+    fn route(&self, request: &Request) -> (&'static str, Response) {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("POST", ["fleet", "plan"]) => (PLAN_ROUTE, self.plan(request)),
+            ("GET", ["fleet", "jobs", id]) => ("/fleet/jobs/{id}", self.job_status(id)),
+            ("GET", ["fleet", "health"]) => ("/fleet/health", self.health()),
+            ("GET", ["metrics", "service"]) => ("/metrics/service", Self::service_metrics()),
+            (_, ["fleet", ..]) | (_, ["metrics", "service"]) => (
+                "method_not_allowed",
+                Response::json_status(405, "{\"error\":\"method not allowed\"}"),
+            ),
+            _ => (
+                "unmatched",
+                Response::json_status(404, "{\"error\":\"no such endpoint\"}"),
+            ),
+        }
+    }
+
+    /// The p99 of a route's latency histogram, once it has samples.
+    fn route_p99(route: &str) -> Option<f64> {
+        let histogram = caladrius_obs::global_registry().histogram(
+            "caladrius_http_request_duration_seconds",
+            &[("route", route)],
+        );
+        (histogram.count() > 0).then(|| histogram.snapshot().quantile(0.99))
+    }
+
+    fn too_many_requests(error: &str, retry_after_seconds: u32) -> Response {
+        Response::json_status(
+            429,
+            Value::object([("error", Value::from(error))]).to_json(),
+        )
+        .with_header("Retry-After", retry_after_seconds.to_string())
+    }
+
+    /// `POST /fleet/plan` — cluster planning across every registered
+    /// topology, async through the job store.
+    fn plan(&self, request: &Request) -> Response {
+        let priority =
+            Priority::from_header(request.headers.get(PRIORITY_HEADER).map(String::as_str));
+        if let AdmissionDecision::Shed {
+            retry_after_seconds,
+        } = self.admission.decide(
+            PLAN_ROUTE,
+            priority,
+            Self::route_p99(PLAN_ROUTE),
+            self.jobs.queue_depth(),
+        ) {
+            return Self::too_many_requests("shed by admission control", retry_after_seconds);
+        }
+        let body = match request.body_str() {
+            Some(b) => b,
+            None => return Response::json_status(400, "{\"error\":\"body is not UTF-8\"}"),
+        };
+        let (plan_request, budget) = match parse_fleet_plan_body(body) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                return Response::json_status(
+                    400,
+                    Value::object([("error", Value::from(msg))]).to_json(),
+                )
+            }
+        };
+        let fleet = Arc::clone(&self.fleet);
+        let id = self.jobs.submit(move || {
+            let plan = fleet.plan_fleet(&plan_request, budget);
+            Ok(fleet_plan_to_json(&plan))
+        });
+        Response::json_status(
+            202,
+            Value::object([
+                ("job_id", Value::from(id as f64)),
+                ("poll", Value::from(format!("/fleet/jobs/{id}"))),
+            ])
+            .to_json(),
+        )
+    }
+
+    fn job_status(&self, id: &str) -> Response {
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::json_status(400, "{\"error\":\"job id must be an integer\"}");
+        };
+        match self.jobs.state(id) {
+            None => Response::json_status(404, "{\"error\":\"no such job\"}"),
+            Some(JobState::Pending) => Response::json_status(
+                202,
+                Value::object([("state", Value::from("pending"))]).to_json(),
+            ),
+            Some(JobState::Done(result)) => Response::json(
+                Value::object([("state", Value::from("done")), ("result", result)]).to_json(),
+            ),
+            Some(JobState::Failed(message)) => Response::json(
+                Value::object([
+                    ("state", Value::from("failed")),
+                    ("error", Value::from(message)),
+                ])
+                .to_json(),
+            ),
+        }
+    }
+
+    /// `GET /fleet/health` — per-shard snapshot.
+    fn health(&self) -> Response {
+        let health = self.fleet.health();
+        let shards = health
+            .shards
+            .iter()
+            .map(|s| {
+                Value::object([
+                    ("shard", Value::from(s.shard as f64)),
+                    ("topologies", Value::from(s.topologies as f64)),
+                    ("cache_hits", Value::from(s.model_cache.hits as f64)),
+                    ("cache_misses", Value::from(s.model_cache.misses as f64)),
+                    ("model_fits", Value::from(s.model_cache.fits as f64)),
+                    ("plans", Value::from(s.model_cache.plans as f64)),
+                    ("ingest_batches", Value::from(s.ingest.batches as f64)),
+                    ("ingest_samples", Value::from(s.ingest.samples as f64)),
+                    ("routed_batches", Value::from(s.routed_batches as f64)),
+                ])
+            })
+            .collect();
+        Response::json(
+            Value::object([
+                ("status", Value::from("ok")),
+                ("topologies", Value::from(health.topologies as f64)),
+                ("shards", Value::Array(shards)),
+            ])
+            .to_json(),
+        )
+    }
+
+    fn service_metrics() -> Response {
+        Response {
+            status: 200,
+            content_type: caladrius_obs::PROMETHEUS_CONTENT_TYPE.into(),
+            body: caladrius_obs::render_prometheus(caladrius_obs::global_registry()).into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+}
+
+/// Parses a `POST /fleet/plan` body: the single-topology planner knobs
+/// (`traffic_model`, `conservative`, `horizon_minutes`, ...) via the
+/// API tier's parser, plus the fleet-only `"budget"` (containers,
+/// overriding the configured cluster budget).
+fn parse_fleet_plan_body(body: &str) -> Result<(CapacityPlanRequest, Option<u32>), String> {
+    let request = caladrius_api::routes::parse_plan_body(body)?;
+    let mut budget = None;
+    if !body.trim().is_empty() {
+        let value = caladrius_api::json::parse(body).map_err(|e| e.to_string())?;
+        if let Some(raw) = value.get("budget") {
+            let b = raw
+                .as_f64()
+                .filter(|b| b.fract() == 0.0 && *b >= 1.0)
+                .ok_or_else(|| "budget must be a positive integer".to_string())?;
+            budget = Some(b.min(f64::from(u32::MAX)) as u32);
+        }
+    }
+    Ok((request, budget))
+}
+
+fn outcome_to_json(outcome: &TopologyPlanOutcome) -> Value {
+    let mut fields = vec![
+        ("topology", Value::from(outcome.topology.as_str())),
+        ("shard", Value::from(outcome.shard as f64)),
+        (
+            "demand",
+            Value::Array(
+                outcome
+                    .demand
+                    .iter()
+                    .map(|d| Value::from(f64::from(*d)))
+                    .collect(),
+            ),
+        ),
+        (
+            "granted_containers",
+            Value::from(f64::from(outcome.granted_containers)),
+        ),
+        ("risk", Value::from(outcome.risk)),
+    ];
+    if let Some(timeline) = &outcome.timeline {
+        fields.push((
+            "plan",
+            Value::object([
+                ("windows", Value::from(timeline.windows.len() as f64)),
+                (
+                    "peak_containers",
+                    Value::from(f64::from(timeline.peak_cost.containers)),
+                ),
+                (
+                    "peak_instances",
+                    Value::from(f64::from(timeline.peak_cost.total_instances)),
+                ),
+            ]),
+        ));
+    }
+    if let Some(error) = &outcome.error {
+        fields.push(("error", Value::from(error.as_str())));
+    }
+    Value::object(fields)
+}
+
+/// Renders a fleet plan for the job result payload.
+pub fn fleet_plan_to_json(plan: &FleetPlan) -> Value {
+    Value::object([
+        ("budget", Value::from(f64::from(plan.budget))),
+        ("total_granted", Value::from(f64::from(plan.total_granted))),
+        ("errors", Value::from(plan.errors() as f64)),
+        (
+            "topologies",
+            Value::Array(plan.outcomes.iter().map(outcome_to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn request(method: &str, path: &str, body: &str, headers: &[(&str, &str)]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: BTreeMap::new(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn empty_service() -> Arc<FleetService> {
+        FleetService::new(
+            Arc::new(Fleet::new(crate::fleet::FleetConfig::default())),
+            1,
+        )
+    }
+
+    #[test]
+    fn parse_accepts_budget_and_planner_knobs() {
+        let (request, budget) =
+            parse_fleet_plan_body(r#"{"budget": 24, "conservative": true}"#).expect("valid");
+        assert_eq!(budget, Some(24));
+        assert!(request.conservative);
+        let (_, none) = parse_fleet_plan_body("{}").expect("valid");
+        assert_eq!(none, None);
+        assert!(parse_fleet_plan_body(r#"{"budget": 0}"#).is_err());
+        assert!(parse_fleet_plan_body(r#"{"budget": 1.5}"#).is_err());
+        assert!(parse_fleet_plan_body(r#"{"budget": "lots"}"#).is_err());
+    }
+
+    #[test]
+    fn fleet_routes_dispatch() {
+        let service = empty_service();
+        let health = service.handle(request("GET", "/fleet/health", "", &[]));
+        assert_eq!(health.status, 200);
+        let body = String::from_utf8(health.body).unwrap();
+        assert!(body.contains("\"shards\""), "{body}");
+
+        assert_eq!(
+            service
+                .handle(request("GET", "/fleet/plan", "", &[]))
+                .status,
+            405
+        );
+        assert_eq!(service.handle(request("GET", "/nope", "", &[])).status, 404);
+        assert_eq!(
+            service
+                .handle(request("GET", "/fleet/jobs/zero", "", &[]))
+                .status,
+            400
+        );
+        assert_eq!(
+            service
+                .handle(request("GET", "/fleet/jobs/17", "", &[]))
+                .status,
+            404
+        );
+        let metrics = service.handle(request("GET", "/metrics/service", "", &[]));
+        assert_eq!(metrics.status, 200);
+    }
+
+    #[test]
+    fn plan_jobs_run_async_even_on_an_empty_fleet() {
+        let service = empty_service();
+        let accepted = service.handle(request("POST", "/fleet/plan", "{}", &[]));
+        assert_eq!(accepted.status, 202, "{:?}", accepted.body);
+        let body = String::from_utf8(accepted.body).unwrap();
+        let id = caladrius_api::json::parse(&body)
+            .unwrap()
+            .get("job_id")
+            .and_then(Value::as_f64)
+            .expect("job id") as u64;
+        let done = service.jobs().wait(id).expect("job exists");
+        let JobState::Done(result) = done else {
+            panic!("empty-fleet plan should succeed: {done:?}");
+        };
+        assert_eq!(result.get("errors").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(
+            result
+                .get("topologies")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn low_priority_fleet_plans_shed_under_pressure() {
+        let service = FleetService::with_admission(
+            Arc::new(Fleet::new(crate::fleet::FleetConfig::default())),
+            1,
+            AdmissionConfig {
+                enabled: true,
+                slo_p99_seconds: -1.0, // any recorded latency sheds
+                retry_after_seconds: 5,
+                ..AdmissionConfig::default()
+            },
+        );
+        // Prime the route histogram with a high-priority request.
+        let primed = service.handle(request(
+            "POST",
+            "/fleet/plan",
+            "{}",
+            &[(PRIORITY_HEADER, "high")],
+        ));
+        assert_eq!(primed.status, 202);
+        let shed = service.handle(request("POST", "/fleet/plan", "{}", &[]));
+        assert_eq!(shed.status, 429);
+        assert!(shed
+            .headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && v == "5"));
+        // High priority still lands.
+        let high = service.handle(request(
+            "POST",
+            "/fleet/plan",
+            "{}",
+            &[(PRIORITY_HEADER, "high")],
+        ));
+        assert_eq!(high.status, 202);
+    }
+}

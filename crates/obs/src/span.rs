@@ -119,11 +119,18 @@ impl TraceRing {
         request_id: Option<RequestId>,
         fields: Vec<(String, String)>,
     ) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ts_unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis() as i64)
             .unwrap_or(0);
+        let mut guard = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Allocated under the lock: seq order must match ring order, or
+        // concurrent recorders could insert a lower seq after a higher
+        // one and break `recent()`'s newest-first contract.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let event = SpanEvent {
             seq,
             ts_unix_ms,
@@ -132,10 +139,6 @@ impl TraceRing {
             request_id,
             fields,
         };
-        let mut guard = self
-            .events
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.len() == self.capacity {
             guard.pop_front();
         }

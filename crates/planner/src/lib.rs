@@ -28,7 +28,7 @@ pub mod search;
 
 pub use plan::{
     PlanAction, PlanCost, PlanError, PlanTimeline, PlannerConfig, ResourceLimits, WindowPlan,
-    WindowSpec,
+    WindowSpec, UNLIMITED_CONTAINERS,
 };
 pub use replay::{replay_timeline, replay_timeline_with, ReplayConfig, WindowReplay};
 pub use search::{

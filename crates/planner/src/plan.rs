@@ -60,7 +60,15 @@ pub struct ResourceLimits {
     pub container_ram_mb: u64,
     /// Upper bound on any single component's parallelism.
     pub max_parallelism: u32,
+    /// Container budget the plan must fit under: every window's
+    /// [`PlanCost::containers`] must be ≤ this. [`UNLIMITED_CONTAINERS`]
+    /// (the default) disables the constraint; the fleet tier lowers it
+    /// to each topology's granted share of the cluster budget.
+    pub max_containers: u32,
 }
+
+/// Sentinel for [`ResourceLimits::max_containers`]: no container budget.
+pub const UNLIMITED_CONTAINERS: u32 = u32::MAX;
 
 impl Default for ResourceLimits {
     fn default() -> Self {
@@ -72,6 +80,7 @@ impl Default for ResourceLimits {
             container_cpu: 4.0,
             container_ram_mb: 8192,
             max_parallelism: 64,
+            max_containers: UNLIMITED_CONTAINERS,
         }
     }
 }
@@ -102,6 +111,11 @@ impl ResourceLimits {
         if self.max_parallelism == 0 {
             return Err(PlanError::InvalidConfig(
                 "max_parallelism must be at least 1".into(),
+            ));
+        }
+        if self.max_containers == 0 {
+            return Err(PlanError::InvalidConfig(
+                "max_containers must be at least 1".into(),
             ));
         }
         Ok(())
@@ -313,6 +327,7 @@ mod tests {
             container_cpu: 4.0,
             container_ram_mb: 8192,
             max_parallelism: 64,
+            max_containers: UNLIMITED_CONTAINERS,
         };
         let cost = PlanCost::of(&asg(&[("a", 3), ("b", 5)]), &limits);
         assert_eq!(cost.total_instances, 8);
@@ -375,6 +390,9 @@ mod tests {
         .is_err());
         let mut limits = ResourceLimits::default();
         limits.container_cpu = 0.5;
+        assert!(limits.validate().is_err());
+        let mut limits = ResourceLimits::default();
+        limits.max_containers = 0;
         assert!(limits.validate().is_err());
     }
 }

@@ -238,6 +238,13 @@ pub fn plan_window(
     let a = oracle.assess(&ps, rate)?;
     evals += 1;
     debug_assert!(accepts(&a, cpu_budget));
+
+    // Container budget: the trimmed assignment is the search's minimum,
+    // so a plan that still overflows `max_containers` here has no room
+    // left to shrink — the window cannot be served within the budget.
+    if PlanCost::of(&ps, &config.limits).containers > config.limits.max_containers {
+        return Err(infeasible(None));
+    }
     Ok(WindowSolution {
         parallelisms: ps,
         saturation_rate: a.saturation_rate,
@@ -415,6 +422,14 @@ pub fn plan_horizon_with(
         let mut smoothed = solved[rate_idx[i]].parallelisms.clone();
         for ahead in rate_idx.iter().skip(i + 1).take(h - 1) {
             smoothed = componentwise_max(&smoothed, &solved[*ahead].parallelisms);
+        }
+        // Hysteresis only ever raises capacity; when the componentwise
+        // max of neighbouring plans overflows the container budget the
+        // window keeps its raw plan, which `plan_window` already proved
+        // feasible within the budget. Smoothing yields to the budget,
+        // never the other way around.
+        if PlanCost::of(&smoothed, &config.limits).containers > config.limits.max_containers {
+            smoothed = solved[rate_idx[i]].parallelisms.clone();
         }
         let rate = w.peak_rate * config.headroom;
         let key = (smoothed.clone(), rate.to_bits());
@@ -693,6 +708,115 @@ mod tests {
         let low = plan_window(&oracle, 2.0e6, &cfg).unwrap();
         let high = plan_window(&oracle, 8.0e6, &cfg).unwrap();
         assert_eq!(timeline.oracle_evals, low.evals + high.evals + 1);
+    }
+
+    #[test]
+    fn container_budget_binds_plan_window() {
+        // Needs a=6, b=3 (see plan_window_finds_the_per_component_minimum):
+        // 9 instances = 3 containers at 4 cores/box. A 2-container budget
+        // is infeasible; 3 containers reproduces the unconstrained plan.
+        let oracle = AnalyticOracle::new(&[("a", 1.0, 2.0e6), ("b", 3.0, 11.0e6)]);
+        let mut tight = config(64);
+        tight.limits.max_containers = 2;
+        match plan_window(&oracle, 10.0e6, &tight).unwrap_err() {
+            PlanError::Infeasible { component, .. } => assert_eq!(component, None),
+            other => panic!("expected budget infeasibility, got {other:?}"),
+        }
+        let mut exact = config(64);
+        exact.limits.max_containers = 3;
+        let solved = plan_window(&oracle, 10.0e6, &exact).unwrap();
+        assert_eq!(
+            solved.parallelisms,
+            plan_window(&oracle, 10.0e6, &config(64))
+                .unwrap()
+                .parallelisms
+        );
+    }
+
+    /// Oracle whose per-window component requirements are looked up by
+    /// rate, so different windows can bottleneck on *different*
+    /// components — the shape where hysteresis smoothing can cost more
+    /// containers than either raw plan.
+    struct TableOracle {
+        rows: Vec<(f64, Vec<(String, u32)>)>, // rate → required parallelisms
+    }
+
+    impl CapacityOracle for TableOracle {
+        fn components(&self) -> Vec<String> {
+            self.rows[0].1.iter().map(|(n, _)| n.clone()).collect()
+        }
+
+        fn assess(
+            &self,
+            parallelisms: &[(String, u32)],
+            rate: f64,
+        ) -> Result<Assessment, PlanError> {
+            let required = &self
+                .rows
+                .iter()
+                .find(|(r, _)| (*r - rate).abs() < 1e-9)
+                .ok_or_else(|| PlanError::Oracle(format!("no table row for rate {rate}")))?
+                .1;
+            let bottleneck = required
+                .iter()
+                .find(|(name, need)| get(parallelisms, name) < *need)
+                .map(|(name, _)| name.clone());
+            Ok(Assessment {
+                feasible: bottleneck.is_none(),
+                bottleneck,
+                saturation_rate: rate * 2.0,
+                cpu_per_instance: required.iter().map(|(n, _)| (n.clone(), 0.0)).collect(),
+            })
+        }
+    }
+
+    #[test]
+    fn smoothing_yields_to_the_container_budget() {
+        // Window 0 needs (a=4, b=1), window 1 needs (a=1, b=4): each raw
+        // plan is 5 instances = 5 containers at 1 core/box, but their
+        // componentwise max is 8. Under a 5-container budget window 0
+        // must keep its raw plan instead of the smoothed one.
+        let oracle = TableOracle {
+            rows: vec![
+                (1.0, vec![("a".to_string(), 4), ("b".to_string(), 1)]),
+                (2.0, vec![("a".to_string(), 1), ("b".to_string(), 4)]),
+            ],
+        };
+        let mut cfg = config(8);
+        cfg.hysteresis_windows = 2;
+        cfg.limits.container_cpu = 1.0;
+        cfg.limits.container_ram_mb = 1 << 20;
+        cfg.limits.max_containers = 5;
+        let windows: Vec<WindowSpec> = [1.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| WindowSpec {
+                start_ts: i as i64 * 900_000,
+                end_ts: (i as i64 + 1) * 900_000,
+                peak_rate: *r,
+            })
+            .collect();
+        let timeline = plan_horizon(&oracle, &[], &windows, &cfg).unwrap();
+        assert_eq!(
+            timeline.windows[0].parallelisms,
+            vec![("a".to_string(), 4), ("b".to_string(), 1)]
+        );
+        assert_eq!(
+            timeline.windows[1].parallelisms,
+            vec![("a".to_string(), 1), ("b".to_string(), 4)]
+        );
+        for w in &timeline.windows {
+            assert!(w.cost.containers <= 5);
+        }
+
+        // With the budget lifted, the same horizon smooths window 0 up
+        // to the componentwise max.
+        cfg.limits.max_containers = crate::plan::UNLIMITED_CONTAINERS;
+        let unbounded = plan_horizon(&oracle, &[], &windows, &cfg).unwrap();
+        assert_eq!(
+            unbounded.windows[0].parallelisms,
+            vec![("a".to_string(), 4), ("b".to_string(), 4)]
+        );
     }
 
     #[test]

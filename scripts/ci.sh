@@ -17,7 +17,7 @@ cargo build --release
 echo "==> cargo build --examples"
 cargo build --examples
 
-echo "==> cargo bench --no-run (compile-gate bench code, incl. diurnal event section)"
+echo "==> cargo bench --no-run (compile-gate bench code, incl. diurnal event + fleet_scale)"
 cargo bench --no-run
 
 echo "==> cargo test -q (tier-1)"
@@ -37,6 +37,12 @@ echo "==> CALADRIUS_THREADS=1 determinism variant (incl. event-mode equivalence)
 CALADRIUS_THREADS=1 cargo test -q -p caladrius-exec
 CALADRIUS_THREADS=1 cargo test -q --test exec_determinism --test capacity_plan
 CALADRIUS_THREADS=1 cargo test -q --test sim_kernel_equivalence
+
+# The fleet e2e fans out cluster planning across the "fleet-plan" pool;
+# the single-thread run proves the fleet tier's answers (grants, shard
+# routing, shed decisions) do not depend on parallel scheduling.
+echo "==> CALADRIUS_THREADS=1 fleet tier e2e"
+CALADRIUS_THREADS=1 cargo test -q --test fleet_scale
 
 echo "==> observability smoke (scrape /metrics/service)"
 cargo run --release --example obs_smoke

@@ -15,6 +15,9 @@
 //! * [`planner`] — the horizon capacity planner: joint parallelism
 //!   search over the fitted models plus sim-replay validation.
 //! * [`api`] — the REST service tier.
+//! * [`fleet`] — the multi-tenant fleet tier: sharded services,
+//!   admission control, and the cluster-level container-budget
+//!   planner.
 //! * [`autoscale`] — scaling policies: the Dhalion-style reactive
 //!   baseline vs Caladrius-driven one-shot scaling.
 //! * [`obs`] — the observability layer: metrics registry, span tracing,
@@ -28,6 +31,7 @@ pub use caladrius_api as api;
 pub use caladrius_autoscale as autoscale;
 pub use caladrius_core as core;
 pub use caladrius_exec as exec;
+pub use caladrius_fleet as fleet;
 pub use caladrius_forecast as forecast;
 pub use caladrius_graph as graph;
 pub use caladrius_obs as obs;

@@ -1,0 +1,221 @@
+//! Fleet-tier integration test over the real HTTP surface: 64
+//! topologies across 4 shards, cluster planning under a container
+//! budget, and admission control shedding low-priority requests.
+
+use caladrius::api::{json, HttpClient, HttpServer};
+use caladrius::api::{AdmissionConfig, Value};
+use caladrius::fleet::{assign_shard, Fleet, FleetConfig, FleetService, StagedWorkload};
+use caladrius::tsdb::MetricBatch;
+use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+const TOPOLOGIES: usize = 64;
+
+/// A 4-shard fleet hosting 64 staged-workload topologies.
+fn build_fleet() -> Arc<Fleet> {
+    let fleet = Arc::new(Fleet::new(FleetConfig {
+        shards: SHARDS,
+        ..FleetConfig::default()
+    }));
+    let staged = StagedWorkload::stage_wordcount();
+    let mut batch = MetricBatch::new(0);
+    for i in 0..TOPOLOGIES {
+        let name = format!("tenant-{i:02}");
+        let mut topology = wordcount_topology(
+            WordCountParallelism {
+                spout: 8,
+                splitter: 2,
+                counter: 3,
+            },
+            6.0e6,
+        );
+        topology.name = name.clone();
+        let metrics = fleet.register(topology);
+        let bound = staged.bind(&metrics);
+        for idx in 0..staged.minutes() {
+            bound.fill(&staged, idx, &mut batch);
+            fleet.ingest(&name, &batch).expect("registered topology");
+        }
+    }
+    fleet
+}
+
+/// Polls a fleet plan job until it finishes, returning the result.
+fn wait_for_plan(client: &HttpClient, accepted_body: &str) -> Value {
+    let poll = json::parse(accepted_body)
+        .expect("job envelope")
+        .get("poll")
+        .and_then(Value::as_str)
+        .expect("poll url")
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = client.get(&poll).expect("poll round-trip");
+        let state = json::parse(&body).expect("job body");
+        match state.get("state").and_then(Value::as_str) {
+            Some("done") => return state.get("result").expect("result").clone(),
+            Some("failed") => panic!("fleet plan failed: {body}"),
+            _ => {
+                assert_eq!(status, 202, "{body}");
+                assert!(Instant::now() < deadline, "fleet plan timed out");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Sums a numeric field across a plan result's topology outcomes.
+fn sum_field(result: &Value, field: &str) -> f64 {
+    result
+        .get("topologies")
+        .and_then(Value::as_array)
+        .expect("topologies array")
+        .iter()
+        .map(|t| t.get(field).and_then(Value::as_f64).unwrap_or(0.0))
+        .sum()
+}
+
+#[test]
+fn fleet_tier_end_to_end() {
+    let fleet = build_fleet();
+
+    // Shard assignment is the pure rendezvous hash, and every shard
+    // hosts a sensible share of the 64 topologies.
+    let mut expected = [0usize; SHARDS];
+    for i in 0..TOPOLOGIES {
+        let name = format!("tenant-{i:02}");
+        let shard = assign_shard(&name, SHARDS);
+        assert_eq!(fleet.shard_of(&name), Some(shard), "{name}");
+        expected[shard] += 1;
+    }
+    assert!(expected.iter().all(|c| *c > 0), "{expected:?}");
+
+    let service = FleetService::new(Arc::clone(&fleet), 2);
+    let server = HttpServer::serve("127.0.0.1:0", 4, service.handler()).unwrap();
+    let client = HttpClient::new(server.local_addr());
+
+    // Health reports the same per-shard layout over HTTP.
+    let (status, body) = client.get("/fleet/health").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health = json::parse(&body).unwrap();
+    assert_eq!(
+        health.get("topologies").and_then(Value::as_f64),
+        Some(TOPOLOGIES as f64)
+    );
+    let shards = health.get("shards").and_then(Value::as_array).unwrap();
+    assert_eq!(shards.len(), SHARDS);
+    for shard in shards {
+        let index = shard.get("shard").and_then(Value::as_f64).unwrap() as usize;
+        assert_eq!(
+            shard.get("topologies").and_then(Value::as_f64),
+            Some(expected[index] as f64),
+            "shard {index}"
+        );
+        // Every shard ingested its topologies' batches (40 staged
+        // minutes each) and nothing else.
+        assert_eq!(
+            shard.get("routed_batches").and_then(Value::as_f64),
+            Some((expected[index] * 40) as f64),
+            "shard {index}"
+        );
+    }
+
+    // Unconstrained cluster plan: every topology plans cleanly and the
+    // grant covers its peak demand.
+    let (status, body) = client.post("/fleet/plan", "{}").unwrap();
+    assert_eq!(status, 202, "{body}");
+    let free = wait_for_plan(&client, &body);
+    assert_eq!(free.get("errors").and_then(Value::as_f64), Some(0.0));
+    let outcomes = free.get("topologies").and_then(Value::as_array).unwrap();
+    assert_eq!(outcomes.len(), TOPOLOGIES);
+    let peak_sum = sum_field(&free, "granted_containers");
+    assert!(peak_sum >= TOPOLOGIES as f64, "grants: {peak_sum}");
+    for outcome in outcomes {
+        assert_eq!(outcome.get("risk").and_then(Value::as_f64), Some(0.0));
+        assert!(outcome.get("plan").is_some(), "{outcome:?}");
+    }
+
+    // Budgeted cluster plan: grants sum within the cluster budget, and
+    // every produced timeline fits its topology's grant.
+    let budget = (peak_sum as u32)
+        .saturating_sub(TOPOLOGIES as u32 / 2)
+        .max(1);
+    let (status, body) = client
+        .post("/fleet/plan", &format!("{{\"budget\": {budget}}}"))
+        .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let tight = wait_for_plan(&client, &body);
+    assert_eq!(
+        tight.get("budget").and_then(Value::as_f64),
+        Some(f64::from(budget))
+    );
+    let granted = sum_field(&tight, "granted_containers");
+    assert!(
+        granted <= f64::from(budget),
+        "granted {granted} of budget {budget}"
+    );
+    assert_eq!(
+        tight.get("total_granted").and_then(Value::as_f64),
+        Some(granted)
+    );
+    for outcome in tight.get("topologies").and_then(Value::as_array).unwrap() {
+        if let Some(plan) = outcome.get("plan") {
+            let peak = plan.get("peak_containers").and_then(Value::as_f64).unwrap();
+            let grant = outcome
+                .get("granted_containers")
+                .and_then(Value::as_f64)
+                .unwrap();
+            assert!(peak <= grant, "{outcome:?}");
+        }
+    }
+
+    // Below the overload threshold (admission disabled here), nothing
+    // was shed: the shed counter is absent from the exposition or zero.
+    let (status, exposition) = client.get("/metrics/service").unwrap();
+    assert_eq!(status, 200);
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("caladrius_fleet_shed_total{"))
+    {
+        assert!(line.trim_end().ends_with(" 0"), "unexpected shed: {line}");
+    }
+
+    // Forced shed: a second front door over the same fleet with an
+    // impossible SLO sheds low-priority plans once the route histogram
+    // has a sample, with a Retry-After hint; high priority still lands.
+    let shedding = FleetService::with_admission(
+        Arc::clone(&fleet),
+        2,
+        AdmissionConfig {
+            enabled: true,
+            slo_p99_seconds: -1.0,
+            retry_after_seconds: 7,
+            ..AdmissionConfig::default()
+        },
+    );
+    let shed_server = HttpServer::serve("127.0.0.1:0", 2, shedding.handler()).unwrap();
+    let shed_client = HttpClient::new(shed_server.local_addr());
+    let (status, _, body) = shed_client
+        .post_full("/fleet/plan", "{}", &[("x-priority", "high")])
+        .unwrap();
+    assert_eq!(status, 202, "{body}");
+    let (status, headers, body) = shed_client.post_full("/fleet/plan", "{}", &[]).unwrap();
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(headers.get("retry-after").map(String::as_str), Some("7"));
+    assert!(body.contains("shed"), "{body}");
+    let (status, _, _) = shed_client
+        .post_full("/fleet/plan", "{}", &[("x-priority", "high")])
+        .unwrap();
+    assert_eq!(status, 202);
+
+    // The shed shows up in the exposition now.
+    let (_, exposition) = shed_client.get("/metrics/service").unwrap();
+    assert!(
+        exposition
+            .lines()
+            .any(|l| l.starts_with("caladrius_fleet_shed_total{") && !l.trim_end().ends_with(" 0")),
+        "shed counter missing after forced shed"
+    );
+}
