@@ -155,8 +155,17 @@ impl AdmissionController {
         }
         let over_slo = p99_seconds.is_some_and(|p99| p99 > self.config.slo_p99_seconds);
         let over_watermark = queue_depth > self.config.queue_depth_watermark;
-        if over_slo || over_watermark || !self.take_token() {
-            self.record_shed(route, priority);
+        let reason = if over_slo {
+            Some("slo")
+        } else if over_watermark {
+            Some("queue")
+        } else if !self.take_token() {
+            Some("tokens")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            self.record_shed(route, priority, reason);
             return AdmissionDecision::Shed {
                 retry_after_seconds: self.config.retry_after_seconds,
             };
@@ -179,13 +188,16 @@ impl AdmissionController {
         }
     }
 
-    fn record_shed(&self, route: &str, priority: Priority) {
+    fn record_shed(&self, route: &str, priority: Priority, reason: &str) {
         caladrius_obs::global_registry()
             .counter(
                 "caladrius_fleet_shed_total",
                 &[("route", route), ("priority", priority.as_str())],
             )
             .inc();
+        // The flight recorder keeps the last N individual decisions so
+        // a shed storm can be reconstructed after the fact.
+        caladrius_obs::global_flight().record_shed(route, priority.as_str(), reason);
     }
 }
 
@@ -300,6 +312,64 @@ mod tests {
         c.decide("/shed-count-test", Priority::Low, None, 1.0);
         c.decide("/shed-count-test", Priority::Low, None, 1.0);
         assert_eq!(counter.get(), before + 2);
+    }
+
+    #[test]
+    fn windowed_p99_recovers_after_burst_while_lifetime_would_still_shed() {
+        use caladrius_obs::WindowedHistogram;
+        let c = AdmissionController::new(enabled(AdmissionConfig {
+            slo_p99_seconds: 0.5,
+            ..AdmissionConfig::default()
+        }));
+        // 6 × 10 s ring, driven through the deterministic clock hooks.
+        let h = WindowedHistogram::with_window(6, 10);
+        // A latency burst: both the recent and lifetime p99 blow the SLO
+        // and admission sheds.
+        for _ in 0..100 {
+            h.record_at(5.0, 0);
+        }
+        let recent = h.quantile_at(0.99, 0);
+        assert!(recent > 0.5, "{recent}");
+        assert!(matches!(
+            c.decide("/plan", Priority::Low, Some(recent), 0.0),
+            AdmissionDecision::Shed { .. }
+        ));
+        // 70 s later the burst has rotated out of the 60 s horizon and
+        // recent traffic is healthy: shedding stops.
+        for _ in 0..100 {
+            h.record_at(0.05, 70);
+        }
+        let recent = h.quantile_at(0.99, 70);
+        assert!(recent < 0.5, "{recent}");
+        assert_eq!(
+            c.decide("/plan", Priority::Low, Some(recent), 0.0),
+            AdmissionDecision::Admit
+        );
+        // The lifetime p99 still remembers the burst: feeding it instead
+        // would keep shedding forever, which is exactly why the routes
+        // feed the windowed quantile.
+        let lifetime = h.snapshot().quantile(0.99);
+        assert!(lifetime > 0.5, "{lifetime}");
+        assert!(matches!(
+            c.decide("/plan", Priority::Low, Some(lifetime), 0.0),
+            AdmissionDecision::Shed { .. }
+        ));
+    }
+
+    #[test]
+    fn sheds_land_in_the_flight_recorder() {
+        let c = AdmissionController::new(enabled(AdmissionConfig {
+            queue_depth_watermark: 0.0,
+            ..AdmissionConfig::default()
+        }));
+        c.decide("/flight-shed-test", Priority::Low, None, 1.0);
+        let sheds = caladrius_obs::global_flight().sheds();
+        assert!(
+            sheds.iter().any(|s| s.route == "/flight-shed-test"
+                && s.priority == "low"
+                && s.reason == "queue"),
+            "{sheds:?}"
+        );
     }
 
     #[test]

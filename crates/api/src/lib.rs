@@ -35,4 +35,7 @@ pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Pri
 pub use http::{HttpClient, HttpServer, Request, Response};
 pub use jobs::{JobRejected, JobRunner};
 pub use json::Value;
-pub use routes::ApiService;
+pub use routes::{
+    flight_response, parse_plan_body, record_route_slo, slo_status_response, trace_recent_response,
+    ApiService,
+};

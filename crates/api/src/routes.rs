@@ -13,7 +13,9 @@
 //! | POST | `/topology/{topology}/plan` | horizon capacity plan, `202` + job id |
 //! | GET  | `/jobs/{id}` | poll an asynchronous job |
 //! | GET  | `/metrics/service` | service-wide metrics, Prometheus text format |
-//! | GET  | `/trace/recent?limit=N` | recent spans from the trace ring, JSON |
+//! | GET  | `/trace/recent?limit=N&request_id=...` | recent spans from the trace ring, JSON |
+//! | GET  | `/slo/status` | burn-rate evaluation of every SLO objective |
+//! | GET  | `/debug/flight` | flight-recorder dump (snapshots, SLO transitions, sheds) |
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, Priority};
 use crate::http::{Handler, Request, Response};
@@ -24,7 +26,7 @@ use caladrius_core::error::CoreError;
 use caladrius_core::service::{EvaluationReport, SourceRateSpec};
 use caladrius_core::traffic::TrafficForecast;
 use caladrius_core::Caladrius;
-use caladrius_obs::RequestScope;
+use caladrius_obs::{ParentSpanScope, RequestScope};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -354,6 +356,213 @@ fn timeline_to_json(topology: &str, timeline: &caladrius_planner::PlanTimeline) 
     ])
 }
 
+/// Feeds the per-route SLO objective: a request is good when it neither
+/// failed server-side nor blew the route's latency SLO. Shared by every
+/// front door (API and fleet) so `/slo/status` covers all routes.
+pub fn record_route_slo(route: &str, status: u16, elapsed_secs: f64, latency_slo: f64) {
+    caladrius_obs::global_slos()
+        .objective(
+            &format!("route:{route}"),
+            caladrius_obs::SloConfig::default(),
+        )
+        .record(status < 500 && elapsed_secs <= latency_slo);
+}
+
+/// Shared `GET /trace/recent?limit=N&request_id=...` implementation:
+/// newest spans first, `limit` clamped to the ring capacity, optionally
+/// filtered to one request id. Mounted by both front doors.
+pub fn trace_recent_response(request: &Request) -> Response {
+    let tracer = caladrius_obs::tracer();
+    let limit = match request.query.get("limit") {
+        None => 100,
+        Some(v) => match v.parse::<usize>() {
+            // An oversized limit cannot return more than the ring holds;
+            // clamp instead of letting callers size allocations.
+            Ok(n) => n.min(tracer.capacity()),
+            Err(_) => {
+                return Response::json_status(
+                    400,
+                    "{\"error\":\"limit must be a non-negative integer\"}",
+                )
+            }
+        },
+    };
+    let request_id = match request.query.get("request_id") {
+        None => None,
+        Some(raw) => match caladrius_obs::RequestId::parse(raw) {
+            Some(id) => Some(id),
+            None => {
+                return Response::json_status(
+                    400,
+                    "{\"error\":\"request_id must be a hex or decimal id\"}",
+                )
+            }
+        },
+    };
+    let events = tracer
+        .recent_filtered(limit, request_id)
+        .into_iter()
+        .map(|e| {
+            Value::object([
+                ("seq", Value::from(e.seq as f64)),
+                ("ts_unix_ms", Value::from(e.ts_unix_ms as f64)),
+                ("name", Value::from(e.name.clone())),
+                ("duration_us", Value::from(e.duration_us as f64)),
+                (
+                    "request_id",
+                    e.request_id
+                        .map(|id| Value::from(id.to_string()))
+                        .unwrap_or(Value::Null),
+                ),
+                ("span_id", Value::from(e.span_id as f64)),
+                (
+                    "parent_span_id",
+                    e.parent_span_id
+                        .map(|id| Value::from(id as f64))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "fields",
+                    Value::Object(
+                        e.fields
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::from(v.clone())))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Value::object([("events", Value::Array(events))])
+        .to_json()
+        .pipe(Response::json)
+}
+
+fn slo_status_to_json(status: &caladrius_obs::SloStatus) -> Value {
+    Value::object([
+        ("name", Value::from(status.name.clone())),
+        ("target", Value::from(status.target)),
+        ("state", Value::from(status.state.as_str())),
+        ("fast_burn_rate", Value::from(status.fast_burn)),
+        ("slow_burn_rate", Value::from(status.slow_burn)),
+        (
+            "fast_window_seconds",
+            Value::from(status.fast_window_secs as f64),
+        ),
+        (
+            "slow_window_seconds",
+            Value::from(status.slow_window_secs as f64),
+        ),
+        ("good", Value::from(status.good as f64)),
+        ("bad", Value::from(status.bad as f64)),
+    ])
+}
+
+/// Shared `GET /slo/status` implementation: evaluates every registered
+/// objective (also refreshing the burn-rate gauges and flight-recorder
+/// transitions) and reports the multi-window verdicts.
+pub fn slo_status_response() -> Response {
+    let statuses = caladrius_obs::evaluate_slos();
+    let count_state = |state: caladrius_obs::SloState| {
+        statuses.iter().filter(|s| s.state == state).count() as f64
+    };
+    Value::object([
+        (
+            "firing",
+            Value::from(count_state(caladrius_obs::SloState::Firing)),
+        ),
+        (
+            "warning",
+            Value::from(count_state(caladrius_obs::SloState::Warning)),
+        ),
+        (
+            "objectives",
+            Value::Array(statuses.iter().map(slo_status_to_json).collect()),
+        ),
+    ])
+    .to_json()
+    .pipe(Response::json)
+}
+
+fn labels_to_json(labels: &[(String, String)]) -> Value {
+    Value::Object(
+        labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from(v.clone())))
+            .collect(),
+    )
+}
+
+/// Shared `GET /debug/flight` implementation: dumps the flight
+/// recorder's retained snapshots, SLO transitions and shed decisions.
+/// Takes a snapshot first when due (or when none exists yet) so the
+/// dump is never empty.
+pub fn flight_response() -> Response {
+    let flight = caladrius_obs::global_flight();
+    let registry = caladrius_obs::global_registry();
+    if !flight.maybe_snapshot(registry) && flight.snapshot_count() == 0 {
+        flight.force_snapshot(registry);
+    }
+    let snapshots = flight
+        .snapshots()
+        .into_iter()
+        .map(|s| {
+            Value::object([
+                ("ts_unix_ms", Value::from(s.ts_unix_ms as f64)),
+                ("uptime_secs", Value::from(s.uptime_secs as f64)),
+                (
+                    "samples",
+                    Value::Array(
+                        s.samples
+                            .iter()
+                            .map(|sample| {
+                                Value::object([
+                                    ("name", Value::from(sample.name.clone())),
+                                    ("labels", labels_to_json(&sample.labels)),
+                                    ("value", Value::from(sample.value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let transitions = flight
+        .transitions()
+        .into_iter()
+        .map(|t| {
+            Value::object([
+                ("ts_unix_ms", Value::from(t.ts_unix_ms as f64)),
+                ("objective", Value::from(t.objective.clone())),
+                ("from", Value::from(t.from.as_str())),
+                ("to", Value::from(t.to.as_str())),
+                ("fast_burn_rate", Value::from(t.fast_burn)),
+                ("slow_burn_rate", Value::from(t.slow_burn)),
+            ])
+        })
+        .collect();
+    let sheds = flight
+        .sheds()
+        .into_iter()
+        .map(|s| {
+            Value::object([
+                ("ts_unix_ms", Value::from(s.ts_unix_ms as f64)),
+                ("route", Value::from(s.route.clone())),
+                ("priority", Value::from(s.priority.clone())),
+                ("reason", Value::from(s.reason.clone())),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("snapshots", Value::Array(snapshots)),
+        ("slo_transitions", Value::Array(transitions)),
+        ("sheds", Value::Array(sheds)),
+    ])
+    .to_json()
+    .pipe(Response::json)
+}
+
 impl ApiService {
     /// Wraps a Caladrius service with the process-default worker count
     /// ([`caladrius_exec::configured_threads`]: the `CALADRIUS_THREADS`
@@ -396,7 +605,11 @@ impl ApiService {
         );
         registry.describe(
             "caladrius_http_request_duration_seconds",
-            "HTTP request handling time by route pattern",
+            "HTTP request handling time by route pattern (cumulative rows plus recent-window quantile gauges)",
+        );
+        registry.describe(
+            caladrius_obs::BURN_RATE_METRIC,
+            "SLO error-budget burn rate by objective and evaluation window",
         );
         Arc::new(Self {
             caladrius,
@@ -451,11 +664,18 @@ impl ApiService {
             )
             .inc();
         registry
-            .histogram(
+            .windowed_histogram(
                 "caladrius_http_request_duration_seconds",
                 &[("route", route)],
             )
             .record_duration(started.elapsed());
+        record_route_slo(
+            route,
+            response.status,
+            started.elapsed().as_secs_f64(),
+            self.admission.config().slo_p99_seconds,
+        );
+        caladrius_obs::global_flight().maybe_snapshot(registry);
         response
     }
 
@@ -491,7 +711,9 @@ impl ApiService {
             ("GET", ["metrics", "heron", topology]) => {
                 ("/metrics/heron/{topology}", self.metrics(topology, request))
             }
-            ("GET", ["trace", "recent"]) => ("/trace/recent", Self::trace_recent(request)),
+            ("GET", ["trace", "recent"]) => ("/trace/recent", trace_recent_response(request)),
+            ("GET", ["slo", "status"]) => ("/slo/status", slo_status_response()),
+            ("GET", ["debug", "flight"]) => ("/debug/flight", flight_response()),
             ("POST", ["topology", topology, "plan"]) => {
                 ("/topology/{topology}/plan", self.plan(topology, request))
             }
@@ -501,6 +723,8 @@ impl ApiService {
             | (_, ["topology", _, "plan"])
             | (_, ["metrics", "service"])
             | (_, ["trace", ..])
+            | (_, ["slo", ..])
+            | (_, ["debug", "flight"])
             | (_, ["health"])
             | (_, ["topologies"]) => (
                 "method_not_allowed",
@@ -514,61 +738,16 @@ impl ApiService {
     }
 
     /// `GET /metrics/service` — every registered metric in Prometheus
-    /// text exposition format.
+    /// text exposition format. SLO burn-rate gauges are re-evaluated
+    /// first so the scrape never reports stale burn rates.
     fn service_metrics() -> Response {
+        caladrius_obs::evaluate_slos();
         Response {
             status: 200,
             content_type: caladrius_obs::PROMETHEUS_CONTENT_TYPE.into(),
             body: caladrius_obs::render_prometheus(caladrius_obs::global_registry()).into_bytes(),
             headers: Vec::new(),
         }
-    }
-
-    /// `GET /trace/recent?limit=N` — the newest spans from the global
-    /// trace ring, newest first.
-    fn trace_recent(request: &Request) -> Response {
-        let limit = match request.query.get("limit") {
-            None => 100,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => {
-                    return Response::json_status(
-                        400,
-                        "{\"error\":\"limit must be a non-negative integer\"}",
-                    )
-                }
-            },
-        };
-        let events = caladrius_obs::tracer()
-            .recent(limit)
-            .into_iter()
-            .map(|e| {
-                Value::object([
-                    ("seq", Value::from(e.seq as f64)),
-                    ("ts_unix_ms", Value::from(e.ts_unix_ms as f64)),
-                    ("name", Value::from(e.name.clone())),
-                    ("duration_us", Value::from(e.duration_us as f64)),
-                    (
-                        "request_id",
-                        e.request_id
-                            .map(|id| Value::from(id.to_string()))
-                            .unwrap_or(Value::Null),
-                    ),
-                    (
-                        "fields",
-                        Value::Object(
-                            e.fields
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Value::from(v.clone())))
-                                .collect(),
-                        ),
-                    ),
-                ])
-            })
-            .collect();
-        Value::object([("events", Value::Array(events))])
-            .to_json()
-            .pipe(Response::json)
     }
 
     /// Liveness plus data-plane observability. A thin view over the obs
@@ -594,6 +773,23 @@ impl ApiService {
                 ]),
             ),
             ("jobs_tracked", Value::from(self.jobs.len() as f64)),
+            ("slo", {
+                let statuses = caladrius_obs::evaluate_slos();
+                let count = |state: caladrius_obs::SloState| {
+                    statuses.iter().filter(|s| s.state == state).count() as f64
+                };
+                Value::object([
+                    ("objectives", Value::from(statuses.len() as f64)),
+                    (
+                        "firing",
+                        Value::from(count(caladrius_obs::SloState::Firing)),
+                    ),
+                    (
+                        "warning",
+                        Value::from(count(caladrius_obs::SloState::Warning)),
+                    ),
+                ])
+            }),
         ];
         if let Some(ingest) = self.caladrius.metrics_provider().ingest_stats() {
             fields.push((
@@ -800,15 +996,18 @@ impl ApiService {
         }
     }
 
-    /// Observed p99 latency of a route, read from the same per-route
-    /// histogram [`ApiService::handle`] records into. `None` until the
-    /// route has served at least one request.
+    /// Observed **recent** p99 latency of a route, read from the same
+    /// per-route windowed histogram [`ApiService::handle`] records
+    /// into. `None` until the route has served a request inside the
+    /// sliding window, so shedding reacts to the last couple of minutes
+    /// — a long-past burst can no longer pin admission shut.
     fn route_p99(route: &str) -> Option<f64> {
-        let histogram = caladrius_obs::global_registry().histogram(
+        let histogram = caladrius_obs::global_registry().windowed_histogram(
             "caladrius_http_request_duration_seconds",
             &[("route", route)],
         );
-        (histogram.count() > 0).then(|| histogram.snapshot().quantile(0.99))
+        let snapshot = histogram.windowed_snapshot();
+        (snapshot.count > 0).then(|| snapshot.quantile(0.99))
     }
 
     /// `429 Too Many Requests` with a `Retry-After` hint — both load
@@ -865,9 +1064,22 @@ impl ApiService {
         let caladrius = Arc::clone(&self.caladrius);
         let topology = topology.to_string();
         let task_topology = topology.clone();
+        // The job runs on a worker thread: carry the request id and the
+        // `http.request` span id over so the plan's spans stay attached
+        // to the originating request in `/trace/recent`.
+        let request_id = caladrius_obs::current_request_id();
+        let parent_span = caladrius_obs::current_span_id();
         let submitted = self.jobs.submit_keyed(&topology, move || {
-            caladrius
-                .plan_capacity(&task_topology, &plan_request)
+            let _request = request_id.map(RequestScope::enter);
+            let _parent = parent_span.map(ParentSpanScope::enter);
+            let outcome = caladrius.plan_capacity(&task_topology, &plan_request);
+            // Plan jobs carry their own SLO objective: a failed plan
+            // burns error budget even though the HTTP 202 already
+            // succeeded.
+            caladrius_obs::global_slos()
+                .objective("plan-jobs", caladrius_obs::SloConfig::default())
+                .record(outcome.is_ok());
+            outcome
                 .map(|timeline| timeline_to_json(&task_topology, &timeline))
                 .map_err(|e| e.to_string())
         });
@@ -1449,8 +1661,12 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(
             keys,
-            vec!["ingest", "jobs_tracked", "model_cache", "status"]
+            vec!["ingest", "jobs_tracked", "model_cache", "slo", "status"]
         );
+        let slo = v.get("slo").unwrap().as_object().unwrap();
+        let mut slo_keys: Vec<&str> = slo.keys().map(String::as_str).collect();
+        slo_keys.sort_unstable();
+        assert_eq!(slo_keys, vec!["firing", "objectives", "warning"]);
         let cache = v.get("model_cache").unwrap().as_object().unwrap();
         let mut cache_keys: Vec<&str> = cache.keys().map(String::as_str).collect();
         cache_keys.sort_unstable();

@@ -3,9 +3,12 @@
 //! simulator loops, so a histogram record must stay in the tens of
 //! nanoseconds — cheap enough to leave always-on.
 
-use caladrius_obs::{Histogram, MetricsRegistry, RequestId, RequestScope, TraceRing};
+use caladrius_obs::{
+    Histogram, MetricsRegistry, RequestId, RequestScope, TraceRing, WindowedHistogram,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_recording(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_record");
@@ -32,6 +35,84 @@ fn bench_recording(c: &mut Criterion) {
         b.iter(|| registry.counter(black_box("bench_total"), &[("k", "v")]));
     });
     group.finish();
+}
+
+fn bench_windowed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_windowed");
+    // Steady state: every record lands in the already-claimed current
+    // window slot (the amortized-clock path).
+    let windowed = WindowedHistogram::detached();
+    group.bench_function("windowed_record", |b| {
+        let mut v = 1.0e-3;
+        b.iter(|| {
+            v = if v > 1.0 { 1.0e-3 } else { v * 1.001 };
+            windowed.record(black_box(v));
+        });
+    });
+    // Worst case: the clock advances one window per record, so every
+    // record claims and resets a ring slot (the CAS rotation path).
+    let rotating = WindowedHistogram::with_window(12, 1);
+    group.bench_function("windowed_record_rotate", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            rotating.record_at(black_box(1.0e-3), now);
+        });
+    });
+    // Read side: merging the slot ring into a recent-window quantile.
+    let read = WindowedHistogram::detached();
+    for i in 1..=4096 {
+        read.record(f64::from(i) * 1e-5);
+    }
+    group.bench_function("windowed_quantile_p99", |b| {
+        b.iter(|| black_box(read.windowed_quantile(0.99)));
+    });
+    group.finish();
+
+    assert_windowed_record_overhead();
+}
+
+/// The windowed record path must stay within 2× of a plain histogram
+/// record — the budget that keeps it a drop-in replacement on every
+/// HTTP route. Checked here rather than in unit tests so the
+/// comparison runs under bench conditions (release opt, warm caches);
+/// any real `cargo bench` run of this suite fires the assertion.
+fn assert_windowed_record_overhead() {
+    const ITERS: u32 = 2_000_000;
+    fn best_of_3(f: &mut dyn FnMut()) -> f64 {
+        (0..3)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..ITERS {
+                    f();
+                }
+                started.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+    let plain = Histogram::detached();
+    let mut v = 1.0e-3;
+    let plain_secs = best_of_3(&mut || {
+        v = if v > 1.0 { 1.0e-3 } else { v * 1.001 };
+        plain.record(black_box(v));
+    });
+    let windowed = WindowedHistogram::detached();
+    let mut w = 1.0e-3;
+    let windowed_secs = best_of_3(&mut || {
+        w = if w > 1.0 { 1.0e-3 } else { w * 1.001 };
+        windowed.record(black_box(w));
+    });
+    let ratio = windowed_secs / plain_secs.max(1e-12);
+    println!(
+        "windowed/plain record ratio: {ratio:.2}x \
+         (windowed {:.1} ns/op, plain {:.1} ns/op)",
+        windowed_secs * 1e9 / f64::from(ITERS),
+        plain_secs * 1e9 / f64::from(ITERS),
+    );
+    assert!(
+        ratio <= 2.0,
+        "windowed record is {ratio:.2}x a plain histogram record (budget: 2x)"
+    );
 }
 
 fn bench_spans(c: &mut Criterion) {
@@ -72,5 +153,11 @@ fn bench_exposition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_recording, bench_spans, bench_exposition);
+criterion_group!(
+    benches,
+    bench_recording,
+    bench_windowed,
+    bench_spans,
+    bench_exposition
+);
 criterion_main!(benches);

@@ -21,6 +21,10 @@ const MAX_PENDING: usize = 4096;
 /// Guard against division by ~zero when the realized value vanishes.
 const APE_EPSILON: f64 = 1e-9;
 
+/// A scored prediction is "good" for the per-model accuracy SLO when
+/// its absolute percentage error stays within this bound (25 %).
+const APE_SLO_THRESHOLD: f64 = 0.25;
+
 /// What a pending prediction claims about the future.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictionKind {
@@ -186,10 +190,22 @@ impl AccuracyMonitor {
     }
 
     /// Scores one drained prediction against its realized value.
+    ///
+    /// Besides the APE histogram, every score feeds the per-model
+    /// `forecast-ape:<model>` SLO objective — a prediction is good when
+    /// its error stays within [`APE_SLO_THRESHOLD`] — so model drift
+    /// shows up on `/slo/status` as burn rate, not just as a histogram
+    /// someone has to go look at.
     pub fn score(&self, prediction: &PendingPrediction, realized: f64) {
         let ape = absolute_percentage_error(prediction.predicted, realized);
         self.histogram(prediction).record(ape);
         self.scored.inc();
+        caladrius_obs::global_slos()
+            .objective(
+                &format!("forecast-ape:{}", prediction.model),
+                caladrius_obs::SloConfig::with_target(0.9),
+            )
+            .record(ape <= APE_SLO_THRESHOLD);
     }
 
     /// Marks a drained prediction as unscoreable (e.g. the window's data

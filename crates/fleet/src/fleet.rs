@@ -26,7 +26,7 @@ use caladrius_core::config::CaladriusConfig;
 use caladrius_core::providers::metrics::MetricsProvider;
 use caladrius_core::providers::tracker::TopologyTracker;
 use caladrius_core::{Caladrius, CoreError, ModelCacheStats, Result};
-use caladrius_obs::Counter;
+use caladrius_obs::{Counter, ParentSpanScope, RequestScope};
 use caladrius_planner::{PlanTimeline, UNLIMITED_CONTAINERS};
 use caladrius_tsdb::{IngestStats, MetricBatch};
 use heron_sim::metrics::SimMetrics;
@@ -263,7 +263,14 @@ impl Fleet {
 
     /// Routes a metric batch to the owning shard's store for
     /// `topology`. Errors when the topology is not registered.
+    ///
+    /// When a request id is installed (the HTTP ingest path), the hop is
+    /// recorded as a `fleet.ingest` span so `/trace/recent` shows which
+    /// shard the batch landed on; bulk feeding outside a request stays
+    /// span-free so it cannot flush the trace ring.
     pub fn ingest(&self, topology: &str, batch: &MetricBatch) -> Result<()> {
+        let mut span =
+            caladrius_obs::current_request_id().map(|_| caladrius_obs::global_span("fleet.ingest"));
         let (index, metrics) = self
             .assignments
             .read()
@@ -274,6 +281,11 @@ impl Fleet {
         let shard = &self.shards[index];
         shard.ingest_batches.inc();
         shard.ingest_samples.add(batch.len() as u64);
+        if let Some(span) = span.as_mut() {
+            span.field("topology", topology)
+                .field("shard", index)
+                .field("samples", batch.len());
+        }
         Ok(())
     }
 
@@ -299,11 +311,30 @@ impl Fleet {
         let names = self.topologies();
         let pool = caladrius_exec::shared_pool("fleet-plan");
 
+        // The cluster plan is one `fleet.plan` span; its id and the
+        // caller's request id cross into the pool workers so every
+        // per-topology `fleet.shard.plan` span — and the `core.plan`
+        // spans beneath them — reconstructs as one tree under the
+        // originating request in `/trace/recent`.
+        let request_id = caladrius_obs::current_request_id();
+        let mut plan_span = caladrius_obs::global_span("fleet.plan");
+        plan_span
+            .field("topologies", names.len())
+            .field("budget", budget);
+        let plan_span_id = plan_span.id();
+
         // Stage 1: unconstrained plans, fanned out across shards.
         let mut unconstrained = request.clone();
         unconstrained.planner.limits.max_containers = UNLIMITED_CONTAINERS;
-        let first: Vec<Result<PlanTimeline>> =
-            pool.parallel_map(&names, |_, name| self.plan_topology(name, &unconstrained));
+        let first: Vec<Result<PlanTimeline>> = pool.parallel_map(&names, |_, name| {
+            let _request = request_id.map(RequestScope::enter);
+            let _parent = ParentSpanScope::enter(plan_span_id);
+            let mut span = caladrius_obs::global_span("fleet.shard.plan");
+            span.field("topology", name)
+                .field("shard", self.shard_of(name).unwrap_or(0))
+                .field("stage", "unconstrained");
+            self.plan_topology(name, &unconstrained)
+        });
 
         // Stage 2: demand curves → budget grants. Failed plans carry an
         // empty curve, so the allocator skips them.
@@ -333,6 +364,13 @@ impl Fleet {
             .iter()
             .map(|(i, _)| *i)
             .zip(pool.parallel_map(&replan_grants, |_, (i, grant)| {
+                let _request = request_id.map(RequestScope::enter);
+                let _parent = ParentSpanScope::enter(plan_span_id);
+                let mut span = caladrius_obs::global_span("fleet.shard.plan");
+                span.field("topology", &names[*i])
+                    .field("shard", self.shard_of(&names[*i]).unwrap_or(0))
+                    .field("stage", "constrained")
+                    .field("grant", *grant);
                 let mut constrained = request.clone();
                 constrained.planner.limits.max_containers = *grant;
                 self.plan_topology(&names[*i], &constrained)

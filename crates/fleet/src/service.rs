@@ -15,6 +15,10 @@
 //! * `GET /metrics/service` — Prometheus exposition (includes the
 //!   per-shard `shard="<i>"` series and the fleet shed/ingest
 //!   counters).
+//! * `GET /trace/recent`, `GET /slo/status`, `GET /debug/flight` —
+//!   the shared observability endpoints (same handlers as the API
+//!   tier), so a fleet front door exposes the cross-shard span trees,
+//!   burn-rate verdicts and flight-recorder dumps directly.
 
 use crate::fleet::{Fleet, FleetPlan, TopologyPlanOutcome};
 use caladrius_api::admission::PRIORITY_HEADER;
@@ -23,7 +27,7 @@ use caladrius_api::jobs::JobState;
 use caladrius_api::json::Value;
 use caladrius_api::{AdmissionConfig, AdmissionController, AdmissionDecision, JobRunner, Priority};
 use caladrius_core::capacity::CapacityPlanRequest;
-use caladrius_obs::RequestScope;
+use caladrius_obs::{ParentSpanScope, RequestScope};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -102,11 +106,18 @@ impl FleetService {
             )
             .inc();
         registry
-            .histogram(
+            .windowed_histogram(
                 "caladrius_http_request_duration_seconds",
                 &[("route", route)],
             )
             .record_duration(started.elapsed());
+        caladrius_api::record_route_slo(
+            route,
+            response.status,
+            started.elapsed().as_secs_f64(),
+            self.admission.config().slo_p99_seconds,
+        );
+        caladrius_obs::global_flight().maybe_snapshot(registry);
         response
     }
 
@@ -117,7 +128,17 @@ impl FleetService {
             ("GET", ["fleet", "jobs", id]) => ("/fleet/jobs/{id}", self.job_status(id)),
             ("GET", ["fleet", "health"]) => ("/fleet/health", self.health()),
             ("GET", ["metrics", "service"]) => ("/metrics/service", Self::service_metrics()),
-            (_, ["fleet", ..]) | (_, ["metrics", "service"]) => (
+            ("GET", ["trace", "recent"]) => (
+                "/trace/recent",
+                caladrius_api::trace_recent_response(request),
+            ),
+            ("GET", ["slo", "status"]) => ("/slo/status", caladrius_api::slo_status_response()),
+            ("GET", ["debug", "flight"]) => ("/debug/flight", caladrius_api::flight_response()),
+            (_, ["fleet", ..])
+            | (_, ["metrics", "service"])
+            | (_, ["trace", ..])
+            | (_, ["slo", ..])
+            | (_, ["debug", "flight"]) => (
                 "method_not_allowed",
                 Response::json_status(405, "{\"error\":\"method not allowed\"}"),
             ),
@@ -128,13 +149,16 @@ impl FleetService {
         }
     }
 
-    /// The p99 of a route's latency histogram, once it has samples.
+    /// The observed **recent** p99 of a route, from the same windowed
+    /// histogram [`FleetService::handle`] records into — shedding reacts
+    /// to the sliding window, not lifetime history.
     fn route_p99(route: &str) -> Option<f64> {
-        let histogram = caladrius_obs::global_registry().histogram(
+        let histogram = caladrius_obs::global_registry().windowed_histogram(
             "caladrius_http_request_duration_seconds",
             &[("route", route)],
         );
-        (histogram.count() > 0).then(|| histogram.snapshot().quantile(0.99))
+        let snapshot = histogram.windowed_snapshot();
+        (snapshot.count > 0).then(|| snapshot.quantile(0.99))
     }
 
     fn too_many_requests(error: &str, retry_after_seconds: u32) -> Response {
@@ -174,8 +198,21 @@ impl FleetService {
             }
         };
         let fleet = Arc::clone(&self.fleet);
+        // The plan runs on a job worker thread: carry the request id and
+        // the `http.request` span id over so the whole cross-shard fan-out
+        // (`fleet.plan` → `fleet.shard.plan` → `core.plan`) reconstructs
+        // under one request id in `/trace/recent`.
+        let request_id = caladrius_obs::current_request_id();
+        let parent_span = caladrius_obs::current_span_id();
         let id = self.jobs.submit(move || {
+            let _request = request_id.map(RequestScope::enter);
+            let _parent = parent_span.map(ParentSpanScope::enter);
             let plan = fleet.plan_fleet(&plan_request, budget);
+            // Fleet plan jobs burn their own error budget: any topology
+            // failing to plan counts as a bad event.
+            caladrius_obs::global_slos()
+                .objective("fleet-plan-jobs", caladrius_obs::SloConfig::default())
+                .record(plan.errors() == 0);
             Ok(fleet_plan_to_json(&plan))
         });
         Response::json_status(

@@ -1,0 +1,41 @@
+//! Coarse process clocks shared by windowed histograms, SLO slots and
+//! the flight recorder.
+//!
+//! Windowed telemetry only needs second-granularity, monotone time, so
+//! everything in this crate keys off whole seconds elapsed since the
+//! clock was first touched in this process. Tests bypass the clock
+//! entirely through the `*_at(now_secs)` variants of the recording and
+//! reading APIs.
+
+use std::sync::OnceLock;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+static PROCESS_START: OnceLock<Instant> = OnceLock::new();
+
+/// Whole seconds elapsed since this clock was first used in the
+/// process. Monotone and cheap (one `Instant::elapsed`).
+pub fn coarse_now_secs() -> u64 {
+    PROCESS_START.get_or_init(Instant::now).elapsed().as_secs()
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the system clock
+/// is before the epoch).
+pub fn unix_now_ms() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as i64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_clock_is_monotone() {
+        let a = coarse_now_secs();
+        let b = coarse_now_secs();
+        assert!(b >= a);
+        assert!(unix_now_ms() > 0);
+    }
+}

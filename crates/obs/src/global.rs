@@ -7,7 +7,9 @@
 //! process, components that need exact per-instance counts register
 //! their series with an instance-id label from [`next_scope_id`].
 
+use crate::flight::FlightRecorder;
 use crate::registry::MetricsRegistry;
+use crate::slo::{SloRegistry, SloStatus};
 use crate::span::{SpanGuard, TraceRing};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -17,6 +19,8 @@ const TRACE_RING_CAPACITY: usize = 2048;
 
 static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
 static TRACER: OnceLock<TraceRing> = OnceLock::new();
+static SLOS: OnceLock<SloRegistry> = OnceLock::new();
+static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
 static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(0);
 
 /// The process-wide metrics registry.
@@ -32,6 +36,23 @@ pub fn tracer() -> &'static TraceRing {
 /// Starts a span recording into the global ring when dropped.
 pub fn span(name: &'static str) -> SpanGuard<'static> {
     tracer().span(name)
+}
+
+/// The process-wide SLO objective directory.
+pub fn slos() -> &'static SloRegistry {
+    SLOS.get_or_init(SloRegistry::new)
+}
+
+/// The process-wide flight recorder (default bounds).
+pub fn flight() -> &'static FlightRecorder {
+    FLIGHT.get_or_init(FlightRecorder::default)
+}
+
+/// Evaluates every global SLO objective: refreshes the
+/// `caladrius_slo_burn_rate` gauges in the global registry and records
+/// state transitions into the global flight recorder.
+pub fn evaluate_slos() -> Vec<SloStatus> {
+    slos().evaluate(Some(registry()), Some(flight()))
 }
 
 /// Mints a process-unique id for labelling per-instance metric series

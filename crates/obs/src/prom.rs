@@ -103,7 +103,58 @@ fn kind_str(kind: MetricKind) -> &'static str {
     match kind {
         MetricKind::Counter => "counter",
         MetricKind::Gauge => "gauge",
-        MetricKind::Histogram => "histogram",
+        // A windowed histogram's cumulative state renders as a standard
+        // histogram family; its recent-window quantiles follow as a
+        // synthetic `<name>_windowed` gauge family.
+        MetricKind::Histogram | MetricKind::WindowedHistogram => "histogram",
+    }
+}
+
+/// Quantiles exported for each windowed histogram row.
+const WINDOWED_QUANTILES: [(&str, f64); 3] = [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)];
+
+fn render_histogram_rows(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    snapshot: &crate::registry::HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for bucket in &snapshot.buckets {
+        cumulative += bucket.count;
+        if bucket.upper.is_infinite() {
+            continue; // folded into the +Inf row below
+        }
+        let _ = write!(out, "{name}_bucket");
+        write_labels(out, labels, Some(("le", &format_value(bucket.upper))));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    let _ = write!(out, "{name}_bucket");
+    write_labels(out, labels, Some(("le", "+Inf")));
+    let _ = writeln!(out, " {}", snapshot.count);
+    let _ = write!(out, "{name}_sum");
+    write_labels(out, labels, None);
+    let _ = writeln!(out, " {}", format_value(snapshot.sum));
+    let _ = write!(out, "{name}_count");
+    write_labels(out, labels, None);
+    let _ = writeln!(out, " {}", snapshot.count);
+}
+
+/// Renders the synthetic `<name>_windowed` gauge family: recent-window
+/// quantile rows for every windowed-histogram row of `family`.
+fn render_windowed_family(out: &mut String, family: &MetricFamily) {
+    let name = format!("{}_windowed", sanitize_name(&family.name));
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for row in &family.rows {
+        let MetricHandle::Windowed(w) = &row.handle else {
+            continue;
+        };
+        let snapshot = w.windowed_snapshot();
+        for (label, q) in WINDOWED_QUANTILES {
+            out.push_str(&name);
+            write_labels(out, &row.labels, Some(("quantile", label)));
+            let _ = writeln!(out, " {}", format_value(snapshot.quantile(q)));
+        }
     }
 }
 
@@ -126,28 +177,15 @@ fn render_family(out: &mut String, family: &MetricFamily) {
                 let _ = writeln!(out, " {}", format_value(g.get()));
             }
             MetricHandle::Histogram(h) => {
-                let snapshot = h.snapshot();
-                let mut cumulative = 0u64;
-                for bucket in &snapshot.buckets {
-                    cumulative += bucket.count;
-                    if bucket.upper.is_infinite() {
-                        continue; // folded into the +Inf row below
-                    }
-                    let _ = write!(out, "{name}_bucket");
-                    write_labels(out, &row.labels, Some(("le", &format_value(bucket.upper))));
-                    let _ = writeln!(out, " {cumulative}");
-                }
-                let _ = write!(out, "{name}_bucket");
-                write_labels(out, &row.labels, Some(("le", "+Inf")));
-                let _ = writeln!(out, " {}", snapshot.count);
-                let _ = write!(out, "{name}_sum");
-                write_labels(out, &row.labels, None);
-                let _ = writeln!(out, " {}", format_value(snapshot.sum));
-                let _ = write!(out, "{name}_count");
-                write_labels(out, &row.labels, None);
-                let _ = writeln!(out, " {}", snapshot.count);
+                render_histogram_rows(out, &name, &row.labels, &h.snapshot());
+            }
+            MetricHandle::Windowed(w) => {
+                render_histogram_rows(out, &name, &row.labels, &w.snapshot());
             }
         }
+    }
+    if family.kind == MetricKind::WindowedHistogram {
+        render_windowed_family(out, family);
     }
 }
 
@@ -188,6 +226,34 @@ mod tests {
         assert!(text
             .lines()
             .any(|l| l.starts_with("lat_seconds_bucket") && l.ends_with(" 2")));
+    }
+
+    #[test]
+    fn renders_windowed_histograms_with_quantile_gauges() {
+        let r = MetricsRegistry::new();
+        let w = r.windowed_histogram("route_lat_seconds", &[("route", "/plan")]);
+        for _ in 0..10 {
+            w.record(0.5);
+        }
+        let text = render(&r);
+        // Cumulative rows keep the plain histogram contract.
+        assert!(text.contains("# TYPE route_lat_seconds histogram\n"));
+        assert!(text.contains("route_lat_seconds_bucket{route=\"/plan\",le=\"+Inf\"} 10\n"));
+        assert!(text.contains("route_lat_seconds_count{route=\"/plan\"} 10\n"));
+        // The synthetic windowed gauge family follows.
+        assert!(text.contains("# TYPE route_lat_seconds_windowed gauge\n"));
+        for q in ["0.5", "0.9", "0.99"] {
+            let row = text
+                .lines()
+                .find(|l| {
+                    l.starts_with("route_lat_seconds_windowed{")
+                        && l.contains(&format!("quantile=\"{q}\""))
+                })
+                .unwrap_or_else(|| panic!("missing windowed quantile {q}:\n{text}"));
+            assert!(row.contains("route=\"/plan\""), "{row}");
+            let value: f64 = row.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value > 0.4 && value <= 0.5, "{row}");
+        }
     }
 
     #[test]

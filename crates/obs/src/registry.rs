@@ -7,6 +7,7 @@
 //! Callers on genuinely hot paths should hold the handle; occasional
 //! callers (one lookup per HTTP request, say) can re-resolve each time.
 
+use crate::windowed::WindowedHistogram;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
@@ -115,7 +116,7 @@ pub struct Histogram(Arc<HistogramCore>);
 
 /// Bucket index of a value. `0` is the underflow bucket (zero,
 /// negatives, NaN and subnormals); the last bucket catches overflow.
-fn bucket_index(v: f64) -> usize {
+pub(crate) fn bucket_index(v: f64) -> usize {
     if !(v.is_finite() && v > 0.0) {
         return if v == f64::INFINITY {
             HISTOGRAM_BUCKETS - 1
@@ -135,7 +136,7 @@ fn bucket_index(v: f64) -> usize {
 }
 
 /// Inclusive lower value bound of a bucket (0 for the underflow bucket).
-fn bucket_lower_bound(index: usize) -> f64 {
+pub(crate) fn bucket_lower_bound(index: usize) -> f64 {
     if index == 0 {
         return 0.0;
     }
@@ -146,7 +147,7 @@ fn bucket_lower_bound(index: usize) -> f64 {
 }
 
 /// Exclusive upper value bound of a bucket (`+Inf` for the last).
-fn bucket_upper_bound(index: usize) -> f64 {
+pub(crate) fn bucket_upper_bound(index: usize) -> f64 {
     if index >= HISTOGRAM_BUCKETS - 1 {
         f64::INFINITY
     } else {
@@ -205,7 +206,13 @@ impl HistogramSnapshot {
                     return self.max.max(b.lower);
                 }
                 let fraction = (rank - cumulative) as f64 / b.count as f64;
-                return b.lower + (b.upper - b.lower) * fraction;
+                // The true rank-q sample can never exceed the largest
+                // recorded value, so clamp the interpolation: a bucket
+                // whose samples all equal `max` (e.g. a single-sample
+                // histogram) reports `max` exactly instead of the
+                // bucket's upper bound.
+                let estimate = b.lower + (b.upper - b.lower) * fraction;
+                return estimate.min(self.max.max(b.lower));
             }
             cumulative += b.count;
         }
@@ -294,6 +301,8 @@ pub enum MetricKind {
     Gauge,
     /// Log-bucketed distribution.
     Histogram,
+    /// Log-bucketed distribution with a sliding recent-window view.
+    WindowedHistogram,
 }
 
 /// One registered metric handle.
@@ -305,6 +314,8 @@ pub enum MetricHandle {
     Gauge(Gauge),
     /// A [`Histogram`].
     Histogram(Histogram),
+    /// A [`WindowedHistogram`].
+    Windowed(WindowedHistogram),
 }
 
 impl MetricHandle {
@@ -313,6 +324,7 @@ impl MetricHandle {
             MetricHandle::Counter(_) => MetricKind::Counter,
             MetricHandle::Gauge(_) => MetricKind::Gauge,
             MetricHandle::Histogram(_) => MetricKind::Histogram,
+            MetricHandle::Windowed(_) => MetricKind::WindowedHistogram,
         }
     }
 }
@@ -412,6 +424,7 @@ impl MetricsRegistry {
             MetricKind::Counter => MetricHandle::Counter(Counter::detached()),
             MetricKind::Gauge => MetricHandle::Gauge(Gauge::detached()),
             MetricKind::Histogram => MetricHandle::Histogram(Histogram::detached()),
+            MetricKind::WindowedHistogram => MetricHandle::Windowed(WindowedHistogram::detached()),
         });
         assert_eq!(
             entry.kind(),
@@ -441,6 +454,17 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         match self.get_or_insert(name, labels, MetricKind::Histogram) {
             MetricHandle::Histogram(h) => h,
+            _ => unreachable!("kind checked in get_or_insert"),
+        }
+    }
+
+    /// Returns (registering on first use) the windowed histogram
+    /// `name{labels}` with the default 12 × 10 s ring. The Prometheus
+    /// exposition renders its cumulative state under `name` plus
+    /// recent-window quantile gauges under `name_windowed`.
+    pub fn windowed_histogram(&self, name: &str, labels: &[(&str, &str)]) -> WindowedHistogram {
+        match self.get_or_insert(name, labels, MetricKind::WindowedHistogram) {
+            MetricHandle::Windowed(w) => w,
             _ => unreachable!("kind checked in get_or_insert"),
         }
     }
@@ -592,8 +616,48 @@ mod tests {
     fn empty_histogram_is_zero() {
         let s = Histogram::detached().snapshot();
         assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
         assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.quantile(1.0), 0.0);
         assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // Regression: interpolation used to report the landing bucket's
+        // upper bound for a single-sample histogram; the estimate is
+        // now clamped to the recorded max, which is exact here.
+        let h = Histogram::detached();
+        h.record(0.25);
+        let s = h.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0.25, "q={q}");
+        }
+        // A zero-valued sample (underflow bucket) is also exact.
+        let h = Histogram::detached();
+        h.record(0.0);
+        assert_eq!(h.snapshot().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_estimate_never_exceeds_max() {
+        let h = Histogram::detached();
+        for v in [0.001, 0.4, 0.41, 0.42, 1.9] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert!(
+                s.quantile(q) <= s.max,
+                "q={q}: {} > {}",
+                s.quantile(q),
+                s.max
+            );
+        }
+        assert_eq!(s.quantile(1.0), 1.9);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Multi-window SLO burn-rate engine (Google-SRE style).
+//!
+//! Components register an [`SloObjective`] ("99 % of plan requests
+//! good") and feed it good/bad verdicts. Each objective keeps a ring of
+//! good/bad tallies per time slot — the same lazy CAS rotation as
+//! [`WindowedHistogram`](crate::windowed::WindowedHistogram) — and the
+//! burn rate over a window is
+//!
+//! ```text
+//! burn = (bad / (good + bad)) / (1 - target)
+//! ```
+//!
+//! i.e. how many times faster than "exactly on target" the error budget
+//! is being spent. Alerts use two windows so a short blip neither pages
+//! (the slow window vetoes) nor hides a sustained burn (the fast window
+//! confirms it is still happening): **firing** when both the fast
+//! (default 5 m) and slow (default 1 h) burn rates exceed
+//! [`SloConfig::page_burn`] (14.4 ⇒ a 30-day budget gone in 2 days),
+//! **warning** when both exceed [`SloConfig::warn_burn`] (6.0).
+//!
+//! [`SloRegistry::evaluate`] surfaces every objective's state, exports
+//! `caladrius_slo_burn_rate{objective,window}` gauges into a metrics
+//! registry, and logs state transitions into the flight recorder.
+
+use crate::clock::{coarse_now_secs, unix_now_ms};
+use crate::flight::{FlightRecorder, SloTransition};
+use crate::registry::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Metric family name for exported burn-rate gauges.
+pub const BURN_RATE_METRIC: &str = "caladrius_slo_burn_rate";
+
+/// Tag value marking a slot that has never been claimed.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// Shape of one SLO objective's windows and thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Fraction of events that must be good (e.g. `0.99`).
+    pub target: f64,
+    /// Width of one ring slot in seconds.
+    pub slot_secs: u64,
+    /// Ring length; the slow window spans all of it.
+    pub slots: usize,
+    /// Number of most-recent slots forming the fast window.
+    pub fast_slots: usize,
+    /// Both windows at or above this burn rate ⇒ firing.
+    pub page_burn: f64,
+    /// Both windows at or above this burn rate ⇒ warning.
+    pub warn_burn: f64,
+}
+
+impl Default for SloConfig {
+    /// 99 % target, fast 5 m / slow 1 h, page at 14.4× / warn at 6×.
+    fn default() -> Self {
+        SloConfig {
+            target: 0.99,
+            slot_secs: 300,
+            slots: 12,
+            fast_slots: 1,
+            page_burn: 14.4,
+            warn_burn: 6.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Same windows and thresholds, different good-fraction target.
+    pub fn with_target(target: f64) -> Self {
+        SloConfig {
+            target,
+            ..SloConfig::default()
+        }
+    }
+}
+
+/// Health of one objective after a burn-rate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloState {
+    /// Burn rates below every threshold.
+    Ok,
+    /// Sustained burn above the warning threshold.
+    Warning,
+    /// Sustained burn above the paging threshold.
+    Firing,
+}
+
+impl SloState {
+    /// Lower-case name used in JSON payloads and flight events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warning => "warning",
+            SloState::Firing => "firing",
+        }
+    }
+}
+
+/// One time slot of good/bad tallies.
+#[derive(Debug)]
+struct SloSlot {
+    tag: AtomicU64,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ObjectiveCore {
+    name: String,
+    config: SloConfig,
+    slots: Box<[SloSlot]>,
+    /// State seen by the previous evaluation (for transition events).
+    last_state: Mutex<Option<SloState>>,
+}
+
+/// A cheap cloneable handle to one registered objective.
+#[derive(Debug, Clone)]
+pub struct SloObjective(Arc<ObjectiveCore>);
+
+/// Point-in-time evaluation of one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name (e.g. `route:/fleet/plan`).
+    pub name: String,
+    /// Good-fraction target.
+    pub target: f64,
+    /// Evaluated state.
+    pub state: SloState,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Fast window width in seconds.
+    pub fast_window_secs: u64,
+    /// Slow window width in seconds.
+    pub slow_window_secs: u64,
+    /// Good events inside the slow window.
+    pub good: u64,
+    /// Bad events inside the slow window.
+    pub bad: u64,
+}
+
+fn burn_rate(good: u64, bad: u64, target: f64) -> f64 {
+    let total = good + bad;
+    if total == 0 {
+        return 0.0;
+    }
+    let bad_fraction = bad as f64 / total as f64;
+    bad_fraction / (1.0 - target).max(1e-9)
+}
+
+impl SloObjective {
+    fn new(name: &str, config: SloConfig) -> Self {
+        let slots = config.slots.max(1);
+        let config = SloConfig {
+            slots,
+            slot_secs: config.slot_secs.max(1),
+            fast_slots: config.fast_slots.clamp(1, slots),
+            ..config
+        };
+        SloObjective(Arc::new(ObjectiveCore {
+            name: name.to_string(),
+            config,
+            slots: (0..slots)
+                .map(|_| SloSlot {
+                    tag: AtomicU64::new(EMPTY_TAG),
+                    good: AtomicU64::new(0),
+                    bad: AtomicU64::new(0),
+                })
+                .collect(),
+            last_state: Mutex::new(None),
+        }))
+    }
+
+    /// Objective name.
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// The objective's window/threshold configuration.
+    pub fn config(&self) -> SloConfig {
+        self.0.config
+    }
+
+    /// Records one good (`true`) or bad (`false`) event now.
+    pub fn record(&self, good: bool) {
+        self.record_at(good, coarse_now_secs());
+    }
+
+    /// Deterministic variant of [`record`](SloObjective::record).
+    pub fn record_at(&self, good: bool, now_secs: u64) {
+        let core = &*self.0;
+        let window = now_secs / core.config.slot_secs;
+        let slot = &core.slots[(window % core.slots.len() as u64) as usize];
+        loop {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == window {
+                break;
+            }
+            if tag != EMPTY_TAG && tag > window {
+                return; // stale clock: drop rather than pollute a newer window
+            }
+            if slot
+                .tag
+                .compare_exchange_weak(tag, window, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.good.store(0, Ordering::Relaxed);
+                slot.bad.store(0, Ordering::Relaxed);
+                break;
+            }
+        }
+        if good {
+            slot.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            slot.bad.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Good/bad tallies over the most recent `window_slots` slots
+    /// (including the in-progress one) ending at `now_secs`.
+    fn window_counts(&self, now_secs: u64, window_slots: usize) -> (u64, u64) {
+        let core = &*self.0;
+        let window = now_secs / core.config.slot_secs;
+        let oldest = (window + 1).saturating_sub(window_slots as u64);
+        let mut good = 0u64;
+        let mut bad = 0u64;
+        for slot in core.slots.iter() {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == EMPTY_TAG || tag < oldest || tag > window {
+                continue;
+            }
+            good += slot.good.load(Ordering::Relaxed);
+            bad += slot.bad.load(Ordering::Relaxed);
+        }
+        (good, bad)
+    }
+
+    /// Evaluates the objective's burn rates and state now.
+    pub fn status(&self) -> SloStatus {
+        self.status_at(coarse_now_secs())
+    }
+
+    /// Deterministic variant of [`status`](SloObjective::status).
+    pub fn status_at(&self, now_secs: u64) -> SloStatus {
+        let config = self.0.config;
+        let (fast_good, fast_bad) = self.window_counts(now_secs, config.fast_slots);
+        let (slow_good, slow_bad) = self.window_counts(now_secs, config.slots);
+        let fast_burn = burn_rate(fast_good, fast_bad, config.target);
+        let slow_burn = burn_rate(slow_good, slow_bad, config.target);
+        let state = if fast_burn >= config.page_burn && slow_burn >= config.page_burn {
+            SloState::Firing
+        } else if fast_burn >= config.warn_burn && slow_burn >= config.warn_burn {
+            SloState::Warning
+        } else {
+            SloState::Ok
+        };
+        SloStatus {
+            name: self.0.name.clone(),
+            target: config.target,
+            state,
+            fast_burn,
+            slow_burn,
+            fast_window_secs: config.fast_slots as u64 * config.slot_secs,
+            slow_window_secs: config.slots as u64 * config.slot_secs,
+            good: slow_good,
+            bad: slow_bad,
+        }
+    }
+
+    /// Swaps in the freshly evaluated state, returning the previous one
+    /// (None on the very first evaluation).
+    fn swap_state(&self, state: SloState) -> Option<SloState> {
+        let mut guard = self
+            .0
+            .last_state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.replace(state)
+    }
+}
+
+/// Get-or-create directory of [`SloObjective`]s.
+#[derive(Debug, Default)]
+pub struct SloRegistry {
+    objectives: RwLock<BTreeMap<String, SloObjective>>,
+}
+
+impl SloRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SloRegistry::default()
+    }
+
+    /// Returns (registering on first use) the objective `name`. The
+    /// first caller's `config` wins; later callers share it.
+    pub fn objective(&self, name: &str, config: SloConfig) -> SloObjective {
+        if let Some(existing) = self
+            .objectives
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+        {
+            return existing.clone();
+        }
+        let mut guard = self
+            .objectives
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard
+            .entry(name.to_string())
+            .or_insert_with(|| SloObjective::new(name, config))
+            .clone()
+    }
+
+    /// Number of registered objectives.
+    pub fn len(&self) -> usize {
+        self.objectives
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no objectives are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates every objective now: returns statuses sorted by name,
+    /// exports burn-rate gauges into `metrics`, and records state
+    /// transitions into `flight` when provided.
+    pub fn evaluate(
+        &self,
+        metrics: Option<&MetricsRegistry>,
+        flight: Option<&FlightRecorder>,
+    ) -> Vec<SloStatus> {
+        self.evaluate_at(metrics, flight, coarse_now_secs())
+    }
+
+    /// Deterministic variant of [`evaluate`](SloRegistry::evaluate).
+    pub fn evaluate_at(
+        &self,
+        metrics: Option<&MetricsRegistry>,
+        flight: Option<&FlightRecorder>,
+        now_secs: u64,
+    ) -> Vec<SloStatus> {
+        let objectives: Vec<SloObjective> = self
+            .objectives
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect();
+        let mut statuses = Vec::with_capacity(objectives.len());
+        for objective in objectives {
+            let status = objective.status_at(now_secs);
+            if let Some(metrics) = metrics {
+                for (window, burn) in [("fast", status.fast_burn), ("slow", status.slow_burn)] {
+                    metrics
+                        .gauge(
+                            BURN_RATE_METRIC,
+                            &[("objective", status.name.as_str()), ("window", window)],
+                        )
+                        .set(burn);
+                }
+            }
+            let previous = objective.swap_state(status.state);
+            if let (Some(flight), Some(previous)) = (flight, previous) {
+                if previous != status.state {
+                    flight.record_slo_transition(SloTransition {
+                        ts_unix_ms: unix_now_ms(),
+                        objective: status.name.clone(),
+                        from: previous,
+                        to: status.state,
+                        fast_burn: status.fast_burn,
+                        slow_burn: status.slow_burn,
+                    });
+                }
+            }
+            statuses.push(status);
+        }
+        statuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-second slots so tests can drive windows directly. Thresholds
+    /// sit below the 10× all-bad ceiling of a 0.9 target.
+    fn test_config() -> SloConfig {
+        SloConfig {
+            target: 0.9,
+            slot_secs: 1,
+            slots: 12,
+            fast_slots: 2,
+            page_burn: 9.0,
+            warn_burn: 6.0,
+        }
+    }
+
+    #[test]
+    fn burn_rate_math() {
+        // All good: zero burn. On-target: burn 1. All bad: 1/(1-target).
+        assert_eq!(burn_rate(100, 0, 0.9), 0.0);
+        assert!((burn_rate(90, 10, 0.9) - 1.0).abs() < 1e-9);
+        assert!((burn_rate(0, 10, 0.9) - 10.0).abs() < 1e-9);
+        assert_eq!(burn_rate(0, 0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn firing_requires_both_windows() {
+        let o = SloObjective::new("x", test_config());
+        // Old slow-window traffic is healthy.
+        for t in 0..10 {
+            o.record_at(true, t);
+        }
+        // A fresh total outage: fast window all bad.
+        for _ in 0..10 {
+            o.record_at(false, 11);
+        }
+        let s = o.status_at(11);
+        assert!((s.fast_burn - 10.0).abs() < 1e-9, "{s:?}"); // all-bad ceiling
+                                                             // Slow burn is 10 bad / 20 total => 5 < 6: fast alone must not page.
+        assert_eq!(s.state, SloState::Ok);
+        // Sustain the outage so the slow window crosses too.
+        for t in 12..20 {
+            for _ in 0..10 {
+                o.record_at(false, t);
+            }
+        }
+        let s = o.status_at(19);
+        assert_eq!(s.state, SloState::Firing, "{s:?}");
+        assert!(s.fast_burn >= s.slow_burn);
+    }
+
+    #[test]
+    fn old_slots_expire_out_of_the_windows() {
+        let o = SloObjective::new("x", test_config());
+        for _ in 0..50 {
+            o.record_at(false, 0);
+        }
+        let s = o.status_at(0);
+        assert!(s.slow_burn > 0.0);
+        // 12 slots later the outage has aged out entirely.
+        let s = o.status_at(12);
+        assert_eq!((s.good, s.bad), (0, 0));
+        assert_eq!(s.slow_burn, 0.0);
+        assert_eq!(s.state, SloState::Ok);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_objectives() {
+        let r = SloRegistry::new();
+        let a = r.objective("route:/x", SloConfig::with_target(0.5));
+        a.record_at(false, 0);
+        let b = r.objective("route:/x", SloConfig::default());
+        assert_eq!(b.config().target, 0.5, "first config wins");
+        assert_eq!(b.status_at(0).bad, 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_exports_gauges_and_transitions() {
+        let slos = SloRegistry::new();
+        let metrics = MetricsRegistry::new();
+        let flight = FlightRecorder::default();
+        let o = slos.objective("obj", test_config());
+        for t in 0..12 {
+            for _ in 0..10 {
+                o.record_at(false, t);
+            }
+        }
+        let statuses = slos.evaluate_at(Some(&metrics), Some(&flight), 11);
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].state, SloState::Firing);
+        let gauge = metrics.gauge(
+            BURN_RATE_METRIC,
+            &[("objective", "obj"), ("window", "fast")],
+        );
+        assert!(gauge.get() >= 6.0);
+        // First evaluation has no previous state: no transition yet.
+        assert!(flight.transitions().is_empty());
+        // Recovery: the next evaluation (fully aged out) transitions
+        // Firing -> Ok and lands in the flight recorder.
+        let statuses = slos.evaluate_at(Some(&metrics), Some(&flight), 40);
+        assert_eq!(statuses[0].state, SloState::Ok);
+        let transitions = flight.transitions();
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].from, SloState::Firing);
+        assert_eq!(transitions[0].to, SloState::Ok);
+    }
+}

@@ -8,7 +8,7 @@
 //! that overwrites oldest-first, so tracing is always on and never
 //! grows without bound.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -45,6 +45,61 @@ pub fn next_request_id() -> RequestId {
 
 thread_local! {
     static CURRENT_REQUEST: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Stack of live span ids on this thread; the top is the parent of
+    /// any span created next.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh process-unique span id.
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The innermost live span id on this thread, if any — the id a span
+/// created right now would get as its parent.
+pub fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+fn push_span_id(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+/// Removes `id` from this thread's span stack (last occurrence, so
+/// out-of-order guard drops degrade gracefully).
+fn pop_span_id(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// Guard adopting `parent` as this thread's current span, so spans
+/// created on a *different* thread (an exec-pool worker, say) attach to
+/// the span that spawned the work. Pairs with [`RequestScope`] when
+/// fanning a request out across threads.
+#[derive(Debug)]
+pub struct ParentSpanScope {
+    id: u64,
+}
+
+impl ParentSpanScope {
+    /// Installs `parent` as the current span id for this thread until
+    /// the guard drops.
+    pub fn enter(parent: u64) -> Self {
+        push_span_id(parent);
+        ParentSpanScope { id: parent }
+    }
+}
+
+impl Drop for ParentSpanScope {
+    fn drop(&mut self) {
+        pop_span_id(self.id);
+    }
 }
 
 /// The request id installed on this thread, if any.
@@ -86,6 +141,10 @@ pub struct SpanEvent {
     pub duration_us: u64,
     /// Request the span belongs to (None for background work).
     pub request_id: Option<RequestId>,
+    /// Process-unique id of this span.
+    pub span_id: u64,
+    /// Id of the enclosing span (on this or a parent thread), if any.
+    pub parent_span_id: Option<u64>,
     /// Free-form `key=value` annotations.
     pub fields: Vec<(String, String)>,
 }
@@ -110,13 +169,34 @@ impl TraceRing {
         }
     }
 
-    /// Records a finished span. `request_id` defaults to the thread's
-    /// current scope when `None` is passed explicitly by [`SpanGuard`].
+    /// Records a finished span, minting a fresh span id whose parent is
+    /// this thread's current span (if any).
     pub fn record(
         &self,
         name: &str,
         duration: Duration,
         request_id: Option<RequestId>,
+        fields: Vec<(String, String)>,
+    ) {
+        self.record_span(
+            name,
+            duration,
+            request_id,
+            next_span_id(),
+            current_span_id(),
+            fields,
+        );
+    }
+
+    /// Records a finished span with explicit span/parent ids (used by
+    /// [`SpanGuard`], which allocated its id at creation time).
+    pub fn record_span(
+        &self,
+        name: &str,
+        duration: Duration,
+        request_id: Option<RequestId>,
+        span_id: u64,
+        parent_span_id: Option<u64>,
         fields: Vec<(String, String)>,
     ) {
         let ts_unix_ms = SystemTime::now()
@@ -137,6 +217,8 @@ impl TraceRing {
             name: name.to_string(),
             duration_us: duration.as_micros() as u64,
             request_id,
+            span_id,
+            parent_span_id,
             fields,
         };
         if guard.len() == self.capacity {
@@ -147,11 +229,31 @@ impl TraceRing {
 
     /// The most recent `limit` events, newest first.
     pub fn recent(&self, limit: usize) -> Vec<SpanEvent> {
+        self.recent_filtered(limit, None)
+    }
+
+    /// The most recent `limit` events, newest first, optionally
+    /// restricted to one request id.
+    pub fn recent_filtered(&self, limit: usize, request_id: Option<RequestId>) -> Vec<SpanEvent> {
         let guard = self
             .events
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        guard.iter().rev().take(limit).cloned().collect()
+        guard
+            .iter()
+            .rev()
+            .filter(|e| match request_id {
+                None => true,
+                Some(id) => e.request_id == Some(id),
+            })
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Maximum number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of events currently held (≤ capacity).
@@ -172,24 +274,34 @@ impl TraceRing {
         self.seq.load(Ordering::Relaxed)
     }
 
-    /// Starts a span that records into this ring when dropped.
+    /// Starts a span that records into this ring when dropped. The span
+    /// gets a fresh id, adopts this thread's innermost live span as its
+    /// parent, and becomes the current span until it drops.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let id = next_span_id();
+        let parent = current_span_id();
+        push_span_id(id);
         SpanGuard {
             ring: self,
             name,
             started: Instant::now(),
+            id,
+            parent,
             fields: Vec::new(),
         }
     }
 }
 
-/// RAII span: created via [`TraceRing::span`], records its elapsed time
-/// and the thread's current request id into the ring on drop.
+/// RAII span: created via [`TraceRing::span`], records its elapsed
+/// time, span/parent ids and the thread's current request id into the
+/// ring on drop.
 #[derive(Debug)]
 pub struct SpanGuard<'a> {
     ring: &'a TraceRing,
     name: &'static str,
     started: Instant,
+    id: u64,
+    parent: Option<u64>,
     fields: Vec<(String, String)>,
 }
 
@@ -204,14 +316,24 @@ impl SpanGuard<'_> {
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
     }
+
+    /// This span's process-unique id (hand it to
+    /// [`ParentSpanScope::enter`] on worker threads to parent their
+    /// spans under this one).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        self.ring.record(
+        pop_span_id(self.id);
+        self.ring.record_span(
             self.name,
             self.started.elapsed(),
             current_request_id(),
+            self.id,
+            self.parent,
             std::mem::take(&mut self.fields),
         );
     }
@@ -220,6 +342,7 @@ impl Drop for SpanGuard<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn request_id_round_trips_through_display() {
@@ -255,6 +378,71 @@ mod tests {
         let names: Vec<&str> = recent.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["s4", "s3", "s2"]);
         assert_eq!(ring.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn nested_spans_link_parent_ids() {
+        let ring = TraceRing::new(8);
+        let outer_id;
+        {
+            let outer = ring.span("outer");
+            outer_id = outer.id();
+            {
+                let _inner = ring.span("inner");
+            }
+        }
+        let events = ring.recent(2);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].parent_span_id, None);
+        assert_eq!(events[1].name, "inner");
+        assert_eq!(events[1].parent_span_id, Some(outer_id));
+        assert_ne!(events[0].span_id, events[1].span_id);
+        // The stack is clean after the guards drop.
+        assert_eq!(current_span_id(), None);
+    }
+
+    #[test]
+    fn parent_scope_carries_spans_across_threads() {
+        let ring = Arc::new(TraceRing::new(8));
+        let parent_id;
+        {
+            let parent = ring.span("fanout");
+            parent_id = parent.id();
+            let ring2 = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let _scope = ParentSpanScope::enter(parent_id);
+                let _child = ring2.span("worker");
+            })
+            .join()
+            .unwrap();
+        }
+        let worker = ring
+            .recent(8)
+            .into_iter()
+            .find(|e| e.name == "worker")
+            .unwrap();
+        assert_eq!(worker.parent_span_id, Some(parent_id));
+        assert_eq!(current_span_id(), None);
+    }
+
+    #[test]
+    fn recent_filtered_selects_one_request() {
+        let ring = TraceRing::new(8);
+        {
+            let _scope = RequestScope::enter(RequestId(1));
+            drop(ring.span("a"));
+        }
+        {
+            let _scope = RequestScope::enter(RequestId(2));
+            drop(ring.span("b"));
+            drop(ring.span("c"));
+        }
+        let hits = ring.recent_filtered(10, Some(RequestId(2)));
+        let names: Vec<&str> = hits.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["c", "b"]);
+        assert_eq!(ring.recent_filtered(1, Some(RequestId(2))).len(), 1);
+        assert!(ring.recent_filtered(10, Some(RequestId(9))).is_empty());
+        assert_eq!(ring.capacity(), 8);
     }
 
     #[test]

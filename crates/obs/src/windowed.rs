@@ -1,0 +1,335 @@
+//! Sliding-window histograms: a cumulative histogram plus a ring of
+//! rotating sub-histograms, so readers can ask for the quantile of the
+//! *recent* past instead of the process lifetime.
+//!
+//! The ring holds `slots` sub-histograms of `window_secs` each
+//! (12 × 10 s by default, a 2-minute horizon). A recorded value lands
+//! in the slot of its wall-clock window; the first recorder to touch a
+//! slot whose tag is stale claims it with a CAS and zeroes it, so
+//! rotation is lazy and the record path stays lock-free. Readers merge
+//! every slot whose tag falls inside the horizon and ignore the rest —
+//! expired windows vanish without any background sweeper.
+//!
+//! The record path stays within 2× of a plain [`Histogram`] record: the
+//! cumulative update plus one tag load, one bucket increment, one max
+//! and an amortised coarse-clock refresh (every 64th record). Slot
+//! resets race concurrent recorders at window boundaries; a handful of
+//! samples may be attributed to the wrong window or dropped from the
+//! windowed view at each rotation, which is acceptable for telemetry
+//! (the cumulative histogram is exact).
+
+use crate::clock::coarse_now_secs;
+use crate::registry::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, BucketCount, Histogram,
+    HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of ring slots.
+pub const DEFAULT_WINDOW_SLOTS: usize = 12;
+
+/// Default width of one slot in seconds.
+pub const DEFAULT_WINDOW_SECS: u64 = 10;
+
+/// Tag value marking a slot that has never been claimed.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// The cached coarse clock is refreshed every this-many records.
+const CLOCK_REFRESH: u64 = 64;
+
+/// One rotating sub-histogram of the ring.
+#[derive(Debug)]
+struct WindowSlot {
+    /// Window number (`now_secs / window_secs`) this slot holds, or
+    /// [`EMPTY_TAG`] before first use.
+    tag: AtomicU64,
+    /// Maximum recorded value in this window, stored as `f64` bits.
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl WindowSlot {
+    fn new() -> Self {
+        WindowSlot {
+            tag: AtomicU64::new(EMPTY_TAG),
+            max: AtomicU64::new(0f64.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn reset(&self) {
+        self.max.store(0f64.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WindowedCore {
+    cumulative: Histogram,
+    slots: Box<[WindowSlot]>,
+    window_secs: u64,
+    /// Record counter driving the amortised clock refresh.
+    ops: AtomicU64,
+    /// Cached [`coarse_now_secs`] value.
+    cached_now: AtomicU64,
+}
+
+/// A lock-free histogram that answers both lifetime and recent-window
+/// quantiles. See the module docs for the rotation scheme.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram(Arc<WindowedCore>);
+
+impl WindowedHistogram {
+    /// A windowed histogram detached from any registry, with the
+    /// default 12 × 10 s ring.
+    pub fn detached() -> Self {
+        Self::with_window(DEFAULT_WINDOW_SLOTS, DEFAULT_WINDOW_SECS)
+    }
+
+    /// A detached windowed histogram with `slots` windows of
+    /// `window_secs` each (both clamped to at least 1).
+    pub fn with_window(slots: usize, window_secs: u64) -> Self {
+        let slots = slots.max(1);
+        WindowedHistogram(Arc::new(WindowedCore {
+            cumulative: Histogram::detached(),
+            slots: (0..slots).map(|_| WindowSlot::new()).collect(),
+            window_secs: window_secs.max(1),
+            ops: AtomicU64::new(0),
+            cached_now: AtomicU64::new(0),
+        }))
+    }
+
+    /// Width of one window in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.0.window_secs
+    }
+
+    /// Total horizon covered by the ring in seconds.
+    pub fn horizon_secs(&self) -> u64 {
+        self.0.window_secs * self.0.slots.len() as u64
+    }
+
+    /// Records one value at the current coarse time.
+    pub fn record(&self, v: f64) {
+        let now = self.amortized_now();
+        self.record_at(v, now);
+    }
+
+    /// Records a [`std::time::Duration`] in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Records one value as if the coarse clock read `now_secs`
+    /// (deterministic test hook; production uses [`record`]).
+    ///
+    /// [`record`]: WindowedHistogram::record
+    pub fn record_at(&self, v: f64, now_secs: u64) {
+        let core = &*self.0;
+        core.cumulative.record(v);
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let window = now_secs / core.window_secs;
+        let slot = &core.slots[(window % core.slots.len() as u64) as usize];
+        loop {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == window {
+                break;
+            }
+            if tag != EMPTY_TAG && tag > window {
+                // A recorder with a fresher clock already rotated this
+                // slot forward; drop the windowed attribution rather
+                // than corrupting the newer window (the cumulative
+                // histogram kept the sample).
+                return;
+            }
+            if slot
+                .tag
+                .compare_exchange_weak(tag, window, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.reset();
+                break;
+            }
+        }
+        slot.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        if v > 0.0 {
+            slot.max.fetch_max(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Cached coarse clock, refreshed from the real clock every
+    /// [`CLOCK_REFRESH`] records.
+    fn amortized_now(&self) -> u64 {
+        let core = &*self.0;
+        if core
+            .ops
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(CLOCK_REFRESH)
+        {
+            let now = coarse_now_secs();
+            core.cached_now.store(now, Ordering::Relaxed);
+            now
+        } else {
+            core.cached_now.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Lifetime count of recorded values.
+    pub fn count(&self) -> u64 {
+        self.0.cumulative.count()
+    }
+
+    /// Point-in-time copy of the lifetime (cumulative) state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.cumulative.snapshot()
+    }
+
+    /// Estimated `q`-quantile over the ring's horizon (last
+    /// [`horizon_secs`](WindowedHistogram::horizon_secs) seconds).
+    pub fn windowed_quantile(&self, q: f64) -> f64 {
+        self.windowed_snapshot().quantile(q)
+    }
+
+    /// Deterministic variant of
+    /// [`windowed_quantile`](WindowedHistogram::windowed_quantile).
+    pub fn quantile_at(&self, q: f64, now_secs: u64) -> f64 {
+        self.windowed_snapshot_at(now_secs).quantile(q)
+    }
+
+    /// Merged snapshot of every in-horizon window.
+    pub fn windowed_snapshot(&self) -> HistogramSnapshot {
+        self.windowed_snapshot_at(coarse_now_secs())
+    }
+
+    /// Merged snapshot of every window within the horizon ending at
+    /// `now_secs`. The reported `sum` is a mid-bucket estimate (the
+    /// ring does not track per-window sums to keep recording cheap).
+    pub fn windowed_snapshot_at(&self, now_secs: u64) -> HistogramSnapshot {
+        let core = &*self.0;
+        let window = now_secs / core.window_secs;
+        let oldest = (window + 1).saturating_sub(core.slots.len() as u64);
+        let mut merged = [0u64; HISTOGRAM_BUCKETS];
+        let mut max = 0f64;
+        for slot in core.slots.iter() {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == EMPTY_TAG || tag < oldest || tag > window {
+                continue;
+            }
+            max = max.max(f64::from_bits(slot.max.load(Ordering::Relaxed)));
+            for (i, b) in slot.buckets.iter().enumerate() {
+                merged[i] += b.load(Ordering::Relaxed);
+            }
+        }
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        let mut sum = 0f64;
+        for (i, &own) in merged.iter().enumerate() {
+            if own == 0 {
+                continue;
+            }
+            let lower = bucket_lower_bound(i);
+            let upper = bucket_upper_bound(i);
+            count += own;
+            let representative = if upper.is_infinite() {
+                max.max(lower)
+            } else {
+                ((lower + upper) / 2.0).min(if max > 0.0 { max } else { upper })
+            };
+            sum += representative * own as f64;
+            buckets.push(BucketCount {
+                lower,
+                upper,
+                count: own,
+            });
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_quantile_tracks_recent_values_only() {
+        let h = WindowedHistogram::with_window(6, 10);
+        for _ in 0..100 {
+            h.record_at(5.0, 0);
+        }
+        // The burst dominates both views while it is in the horizon.
+        assert!(h.quantile_at(0.99, 0) > 4.0);
+        assert!(h.quantile_at(0.99, 59) > 4.0, "still inside the horizon");
+        // After the horizon passes, the windowed view is empty...
+        assert_eq!(h.quantile_at(0.99, 60), 0.0);
+        assert_eq!(h.windowed_snapshot_at(60).count, 0);
+        // ...while the cumulative view still remembers the burst.
+        assert!(h.snapshot().quantile(0.99) > 4.0);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn recovery_after_burst_flips_windowed_p99_but_not_lifetime() {
+        let h = WindowedHistogram::with_window(6, 10);
+        for _ in 0..100 {
+            h.record_at(5.0, 0);
+        }
+        for _ in 0..100 {
+            h.record_at(0.01, 70);
+        }
+        assert!(h.quantile_at(0.99, 70) < 0.1, "recent view recovered");
+        assert!(h.snapshot().quantile(0.99) > 4.0, "lifetime still high");
+    }
+
+    #[test]
+    fn ring_slots_are_reclaimed_on_wraparound() {
+        let h = WindowedHistogram::with_window(4, 1);
+        h.record_at(1.0, 0);
+        // Window 4 maps to the same slot as window 0 and must evict it.
+        h.record_at(8.0, 4);
+        let s = h.windowed_snapshot_at(4);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn stale_recorder_cannot_roll_a_slot_backwards() {
+        let h = WindowedHistogram::with_window(4, 1);
+        h.record_at(8.0, 4);
+        // A racing recorder with a stale clock maps to the same slot;
+        // its windowed attribution is dropped, not merged backwards.
+        h.record_at(1.0, 0);
+        let s = h.windowed_snapshot_at(4);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(h.count(), 2, "cumulative still keeps the sample");
+    }
+
+    #[test]
+    fn partial_current_window_is_included() {
+        let h = WindowedHistogram::with_window(12, 10);
+        h.record_at(0.25, 115);
+        let q = h.quantile_at(1.0, 115);
+        assert_eq!(q, 0.25, "single sample is exact");
+    }
+
+    #[test]
+    fn real_clock_path_records() {
+        let h = WindowedHistogram::detached();
+        for _ in 0..200 {
+            h.record(0.5);
+        }
+        assert_eq!(h.count(), 200);
+        assert_eq!(h.windowed_snapshot().count, 200);
+        let q = h.windowed_quantile(0.5);
+        assert!(q > 0.4 && q <= 0.5 + 0.5 * 0.2, "{q}");
+    }
+}

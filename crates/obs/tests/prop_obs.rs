@@ -3,7 +3,9 @@
 //! recording under thread contention, trace-ring wraparound and
 //! Prometheus text-format invariants.
 
-use caladrius_obs::{Histogram, MetricsRegistry, TraceRing};
+use caladrius_obs::{
+    Histogram, MetricsRegistry, SloConfig, SloRegistry, TraceRing, WindowedHistogram,
+};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -78,6 +80,111 @@ proptest! {
         }
         prop_assert!(bucket_lines >= 1);
         prop_assert_eq!(last, values.len() as u64, "+Inf bucket = total count");
+    }
+
+    /// A windowed histogram's recent-window quantiles track a sorted
+    /// reference of the values recorded inside the window, within one
+    /// bucket's width. Sub-buckets split an octave linearly, so the
+    /// widest ratio between a bucket's bounds is the bottom quarter's
+    /// 1.25 (not the 2^(1/4) geometric mean).
+    #[test]
+    fn windowed_quantiles_track_sorted_reference(
+        values in arb_positive_values(),
+        q in 0.0f64..1.0,
+    ) {
+        let w = WindowedHistogram::with_window(4, 10);
+        for v in &values {
+            w.record_at(*v, 100);
+        }
+        let snapshot = w.windowed_snapshot_at(100);
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let reference = sorted[rank - 1];
+        let estimate = snapshot.quantile(q);
+        let slack = 1.25 * 1.0001;
+        prop_assert!(
+            estimate <= reference * slack && estimate >= reference / slack,
+            "q={} estimate={} reference={}", q, estimate, reference,
+        );
+    }
+
+    /// The windowed exposition keeps the cumulative-histogram contract
+    /// under the original (sanitised) name — monotone bucket counts
+    /// ending at the total — and adds exactly one parseable quantile
+    /// gauge row per exported quantile, with label escaping intact in
+    /// both families.
+    #[test]
+    fn prometheus_windowed_rows_are_cumulative_and_gauged(values in arb_positive_values()) {
+        let registry = MetricsRegistry::new();
+        let w = registry.windowed_histogram("win.lat-seconds", &[("route", "a\"b")]);
+        for v in &values {
+            w.record(*v);
+        }
+        let text = caladrius_obs::render_prometheus(&registry);
+        prop_assert!(text.contains("# TYPE win_lat_seconds histogram\n"), "{}", text);
+        prop_assert!(text.contains("# TYPE win_lat_seconds_windowed gauge\n"), "{}", text);
+
+        let mut last = 0u64;
+        let mut bucket_lines = 0usize;
+        for line in text.lines().filter(|l| l.starts_with("win_lat_seconds_bucket")) {
+            bucket_lines += 1;
+            prop_assert!(line.contains("route=\"a\\\"b\""), "{}", line);
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(count >= last, "non-monotone bucket counts:\n{}", text);
+            last = count;
+        }
+        prop_assert!(bucket_lines >= 1);
+        prop_assert_eq!(last, values.len() as u64, "+Inf bucket = total count");
+
+        let mut gauge_rows = 0usize;
+        for line in text.lines().filter(|l| l.starts_with("win_lat_seconds_windowed{")) {
+            gauge_rows += 1;
+            prop_assert!(line.contains("route=\"a\\\"b\""), "{}", line);
+            prop_assert!(line.contains("quantile=\""), "{}", line);
+            let value = line.rsplit(' ').next().unwrap();
+            prop_assert!(value.parse::<f64>().is_ok(), "unparseable value in {:?}", line);
+        }
+        prop_assert_eq!(gauge_rows, 3, "one gauge row per exported quantile:\n{}", text);
+    }
+}
+
+/// `evaluate` exports one `caladrius_slo_burn_rate` gauge row per
+/// (objective, window); values are finite, non-negative and parse out
+/// of the text exposition with the objective name escaped as a label.
+#[test]
+fn slo_burn_rate_gauges_render_per_objective_and_window() {
+    let registry = MetricsRegistry::new();
+    let slos = SloRegistry::new();
+    let objective = slos.objective("route:/topology/{topology}/plan", SloConfig::default());
+    for _ in 0..9 {
+        objective.record_at(true, 100);
+    }
+    objective.record_at(false, 100);
+    slos.evaluate_at(Some(&registry), None, 100);
+
+    let text = caladrius_obs::render_prometheus(&registry);
+    assert!(
+        text.contains("# TYPE caladrius_slo_burn_rate gauge\n"),
+        "{text}"
+    );
+    for window in ["fast", "slow"] {
+        let row = text
+            .lines()
+            .find(|l| {
+                l.starts_with("caladrius_slo_burn_rate{")
+                    && l.contains(&format!("window=\"{window}\""))
+            })
+            .unwrap_or_else(|| panic!("missing {window} burn-rate row:\n{text}"));
+        assert!(
+            row.contains("objective=\"route:/topology/{topology}/plan\""),
+            "{row}"
+        );
+        let value: f64 = row.rsplit(' ').next().unwrap().parse().unwrap();
+        // 1 bad out of 10 against a 0.99 target burns at 10× budget.
+        assert!(value.is_finite() && value > 0.0, "{row}");
     }
 }
 

@@ -108,5 +108,39 @@ fn main() {
     assert!(events
         .iter()
         .any(|e| e.get("request_id").unwrap().as_str().is_some()));
+
+    // SLO burn-rate verdicts: the routes served above registered their
+    // objectives and nothing should be firing.
+    let (status, body) = client.get("/slo/status").unwrap();
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    let objectives = v.get("objectives").unwrap().as_array().unwrap();
+    println!(
+        "\nGET /slo/status -> {status} ({} objectives, {} firing)",
+        objectives.len(),
+        v.get("firing").unwrap().as_f64().unwrap(),
+    );
+    for o in objectives.iter().take(5) {
+        println!(
+            "  {} state={} fast_burn={:.2}",
+            o.get("name").unwrap().as_str().unwrap(),
+            o.get("state").unwrap().as_str().unwrap(),
+            o.get("fast_burn_rate").unwrap().as_f64().unwrap(),
+        );
+    }
+    assert!(!objectives.is_empty(), "no SLO objectives registered");
+
+    // Flight recorder: at least one snapshot of the registry exists.
+    let (status, body) = client.get("/debug/flight").unwrap();
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    let snapshots = v.get("snapshots").unwrap().as_array().unwrap();
+    println!(
+        "GET /debug/flight -> {status} ({} snapshots, {} sheds)",
+        snapshots.len(),
+        v.get("sheds").unwrap().as_array().unwrap().len(),
+    );
+    assert!(!snapshots.is_empty(), "flight recorder is empty");
+
     println!("\nobservability smoke test passed");
 }

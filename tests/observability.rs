@@ -4,10 +4,12 @@
 //! tsdb and simulator layers) and leave attributable spans in
 //! `/trace/recent`.
 
-use caladrius::api::{json, ApiService, HttpClient, HttpServer};
+use caladrius::api::{json, ApiService, HttpClient, HttpServer, Value};
 use caladrius::core::providers::{SimMetricsProvider, StaticTracker};
 use caladrius::core::Caladrius;
+use caladrius::fleet::{Fleet, FleetConfig, FleetService, StagedWorkload};
 use caladrius::sim::prelude::*;
+use caladrius::tsdb::MetricBatch;
 use caladrius::workload::wordcount::{wordcount_topology, WordCountParallelism};
 use std::sync::Arc;
 use std::time::Duration;
@@ -213,4 +215,209 @@ fn trace_recent_spans_carry_request_ids() {
             .as_str(),
         Some("wordcount")
     );
+}
+
+/// A small staged fleet (2 shards × 4 topologies) behind its HTTP
+/// front door.
+fn start_fleet() -> (HttpServer, HttpClient) {
+    let fleet = Arc::new(Fleet::new(FleetConfig {
+        shards: 2,
+        ..FleetConfig::default()
+    }));
+    let staged = StagedWorkload::stage_wordcount();
+    let mut batch = MetricBatch::new(0);
+    for i in 0..4 {
+        let name = format!("obs-tenant-{i}");
+        let mut topology = wordcount_topology(
+            WordCountParallelism {
+                spout: 8,
+                splitter: 2,
+                counter: 3,
+            },
+            6.0e6,
+        );
+        topology.name = name.clone();
+        let metrics = fleet.register(topology);
+        let bound = staged.bind(&metrics);
+        for idx in 0..staged.minutes() {
+            bound.fill(&staged, idx, &mut batch);
+            fleet.ingest(&name, &batch).expect("registered topology");
+        }
+    }
+    let service = FleetService::new(fleet, 2);
+    let server = HttpServer::serve("127.0.0.1:0", 4, service.handler()).unwrap();
+    let client = HttpClient::new(server.local_addr());
+    (server, client)
+}
+
+/// Polls a job envelope until the job finishes.
+fn wait_for_job(client: &HttpClient, accepted_body: &str) {
+    let poll = json::parse(accepted_body)
+        .expect("job envelope")
+        .get("poll")
+        .and_then(Value::as_str)
+        .expect("poll url")
+        .to_string();
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, body) = client.get(&poll).expect("poll round-trip");
+        match json::parse(&body)
+            .unwrap()
+            .get("state")
+            .and_then(Value::as_str)
+        {
+            Some("done") => return,
+            Some("failed") => panic!("job failed: {body}"),
+            _ => {
+                assert!(std::time::Instant::now() < deadline, "job timed out");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// A cluster plan over real HTTP leaves one *connected* span tree in
+/// the trace ring: `http.request` → `fleet.plan` → one
+/// `fleet.shard.plan` per topology → `core.plan`, all attributed to
+/// the caller-supplied request id even though the work hopped from the
+/// HTTP worker to the job worker to the shared planning pool.
+#[test]
+fn fleet_plan_fans_out_one_connected_span_tree() {
+    let (_server, client) = start_fleet();
+    let supplied = "beefcafe";
+    let expected_id = caladrius::obs::RequestId::parse(supplied)
+        .unwrap()
+        .to_string();
+
+    let (status, _, body) = client
+        .post_full("/fleet/plan", "{}", &[("x-request-id", supplied)])
+        .unwrap();
+    assert_eq!(status, 202, "{body}");
+    wait_for_job(&client, &body);
+
+    let (status, body) = client
+        .get(&format!("/trace/recent?request_id={supplied}&limit=2048"))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let events = v.get("events").unwrap().as_array().unwrap();
+    assert!(!events.is_empty(), "no spans for request {supplied}");
+    for event in events {
+        assert_eq!(
+            event.get("request_id").and_then(Value::as_str),
+            Some(expected_id.as_str()),
+            "foreign span in filtered trace: {event:?}"
+        );
+    }
+
+    let spans_named = |name: &str| -> Vec<&Value> {
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some(name))
+            .collect()
+    };
+    let span_id = |e: &Value| e.get("span_id").and_then(Value::as_f64).unwrap() as u64;
+    let parent_id = |e: &Value| {
+        e.get("parent_span_id")
+            .and_then(Value::as_f64)
+            .map(|p| p as u64)
+    };
+
+    // Exactly one HTTP edge span and one cluster-plan span, linked.
+    let http = spans_named("http.request");
+    let accepted: Vec<&&Value> = http
+        .iter()
+        .filter(|e| {
+            e.get("fields")
+                .and_then(|f| f.get("route"))
+                .and_then(Value::as_str)
+                == Some("/fleet/plan")
+        })
+        .collect();
+    assert_eq!(accepted.len(), 1, "{body}");
+    let plans = spans_named("fleet.plan");
+    assert_eq!(plans.len(), 1, "{body}");
+    assert_eq!(
+        parent_id(plans[0]),
+        Some(span_id(accepted[0])),
+        "fleet.plan not parented to the accepting http.request"
+    );
+
+    // One shard-plan span per topology, each parented to the cluster
+    // plan; every core.plan span sits under some shard-plan span.
+    let shard_plans = spans_named("fleet.shard.plan");
+    assert_eq!(shard_plans.len(), 4, "{body}");
+    let plan_span = span_id(plans[0]);
+    let shard_ids: Vec<u64> = shard_plans
+        .iter()
+        .map(|e| {
+            assert_eq!(parent_id(e), Some(plan_span), "{e:?}");
+            span_id(e)
+        })
+        .collect();
+    let core_plans = spans_named("core.plan");
+    assert_eq!(core_plans.len(), 4, "{body}");
+    for core in &core_plans {
+        let parent = parent_id(core).expect("core.plan has a parent");
+        assert!(
+            shard_ids.contains(&parent),
+            "core.plan parent {parent} not a fleet.shard.plan: {body}"
+        );
+    }
+}
+
+/// `/slo/status` and `/debug/flight` round-trip as JSON over the fleet
+/// front door, and serving requests populates both: the plan route's
+/// SLO objective appears with finite burn rates, and the flight
+/// recorder holds at least one snapshot with flattened samples.
+#[test]
+fn slo_status_and_flight_round_trip_over_http() {
+    let (_server, client) = start_fleet();
+    let (status, _, body) = client.post_full("/fleet/plan", "{}", &[]).unwrap();
+    assert_eq!(status, 202, "{body}");
+    wait_for_job(&client, &body);
+
+    let (status, body) = client.get("/slo/status").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert!(v.get("firing").and_then(Value::as_f64).unwrap() >= 0.0);
+    assert!(v.get("warning").and_then(Value::as_f64).unwrap() >= 0.0);
+    let objectives = v.get("objectives").and_then(Value::as_array).unwrap();
+    let route_slo = objectives
+        .iter()
+        .find(|o| o.get("name").and_then(Value::as_str) == Some("route:/fleet/plan"))
+        .unwrap_or_else(|| panic!("no /fleet/plan objective: {body}"));
+    for field in ["fast_burn_rate", "slow_burn_rate", "target"] {
+        let value = route_slo.get(field).and_then(Value::as_f64).unwrap();
+        assert!(value.is_finite() && value >= 0.0, "{field}: {value}");
+    }
+    assert!(route_slo.get("good").and_then(Value::as_f64).unwrap() >= 1.0);
+    assert!(
+        objectives
+            .iter()
+            .any(|o| o.get("name").and_then(Value::as_str) == Some("fleet-plan-jobs")),
+        "plan job objective missing: {body}"
+    );
+
+    let (status, body) = client.get("/debug/flight").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let snapshots = v.get("snapshots").and_then(Value::as_array).unwrap();
+    assert!(!snapshots.is_empty(), "flight dump is empty: {body}");
+    let samples = snapshots
+        .last()
+        .unwrap()
+        .get("samples")
+        .and_then(Value::as_array)
+        .unwrap();
+    assert!(
+        samples.iter().any(|s| {
+            s.get("name")
+                .and_then(Value::as_str)
+                .is_some_and(|n| n.starts_with("caladrius_http_request_duration_seconds"))
+        }),
+        "no flattened duration sample: {body}"
+    );
+    assert!(v.get("slo_transitions").and_then(Value::as_array).is_some());
+    assert!(v.get("sheds").and_then(Value::as_array).is_some());
 }
