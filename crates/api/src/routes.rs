@@ -758,6 +758,7 @@ impl ApiService {
     /// `health_shape_is_stable` regression test).
     fn health(&self) -> Response {
         let cache = self.caladrius.model_cache_stats();
+        let plan_cache = self.caladrius.plan_cache_stats();
         let mut fields = vec![
             ("status", Value::from("ok")),
             (
@@ -770,6 +771,15 @@ impl ApiService {
                     ("plan_evals", Value::from(cache.plan_evals as f64)),
                     ("oracle_hits", Value::from(cache.oracle_hits as f64)),
                     ("oracle_misses", Value::from(cache.oracle_misses as f64)),
+                ]),
+            ),
+            (
+                "plan_cache",
+                Value::object([
+                    ("hits", Value::from(plan_cache.hits as f64)),
+                    ("misses", Value::from(plan_cache.misses as f64)),
+                    ("warm_starts", Value::from(plan_cache.warm_starts as f64)),
+                    ("evictions", Value::from(plan_cache.evictions as f64)),
                 ]),
             ),
             ("jobs_tracked", Value::from(self.jobs.len() as f64)),
@@ -1661,7 +1671,14 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(
             keys,
-            vec!["ingest", "jobs_tracked", "model_cache", "slo", "status"]
+            vec![
+                "ingest",
+                "jobs_tracked",
+                "model_cache",
+                "plan_cache",
+                "slo",
+                "status"
+            ]
         );
         let slo = v.get("slo").unwrap().as_object().unwrap();
         let mut slo_keys: Vec<&str> = slo.keys().map(String::as_str).collect();
@@ -1681,6 +1698,13 @@ mod tests {
                 "plan_evals",
                 "plans"
             ]
+        );
+        let plan_cache = v.get("plan_cache").unwrap().as_object().unwrap();
+        let mut plan_cache_keys: Vec<&str> = plan_cache.keys().map(String::as_str).collect();
+        plan_cache_keys.sort_unstable();
+        assert_eq!(
+            plan_cache_keys,
+            vec!["evictions", "hits", "misses", "warm_starts"]
         );
         let ingest = v.get("ingest").unwrap().as_object().unwrap();
         let mut ingest_keys: Vec<&str> = ingest.keys().map(String::as_str).collect();

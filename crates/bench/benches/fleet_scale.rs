@@ -16,11 +16,14 @@
 //! 2. **Replans under continuous ingest** — alternate "ship one fresh
 //!    minute to every topology" (watermarks advance, cached models go
 //!    stale) with full cluster replans through `POST /fleet/plan`:
-//!    cold (first fit), refit (after new data), warm (no new data),
-//!    plus a budget-constrained pass. Route latency is read off the
-//!    shared `caladrius_http_request_duration_seconds` histograms —
-//!    plan submission is async (202 + poll), so the route p99 must
-//!    stay flat no matter how long planning takes.
+//!    cold (first fit), refit (after new data), warm (no new data —
+//!    served from the plan caches, asserted ≥5× faster than refit),
+//!    drifted (fresh data to 10 % of tenants — only those re-plan,
+//!    asserted ≥2× faster than refit), plus a budget-constrained
+//!    pass. Route latency is read off the shared
+//!    `caladrius_http_request_duration_seconds` histograms — plan
+//!    submission is async (202 + poll), so the route p99 must stay
+//!    flat no matter how long planning takes.
 //! 3. **Admission burst** — 256 rapid low-priority plan requests
 //!    against a 64-token bucket (no refill) on a drained front door:
 //!    the bucket admits its capacity and sheds the rest with 429 +
@@ -141,10 +144,11 @@ fn main() {
     let span_ms = (staged.minute_ts(staged.minutes() - 1) - staged.minute_ts(0)) + minute_ms;
     let mut offset = span_ms;
     let mut fresh_minute = 0usize;
-    let ship_minute = |fresh_minute: &mut usize, offset: &mut i64| {
+    // Ships one fresh staged minute to the first `count` topologies.
+    let ship_minute = |fresh_minute: &mut usize, offset: &mut i64, count: usize| {
         let started = Instant::now();
         let mut batch = MetricBatch::new(0);
-        for (name, bound) in &bindings {
+        for (name, bound) in bindings.iter().take(count) {
             bound.fill_at(&staged, *fresh_minute, *offset, &mut batch);
             fleet.ingest(name, &batch).expect("registered");
         }
@@ -156,42 +160,98 @@ fn main() {
         started.elapsed().as_secs_f64()
     };
 
-    columns("replan", &["wall s", "granted", "errors"]);
-    let run_replan = |label: &str, body: &str| -> Value {
+    columns(
+        "replan",
+        &[
+            "wall s",
+            "granted",
+            "unchanged",
+            "drifted",
+            "cold",
+            "errors",
+        ],
+    );
+    let run_replan = |label: &str, body: &str| -> (Value, f64) {
         let started = Instant::now();
         let result = replan(&service, body);
         let wall = started.elapsed().as_secs_f64();
+        let field = |name: &str| result.get(name).and_then(Value::as_f64).unwrap();
         row(
             label,
             &[
                 wall,
-                result.get("total_granted").and_then(Value::as_f64).unwrap(),
-                result.get("errors").and_then(Value::as_f64).unwrap(),
+                field("total_granted"),
+                field("unchanged"),
+                field("drifted"),
+                field("cold"),
+                field("errors"),
             ],
         );
-        result
+        (result, wall)
+    };
+    let partition = |result: &Value| -> (f64, f64, f64) {
+        let field = |name: &str| result.get(name).and_then(Value::as_f64).unwrap();
+        (field("unchanged"), field("drifted"), field("cold"))
     };
 
-    let cold = run_replan("cold", "{}");
+    let (cold, _) = run_replan("cold", "{}");
     assert_eq!(cold.get("errors").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(partition(&cold), (0.0, 0.0, topologies as f64));
     let peak_sum = cold.get("total_granted").and_then(Value::as_f64).unwrap();
     assert!(peak_sum >= topologies as f64, "grants: {peak_sum}");
 
-    let ingest_secs = ship_minute(&mut fresh_minute, &mut offset);
+    let ingest_secs = ship_minute(&mut fresh_minute, &mut offset, topologies);
     println!(
         "  continuous ingest: one fresh minute to all {topologies} topologies in \
          {ingest_secs:.3}s ({:.0} batches/s)",
         topologies as f64 / ingest_secs
     );
-    let refit = run_replan("refit", "{}");
+    let (refit, refit_wall) = run_replan("refit", "{}");
     assert_eq!(refit.get("errors").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(partition(&refit), (0.0, topologies as f64, 0.0));
 
-    let warm = run_replan("warm", "{}");
+    // Steady traffic: every topology's plan cache holds a fingerprint-
+    // current timeline, so the replan is pure cache probes — no
+    // forecasting, no search — and must come back identical, fast.
+    let (warm, warm_wall) = run_replan("warm", "{}");
     assert_eq!(warm.get("errors").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(partition(&warm), (topologies as f64, 0.0, 0.0));
+    assert_eq!(
+        warm.get("total_granted").and_then(Value::as_f64),
+        refit.get("total_granted").and_then(Value::as_f64),
+        "cached plans must match the plans they memoise"
+    );
+    let warm_speedup = refit_wall / warm_wall;
+    println!("  warm replan speedup vs refit: {warm_speedup:.1}x");
+    assert!(
+        warm_speedup >= 5.0,
+        "steady-traffic replan speedup {warm_speedup:.1}x < 5x"
+    );
+
+    // 10 % drift: only the drifted tenants see fresh data; the rest are
+    // served from their plan caches and skip the planner pool entirely.
+    let drifted_count = (topologies / 10).max(1);
+    ship_minute(&mut fresh_minute, &mut offset, drifted_count);
+    let (drifted, drifted_wall) = run_replan("drift 10%", "{}");
+    assert_eq!(drifted.get("errors").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(
+        partition(&drifted),
+        (
+            (topologies - drifted_count) as f64,
+            drifted_count as f64,
+            0.0
+        )
+    );
+    let drift_speedup = refit_wall / drifted_wall;
+    println!("  drifted replan speedup vs refit: {drift_speedup:.1}x");
+    assert!(
+        drift_speedup >= 2.0,
+        "10% drift replan speedup {drift_speedup:.1}x < 2x"
+    );
 
     // Budget-constrained pass: three quarters of unconstrained demand.
     let budget = ((peak_sum * 0.75) as u32).max(1);
-    let tight = run_replan("budgeted", &format!("{{\"budget\": {budget}}}"));
+    let (tight, _) = run_replan("budgeted", &format!("{{\"budget\": {budget}}}"));
     let granted = tight.get("total_granted").and_then(Value::as_f64).unwrap();
     assert!(granted <= f64::from(budget), "{granted} > {budget}");
 
@@ -214,24 +274,48 @@ fn main() {
     assert!(plan_p99 < 250.0, "plan submission p99 {plan_p99:.2} ms");
     assert!(health_p99 < 250.0, "health p99 {health_p99:.2} ms");
 
-    // Per-shard cache behaviour across the replan rounds.
-    columns("shard", &["topologies", "hits", "misses", "hit rate"]);
+    // Per-shard cache behaviour across the replan rounds: model cache
+    // (fitted models) and plan cache (whole timelines) side by side.
+    columns(
+        "shard",
+        &[
+            "topologies",
+            "model hit",
+            "model miss",
+            "plan hit",
+            "plan miss",
+            "warm",
+            "evict",
+        ],
+    );
+    let mut plan_hits = 0u64;
+    let mut warm_starts = 0u64;
     for shard in fleet.health().shards {
-        let total = (shard.model_cache.hits + shard.model_cache.misses) as f64;
+        plan_hits += shard.plan_cache.hits;
+        warm_starts += shard.plan_cache.warm_starts;
         row(
             format!("shard {}", shard.shard),
             &[
                 shard.topologies as f64,
                 shard.model_cache.hits as f64,
                 shard.model_cache.misses as f64,
-                if total > 0.0 {
-                    shard.model_cache.hits as f64 / total
-                } else {
-                    0.0
-                },
+                shard.plan_cache.hits as f64,
+                shard.plan_cache.misses as f64,
+                shard.plan_cache.warm_starts as f64,
+                shard.plan_cache.evictions as f64,
             ],
         );
     }
+    // The warm and drifted rounds were served from the plan caches; the
+    // refit and drifted re-plans warm-started from their stale entries.
+    assert!(
+        plan_hits >= (2 * topologies - drifted_count) as u64,
+        "plan-cache hits {plan_hits} too low"
+    );
+    assert!(
+        warm_starts >= (topologies + drifted_count) as u64,
+        "warm starts {warm_starts} too low"
+    );
 
     // Phase 3: admission burst on a drained front door (empty fleet, so
     // admitted jobs cost nothing and the numbers isolate the edge).

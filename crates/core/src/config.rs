@@ -198,6 +198,10 @@ pub struct CaladriusConfig {
     /// Whether to model each spout instance separately (slower, more
     /// accurate — paper §IV-A) or the topology source as a whole.
     pub per_spout_models: bool,
+    /// Bound on cached capacity-plan timelines
+    /// ([`crate::capacity::PlanCache`]); least-recently-used entries are
+    /// evicted past it.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for CaladriusConfig {
@@ -212,6 +216,7 @@ impl Default for CaladriusConfig {
             source_window_minutes: 240,
             forecast_horizon_minutes: 60,
             per_spout_models: false,
+            plan_cache_capacity: 4096,
         }
     }
 }
@@ -263,6 +268,17 @@ impl CaladriusConfig {
             .and_then(|v| v.as_bool())
         {
             config.per_spout_models = v;
+        }
+        if let Some(v) = root
+            .get("planner.plan_cache_capacity")
+            .and_then(Value::as_i64)
+        {
+            if v < 0 {
+                return Err(CoreError::Config(
+                    "plan_cache_capacity must be non-negative".into(),
+                ));
+            }
+            config.plan_cache_capacity = v as usize;
         }
         Ok(config)
     }
@@ -358,6 +374,13 @@ flags:
     fn typed_config_defaults() {
         let c = CaladriusConfig::from_text("").unwrap();
         assert_eq!(c, CaladriusConfig::default());
+    }
+
+    #[test]
+    fn plan_cache_capacity_parses_and_validates() {
+        let c = CaladriusConfig::from_text("planner:\n  plan_cache_capacity: 64\n").unwrap();
+        assert_eq!(c.plan_cache_capacity, 64);
+        assert!(CaladriusConfig::from_text("planner:\n  plan_cache_capacity: -1\n").is_err());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod service;
 pub mod traffic;
 
 pub use error::{CoreError, Result};
-pub use service::{Caladrius, ModelCacheStats};
+pub use service::{Caladrius, ModelCacheStats, PlanCacheStats};

@@ -106,6 +106,19 @@ pub struct ModelCacheStats {
     pub oracle_misses: u64,
 }
 
+/// Cumulative plan-cache counters (see [`crate::capacity::PlanCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Plans served verbatim from the cache (no forecast, no search).
+    pub hits: u64,
+    /// Plans that had to run the search because no valid entry existed.
+    pub misses: u64,
+    /// Misses whose search was warm-started from a stale cached plan.
+    pub warm_starts: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+}
+
 /// One topology's fitted models plus the versions they were fitted
 /// against. An entry is valid while both versions still match:
 ///
@@ -135,6 +148,7 @@ pub struct Caladrius {
     performance: ModelRegistry,
     graphs: GraphService,
     model_cache: Mutex<HashMap<String, CachedModels>>,
+    plan_cache: Mutex<crate::capacity::PlanCache>,
     /// Cache/fit/plan counters live in the process-wide obs registry,
     /// labelled `service="<instance id>"` so [`Caladrius::model_cache_stats`]
     /// stays exact per instance while `/metrics/service` sees every
@@ -146,6 +160,10 @@ pub struct Caladrius {
     plan_evals: Counter,
     oracle_cache_hits: Counter,
     oracle_cache_misses: Counter,
+    plan_cache_hits: Counter,
+    plan_cache_misses: Counter,
+    plan_warm_starts: Counter,
+    plan_cache_evictions: Counter,
     evaluate_duration: Histogram,
     fit_duration: Histogram,
     plan_duration: Histogram,
@@ -218,6 +236,22 @@ impl Caladrius {
             "Capacity-oracle assessments computed by the fitted models",
         );
         registry.describe(
+            "caladrius_plan_cache_hits_total",
+            "Capacity plans served verbatim from the plan cache",
+        );
+        registry.describe(
+            "caladrius_plan_cache_misses_total",
+            "Capacity plans that had to run the horizon search",
+        );
+        registry.describe(
+            "caladrius_plan_warm_starts_total",
+            "Plan searches warm-started from a stale cached timeline",
+        );
+        registry.describe(
+            "caladrius_plan_cache_evictions_total",
+            "Plan-cache entries dropped by the LRU bound",
+        );
+        registry.describe(
             "caladrius_evaluate_duration_seconds",
             "Wall-clock time of Caladrius::evaluate",
         );
@@ -229,6 +263,7 @@ impl Caladrius {
             "caladrius_plan_duration_seconds",
             "Wall-clock time of Caladrius::plan_capacity",
         );
+        let plan_cache = crate::capacity::PlanCache::new(config.plan_cache_capacity);
         Self {
             config,
             metrics,
@@ -237,6 +272,7 @@ impl Caladrius {
             performance: ModelRegistry::with_defaults(),
             graphs: GraphService::new(),
             model_cache: Mutex::new(HashMap::new()),
+            plan_cache: Mutex::new(plan_cache),
             cache_hits: registry.counter("caladrius_model_cache_hits_total", &labels),
             cache_misses: registry.counter("caladrius_model_cache_misses_total", &labels),
             model_fits: registry.counter("caladrius_model_fits_total", &labels),
@@ -244,6 +280,10 @@ impl Caladrius {
             plan_evals: registry.counter("caladrius_plan_oracle_evals_total", &labels),
             oracle_cache_hits: registry.counter("caladrius_oracle_cache_hits_total", &labels),
             oracle_cache_misses: registry.counter("caladrius_oracle_cache_misses_total", &labels),
+            plan_cache_hits: registry.counter("caladrius_plan_cache_hits_total", &labels),
+            plan_cache_misses: registry.counter("caladrius_plan_cache_misses_total", &labels),
+            plan_warm_starts: registry.counter("caladrius_plan_warm_starts_total", &labels),
+            plan_cache_evictions: registry.counter("caladrius_plan_cache_evictions_total", &labels),
             evaluate_duration: registry.histogram("caladrius_evaluate_duration_seconds", &labels),
             fit_duration: registry.histogram("caladrius_model_fit_duration_seconds", &labels),
             plan_duration: registry.histogram("caladrius_plan_duration_seconds", &labels),
@@ -630,6 +670,21 @@ impl Caladrius {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    fn lock_plan_cache(&self) -> std::sync::MutexGuard<'_, crate::capacity::PlanCache> {
+        self.plan_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Resolves a requested traffic-model name against the configured
+    /// default.
+    fn resolve_traffic_model(&self, requested: Option<&str>) -> Result<String> {
+        requested
+            .map(String::from)
+            .or_else(|| self.config.traffic_models.first().cloned())
+            .ok_or_else(|| CoreError::InvalidRequest("no traffic model configured".into()))
+    }
+
     /// Cumulative cache and fit counters.
     pub fn model_cache_stats(&self) -> ModelCacheStats {
         ModelCacheStats {
@@ -643,10 +698,51 @@ impl Caladrius {
         }
     }
 
+    /// Cumulative plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_cache_hits.get(),
+            misses: self.plan_cache_misses.get(),
+            warm_starts: self.plan_warm_starts.get(),
+            evictions: self.plan_cache_evictions.get(),
+        }
+    }
+
+    /// Pre-forecast plan-cache lookup for `topology` under `request`,
+    /// without fitting models or forecasting. A
+    /// [`crate::capacity::PlanCacheLookup::Hit`] timeline is byte-identical to what
+    /// [`Caladrius::plan_capacity`] would return (and is counted as a
+    /// cache hit); `Stale` means a search would warm-start from the
+    /// previous plan; `Absent` means it would run cold. The fleet tier
+    /// uses this to partition topologies into unchanged / drifted / new
+    /// before deciding what to schedule on the plan pool.
+    pub fn plan_cache_lookup(
+        &self,
+        topology: &str,
+        request: &crate::capacity::CapacityPlanRequest,
+    ) -> Result<crate::capacity::PlanCacheLookup> {
+        let model_name = self.resolve_traffic_model(request.traffic_model.as_deref())?;
+        let request_key =
+            crate::capacity::plan_request_key(&model_name, request.conservative, &request.planner);
+        let watermark = self
+            .metrics
+            .latest_minute(topology)
+            .ok_or_else(|| CoreError::Unknown(format!("no metrics for {topology:?}")))?;
+        let plan_version = self.tracker.last_updated(topology)?;
+        let lookup = self
+            .lock_plan_cache()
+            .probe(topology, request_key, watermark, plan_version);
+        if matches!(lookup, crate::capacity::PlanCacheLookup::Hit(_)) {
+            self.plan_cache_hits.inc();
+        }
+        Ok(lookup)
+    }
+
     /// Drops cached fitted models (all topologies, or one). Invalidation
     /// is otherwise automatic — new data or plan versions force refits —
     /// so this is only needed when a provider is swapped out from under
-    /// the service.
+    /// the service. Cached plan timelines for the same scope are dropped
+    /// too: they were searched against the dropped models.
     pub fn invalidate_model_cache(&self, topology: Option<&str>) {
         let mut cache = self.lock_cache();
         match topology {
@@ -655,6 +751,8 @@ impl Caladrius {
             }
             None => cache.clear(),
         }
+        drop(cache);
+        self.lock_plan_cache().invalidate(topology);
     }
 
     fn resolve_source_rate(
@@ -841,19 +939,44 @@ impl Caladrius {
         topology: &str,
         request: &crate::capacity::CapacityPlanRequest,
     ) -> Result<caladrius_planner::PlanTimeline> {
-        use crate::capacity::{forecast_windows, CachedOracle, ModelOracle};
+        use crate::capacity::{
+            forecast_fingerprint, forecast_windows, plan_request_key, CachedOracle, ModelOracle,
+            PlanCacheLookup,
+        };
         self.score_pending();
         let mut span = caladrius_obs::global_span("core.plan");
         span.field("topology", topology);
         let started = Instant::now();
         request.planner.validate().map_err(CoreError::from)?;
-        let (model, cpu_models) = self.fitted_models(topology)?;
 
-        let model_name = request
-            .traffic_model
-            .clone()
-            .or_else(|| self.config.traffic_models.first().cloned())
-            .ok_or_else(|| CoreError::InvalidRequest("no traffic model configured".into()))?;
+        // Fast plan-cache probe before any model or forecast work: the
+        // forecast is a deterministic function of data at or below the
+        // metrics watermark, so matching (watermark, plan version)
+        // guarantees the cached timeline is what the search would
+        // reproduce.
+        let model_name = self.resolve_traffic_model(request.traffic_model.as_deref())?;
+        let request_key = plan_request_key(&model_name, request.conservative, &request.planner);
+        let watermark = self
+            .metrics
+            .latest_minute(topology)
+            .ok_or_else(|| CoreError::Unknown(format!("no metrics for {topology:?}")))?;
+        let plan_version = self.tracker.last_updated(topology)?;
+        let warm =
+            match self
+                .lock_plan_cache()
+                .probe(topology, request_key, watermark, plan_version)
+            {
+                PlanCacheLookup::Hit(timeline) => {
+                    self.plan_cache_hits.inc();
+                    span.field("plan_cache", "hit");
+                    self.plan_duration.record_duration(started.elapsed());
+                    return Ok(timeline);
+                }
+                PlanCacheLookup::Stale(previous) => Some(previous),
+                PlanCacheLookup::Absent => None,
+            };
+
+        let (model, cpu_models) = self.fitted_models(topology)?;
         let forecast = self
             .forecast_traffic(topology, Some(std::slice::from_ref(&model_name)))?
             .pop()
@@ -863,6 +986,20 @@ impl Caladrius {
             request.planner.window_minutes,
             request.conservative,
         )?;
+        // Authoritative identity check after the forecast actually ran:
+        // covers the quantized window rates on top of the versions the
+        // fast probe already compared.
+        let fingerprint = forecast_fingerprint(watermark, plan_version, &windows);
+        if let Some(timeline) = self
+            .lock_plan_cache()
+            .confirm(topology, request_key, fingerprint)
+        {
+            self.plan_cache_hits.inc();
+            span.field("plan_cache", "fingerprint-hit");
+            self.plan_duration.record_duration(started.elapsed());
+            return Ok(timeline);
+        }
+        self.plan_cache_misses.inc();
 
         // Plan the modelled bolts in declaration order; the current
         // deployment seeds the window-0 action diff.
@@ -889,12 +1026,30 @@ impl Caladrius {
             self.oracle_cache_hits.clone(),
             self.oracle_cache_misses.clone(),
         );
-        let timeline =
-            caladrius_planner::plan_horizon(&oracle, &initial, &windows, &request.planner)
-                .map_err(CoreError::from)?;
+        if warm.is_some() {
+            self.plan_warm_starts.inc();
+            span.field("plan_cache", "warm-start");
+        }
+        let timeline = caladrius_planner::plan_horizon_warm(
+            &oracle,
+            &initial,
+            &windows,
+            &request.planner,
+            warm.as_ref(),
+        )
+        .map_err(CoreError::from)?;
         self.plans_run.inc();
         self.plan_evals.add(timeline.oracle_evals);
         span.field("oracle_evals", timeline.oracle_evals);
+        let evicted = self.lock_plan_cache().insert(
+            topology,
+            request_key,
+            watermark,
+            plan_version,
+            fingerprint,
+            timeline.clone(),
+        );
+        self.plan_cache_evictions.add(evicted);
         // Each planning window is a dated traffic claim; register them
         // all for future scoring.
         for window in &windows {
@@ -1588,11 +1743,16 @@ mod tests {
             "repeated assessments must hit the oracle memo"
         );
 
-        // A second plan on unchanged data reuses the cached fits.
+        // A second plan on unchanged data is served verbatim from the
+        // plan cache: no new search, no new fits, identical timeline.
         let fits_before = stats.fits;
-        caladrius.plan_capacity("wordcount", &request).unwrap();
+        let again = caladrius.plan_capacity("wordcount", &request).unwrap();
+        assert_eq!(again, timeline, "cache hit must be byte-identical");
         let stats = caladrius.model_cache_stats();
-        assert_eq!(stats.plans, 2);
-        assert_eq!(stats.fits, fits_before, "plan must reuse cached models");
+        assert_eq!(stats.plans, 1, "cache hit must not run a search");
+        assert_eq!(stats.fits, fits_before, "cache hit must not refit");
+        let plan_cache = caladrius.plan_cache_stats();
+        assert_eq!((plan_cache.hits, plan_cache.misses), (1, 1));
+        assert_eq!(plan_cache.warm_starts, 0);
     }
 }

@@ -121,12 +121,21 @@ fn marginal_gain(demand: &[u32], c: u32) -> f64 {
 /// Greedy allocation by marginal-gain-per-container. Exact for this
 /// concave utility (see module docs); `O((B + n) log n)`.
 ///
-/// Tie-break: equal gains go to the lower input index, making the
-/// allocation deterministic and budget-monotone.
+/// Tie-break: equal gains go first to the topology granted the *least*
+/// so far, then by topology-id hash, then by input index. The
+/// least-granted rule spreads a tight budget across symmetric tenants
+/// instead of packing the whole grant into whichever happened to sort
+/// first (the starvation caveat the EXPERIMENTS.md fleet runs recorded);
+/// the hash breaks the remaining symmetry without systematically
+/// favouring low indices. The pop sequence never consults the budget,
+/// so the allocation stays deterministic and budget-monotone: a larger
+/// budget replays the same grant sequence and then keeps going.
 pub fn allocate_greedy(demands: &[TopologyDemand], budget: u32) -> Allocation {
     let mut granted = vec![0u32; demands.len()];
-    // Max-heap of (gain, Reverse(index)) — f64 gains are finite here, so
-    // compare via total_cmp through a bit-exact ordered wrapper.
+    // Max-heap of (gain, least-granted, id hash, index) — f64 gains are
+    // finite here, so compare via total_cmp through a bit-exact ordered
+    // wrapper. `Reverse(next)` is the grant this entry would bring the
+    // topology to, so among equal gains the smallest next grant wins.
     #[derive(PartialEq)]
     struct Gain(f64);
     impl Eq for Gain {}
@@ -140,15 +149,24 @@ pub fn allocate_greedy(demands: &[TopologyDemand], budget: u32) -> Allocation {
             self.0.total_cmp(&other.0)
         }
     }
-    let mut heap: BinaryHeap<(Gain, Reverse<usize>)> = demands
+    type Entry = (Gain, Reverse<u32>, Reverse<u64>, Reverse<usize>);
+    let entry = |i: usize, next: u32| -> Entry {
+        (
+            Gain(marginal_gain(&demands[i].per_window_containers, next)),
+            Reverse(next),
+            Reverse(crate::hash::fnv1a64(demands[i].topology.as_bytes())),
+            Reverse(i),
+        )
+    };
+    let mut heap: BinaryHeap<Entry> = demands
         .iter()
         .enumerate()
         .filter(|(_, d)| d.peak() > 0)
-        .map(|(i, d)| (Gain(marginal_gain(&d.per_window_containers, 1)), Reverse(i)))
+        .map(|(i, _)| entry(i, 1))
         .collect();
     let mut remaining = budget;
     while remaining > 0 {
-        let Some((Gain(gain), Reverse(i))) = heap.pop() else {
+        let Some((Gain(gain), _, _, Reverse(i))) = heap.pop() else {
             break;
         };
         if gain <= 0.0 {
@@ -158,10 +176,7 @@ pub fn allocate_greedy(demands: &[TopologyDemand], budget: u32) -> Allocation {
         remaining -= 1;
         let next = granted[i] + 1;
         if next <= demands[i].peak() {
-            heap.push((
-                Gain(marginal_gain(&demands[i].per_window_containers, next)),
-                Reverse(i),
-            ));
+            heap.push(entry(i, next));
         }
     }
     finish(demands, granted, budget)
@@ -279,6 +294,37 @@ mod tests {
             let dp = allocate_exact_dp(&demands, budget);
             assert!(dp.total_granted <= budget);
         }
+    }
+
+    #[test]
+    fn symmetric_demands_share_a_tight_budget() {
+        // Four identical tenants wanting 3 containers each, budget for
+        // half the total demand. The old lowest-index tie-break packed
+        // grants as {3, 3, 0, 0}, systematically starving the tail;
+        // least-granted-first must hand every tenant its first container
+        // before anyone gets a second.
+        let demands: Vec<TopologyDemand> = (0..4)
+            .map(|i| demand(&format!("tenant-{i}"), &[3, 3, 3]))
+            .collect();
+        let a = allocate_greedy(&demands, 6);
+        assert_eq!(a.total_granted, 6);
+        let grants: Vec<u32> = a.grants.iter().map(|g| g.containers).collect();
+        assert!(
+            grants.iter().all(|&c| (1..=2).contains(&c)),
+            "tight budget must spread over symmetric tenants: {grants:?}"
+        );
+        // Deterministic: the same inputs always split the same way.
+        assert_eq!(
+            grants,
+            allocate_greedy(&demands, 6)
+                .grants
+                .iter()
+                .map(|g| g.containers)
+                .collect::<Vec<u32>>()
+        );
+        // With budget for everyone, nobody is capped by the tie-break.
+        let full = allocate_greedy(&demands, 12);
+        assert!(full.grants.iter().all(|g| g.containers == 3));
     }
 
     #[test]

@@ -21,11 +21,11 @@
 use crate::allocator::{allocate_greedy, risk, Allocation, TopologyDemand};
 use crate::hash::assign_shard;
 use crate::provider::{FleetTracker, ShardMetricsProvider};
-use caladrius_core::capacity::CapacityPlanRequest;
+use caladrius_core::capacity::{CapacityPlanRequest, PlanCacheLookup};
 use caladrius_core::config::CaladriusConfig;
 use caladrius_core::providers::metrics::MetricsProvider;
 use caladrius_core::providers::tracker::TopologyTracker;
-use caladrius_core::{Caladrius, CoreError, ModelCacheStats, Result};
+use caladrius_core::{Caladrius, CoreError, ModelCacheStats, PlanCacheStats, Result};
 use caladrius_obs::{Counter, ParentSpanScope, RequestScope};
 use caladrius_planner::{PlanTimeline, UNLIMITED_CONTAINERS};
 use caladrius_tsdb::{IngestStats, MetricBatch};
@@ -150,6 +150,15 @@ pub struct FleetPlan {
     pub budget: u32,
     /// Containers handed out across the fleet (`≤ budget`).
     pub total_granted: u32,
+    /// Topologies whose unconstrained plan was served verbatim from the
+    /// shard plan caches (nothing changed since the previous replan —
+    /// these never touched the plan pool).
+    pub unchanged: usize,
+    /// Topologies whose data moved since their last plan: re-planned,
+    /// warm-started from the stale cached timeline.
+    pub drifted: usize,
+    /// Topologies never planned before (no cache entry): planned cold.
+    pub cold: usize,
     /// Per-topology outcomes, sorted by topology id.
     pub outcomes: Vec<TopologyPlanOutcome>,
 }
@@ -170,6 +179,8 @@ pub struct ShardHealth {
     pub topologies: usize,
     /// Model-cache counters of the shard's service.
     pub model_cache: ModelCacheStats,
+    /// Plan-cache counters of the shard's service.
+    pub plan_cache: PlanCacheStats,
     /// tsdb ingest totals across the shard's topologies.
     pub ingest: IngestStats,
     /// Batches the fleet tier routed to this shard.
@@ -323,18 +334,57 @@ impl Fleet {
             .field("budget", budget);
         let plan_span_id = plan_span.id();
 
-        // Stage 1: unconstrained plans, fanned out across shards.
+        // Stage 1: delta partition, then unconstrained plans for what
+        // actually changed. The plan-cache probe is cheap (no models, no
+        // forecasts), so unchanged topologies are served inline and
+        // never touch the pool; drifted and cold ones fan out across
+        // shards, where `plan_capacity` warm-starts drifted searches
+        // from their stale cached timelines.
         let mut unconstrained = request.clone();
         unconstrained.planner.limits.max_containers = UNLIMITED_CONTAINERS;
-        let first: Vec<Result<PlanTimeline>> = pool.parallel_map(&names, |_, name| {
+        let mut first: Vec<Option<Result<PlanTimeline>>> = Vec::with_capacity(names.len());
+        let (mut unchanged, mut drifted, mut cold) = (0usize, 0usize, 0usize);
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let lookup = self.shard_of(name).map(|s| {
+                self.shards[s]
+                    .service
+                    .plan_cache_lookup(name, &unconstrained)
+            });
+            match lookup {
+                Some(Ok(PlanCacheLookup::Hit(timeline))) => {
+                    unchanged += 1;
+                    first.push(Some(Ok(timeline)));
+                    continue;
+                }
+                Some(Ok(PlanCacheLookup::Stale(_))) => drifted += 1,
+                // Absent, unregistered, or unprobeable (e.g. no metrics
+                // yet): plan cold and let the real error surface there.
+                _ => cold += 1,
+            }
+            first.push(None);
+            pending.push(i);
+        }
+        let solved: Vec<Result<PlanTimeline>> = pool.parallel_map(&pending, |_, i| {
             let _request = request_id.map(RequestScope::enter);
             let _parent = ParentSpanScope::enter(plan_span_id);
             let mut span = caladrius_obs::global_span("fleet.shard.plan");
-            span.field("topology", name)
-                .field("shard", self.shard_of(name).unwrap_or(0))
+            span.field("topology", &names[*i])
+                .field("shard", self.shard_of(&names[*i]).unwrap_or(0))
                 .field("stage", "unconstrained");
-            self.plan_topology(name, &unconstrained)
+            self.plan_topology(&names[*i], &unconstrained)
         });
+        for (i, outcome) in pending.into_iter().zip(solved) {
+            first[i] = Some(outcome);
+        }
+        let first: Vec<Result<PlanTimeline>> = first
+            .into_iter()
+            .map(|o| o.expect("every topology is cached or planned"))
+            .collect();
+        plan_span
+            .field("unchanged", unchanged)
+            .field("drifted", drifted)
+            .field("cold", cold);
 
         // Stage 2: demand curves → budget grants. Failed plans carry an
         // empty curve, so the allocator skips them.
@@ -352,6 +402,10 @@ impl Fleet {
         let allocation = self.allocate(&demands, budget);
 
         // Stage 3: constrained re-plans, only where the grant binds.
+        // The constrained request key covers `max_containers`, so a
+        // plan-cache hit here means the grant is unchanged vs the
+        // previous fleet plan over unchanged data — those re-plans are
+        // served from cache and skip the pool too.
         let replan_grants: Vec<(usize, u32)> = demands
             .iter()
             .enumerate()
@@ -360,10 +414,30 @@ impl Fleet {
                 (first[i].is_ok() && grant > 0 && grant < demand.peak()).then_some((i, grant))
             })
             .collect();
-        let mut replans: HashMap<usize, Result<PlanTimeline>> = replan_grants
-            .iter()
-            .map(|(i, _)| *i)
-            .zip(pool.parallel_map(&replan_grants, |_, (i, grant)| {
+        let mut replans: HashMap<usize, Result<PlanTimeline>> = HashMap::new();
+        let mut pooled_grants: Vec<(usize, u32)> = Vec::new();
+        for (i, grant) in replan_grants {
+            let mut constrained = request.clone();
+            constrained.planner.limits.max_containers = grant;
+            let hit = self.shard_of(&names[i]).and_then(|s| {
+                match self.shards[s]
+                    .service
+                    .plan_cache_lookup(&names[i], &constrained)
+                {
+                    Ok(PlanCacheLookup::Hit(timeline)) => Some(timeline),
+                    _ => None,
+                }
+            });
+            match hit {
+                Some(timeline) => {
+                    replans.insert(i, Ok(timeline));
+                }
+                None => pooled_grants.push((i, grant)),
+            }
+        }
+        replans.extend(pooled_grants.iter().map(|(i, _)| *i).zip(pool.parallel_map(
+            &pooled_grants,
+            |_, (i, grant)| {
                 let _request = request_id.map(RequestScope::enter);
                 let _parent = ParentSpanScope::enter(plan_span_id);
                 let mut span = caladrius_obs::global_span("fleet.shard.plan");
@@ -374,8 +448,8 @@ impl Fleet {
                 let mut constrained = request.clone();
                 constrained.planner.limits.max_containers = *grant;
                 self.plan_topology(&names[*i], &constrained)
-            }))
-            .collect();
+            },
+        )));
 
         let outcomes = names
             .into_iter()
@@ -409,6 +483,9 @@ impl Fleet {
         FleetPlan {
             budget,
             total_granted: allocation.total_granted,
+            unchanged,
+            drifted,
+            cold,
             outcomes,
         }
     }
@@ -445,6 +522,7 @@ impl Fleet {
                 shard: shard.index,
                 topologies: shard.provider.len(),
                 model_cache: shard.service.model_cache_stats(),
+                plan_cache: shard.service.plan_cache_stats(),
                 ingest: shard.provider.ingest_stats().unwrap_or_default(),
                 routed_batches: shard.ingest_batches.get(),
             })
@@ -532,6 +610,76 @@ mod tests {
         // Unknown topologies are rejected, not silently dropped.
         let batch = MetricBatch::new(0);
         assert!(fleet.ingest("ghost", &batch).is_err());
+    }
+
+    #[test]
+    fn steady_replan_is_served_from_the_plan_caches() {
+        let fleet = fed_fleet(2, 4, UNLIMITED_CONTAINERS);
+        let request = CapacityPlanRequest::default();
+
+        let cold = fleet.plan_fleet(&request, None);
+        assert_eq!(cold.errors(), 0, "outcomes: {:?}", cold.outcomes);
+        assert_eq!((cold.unchanged, cold.drifted, cold.cold), (0, 0, 4));
+
+        // Nothing changed: every topology must be served from cache,
+        // byte-identical, without a single new search or oracle eval.
+        let evals_before: u64 = fleet
+            .health()
+            .shards
+            .iter()
+            .map(|s| s.model_cache.plan_evals)
+            .sum();
+        let warm = fleet.plan_fleet(&request, None);
+        assert_eq!((warm.unchanged, warm.drifted, warm.cold), (4, 0, 0));
+        let evals_after: u64 = fleet
+            .health()
+            .shards
+            .iter()
+            .map(|s| s.model_cache.plan_evals)
+            .sum();
+        assert_eq!(evals_after, evals_before, "cache hits must not search");
+        for (a, b) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(a.topology, b.topology);
+            assert_eq!(
+                a.timeline, b.timeline,
+                "{}: cached plan drifted",
+                a.topology
+            );
+        }
+        let hits: u64 = fleet
+            .health()
+            .shards
+            .iter()
+            .map(|s| s.plan_cache.hits)
+            .sum();
+        assert!(hits >= 4, "expected ≥4 plan-cache hits, got {hits}");
+
+        // New data for one topology: exactly that one drifts (and its
+        // re-plan warm-starts), the rest stay unchanged.
+        let staged = staged();
+        let drifting = "tenant-0";
+        let metrics = fleet
+            .assignments
+            .read()
+            .get(drifting)
+            .map(|(_, m)| m.clone())
+            .expect("registered");
+        let bound = staged.bind(&metrics);
+        let mut batch = MetricBatch::new(0);
+        let span_ms = staged.minute_ts(staged.minutes() - 1) - staged.minute_ts(0) + 60_000;
+        bound.fill_at(staged, 0, span_ms, &mut batch);
+        fleet.ingest(drifting, &batch).expect("registered");
+
+        let delta = fleet.plan_fleet(&request, None);
+        assert_eq!((delta.unchanged, delta.drifted, delta.cold), (3, 1, 0));
+        assert_eq!(delta.errors(), 0);
+        let warm_starts: u64 = fleet
+            .health()
+            .shards
+            .iter()
+            .map(|s| s.plan_cache.warm_starts)
+            .sum();
+        assert_eq!(warm_starts, 1, "the drifted re-plan must warm-start");
     }
 
     #[test]

@@ -262,6 +262,16 @@ impl FleetService {
                     ("cache_misses", Value::from(s.model_cache.misses as f64)),
                     ("model_fits", Value::from(s.model_cache.fits as f64)),
                     ("plans", Value::from(s.model_cache.plans as f64)),
+                    ("plan_cache_hits", Value::from(s.plan_cache.hits as f64)),
+                    ("plan_cache_misses", Value::from(s.plan_cache.misses as f64)),
+                    (
+                        "plan_warm_starts",
+                        Value::from(s.plan_cache.warm_starts as f64),
+                    ),
+                    (
+                        "plan_cache_evictions",
+                        Value::from(s.plan_cache.evictions as f64),
+                    ),
                     ("ingest_batches", Value::from(s.ingest.batches as f64)),
                     ("ingest_samples", Value::from(s.ingest.samples as f64)),
                     ("routed_batches", Value::from(s.routed_batches as f64)),
@@ -356,6 +366,9 @@ pub fn fleet_plan_to_json(plan: &FleetPlan) -> Value {
         ("budget", Value::from(f64::from(plan.budget))),
         ("total_granted", Value::from(f64::from(plan.total_granted))),
         ("errors", Value::from(plan.errors() as f64)),
+        ("unchanged", Value::from(plan.unchanged as f64)),
+        ("drifted", Value::from(plan.drifted as f64)),
+        ("cold", Value::from(plan.cold as f64)),
         (
             "topologies",
             Value::Array(plan.outcomes.iter().map(outcome_to_json).collect()),

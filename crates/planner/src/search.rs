@@ -123,6 +123,40 @@ pub fn plan_window(
     rate: f64,
     config: &PlannerConfig,
 ) -> Result<WindowSolution, PlanError> {
+    solve_window(oracle, rate, config, None)
+}
+
+/// [`plan_window`] started from a previous solution instead of from
+/// all-1s: the warm vector seeds the joint assignment (missing
+/// components start at 1, values clamp into `[1, max_parallelism]`),
+/// the bottleneck-first ascent and CPU passes repair any shortfall, and
+/// a decrement-certificate descent shrinks components the new rate no
+/// longer needs.
+///
+/// For oracles whose acceptance is *separable* — each component's
+/// feasibility and CPU verdicts depend only on its own parallelism at
+/// the probed rate, which holds for the Caladrius models (module docs:
+/// input rates are fixed by the DAG, Eq. 12) — the accepted set is a
+/// product of per-component up-sets, the componentwise-minimal accepted
+/// point is unique, and this returns exactly [`plan_window`]'s
+/// assignment. Only the `evals` telemetry differs: a warm vector equal
+/// to the answer certifies itself in `O(components)` probes instead of
+/// the cold search's `O(components · log max_parallelism)`.
+pub fn plan_window_warm(
+    oracle: &dyn CapacityOracle,
+    rate: f64,
+    config: &PlannerConfig,
+    warm: &[(String, u32)],
+) -> Result<WindowSolution, PlanError> {
+    solve_window(oracle, rate, config, Some(warm))
+}
+
+fn solve_window(
+    oracle: &dyn CapacityOracle,
+    rate: f64,
+    config: &PlannerConfig,
+    warm: Option<&[(String, u32)]>,
+) -> Result<WindowSolution, PlanError> {
     config.validate()?;
     if !(rate.is_finite() && rate >= 0.0) {
         return Err(PlanError::InvalidConfig(format!(
@@ -137,7 +171,13 @@ pub fn plan_window(
     }
     let max_p = config.limits.max_parallelism;
     let cpu_budget = config.limits.cores_per_instance * config.cpu_utilization_cap;
-    let mut ps: Vec<(String, u32)> = comps.iter().map(|c| (c.clone(), 1)).collect();
+    let mut ps: Vec<(String, u32)> = match warm {
+        None => comps.iter().map(|c| (c.clone(), 1)).collect(),
+        Some(w) => comps
+            .iter()
+            .map(|c| (c.clone(), get(w, c).clamp(1, max_p)))
+            .collect(),
+    };
     let mut evals = 0u64;
 
     let infeasible = |component: Option<String>| PlanError::Infeasible {
@@ -217,11 +257,24 @@ pub fn plan_window(
     }
 
     // Phase 3 — trim every component to its individual minimum. A
-    // single in-order pass suffices (module docs).
+    // single in-order pass suffices (module docs). The cold pass binary
+    // searches `[1, cur]` outright; the warm pass first probes the
+    // decrement certificate `cur - 1` — a warm vector that is already
+    // the answer proves each component minimal in one probe instead of
+    // a log-width search, which is where warm replans win.
     for comp in &comps {
         let cur = get(&ps, comp);
         if cur <= 1 {
             continue;
+        }
+        if warm.is_some() {
+            let mut trial = ps.clone();
+            set(&mut trial, comp, cur - 1);
+            let a = oracle.assess(&trial, rate)?;
+            evals += 1;
+            if !accepts(&a, cpu_budget) {
+                continue;
+            }
         }
         let found = min_satisfying(1, cur, |p| {
             let mut trial = ps.clone();
@@ -362,6 +415,48 @@ pub fn plan_horizon_with(
     config: &PlannerConfig,
     pool: &ExecPool,
 ) -> Result<PlanTimeline, PlanError> {
+    plan_horizon_warm_with(oracle, initial, windows, config, pool, None)
+}
+
+/// [`plan_horizon`] warm-started from a previous timeline (the shared
+/// `"planner"` pool variant of [`plan_horizon_warm_with`]).
+pub fn plan_horizon_warm(
+    oracle: &dyn CapacityOracle,
+    initial: &[(String, u32)],
+    windows: &[WindowSpec],
+    config: &PlannerConfig,
+    warm: Option<&PlanTimeline>,
+) -> Result<PlanTimeline, PlanError> {
+    plan_horizon_warm_with(
+        oracle,
+        initial,
+        windows,
+        config,
+        caladrius_exec::shared_pool("planner"),
+        warm,
+    )
+}
+
+/// [`plan_horizon_with`], seeding each window's search from a previous
+/// plan timeline: window `i`'s search starts at `warm`'s window-`i`
+/// assignment (clamped to the last warm window when the horizon grew).
+/// With `None` this *is* the cold search.
+///
+/// For separable oracles (see [`plan_window_warm`]) the warm and cold
+/// searches land on identical per-window assignments, so the returned
+/// timeline matches the cold one in everything but the `oracle_evals`
+/// telemetry — the warm run certifies unchanged windows in
+/// `O(components)` probes each. The determinism contract is unchanged:
+/// the timeline is a pure function of the inputs (now including
+/// `warm`), whatever the pool width.
+pub fn plan_horizon_warm_with(
+    oracle: &dyn CapacityOracle,
+    initial: &[(String, u32)],
+    windows: &[WindowSpec],
+    config: &PlannerConfig,
+    pool: &ExecPool,
+    warm: Option<&PlanTimeline>,
+) -> Result<PlanTimeline, PlanError> {
     config.validate()?;
     if windows.is_empty() {
         return Err(PlanError::InvalidConfig(
@@ -386,7 +481,17 @@ pub fn plan_horizon_with(
     }
     let solved: Vec<WindowSolution> =
         pool.parallel_try_map(&unique, |_, (rate, first_window)| {
-            plan_window(oracle, *rate, config).map_err(|e| match e {
+            // Seed from the previous plan's assignment for this window
+            // (clamped to the last warm window when the horizon grew).
+            let seed = warm.and_then(|prev| {
+                let i = (*first_window).min(prev.windows.len().checked_sub(1)?);
+                Some(&prev.windows[i].parallelisms)
+            });
+            match seed {
+                Some(start) => plan_window_warm(oracle, *rate, config, start),
+                None => plan_window(oracle, *rate, config),
+            }
+            .map_err(|e| match e {
                 PlanError::Infeasible {
                     rate, component, ..
                 } => PlanError::Infeasible {
@@ -474,6 +579,7 @@ pub fn plan_horizon_with(
 mod tests {
     use super::*;
     use crate::plan::{PlanAction, ResourceLimits};
+    use proptest::prelude::*;
 
     /// Analytic oracle: component `c` receives `ratio_c × source_rate`
     /// tuples/min and each instance serves `service_c` tuples/min, so
@@ -826,6 +932,131 @@ mod tests {
             plan_horizon(&oracle, &[], &[], &config(8)),
             Err(PlanError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn warm_start_from_the_answer_certifies_cheaply() {
+        let oracle = AnalyticOracle::new(&[("a", 1.0, 2.0e6), ("b", 3.0, 11.0e6)]);
+        let cfg = config(64);
+        let cold = plan_window(&oracle, 10.0e6, &cfg).unwrap();
+        let warm = plan_window_warm(&oracle, 10.0e6, &cfg, &cold.parallelisms).unwrap();
+        assert_eq!(warm.parallelisms, cold.parallelisms);
+        assert_eq!(warm.saturation_rate, cold.saturation_rate);
+        assert!(
+            warm.evals < cold.evals,
+            "warm-from-answer spent {} evals vs cold {}",
+            warm.evals,
+            cold.evals
+        );
+        // Certification is linear in components: one decrement probe
+        // per component plus the shared final assessment.
+        assert!(warm.evals <= 2 * cold.parallelisms.len() as u64 + 1);
+    }
+
+    #[test]
+    fn warm_start_equals_cold_from_arbitrary_seeds() {
+        let oracle = AnalyticOracle::new(&[("a", 1.0, 3.0e6), ("b", 2.0, 5.0e6)])
+            .with_cpu("a", 0.05, 5.0e-8);
+        let cfg = config(32);
+        for rate in [1.0e6, 4.5e6, 9.0e6, 13.0e6] {
+            let cold = plan_window(&oracle, rate, &cfg).unwrap();
+            for seed in [
+                vec![("a".to_string(), 1), ("b".to_string(), 32)],
+                vec![("a".to_string(), 32), ("b".to_string(), 1)],
+                vec![("a".to_string(), 32), ("b".to_string(), 32)],
+                cold.parallelisms.clone(),
+                // Stale / partial seeds: unknown and missing components.
+                vec![("zz".to_string(), 7)],
+            ] {
+                let warm = plan_window_warm(&oracle, rate, &cfg, &seed).unwrap();
+                assert_eq!(
+                    warm.parallelisms, cold.parallelisms,
+                    "rate {rate} seed {seed:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_horizon_matches_cold_and_spends_fewer_evals() {
+        let oracle =
+            AnalyticOracle::new(&[("a", 1.0, 3.0e6), ("b", 2.0, 5.0e6), ("c", 0.5, 1.5e6)]);
+        let cfg = config(64);
+        let windows: Vec<WindowSpec> = [4.0e6, 7.0e6, 11.0e6, 7.0e6, 5.0e6]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| WindowSpec {
+                start_ts: i as i64,
+                end_ts: i as i64 + 1,
+                peak_rate: *r,
+            })
+            .collect();
+        let cold = plan_horizon(&oracle, &[], &windows, &cfg).unwrap();
+        // Unchanged rates: the warm run must reproduce the timeline
+        // exactly (modulo eval telemetry) at a fraction of the cost.
+        let warm = plan_horizon_warm(&oracle, &[], &windows, &cfg, Some(&cold)).unwrap();
+        assert_eq!(warm.windows, cold.windows);
+        assert_eq!(warm.peak_parallelisms, cold.peak_parallelisms);
+        assert_eq!(warm.peak_cost, cold.peak_cost);
+        assert!(
+            warm.oracle_evals < cold.oracle_evals,
+            "warm horizon spent {} evals vs cold {}",
+            warm.oracle_evals,
+            cold.oracle_evals
+        );
+        // A horizon longer than the seed clamps to the last warm window.
+        let mut grown = windows.clone();
+        grown.push(WindowSpec {
+            start_ts: 5,
+            end_ts: 6,
+            peak_rate: 9.0e6,
+        });
+        let cold_grown = plan_horizon(&oracle, &[], &grown, &cfg).unwrap();
+        let warm_grown = plan_horizon_warm(&oracle, &[], &grown, &cfg, Some(&cold)).unwrap();
+        assert_eq!(warm_grown.windows, cold_grown.windows);
+    }
+
+    proptest! {
+        /// Tentpole (b): for separable oracles the warm-started search
+        /// is an *equivalence-preserving* optimisation — over perturbed
+        /// rates it lands on exactly the plan the from-scratch search
+        /// finds, whatever the previous timeline looked like.
+        #[test]
+        fn warm_horizon_equals_cold_over_perturbed_rates(
+            base in 2.0e6f64..12.0e6,
+            factors in prop::collection::vec(0.4f64..1.8, 1..6),
+            drift in prop::collection::vec(0.7f64..1.3, 6),
+        ) {
+            let oracle = AnalyticOracle::new(&[
+                ("a", 1.0, 3.0e6),
+                ("b", 2.0, 5.0e6),
+                ("c", 0.5, 1.5e6),
+            ]);
+            let cfg = config(64);
+            let window = |i: usize, rate: f64| WindowSpec {
+                start_ts: i as i64,
+                end_ts: i as i64 + 1,
+                peak_rate: rate,
+            };
+            let before: Vec<WindowSpec> = factors
+                .iter()
+                .enumerate()
+                .map(|(i, f)| window(i, base * f))
+                .collect();
+            let prev = plan_horizon(&oracle, &[], &before, &cfg).unwrap();
+            // Drift every window's rate and replan warm vs cold.
+            let after: Vec<WindowSpec> = factors
+                .iter()
+                .zip(&drift)
+                .enumerate()
+                .map(|(i, (f, d))| window(i, base * f * d))
+                .collect();
+            let cold = plan_horizon(&oracle, &[], &after, &cfg).unwrap();
+            let warm =
+                plan_horizon_warm(&oracle, &[], &after, &cfg, Some(&prev)).unwrap();
+            prop_assert_eq!(&warm.windows, &cold.windows);
+            prop_assert_eq!(&warm.peak_parallelisms, &cold.peak_parallelisms);
+        }
     }
 
     #[test]

@@ -44,6 +44,14 @@ CALADRIUS_THREADS=1 cargo test -q --test sim_kernel_equivalence
 echo "==> CALADRIUS_THREADS=1 fleet tier e2e"
 CALADRIUS_THREADS=1 cargo test -q --test fleet_scale
 
+# Incremental replanning: the plan-cache suite proves cache hits are
+# bit-identical with zero new searches and that every staleness edge
+# (watermark, plan version, ResourceLimits) invalidates; the planner
+# package carries the warm-start == cold-search equivalence proptests.
+echo "==> CALADRIUS_THREADS=1 plan cache + warm-start equivalence"
+CALADRIUS_THREADS=1 cargo test -q --test plan_cache
+CALADRIUS_THREADS=1 cargo test -q -p caladrius-planner
+
 echo "==> observability smoke (scrape /metrics/service)"
 cargo run --release --example obs_smoke
 

@@ -136,6 +136,60 @@ fn fleet_tier_end_to_end() {
         assert_eq!(outcome.get("risk").and_then(Value::as_f64), Some(0.0));
         assert!(outcome.get("plan").is_some(), "{outcome:?}");
     }
+    // First contact with every topology: all plans were cold.
+    assert_eq!(
+        free.get("cold").and_then(Value::as_f64),
+        Some(TOPOLOGIES as f64)
+    );
+    assert_eq!(free.get("unchanged").and_then(Value::as_f64), Some(0.0));
+
+    // A second identical plan over unchanged data is served entirely
+    // from the per-shard plan caches: every topology counts as
+    // unchanged and the outcomes are byte-identical.
+    let (status, body) = client.post("/fleet/plan", "{}").unwrap();
+    assert_eq!(status, 202, "{body}");
+    let cached = wait_for_plan(&client, &body);
+    assert_eq!(
+        cached.get("unchanged").and_then(Value::as_f64),
+        Some(TOPOLOGIES as f64)
+    );
+    assert_eq!(cached.get("drifted").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(cached.get("cold").and_then(Value::as_f64), Some(0.0));
+    assert_eq!(
+        cached.get("topologies"),
+        free.get("topologies"),
+        "cached fleet plan must match the plan it memoises"
+    );
+
+    // The cache traffic is visible per shard in /fleet/health.
+    let (status, body) = client.get("/fleet/health").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let health = json::parse(&body).unwrap();
+    let mut plan_hits = 0.0;
+    let mut plan_misses = 0.0;
+    for shard in health.get("shards").and_then(Value::as_array).unwrap() {
+        for field in [
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "plan_warm_starts",
+            "plan_cache_evictions",
+        ] {
+            assert!(shard.get(field).is_some(), "missing {field}: {shard:?}");
+        }
+        plan_hits += shard
+            .get("plan_cache_hits")
+            .and_then(Value::as_f64)
+            .unwrap();
+        plan_misses += shard
+            .get("plan_cache_misses")
+            .and_then(Value::as_f64)
+            .unwrap();
+    }
+    assert_eq!(plan_hits, TOPOLOGIES as f64, "second plan hits throughout");
+    assert_eq!(
+        plan_misses, TOPOLOGIES as f64,
+        "first plan missed throughout"
+    );
 
     // Budgeted cluster plan: grants sum within the cluster budget, and
     // every produced timeline fits its topology's grant.
