@@ -767,6 +767,11 @@ impl ApiService {
                     ("hits", Value::from(cache.hits as f64)),
                     ("misses", Value::from(cache.misses as f64)),
                     ("fits", Value::from(cache.fits as f64)),
+                    (
+                        "incremental_fits",
+                        Value::from(cache.incremental_fits as f64),
+                    ),
+                    ("full_fits", Value::from(cache.full_fits as f64)),
                     ("plans", Value::from(cache.plans as f64)),
                     ("plan_evals", Value::from(cache.plan_evals as f64)),
                     ("oracle_hits", Value::from(cache.oracle_hits as f64)),
@@ -807,6 +812,15 @@ impl ApiService {
                 Value::object([
                     ("batches", Value::from(ingest.batches as f64)),
                     ("samples", Value::from(ingest.samples as f64)),
+                ]),
+            ));
+        }
+        if let Some(tail) = self.caladrius.metrics_provider().tail_cache_stats() {
+            fields.push((
+                "tsdb",
+                Value::object([
+                    ("tail_cache_hits", Value::from(tail.hits as f64)),
+                    ("tail_cache_misses", Value::from(tail.misses as f64)),
                 ]),
             ));
         }
@@ -1677,7 +1691,8 @@ mod tests {
                 "model_cache",
                 "plan_cache",
                 "slo",
-                "status"
+                "status",
+                "tsdb"
             ]
         );
         let slo = v.get("slo").unwrap().as_object().unwrap();
@@ -1691,7 +1706,9 @@ mod tests {
             cache_keys,
             vec![
                 "fits",
+                "full_fits",
                 "hits",
+                "incremental_fits",
                 "misses",
                 "oracle_hits",
                 "oracle_misses",
@@ -1710,6 +1727,10 @@ mod tests {
         let mut ingest_keys: Vec<&str> = ingest.keys().map(String::as_str).collect();
         ingest_keys.sort_unstable();
         assert_eq!(ingest_keys, vec!["batches", "samples"]);
+        let tsdb = v.get("tsdb").unwrap().as_object().unwrap();
+        let mut tsdb_keys: Vec<&str> = tsdb.keys().map(String::as_str).collect();
+        tsdb_keys.sort_unstable();
+        assert_eq!(tsdb_keys, vec!["tail_cache_hits", "tail_cache_misses"]);
     }
 
     #[test]

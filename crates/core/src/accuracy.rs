@@ -94,9 +94,43 @@ pub fn absolute_percentage_error(predicted: f64, realized: f64) -> f64 {
 /// through [`AccuracyMonitor::score`] (or
 /// [`AccuracyMonitor::drop_unrealizable`] when the window can no longer
 /// be reconstructed).
+/// The pending queue plus its per-topology score watermark: the minimum
+/// pending `window_end` per topology. Both live under one lock so the
+/// index can never drift from the queue.
+#[derive(Default)]
+struct PendingQueue {
+    queue: VecDeque<PendingPrediction>,
+    earliest_end: HashMap<String, i64>,
+}
+
+impl PendingQueue {
+    fn note(&mut self, topology: &str, window_end: i64) {
+        self.earliest_end
+            .entry(topology.to_string())
+            .and_modify(|end| *end = (*end).min(window_end))
+            .or_insert(window_end);
+    }
+
+    /// Recomputes the per-topology minimums from the queue (after any
+    /// removal that might have dropped a topology's earliest window).
+    fn rebuild_earliest(&mut self) {
+        self.earliest_end.clear();
+        let ends: Vec<(String, i64)> = self
+            .queue
+            .iter()
+            .map(|p| (p.topology.clone(), p.window_end))
+            .collect();
+        for (topology, end) in ends {
+            self.note(&topology, end);
+        }
+    }
+}
+
+/// Records pending forecasts and scores them against realized data once
+/// each prediction window closes (the paper's model-validation loop).
 pub struct AccuracyMonitor {
     service_label: String,
-    pending: Mutex<VecDeque<PendingPrediction>>,
+    pending: Mutex<PendingQueue>,
     /// APE histograms per (topology, model, kind) — held here (not only
     /// in the global registry) so summaries stay exact per service
     /// instance even when many instances share one process.
@@ -139,7 +173,7 @@ impl AccuracyMonitor {
         let labels: [(&str, &str); 1] = [("service", service_label)];
         Self {
             service_label: service_label.to_string(),
-            pending: Mutex::new(VecDeque::new()),
+            pending: Mutex::new(PendingQueue::default()),
             histograms: Mutex::new(HashMap::new()),
             recorded: registry.counter("caladrius_forecast_predictions_recorded_total", &labels),
             scored: registry.counter("caladrius_forecast_predictions_scored_total", &labels),
@@ -157,11 +191,17 @@ impl AccuracyMonitor {
             .pending
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if pending.len() == MAX_PENDING {
-            pending.pop_front();
+        if pending.queue.len() == MAX_PENDING {
+            let evicted = pending.queue.pop_front();
             self.dropped.inc();
+            // The evicted entry may have carried its topology's
+            // earliest window end.
+            if evicted.is_some() {
+                pending.rebuild_earliest();
+            }
         }
-        pending.push_back(prediction);
+        pending.note(&prediction.topology, prediction.window_end);
+        pending.queue.push_back(prediction);
         self.recorded.inc();
     }
 
@@ -169,6 +209,11 @@ impl AccuracyMonitor {
     /// to `watermark` (newest observed minute per topology; `None` means
     /// the topology currently has no data and its predictions stay
     /// queued).
+    ///
+    /// The common case — nothing due yet — is answered from the
+    /// per-topology score watermark in O(#topologies) without touching
+    /// the queue, so calling this at the top of every evaluation stays
+    /// cheap even with thousands of outstanding horizon windows.
     pub fn take_due<F>(&self, mut watermark: F) -> Vec<PendingPrediction>
     where
         F: FnMut(&str) -> Option<i64>,
@@ -177,8 +222,15 @@ impl AccuracyMonitor {
             .pending
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let any_due = pending
+            .earliest_end
+            .iter()
+            .any(|(topology, end)| watermark(topology).is_some_and(|w| w >= *end));
+        if !any_due {
+            return Vec::new();
+        }
         let mut due = Vec::new();
-        pending.retain(|p| {
+        pending.queue.retain(|p| {
             if watermark(&p.topology).is_some_and(|w| w >= p.window_end) {
                 due.push(p.clone());
                 false
@@ -186,6 +238,7 @@ impl AccuracyMonitor {
                 true
             }
         });
+        pending.rebuild_earliest();
         due
     }
 
@@ -219,6 +272,7 @@ impl AccuracyMonitor {
         self.pending
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .queue
             .len()
     }
 
@@ -345,6 +399,36 @@ mod tests {
             m.record(pending("a", 60_000 + i as i64, 1.0));
         }
         assert_eq!(m.pending_len(), MAX_PENDING);
+    }
+
+    #[test]
+    fn nothing_due_is_answered_from_the_score_watermark() {
+        let m = monitor();
+        for i in 0..100 {
+            m.record(pending("a", 60_000 + i, 10.0));
+        }
+        let mut calls = 0;
+        let due = m.take_due(|_| {
+            calls += 1;
+            Some(30_000)
+        });
+        assert!(due.is_empty());
+        assert_eq!(
+            calls, 1,
+            "nothing-due must probe the watermark once per topology, not per pending item"
+        );
+        // Draining rebuilds the per-topology watermark index.
+        let due = m.take_due(|_| Some(60_010));
+        assert_eq!(due.len(), 11);
+        let mut calls = 0;
+        assert!(m
+            .take_due(|_| {
+                calls += 1;
+                Some(60_010)
+            })
+            .is_empty());
+        assert_eq!(calls, 1);
+        assert_eq!(m.pending_len(), 89);
     }
 
     #[test]

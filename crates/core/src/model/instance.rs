@@ -11,7 +11,7 @@
 //! ```
 
 use crate::error::{CoreError, Result};
-use caladrius_forecast::linalg::slope_through_origin;
+use caladrius_forecast::streaming::KahanSum;
 use serde::{Deserialize, Serialize};
 
 /// One observation window (typically one minute) of a single instance.
@@ -53,6 +53,85 @@ pub struct InstanceModel {
 /// saturated even without an explicit backpressure flag.
 const SATURATION_SLACK: f64 = 0.03;
 
+/// Streaming sufficient statistics for the instance fit.
+///
+/// Both the batch `fit` and the incremental delta path push observations
+/// through this accumulator one window at a time, so a model rebuilt
+/// after absorbing a delta is bitwise-identical to one refit over the
+/// full window list: the through-origin slope α needs only the
+/// compensated Σxy and Σx², and the saturation medians come from
+/// maintained sorted vectors of the saturated windows.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceFitStats {
+    sxy: KahanSum,
+    sxx: KahanSum,
+    usable: usize,
+    sat_inputs: Vec<f64>,
+    sat_outputs: Vec<f64>,
+}
+
+impl InstanceFitStats {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one observation window (O(1) amortised, O(log n) when the
+    /// window is saturated).
+    pub fn push(&mut self, o: &InstanceObservation) {
+        if !(o.input_rate.is_finite()
+            && o.output_rate.is_finite()
+            && o.source_rate.is_finite()
+            && o.input_rate > 0.0)
+        {
+            return;
+        }
+        self.sxy.add(o.input_rate * o.output_rate);
+        self.sxx.add(o.input_rate * o.input_rate);
+        self.usable += 1;
+        let starved =
+            o.source_rate > 0.0 && o.input_rate < o.source_rate * (1.0 - SATURATION_SLACK);
+        if o.backpressured || starved {
+            insert_sorted(&mut self.sat_inputs, o.input_rate);
+            insert_sorted(&mut self.sat_outputs, o.output_rate);
+        }
+    }
+
+    /// Number of usable windows absorbed so far.
+    pub fn windows(&self) -> usize {
+        self.usable
+    }
+
+    /// Solves the accumulated sums into a fitted model.
+    pub fn solve(&self) -> Result<InstanceModel> {
+        if self.usable == 0 {
+            return Err(CoreError::NotEnoughObservations {
+                what: "instance model".into(),
+                needed: 1,
+                got: 0,
+            });
+        }
+        let den = self.sxx.value();
+        if den <= 0.0 {
+            return Err(CoreError::NotEnoughObservations {
+                what: "instance model alpha".into(),
+                needed: 1,
+                got: 0,
+            });
+        }
+        let alpha = self.sxy.value() / den;
+        let saturation = if self.sat_inputs.is_empty() {
+            None
+        } else {
+            Some(Saturation {
+                input_sp: sorted_median(&self.sat_inputs),
+                output_st: sorted_median(&self.sat_outputs),
+            })
+        };
+        Ok(InstanceModel { alpha, saturation })
+    }
+}
+
 impl InstanceModel {
     /// Builds a model directly from parameters (useful for what-if
     /// analyses and tests).
@@ -70,50 +149,11 @@ impl InstanceModel {
     ///   input fell measurably below its source rate; ST is the median
     ///   output and SP the median input over saturated windows.
     pub fn fit(observations: &[InstanceObservation]) -> Result<Self> {
-        let usable: Vec<&InstanceObservation> = observations
-            .iter()
-            .filter(|o| {
-                o.input_rate.is_finite()
-                    && o.output_rate.is_finite()
-                    && o.source_rate.is_finite()
-                    && o.input_rate > 0.0
-            })
-            .collect();
-        if usable.is_empty() {
-            return Err(CoreError::NotEnoughObservations {
-                what: "instance model".into(),
-                needed: 1,
-                got: 0,
-            });
+        let mut stats = InstanceFitStats::new();
+        for o in observations {
+            stats.push(o);
         }
-        let x: Vec<f64> = usable.iter().map(|o| o.input_rate).collect();
-        let y: Vec<f64> = usable.iter().map(|o| o.output_rate).collect();
-        let alpha =
-            slope_through_origin(&x, &y, None).ok_or_else(|| CoreError::NotEnoughObservations {
-                what: "instance model alpha".into(),
-                needed: 1,
-                got: 0,
-            })?;
-
-        let mut sat_inputs: Vec<f64> = Vec::new();
-        let mut sat_outputs: Vec<f64> = Vec::new();
-        for o in &usable {
-            let starved =
-                o.source_rate > 0.0 && o.input_rate < o.source_rate * (1.0 - SATURATION_SLACK);
-            if o.backpressured || starved {
-                sat_inputs.push(o.input_rate);
-                sat_outputs.push(o.output_rate);
-            }
-        }
-        let saturation = if sat_inputs.is_empty() {
-            None
-        } else {
-            Some(Saturation {
-                input_sp: median(&mut sat_inputs),
-                output_st: median(&mut sat_outputs),
-            })
-        };
-        Ok(Self { alpha, saturation })
+        stats.solve()
     }
 
     /// Eq. 2: output rate for a single-stream source rate `t`.
@@ -176,8 +216,14 @@ pub fn multi_output_total(streams: &[InstanceModel], sources: &[f64]) -> f64 {
     streams.iter().map(|s| s.output_for_sources(sources)).sum()
 }
 
-fn median(values: &mut [f64]) -> f64 {
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+/// Inserts into an already-sorted vector, keeping it sorted.
+pub(crate) fn insert_sorted(values: &mut Vec<f64>, v: f64) {
+    let at = values.partition_point(|x| *x < v);
+    values.insert(at, v);
+}
+
+/// Median of an already-sorted slice.
+pub(crate) fn sorted_median(values: &[f64]) -> f64 {
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]
@@ -365,6 +411,24 @@ mod tests {
         assert!(InstanceModel::fit(&[obs(0.0, 0.0, 0.0, false)]).is_err());
         // NaNs skipped.
         assert!(InstanceModel::fit(&[obs(f64::NAN, f64::NAN, f64::NAN, false)]).is_err());
+    }
+
+    #[test]
+    fn split_accumulation_matches_batch_exactly() {
+        let observations = sweep();
+        for split_at in [1, 7, 19] {
+            let mut stats = InstanceFitStats::new();
+            for o in &observations[..split_at] {
+                stats.push(o);
+            }
+            for o in &observations[split_at..] {
+                stats.push(o);
+            }
+            let incremental = stats.solve().unwrap();
+            let batch = InstanceModel::fit(&observations).unwrap();
+            assert_eq!(incremental.alpha.to_bits(), batch.alpha.to_bits());
+            assert_eq!(incremental.saturation, batch.saturation);
+        }
     }
 
     #[test]

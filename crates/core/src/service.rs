@@ -7,17 +7,18 @@
 use crate::accuracy::{AccuracyMonitor, AccuracySummary, PendingPrediction, PredictionKind};
 use crate::config::CaladriusConfig;
 use crate::error::{CoreError, Result};
-use crate::model::component::{ComponentModel, GroupingKind};
-use crate::model::cpu::CpuModel;
+use crate::model::component::{ComponentFitStats, GroupingKind};
+use crate::model::cpu::{CpuFitStats, CpuModel};
 use crate::model::topology::{BackpressureRisk, TopologyModel, TopologyPrediction};
 use crate::model::traits::{ModelOutput, ModelRegistry, PerformanceQuery};
 use crate::providers::graph::GraphService;
 use crate::providers::metrics::{
-    component_observations, cpu_observations, source_history, MetricsProvider,
+    component_observations, component_observations_since, cpu_observations, cpu_observations_since,
+    source_history, source_history_since, MetricsProvider,
 };
 use crate::providers::tracker::TopologyTracker;
 use crate::traffic::{TrafficForecast, TrafficModelRegistry};
-use caladrius_forecast::DataPoint;
+use caladrius_forecast::{DataPoint, Forecaster, UpdateOutcome};
 use caladrius_obs::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -95,6 +96,11 @@ pub struct ModelCacheStats {
     /// Individual model fits performed (one per component throughput
     /// model, one per CPU model).
     pub fits: u64,
+    /// Fits resolved incrementally from cached sufficient statistics
+    /// (the watermark advanced; only the delta was read and absorbed).
+    pub incremental_fits: u64,
+    /// Fits computed from scratch over the full training window.
+    pub full_fits: u64,
     /// Capacity-plan searches completed ([`Caladrius::plan_capacity`]).
     pub plans: u64,
     /// Oracle evaluations the plan searches spent in total.
@@ -120,24 +126,84 @@ pub struct PlanCacheStats {
 }
 
 /// One topology's fitted models plus the versions they were fitted
-/// against. An entry is valid while both versions still match:
+/// against and the streaming sufficient statistics they were solved
+/// from. An entry is served verbatim while both versions still match:
 ///
 /// * `watermark` — the metrics store's newest minute
 ///   ([`MetricsProvider::latest_minute`]); any newly ingested minute
-///   moves it and forces a refit over the fresher window.
+///   moves it.
 /// * `plan_version` — [`TopologyTracker::last_updated`]; packing-plan or
 ///   parallelism changes bump it, invalidating models fitted against the
 ///   old physical plan.
+///
+/// A moved watermark alone no longer forces a from-scratch refit: the
+/// retained [`ComponentFitStats`]/[`CpuFitStats`] absorb just the
+/// `(watermark_old, watermark_new]` delta and re-solve in O(1) per
+/// model (the *Stale* path). The entry goes fully cold — full refit —
+/// when the plan version moved, the store truncated data out from under
+/// the fitted window (`truncation_gen` changed), or the anchored window
+/// `[fitted_from, watermark]` grew past twice the configured training
+/// window (periodic re-anchoring keeps the expanding window from
+/// diverging unboundedly from the sliding batch window).
 struct CachedModels {
     watermark: i64,
     plan_version: u64,
+    truncation_gen: Option<u64>,
+    /// Start of the window the sufficient statistics cover (the `from`
+    /// of the original full fit — deltas expand the window rightwards).
+    fitted_from: i64,
+    fit_stats: HashMap<String, ComponentFitStats>,
+    cpu_stats: HashMap<String, CpuFitStats>,
     topology_model: Arc<TopologyModel>,
     cpu_models: Arc<HashMap<String, CpuModel>>,
 }
 
+/// A fitted traffic forecaster kept warm across watermark advances.
+/// While the source history only grows, `Forecaster::update` absorbs the
+/// new tail instead of refitting over the whole window; `anchor` marks
+/// the first fitted timestamp so the expanding window is re-anchored
+/// (full refit) on the same 2× schedule as the performance models.
+struct CachedForecaster {
+    model: Box<dyn Forecaster + Send>,
+    last_ts: i64,
+    anchor: i64,
+}
+
+/// One component-model fit job: (name, parallelism, upstream emission
+/// weights, grouping).
+type FitJob = (String, u32, Vec<(String, f64)>, GroupingKind);
+
+/// Per-bolt fit jobs in declaration order, with per-edge emission
+/// weights derived from each upstream's out-degree.
+fn fit_jobs(spec: &caladrius_graph::topology_graph::LogicalSpec) -> Vec<FitJob> {
+    let mut out_degree: HashMap<&str, usize> = HashMap::new();
+    for (from_c, _, _) in &spec.edges {
+        *out_degree.entry(from_c.as_str()).or_insert(0) += 1;
+    }
+    spec.components
+        .iter()
+        .filter_map(|(name, parallelism)| {
+            let in_edges: Vec<&(String, String, String)> = spec
+                .edges
+                .iter()
+                .filter(|(_, to_c, _)| to_c == name)
+                .collect();
+            if in_edges.is_empty() {
+                return None; // spout
+            }
+            let upstreams: Vec<(String, f64)> = in_edges
+                .iter()
+                .map(|(from_c, _, _)| (from_c.clone(), 1.0 / out_degree[from_c.as_str()] as f64))
+                .collect();
+            let grouping = GroupingKind::from_name(&in_edges[0].2);
+            Some((name.clone(), *parallelism, upstreams, grouping))
+        })
+        .collect()
+}
+
 /// What [`Caladrius::fitted_models`] hands out: the fitted topology model
 /// and the per-component CPU models, shared with the cache.
-type FittedModels = (Arc<TopologyModel>, Arc<HashMap<String, CpuModel>>);
+pub type FittedModels = (Arc<TopologyModel>, Arc<HashMap<String, CpuModel>>);
 
 /// The Caladrius performance-modelling service.
 pub struct Caladrius {
@@ -148,6 +214,7 @@ pub struct Caladrius {
     performance: ModelRegistry,
     graphs: GraphService,
     model_cache: Mutex<HashMap<String, CachedModels>>,
+    forecaster_cache: Mutex<HashMap<(String, String), CachedForecaster>>,
     plan_cache: Mutex<crate::capacity::PlanCache>,
     /// Cache/fit/plan counters live in the process-wide obs registry,
     /// labelled `service="<instance id>"` so [`Caladrius::model_cache_stats`]
@@ -156,6 +223,8 @@ pub struct Caladrius {
     cache_hits: Counter,
     cache_misses: Counter,
     model_fits: Counter,
+    incremental_fits: Counter,
+    full_fits: Counter,
     plans_run: Counter,
     plan_evals: Counter,
     oracle_cache_hits: Counter,
@@ -222,6 +291,14 @@ impl Caladrius {
             "caladrius_model_fits_total",
             "Individual component/CPU model fits performed",
         );
+        registry.describe(
+            "caladrius_model_fits_incremental_total",
+            "Model fits resolved incrementally from cached sufficient statistics",
+        );
+        registry.describe(
+            "caladrius_model_fits_full_total",
+            "Model fits computed from scratch over the full training window",
+        );
         registry.describe("caladrius_plans_total", "Capacity-plan searches completed");
         registry.describe(
             "caladrius_plan_oracle_evals_total",
@@ -272,10 +349,13 @@ impl Caladrius {
             performance: ModelRegistry::with_defaults(),
             graphs: GraphService::new(),
             model_cache: Mutex::new(HashMap::new()),
+            forecaster_cache: Mutex::new(HashMap::new()),
             plan_cache: Mutex::new(plan_cache),
             cache_hits: registry.counter("caladrius_model_cache_hits_total", &labels),
             cache_misses: registry.counter("caladrius_model_cache_misses_total", &labels),
             model_fits: registry.counter("caladrius_model_fits_total", &labels),
+            incremental_fits: registry.counter("caladrius_model_fits_incremental_total", &labels),
+            full_fits: registry.counter("caladrius_model_fits_full_total", &labels),
             plans_run: registry.counter("caladrius_plans_total", &labels),
             plan_evals: registry.counter("caladrius_plan_oracle_evals_total", &labels),
             oracle_cache_hits: registry.counter("caladrius_oracle_cache_hits_total", &labels),
@@ -458,8 +538,75 @@ impl Caladrius {
         let horizon = self.horizon_after(&history);
         names
             .iter()
-            .map(|name| self.traffic.forecast(name, &history, &horizon))
+            .map(|name| self.forecast_cached(topology, name, &history, &horizon))
             .collect()
+    }
+
+    /// Forecasts through the per-(topology, model) forecaster cache.
+    ///
+    /// While the source history only gains new minutes, the cached
+    /// fitted forecaster absorbs just the tail via
+    /// [`Forecaster::update`] (streaming sufficient statistics) instead
+    /// of refitting over the whole window. Models that can't update
+    /// incrementally (Prophet) report
+    /// [`UpdateOutcome::FullRefitNeeded`] and are refitted. Like the
+    /// performance-model cache, the fitted window expands rightwards
+    /// from its anchor and is re-anchored with a full refit once it
+    /// spans twice the configured training window. For a fixed
+    /// watermark the cached forecaster is left untouched, so repeated
+    /// forecasts stay deterministic — the invariant the plan cache's
+    /// watermark probe relies on.
+    fn forecast_cached(
+        &self,
+        topology: &str,
+        name: &str,
+        history: &[DataPoint],
+        horizon: &[i64],
+    ) -> Result<TrafficForecast> {
+        let Some(last_ts) = history.last().map(|p| p.ts) else {
+            return self.traffic.forecast(name, history, horizon);
+        };
+        let key = (topology.to_string(), name.to_string());
+        let reanchor_span = 2 * i64::from(self.config.source_window_minutes) * 60_000;
+        // Taken out as a statement so the lock guard drops before the
+        // update/predict work (and before the re-insert re-locks).
+        let cached = self.lock_forecasters().remove(&key);
+        if let Some(mut entry) = cached {
+            if entry.last_ts == last_ts {
+                if let Ok(points) = entry.model.predict(horizon) {
+                    self.lock_forecasters().insert(key, entry);
+                    return TrafficForecast::from_points(name, points);
+                }
+            } else if entry.last_ts < last_ts && last_ts - entry.anchor < reanchor_span {
+                let tail: Vec<DataPoint> = history
+                    .iter()
+                    .filter(|p| p.ts > entry.last_ts)
+                    .cloned()
+                    .collect();
+                if let Ok(UpdateOutcome::Incremental) = entry.model.update(&tail) {
+                    entry.last_ts = last_ts;
+                    if let Ok(points) = entry.model.predict(horizon) {
+                        self.lock_forecasters().insert(key, entry);
+                        return TrafficForecast::from_points(name, points);
+                    }
+                }
+            }
+            // Shrunk/reset history, re-anchor due, update refused, or a
+            // predict failure: fall through to a fresh fit.
+        }
+        let mut model = self.traffic.create(name)?;
+        model.fit(history)?;
+        let points = model.predict(horizon)?;
+        let anchor = history.first().map_or(last_ts, |p| p.ts);
+        self.lock_forecasters().insert(
+            key,
+            CachedForecaster {
+                model,
+                last_ts,
+                anchor,
+            },
+        );
+        TrafficForecast::from_points(name, points)
     }
 
     fn horizon_after(&self, history: &[DataPoint]) -> Vec<i64> {
@@ -537,61 +684,50 @@ impl Caladrius {
 
     /// Fits the full topology throughput model from the training window.
     pub fn fit_topology_model(&self, topology: &str) -> Result<TopologyModel> {
+        let (from, to) = self.window(topology)?;
+        Ok(self.fit_topology_stats(topology, from, to)?.0)
+    }
+
+    /// Full-window topology fit that also returns the streaming
+    /// sufficient statistics each component model was solved from, so
+    /// the model cache can absorb future watermark deltas without
+    /// re-reading the window. Bolts fit independently, so the cold path
+    /// fans out on the shared "fit" pool; job order is declaration
+    /// order, so a fit failure surfaces for the same component the
+    /// sequential loop would have stopped on.
+    fn fit_topology_stats(
+        &self,
+        topology: &str,
+        from: i64,
+        to: i64,
+    ) -> Result<(TopologyModel, HashMap<String, ComponentFitStats>)> {
         let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
         let spec = logical.spec.clone();
-        let (from, to) = self.window(topology)?;
-
-        // Out-degree per component, for per-edge emission weights.
-        let mut out_degree: HashMap<&str, usize> = HashMap::new();
-        for (from_c, _, _) in &spec.edges {
-            *out_degree.entry(from_c.as_str()).or_insert(0) += 1;
-        }
-
-        // Per-bolt fit jobs: (name, parallelism, upstream weights,
-        // grouping). Bolts fit independently, so the cold path fans out
-        // on the shared "fit" pool; job order is declaration order, so
-        // a fit failure surfaces for the same component the sequential
-        // loop would have stopped on.
-        type FitJob = (String, u32, Vec<(String, f64)>, GroupingKind);
-        let jobs: Vec<FitJob> = spec
-            .components
-            .iter()
-            .filter_map(|(name, parallelism)| {
-                let in_edges: Vec<&(String, String, String)> = spec
-                    .edges
-                    .iter()
-                    .filter(|(_, to_c, _)| to_c == name)
-                    .collect();
-                if in_edges.is_empty() {
-                    return None; // spout
-                }
-                let upstreams: Vec<(String, f64)> = in_edges
-                    .iter()
-                    .map(|(from_c, _, _)| {
-                        (from_c.clone(), 1.0 / out_degree[from_c.as_str()] as f64)
-                    })
-                    .collect();
-                let grouping = GroupingKind::from_name(&in_edges[0].2);
-                Some((name.clone(), *parallelism, upstreams, grouping))
-            })
-            .collect();
+        let jobs = fit_jobs(&spec);
         let metrics = self.metrics.as_ref();
         let fitted = caladrius_exec::shared_pool("fit").parallel_try_map(
             &jobs,
             |_, (name, parallelism, upstreams, grouping)| {
                 let observations =
                     component_observations(metrics, topology, name, upstreams, from, to)?;
-                let model = ComponentModel::fit(
-                    name.clone(),
-                    *parallelism,
-                    grouping.clone(),
-                    &observations,
-                )?;
+                let mut stats =
+                    ComponentFitStats::new(name.clone(), *parallelism, grouping.clone())?;
+                for o in &observations {
+                    stats.push(o);
+                }
+                let model = stats.solve()?;
                 self.model_fits.inc();
-                Ok::<_, CoreError>((name.clone(), model))
+                self.full_fits.inc();
+                Ok::<_, CoreError>((name.clone(), model, stats))
             },
         )?;
-        TopologyModel::new(spec, fitted.into_iter().collect())
+        let mut models = HashMap::new();
+        let mut stats_by_name = HashMap::new();
+        for (name, model, stats) in fitted {
+            models.insert(name.clone(), model);
+            stats_by_name.insert(name, stats);
+        }
+        Ok((TopologyModel::new(spec, models)?, stats_by_name))
     }
 
     /// Fits a CPU model per bolt from the training window. Bolts whose
@@ -599,8 +735,20 @@ impl Caladrius {
     /// variance to regress on) are skipped rather than failing the whole
     /// report.
     pub fn fit_cpu_models(&self, topology: &str) -> Result<HashMap<String, CpuModel>> {
-        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
         let (from, to) = self.window(topology)?;
+        Ok(self.fit_cpu_stats(topology, from, to)?.0)
+    }
+
+    /// Full-window CPU fit that also keeps each bolt's regression sums.
+    /// Statistics are retained even for bolts that couldn't support a
+    /// fit yet — future deltas may push them over the threshold.
+    fn fit_cpu_stats(
+        &self,
+        topology: &str,
+        from: i64,
+        to: i64,
+    ) -> Result<(HashMap<String, CpuModel>, HashMap<String, CpuFitStats>)> {
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
         let bolts: Vec<String> = logical
             .spec
             .components
@@ -610,62 +758,209 @@ impl Caladrius {
             .collect();
         let metrics = self.metrics.as_ref();
         let fitted = caladrius_exec::shared_pool("fit").parallel_try_map(&bolts, |_, name| {
-            let outcome = cpu_observations(metrics, topology, name, from, to)
-                .and_then(|obs| CpuModel::fit(&obs));
-            match outcome {
+            let mut stats = CpuFitStats::new();
+            match cpu_observations(metrics, topology, name, from, to) {
+                Ok(obs) => {
+                    for o in &obs {
+                        stats.push(o);
+                    }
+                }
+                Err(CoreError::NotEnoughObservations { .. }) => {}
+                Err(other) => return Err(other),
+            }
+            match stats.solve() {
                 Ok(model) => {
                     self.model_fits.inc();
-                    Ok(Some((name.clone(), model)))
+                    self.full_fits.inc();
+                    Ok((name.clone(), Some(model), stats))
                 }
-                Err(CoreError::NotEnoughObservations { .. }) => Ok(None),
+                Err(CoreError::NotEnoughObservations { .. }) => Ok((name.clone(), None, stats)),
                 Err(other) => Err(other),
             }
         })?;
-        Ok(fitted.into_iter().flatten().collect())
+        let mut models = HashMap::new();
+        let mut stats_by_name = HashMap::new();
+        for (name, model, stats) in fitted {
+            if let Some(model) = model {
+                models.insert(name.clone(), model);
+            }
+            stats_by_name.insert(name, stats);
+        }
+        Ok((models, stats_by_name))
+    }
+
+    /// Builds a cold cache entry: full fits over the sliding training
+    /// window ending at `watermark`.
+    fn full_fit_entry(
+        &self,
+        topology: &str,
+        watermark: i64,
+        plan_version: u64,
+        truncation_gen: Option<u64>,
+    ) -> Result<CachedModels> {
+        let from = watermark - i64::from(self.config.source_window_minutes - 1) * 60_000;
+        let (topology_model, fit_stats) = self.fit_topology_stats(topology, from, watermark)?;
+        let (cpu_models, cpu_stats) = self.fit_cpu_stats(topology, from, watermark)?;
+        Ok(CachedModels {
+            watermark,
+            plan_version,
+            truncation_gen,
+            fitted_from: from,
+            fit_stats,
+            cpu_stats,
+            topology_model: Arc::new(topology_model),
+            cpu_models: Arc::new(cpu_models),
+        })
+    }
+
+    /// The incremental (Stale) path: reads only the
+    /// `(entry.watermark, watermark]` delta through the providers'
+    /// since-reads (which ride the tsdb decoded-tail fast path), pushes
+    /// it into the retained sufficient statistics, and re-solves every
+    /// model in O(1) per model. Because batch fits stream through the
+    /// same accumulators in the same order, the result is exactly what a
+    /// batch fit over `[fitted_from, watermark]` would produce.
+    fn absorb_delta(
+        &self,
+        topology: &str,
+        mut entry: CachedModels,
+        watermark: i64,
+    ) -> Result<CachedModels> {
+        let logical = self.graphs.logical(self.tracker.as_ref(), topology)?;
+        let spec = logical.spec.clone();
+        let metrics = self.metrics.as_ref();
+        let since = entry.watermark;
+
+        let mut models = HashMap::new();
+        for (name, parallelism, upstreams, _) in fit_jobs(&spec) {
+            let stats = entry.fit_stats.get_mut(&name).ok_or_else(|| {
+                CoreError::Unknown(format!("no cached fit statistics for {name:?}"))
+            })?;
+            if stats.parallelism() != parallelism {
+                return Err(CoreError::Unknown(format!(
+                    "cached fit statistics for {name:?} cover a different parallelism"
+                )));
+            }
+            let delta = component_observations_since(
+                metrics, topology, &name, &upstreams, since, watermark,
+            )?;
+            for o in &delta {
+                stats.push(o);
+            }
+            let model = stats.solve()?;
+            self.model_fits.inc();
+            self.incremental_fits.inc();
+            models.insert(name, model);
+        }
+        entry.topology_model = Arc::new(TopologyModel::new(spec, models)?);
+
+        let mut cpu_models = HashMap::new();
+        for name in entry.fit_stats.keys().cloned().collect::<Vec<_>>() {
+            let stats = entry.cpu_stats.entry(name.clone()).or_default();
+            let delta = cpu_observations_since(metrics, topology, &name, since, watermark)?;
+            for o in &delta {
+                stats.push(o);
+            }
+            match stats.solve() {
+                Ok(model) => {
+                    self.model_fits.inc();
+                    self.incremental_fits.inc();
+                    cpu_models.insert(name, model);
+                }
+                Err(CoreError::NotEnoughObservations { .. }) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        entry.cpu_models = Arc::new(cpu_models);
+        entry.watermark = watermark;
+        Ok(entry)
     }
 
     /// Fitted models for `topology`, served from the watermark-keyed
-    /// cache when neither the metrics data nor the packing plan has
-    /// changed since the last fit.
-    fn fitted_models(&self, topology: &str) -> Result<FittedModels> {
+    /// cache. Three states:
+    ///
+    /// * **Hit** — data watermark and packing plan both unchanged: the
+    ///   cached models are returned as-is.
+    /// * **Stale** — only the watermark advanced (and nothing was
+    ///   truncated, and the anchored window hasn't outgrown its 2×
+    ///   re-anchor bound): the delta is absorbed into the retained
+    ///   sufficient statistics ([`Caladrius::absorb_delta`]). Counted as
+    ///   a cache miss plus `incremental_fits`.
+    /// * **Cold** — anything else: full refit over the sliding window,
+    ///   counted as a cache miss plus `full_fits`.
+    pub fn fitted_models(&self, topology: &str) -> Result<FittedModels> {
         let watermark = self
             .metrics
             .latest_minute(topology)
             .ok_or_else(|| CoreError::Unknown(format!("no metrics for {topology:?}")))?;
         let plan_version = self.tracker.last_updated(topology)?;
-        {
-            let cache = self.lock_cache();
-            if let Some(entry) = cache.get(topology) {
-                if entry.watermark == watermark && entry.plan_version == plan_version {
+        let truncation_gen = self.metrics.truncation_generation();
+        let reanchor_span = 2 * i64::from(self.config.source_window_minutes) * 60_000;
+        let stale = {
+            let mut cache = self.lock_cache();
+            match cache.get(topology) {
+                Some(entry)
+                    if entry.watermark == watermark && entry.plan_version == plan_version =>
+                {
                     self.cache_hits.inc();
                     return Ok((
                         Arc::clone(&entry.topology_model),
                         Arc::clone(&entry.cpu_models),
                     ));
                 }
+                Some(entry)
+                    if entry.plan_version == plan_version
+                        && entry.truncation_gen == truncation_gen
+                        && entry.watermark < watermark
+                        && watermark - entry.fitted_from < reanchor_span =>
+                {
+                    cache.remove(topology)
+                }
+                _ => None,
             }
-        }
+        };
         self.cache_misses.inc();
         let mut span = caladrius_obs::global_span("core.fit");
         span.field("topology", topology);
         let fit_started = Instant::now();
-        let topology_model = Arc::new(self.fit_topology_model(topology)?);
-        let cpu_models = Arc::new(self.fit_cpu_models(topology)?);
-        self.fit_duration.record_duration(fit_started.elapsed());
-        self.lock_cache().insert(
-            topology.to_string(),
-            CachedModels {
-                watermark,
-                plan_version,
-                topology_model: Arc::clone(&topology_model),
-                cpu_models: Arc::clone(&cpu_models),
+        let entry = match stale {
+            Some(entry) => match self.absorb_delta(topology, entry, watermark) {
+                Ok(updated) => {
+                    span.field("mode", "incremental");
+                    updated
+                }
+                // Anything unexpected in the delta (topology drift the
+                // versions didn't catch, provider errors) falls back to
+                // the cold path rather than serving a dubious model.
+                Err(_) => {
+                    span.field("mode", "full");
+                    self.full_fit_entry(topology, watermark, plan_version, truncation_gen)?
+                }
             },
+            None => {
+                span.field("mode", "full");
+                self.full_fit_entry(topology, watermark, plan_version, truncation_gen)?
+            }
+        };
+        self.fit_duration.record_duration(fit_started.elapsed());
+        let result = (
+            Arc::clone(&entry.topology_model),
+            Arc::clone(&entry.cpu_models),
         );
-        Ok((topology_model, cpu_models))
+        self.lock_cache().insert(topology.to_string(), entry);
+        Ok(result)
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<String, CachedModels>> {
         self.model_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_forecasters(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<(String, String), CachedForecaster>> {
+        self.forecaster_cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -691,6 +986,8 @@ impl Caladrius {
             hits: self.cache_hits.get(),
             misses: self.cache_misses.get(),
             fits: self.model_fits.get(),
+            incremental_fits: self.incremental_fits.get(),
+            full_fits: self.full_fits.get(),
             plans: self.plans_run.get(),
             plan_evals: self.plan_evals.get(),
             oracle_hits: self.oracle_cache_hits.get(),
@@ -752,6 +1049,13 @@ impl Caladrius {
             None => cache.clear(),
         }
         drop(cache);
+        // Cached fitted forecasters read the same provider: drop them too.
+        let mut forecasters = self.lock_forecasters();
+        match topology {
+            Some(name) => forecasters.retain(|(t, _), _| t != name),
+            None => forecasters.clear(),
+        }
+        drop(forecasters);
         self.lock_plan_cache().invalidate(topology);
     }
 
@@ -1107,8 +1411,11 @@ impl Caladrius {
     fn realize(&self, prediction: &PendingPrediction) -> Option<f64> {
         let topology = &prediction.topology;
         // Window ends are exclusive: the sample at `window_end` belongs
-        // to the next window.
-        let from = prediction.window_start;
+        // to the next window. The reads go through the since-APIs
+        // (`(since, to]` with `since = window_start - 1`), which ride
+        // the tsdb decoded-tail fast path — scoring windows always sit
+        // at the recent end of the store.
+        let since = prediction.window_start - 1;
         let to = prediction.window_end - 1;
         let peak = |series: Vec<DataPoint>| {
             series
@@ -1122,7 +1429,8 @@ impl Caladrius {
             PredictionKind::Traffic => {
                 let spouts = self.spouts(topology).ok()?;
                 let history =
-                    source_history(self.metrics.as_ref(), topology, &spouts, from, to).ok()?;
+                    source_history_since(self.metrics.as_ref(), topology, &spouts, since, to)
+                        .ok()?;
                 peak(history)
             }
             PredictionKind::Throughput => {
@@ -1130,11 +1438,11 @@ impl Caladrius {
                 for sink in self.sinks(topology).ok()? {
                     let series = self
                         .metrics
-                        .component_series(
+                        .component_series_since(
                             topology,
                             &sink,
                             heron_sim::metrics::metric::EMIT_COUNT,
-                            from,
+                            since,
                             to,
                         )
                         .ok()?;
@@ -1754,5 +2062,226 @@ mod tests {
         let plan_cache = caladrius.plan_cache_stats();
         assert_eq!((plan_cache.hits, plan_cache.misses), (1, 1));
         assert_eq!(plan_cache.warm_starts, 0);
+    }
+
+    /// A service whose sliding window covers `[anchor, watermark]` of
+    /// the shared metrics — the batch reference for the incremental
+    /// equivalence assertions.
+    fn batch_reference(metrics: &heron_sim::metrics::SimMetrics, window_minutes: u32) -> Caladrius {
+        let config = crate::config::CaladriusConfig {
+            source_window_minutes: window_minutes,
+            ..crate::config::CaladriusConfig::default()
+        };
+        Caladrius::with_config(
+            Arc::new(SimMetricsProvider::new(metrics.clone())),
+            Arc::new(StaticTracker::new().with(wordcount_topology(PARALLELISM, 20.0e6))),
+            config,
+        )
+    }
+
+    #[test]
+    fn watermark_advance_refits_incrementally_and_matches_batch() {
+        let (caladrius, metrics) = service_with_metrics();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        let wm_old = caladrius
+            .metrics_provider()
+            .latest_minute("wordcount")
+            .unwrap();
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let cold = caladrius.model_cache_stats();
+        assert!(cold.full_fits > 0, "first fit is a full fit");
+        assert_eq!(cold.incremental_fits, 0);
+        assert_eq!(cold.fits, cold.full_fits);
+
+        // New data moves the watermark; the refit must absorb only the
+        // delta into the cached sufficient statistics.
+        run_leg(&metrics, 600, 24.0e6);
+        let (inc_model, inc_cpu) = caladrius.fitted_models("wordcount").unwrap();
+        let warm = caladrius.model_cache_stats();
+        assert!(
+            warm.incremental_fits > 0,
+            "watermark advance must refit incrementally"
+        );
+        assert_eq!(
+            warm.full_fits, cold.full_fits,
+            "watermark advance must not trigger full refits"
+        );
+        assert_eq!(warm.fits, warm.full_fits + warm.incremental_fits);
+
+        // Equivalence: the incremental models cover the anchored window
+        // [wm_old - (W-1) min, wm_new]. A batch service whose sliding
+        // window spans exactly that range pushes the identical
+        // observation sequence through the same accumulators, so the
+        // component models must agree bit for bit.
+        let wm_new = caladrius
+            .metrics_provider()
+            .latest_minute("wordcount")
+            .unwrap();
+        let gap_minutes = ((wm_new - wm_old) / 60_000) as u32;
+        let batch = batch_reference(
+            &metrics,
+            caladrius.config().source_window_minutes + gap_minutes,
+        );
+        let batch_model = batch.fit_topology_model("wordcount").unwrap();
+        for name in ["splitter", "counter"] {
+            let inc = inc_model.component_model(name).unwrap();
+            let full = batch_model.component_model(name).unwrap();
+            assert_eq!(
+                inc.instance.alpha.to_bits(),
+                full.instance.alpha.to_bits(),
+                "incremental alpha for {name} must equal the batch fit"
+            );
+            assert_eq!(inc.instance.saturation, full.instance.saturation);
+            for (a, b) in inc.shares.iter().zip(&full.shares) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // CPU observations are assembled instance-major, so the batch
+        // push order interleaves differently — tolerance-bounded rather
+        // than bitwise.
+        let batch_cpu = batch.fit_cpu_models("wordcount").unwrap();
+        assert_eq!(inc_cpu.len(), batch_cpu.len());
+        for (name, inc) in inc_cpu.iter() {
+            let full = &batch_cpu[name];
+            assert!(
+                (inc.psi - full.psi).abs() <= 1e-9 * full.psi.abs().max(1.0),
+                "cpu psi for {name}: incremental {} vs batch {}",
+                inc.psi,
+                full.psi
+            );
+            assert!((inc.base - full.base).abs() <= 1e-9 * full.base.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn truncation_forces_full_refit() {
+        let (caladrius, metrics) = service_with_metrics();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let before = caladrius.model_cache_stats();
+
+        // Retention drops the oldest leg: the cached sufficient
+        // statistics cover windows that no longer exist, so the delta
+        // path must be refused even though only the watermark moved.
+        metrics.db().truncate_before(200 * 60_000).unwrap();
+        run_leg(&metrics, 600, 24.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after = caladrius.model_cache_stats();
+        assert_eq!(
+            after.incremental_fits, before.incremental_fits,
+            "truncated history must not be patched incrementally"
+        );
+        assert!(
+            after.full_fits > before.full_fits,
+            "truncation must force a full refit"
+        );
+    }
+
+    #[test]
+    fn retention_eviction_forces_full_refit() {
+        let (caladrius, metrics) = service_with_metrics();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let before = caladrius.model_cache_stats();
+
+        // A retention pass evicts old chunks through the same truncation
+        // path the cache guards on (the generation counter), so fitted
+        // state over evicted windows must be rebuilt in full.
+        let dropped = caladrius_tsdb::retention::RetentionPolicy::hours(4)
+            .enforce(&metrics.db())
+            .unwrap();
+        assert!(dropped > 0, "retention must evict chunks for this test");
+        run_leg(&metrics, 600, 24.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after = caladrius.model_cache_stats();
+        assert_eq!(after.incremental_fits, before.incremental_fits);
+        assert!(
+            after.full_fits > before.full_fits,
+            "retention-driven eviction must force a full refit"
+        );
+    }
+
+    #[test]
+    fn long_gap_reanchors_with_full_refit() {
+        let (caladrius, metrics) = service_with_metrics();
+        let source = SourceRateSpec::Fixed(30.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let before = caladrius.model_cache_stats();
+
+        // The next leg lands far past twice the training window: the
+        // anchored window would outgrow its re-anchor bound, so the
+        // cache falls back to a cold fit over the fresh sliding window.
+        run_leg(&metrics, 1600, 24.0e6);
+        caladrius
+            .evaluate("wordcount", &HashMap::new(), &source)
+            .unwrap();
+        let after = caladrius.model_cache_stats();
+        assert_eq!(after.incremental_fits, before.incremental_fits);
+        assert!(
+            after.full_fits > before.full_fits,
+            "re-anchor must refit in full"
+        );
+    }
+
+    #[test]
+    fn forecaster_cache_updates_incrementally_and_matches_batch() {
+        let models = ["stats_summary".to_string()];
+        let (caladrius, metrics) = service_with_metrics();
+        let wm_old = caladrius
+            .metrics_provider()
+            .latest_minute("wordcount")
+            .unwrap();
+        let first = caladrius
+            .forecast_traffic("wordcount", Some(&models))
+            .unwrap();
+        let again = caladrius
+            .forecast_traffic("wordcount", Some(&models))
+            .unwrap();
+        assert_eq!(first, again, "cached forecaster must be deterministic");
+
+        // New data: the cached forecaster absorbs the tail. The result
+        // must equal a fresh fit over the anchored window
+        // [anchor, wm_new] — same points pushed in the same order.
+        run_leg(&metrics, 600, 24.0e6);
+        let incremental = caladrius
+            .forecast_traffic("wordcount", Some(&models))
+            .unwrap()
+            .pop()
+            .unwrap();
+        let wm_new = caladrius
+            .metrics_provider()
+            .latest_minute("wordcount")
+            .unwrap();
+        let gap_minutes = ((wm_new - wm_old) / 60_000) as u32;
+        let batch = batch_reference(
+            &metrics,
+            caladrius.config().source_window_minutes + gap_minutes,
+        );
+        let full = batch
+            .forecast_traffic("wordcount", Some(&models))
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(incremental.points.len(), full.points.len());
+        for (a, b) in incremental.points.iter().zip(&full.points) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(
+                a.yhat.to_bits(),
+                b.yhat.to_bits(),
+                "incremental forecast must equal the batch fit over the anchored window"
+            );
+        }
     }
 }

@@ -33,7 +33,7 @@ pub struct TrafficForecast {
 }
 
 impl TrafficForecast {
-    fn from_points(model: &str, points: Vec<ForecastPoint>) -> Result<Self> {
+    pub(crate) fn from_points(model: &str, points: Vec<ForecastPoint>) -> Result<Self> {
         if points.is_empty() {
             return Err(CoreError::InvalidRequest(
                 "forecast horizon must contain at least one timestamp".into(),
@@ -52,8 +52,10 @@ impl TrafficForecast {
     }
 }
 
-/// Factory signature: a fresh, unfitted forecaster.
-type ForecasterFactory = Box<dyn Fn() -> Box<dyn Forecaster> + Send + Sync>;
+/// Factory signature: a fresh, unfitted forecaster. The produced
+/// forecaster is `Send` so fitted instances can live in the service's
+/// forecaster cache across watermark advances.
+type ForecasterFactory = Box<dyn Fn() -> Box<dyn Forecaster + Send> + Send + Sync>;
 
 /// Name-keyed registry of traffic models.
 pub struct TrafficModelRegistry {
@@ -97,9 +99,18 @@ impl TrafficModelRegistry {
     pub fn register(
         &mut self,
         name: impl Into<String>,
-        factory: impl Fn() -> Box<dyn Forecaster> + Send + Sync + 'static,
+        factory: impl Fn() -> Box<dyn Forecaster + Send> + Send + Sync + 'static,
     ) {
         self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates a fresh, unfitted forecaster for the named model.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Forecaster + Send>> {
+        let factory = self
+            .factories
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownModel(name.to_string()))?;
+        Ok(factory())
     }
 
     /// Sorted model names.

@@ -261,6 +261,14 @@ impl FleetService {
                     ("cache_hits", Value::from(s.model_cache.hits as f64)),
                     ("cache_misses", Value::from(s.model_cache.misses as f64)),
                     ("model_fits", Value::from(s.model_cache.fits as f64)),
+                    (
+                        "model_fits_incremental",
+                        Value::from(s.model_cache.incremental_fits as f64),
+                    ),
+                    (
+                        "model_fits_full",
+                        Value::from(s.model_cache.full_fits as f64),
+                    ),
                     ("plans", Value::from(s.model_cache.plans as f64)),
                     ("plan_cache_hits", Value::from(s.plan_cache.hits as f64)),
                     ("plan_cache_misses", Value::from(s.plan_cache.misses as f64)),
@@ -274,6 +282,8 @@ impl FleetService {
                     ),
                     ("ingest_batches", Value::from(s.ingest.batches as f64)),
                     ("ingest_samples", Value::from(s.ingest.samples as f64)),
+                    ("tail_cache_hits", Value::from(s.tail_cache.hits as f64)),
+                    ("tail_cache_misses", Value::from(s.tail_cache.misses as f64)),
                     ("routed_batches", Value::from(s.routed_batches as f64)),
                 ])
             })

@@ -9,7 +9,8 @@
 //! model infers the step from the median gap and indexes seasons by
 //! position, so short gaps degrade gracefully.
 
-use crate::{clean, DataPoint, ForecastError, ForecastPoint, Forecaster};
+use crate::streaming::GapStats;
+use crate::{clean, DataPoint, ForecastError, ForecastPoint, Forecaster, UpdateOutcome};
 
 /// Holt-Winters configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +28,7 @@ pub struct HoltWintersConfig {
 #[derive(Debug, Clone)]
 pub struct HoltWinters {
     config: HoltWintersConfig,
+    checkpoint: Option<HwCheckpoint>,
     fitted: Option<FittedHw>,
 }
 
@@ -42,11 +44,32 @@ struct FittedHw {
     sigma: f64,
 }
 
+/// Checkpointed smoothing state so [`Forecaster::update`] can continue
+/// the recurrence over appended points instead of re-running it from the
+/// start of history.
+///
+/// With the smoothing parameters held fixed the continuation performs the
+/// exact operations a batch re-fit would, so the result is bitwise
+/// identical. Grid-searched parameters are frozen at their last
+/// fit-time values on update (a batch re-fit may re-search and pick
+/// different ones — the tolerance-bounded case).
+#[derive(Debug, Clone)]
+struct HwCheckpoint {
+    /// Smoothing parameters in effect (fixed or last grid-search winner).
+    params: (f64, f64, f64),
+    sse: f64,
+    /// One-step forecasts scored so far (`values.len() - m`).
+    n_forecasts: usize,
+    gaps: GapStats,
+    last_ts: i64,
+}
+
 impl HoltWinters {
     /// Creates a model with the given config.
     pub fn new(config: HoltWintersConfig) -> Self {
         Self {
             config,
+            checkpoint: None,
             fitted: None,
         }
     }
@@ -153,24 +176,73 @@ impl Forecaster for HoltWinters {
         };
 
         // Median inter-sample gap as the forecasting step.
-        let mut gaps: Vec<i64> = data
-            .windows(2)
-            .map(|w| w[1].ts - w[0].ts)
-            .filter(|g| *g > 0)
-            .collect();
-        gaps.sort_unstable();
-        let step_ms = gaps.get(gaps.len() / 2).copied().unwrap_or(60_000).max(1);
+        let mut gaps = GapStats::new();
+        for w in data.windows(2) {
+            gaps.record(w[1].ts - w[0].ts);
+        }
+        let step_ms = gaps.median().unwrap_or(60_000).max(1);
+        let last_ts = data.last().expect("non-empty").ts;
 
+        self.checkpoint = Some(HwCheckpoint {
+            params,
+            sse,
+            n_forecasts: n,
+            gaps,
+            last_ts,
+        });
         self.fitted = Some(FittedHw {
             level,
             trend,
             season,
             next_season_idx: values.len() % m,
-            last_ts: data.last().expect("non-empty").ts,
+            last_ts,
             step_ms,
             sigma,
         });
         Ok(())
+    }
+
+    fn update(&mut self, new_points: &[DataPoint]) -> Result<UpdateOutcome, ForecastError> {
+        let (Some(ck), Some(fitted)) = (self.checkpoint.as_mut(), self.fitted.as_mut()) else {
+            return Ok(UpdateOutcome::FullRefitNeeded);
+        };
+        let mut pts = clean(new_points);
+        pts.sort_by_key(|p| p.ts);
+        if pts.is_empty() {
+            return Ok(UpdateOutcome::Incremental);
+        }
+        if pts[0].ts <= ck.last_ts {
+            return Ok(UpdateOutcome::FullRefitNeeded);
+        }
+        // Continue the smoothing recurrence exactly where `fit` left off —
+        // the same operations `smooth` would perform on the extended
+        // series, since every appended index is past the initialisation
+        // window.
+        let m = fitted.season.len();
+        let (alpha, beta, gamma) = ck.params;
+        for p in &pts {
+            ck.gaps.record(p.ts - ck.last_ts);
+            ck.last_ts = p.ts;
+            let s_idx = fitted.next_season_idx;
+            let forecast = fitted.level + fitted.trend + fitted.season[s_idx];
+            let err = p.y - forecast;
+            ck.sse += err * err;
+            ck.n_forecasts += 1;
+            let new_level = alpha * (p.y - fitted.season[s_idx])
+                + (1.0 - alpha) * (fitted.level + fitted.trend);
+            fitted.trend = beta * (new_level - fitted.level) + (1.0 - beta) * fitted.trend;
+            fitted.season[s_idx] = gamma * (p.y - new_level) + (1.0 - gamma) * fitted.season[s_idx];
+            fitted.level = new_level;
+            fitted.next_season_idx = (s_idx + 1) % m;
+        }
+        fitted.last_ts = ck.last_ts;
+        fitted.step_ms = ck.gaps.median().unwrap_or(60_000).max(1);
+        fitted.sigma = if ck.n_forecasts > 1 {
+            (ck.sse / (ck.n_forecasts - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Ok(UpdateOutcome::Incremental)
     }
 
     fn predict(&self, timestamps: &[i64]) -> Result<Vec<ForecastPoint>, ForecastError> {
@@ -332,5 +404,72 @@ mod tests {
     fn predict_before_fit_errors() {
         let hw = fixed(4);
         assert!(hw.predict(&[0]).is_err());
+    }
+
+    #[test]
+    fn incremental_update_matches_batch_exactly_with_fixed_params() {
+        let m = 24;
+        let hist = seasonal_series(10, m);
+        for split in [2 * m, 5 * m + 7, 10 * m - 1] {
+            let mut incremental = fixed(m);
+            incremental.fit(&hist[..split]).unwrap();
+            assert_eq!(
+                incremental.update(&hist[split..]).unwrap(),
+                UpdateOutcome::Incremental
+            );
+            let mut batch = fixed(m);
+            batch.fit(&hist).unwrap();
+            let (fi, fb) = (
+                incremental.fitted.as_ref().unwrap(),
+                batch.fitted.as_ref().unwrap(),
+            );
+            assert_eq!(fi.level.to_bits(), fb.level.to_bits(), "split {split}");
+            assert_eq!(fi.trend.to_bits(), fb.trend.to_bits(), "split {split}");
+            assert_eq!(fi.sigma.to_bits(), fb.sigma.to_bits(), "split {split}");
+            assert_eq!(fi.next_season_idx, fb.next_season_idx);
+            assert_eq!(fi.step_ms, fb.step_ms);
+            assert_eq!(fi.last_ts, fb.last_ts);
+            for (a, b) in fi.season.iter().zip(&fb.season) {
+                assert_eq!(a.to_bits(), b.to_bits(), "split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_searched_update_freezes_params() {
+        let m = 12;
+        let hist = seasonal_series(6, m);
+        let mut hw = HoltWinters::new(HoltWintersConfig {
+            season_length: m,
+            params: None,
+            interval_width: 0.9,
+        });
+        hw.fit(&hist[..5 * m]).unwrap();
+        let params = hw.checkpoint.as_ref().unwrap().params;
+        assert_eq!(
+            hw.update(&hist[5 * m..]).unwrap(),
+            UpdateOutcome::Incremental
+        );
+        assert_eq!(hw.checkpoint.as_ref().unwrap().params, params);
+        // Still forecasts the periodic structure sensibly.
+        let fut = future_timestamps(&hist, 5, MINUTE);
+        for p in hw.predict(&fut).unwrap() {
+            assert!((p.yhat - 100.0).abs() < 30.0);
+        }
+    }
+
+    #[test]
+    fn update_fallbacks() {
+        let m = 8;
+        let mut hw = fixed(m);
+        assert_eq!(
+            hw.update(&[DataPoint::new(0, 1.0)]).unwrap(),
+            UpdateOutcome::FullRefitNeeded
+        );
+        let hist = seasonal_series(4, m);
+        hw.fit(&hist).unwrap();
+        let stale = DataPoint::new(hist[3].ts, 5.0);
+        assert_eq!(hw.update(&[stale]).unwrap(), UpdateOutcome::FullRefitNeeded);
+        assert_eq!(hw.update(&[]).unwrap(), UpdateOutcome::Incremental);
     }
 }

@@ -6,7 +6,8 @@
 //! forecasts a constant level (the chosen statistic of the training
 //! window) with quantile-based uncertainty bounds.
 
-use crate::{clean, DataPoint, ForecastError, ForecastPoint, Forecaster};
+use crate::streaming::KahanSum;
+use crate::{clean, DataPoint, ForecastError, ForecastPoint, Forecaster, UpdateOutcome};
 
 /// Which statistic of the history becomes the point forecast.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +27,7 @@ pub struct StatsSummaryModel {
     statistic: SummaryStatistic,
     /// Central coverage of the uncertainty interval.
     interval_width: f64,
+    stats: Option<SummaryStats>,
     fitted: Option<FittedSummary>,
 }
 
@@ -36,6 +38,32 @@ struct FittedSummary {
     upper: f64,
 }
 
+/// Streaming moment/order statistics: a compensated mean accumulator
+/// (pushed in timestamp order, so batch and incremental sums are bitwise
+/// identical) plus a maintained sorted-value vector for quantiles.
+#[derive(Debug, Clone)]
+struct SummaryStats {
+    sum: KahanSum,
+    n: usize,
+    /// All values, sorted ascending; new values binary-insert in O(log n)
+    /// search + shift.
+    sorted: Vec<f64>,
+    last_ts: i64,
+}
+
+impl SummaryStats {
+    fn push_sum(&mut self, ts: i64, y: f64) {
+        self.sum.add(y);
+        self.n += 1;
+        self.last_ts = ts;
+    }
+
+    fn insert_sorted(&mut self, y: f64) {
+        let idx = self.sorted.partition_point(|v| *v < y);
+        self.sorted.insert(idx, y);
+    }
+}
+
 impl StatsSummaryModel {
     /// Creates a model forecasting `statistic` with `interval_width`
     /// central quantile coverage (e.g. `0.9`).
@@ -43,8 +71,25 @@ impl StatsSummaryModel {
         Self {
             statistic,
             interval_width,
+            stats: None,
             fitted: None,
         }
+    }
+
+    /// Rebuilds the fitted summary from the accumulated statistics.
+    fn refresh(&mut self) {
+        let stats = self.stats.as_ref().expect("refresh requires stats");
+        let level = match self.statistic {
+            SummaryStatistic::Mean => stats.sum.value() / stats.n as f64,
+            SummaryStatistic::Median => quantile(&stats.sorted, 0.5),
+            SummaryStatistic::Quantile(q) => quantile(&stats.sorted, q),
+        };
+        let tail = (1.0 - self.interval_width) / 2.0;
+        self.fitted = Some(FittedSummary {
+            level,
+            lower: quantile(&stats.sorted, tail),
+            upper: quantile(&stats.sorted, 1.0 - tail),
+        });
     }
 
     /// Mean forecast with a 90 % interval.
@@ -90,20 +135,45 @@ impl Forecaster for StatsSummaryModel {
                 )));
             }
         }
-        let mut values: Vec<f64> = data.iter().map(|p| p.y).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("cleaned values are finite"));
-        let level = match self.statistic {
-            SummaryStatistic::Mean => values.iter().sum::<f64>() / values.len() as f64,
-            SummaryStatistic::Median => quantile(&values, 0.5),
-            SummaryStatistic::Quantile(q) => quantile(&values, q),
+        // Accumulate the mean in timestamp order — the same order an
+        // incremental update sees the points in — so batch and
+        // incremental sums are bitwise identical.
+        let mut data = data;
+        data.sort_by_key(|p| p.ts);
+        let mut sorted: Vec<f64> = data.iter().map(|p| p.y).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("cleaned values are finite"));
+        let mut stats = SummaryStats {
+            sum: KahanSum::new(),
+            n: 0,
+            sorted,
+            last_ts: 0,
         };
-        let tail = (1.0 - self.interval_width) / 2.0;
-        self.fitted = Some(FittedSummary {
-            level,
-            lower: quantile(&values, tail),
-            upper: quantile(&values, 1.0 - tail),
-        });
+        for p in &data {
+            stats.push_sum(p.ts, p.y);
+        }
+        self.stats = Some(stats);
+        self.refresh();
         Ok(())
+    }
+
+    fn update(&mut self, new_points: &[DataPoint]) -> Result<UpdateOutcome, ForecastError> {
+        let Some(stats) = self.stats.as_mut() else {
+            return Ok(UpdateOutcome::FullRefitNeeded);
+        };
+        let mut pts = clean(new_points);
+        pts.sort_by_key(|p| p.ts);
+        if pts.is_empty() {
+            return Ok(UpdateOutcome::Incremental);
+        }
+        if pts[0].ts <= stats.last_ts {
+            return Ok(UpdateOutcome::FullRefitNeeded);
+        }
+        for p in &pts {
+            stats.push_sum(p.ts, p.y);
+            stats.insert_sorted(p.y);
+        }
+        self.refresh();
+        Ok(UpdateOutcome::Incremental)
     }
 
     fn predict(&self, timestamps: &[i64]) -> Result<Vec<ForecastPoint>, ForecastError> {
@@ -207,5 +277,55 @@ mod tests {
     fn predict_before_fit_errors() {
         let m = StatsSummaryModel::mean();
         assert!(m.predict(&[0]).is_err());
+    }
+
+    #[test]
+    fn incremental_update_matches_batch_exactly() {
+        let values: Vec<f64> = (0..500)
+            .map(|i| 100.0 + ((i * 2654435761u64 as usize) % 97) as f64 * 0.37)
+            .collect();
+        let hist = series(&values);
+        for statistic in [
+            SummaryStatistic::Mean,
+            SummaryStatistic::Median,
+            SummaryStatistic::Quantile(0.95),
+        ] {
+            for split in [1, 250, 499] {
+                let mut incremental = StatsSummaryModel::new(statistic, 0.8);
+                incremental.fit(&hist[..split]).unwrap();
+                assert_eq!(
+                    incremental.update(&hist[split..]).unwrap(),
+                    UpdateOutcome::Incremental
+                );
+                let mut batch = StatsSummaryModel::new(statistic, 0.8);
+                batch.fit(&hist).unwrap();
+                let (fi, fb) = (incremental.fitted.unwrap(), batch.fitted.unwrap());
+                assert_eq!(fi.level.to_bits(), fb.level.to_bits(), "split {split}");
+                assert_eq!(fi.lower.to_bits(), fb.lower.to_bits(), "split {split}");
+                assert_eq!(fi.upper.to_bits(), fb.upper.to_bits(), "split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_fallbacks() {
+        let mut m = StatsSummaryModel::mean();
+        assert_eq!(
+            m.update(&[DataPoint::new(0, 1.0)]).unwrap(),
+            UpdateOutcome::FullRefitNeeded
+        );
+        m.fit(&series(&[1.0, 2.0, 3.0])).unwrap();
+        // Not strictly newer than the fitted history → refuse.
+        assert_eq!(
+            m.update(&[DataPoint::new(60_000, 9.0)]).unwrap(),
+            UpdateOutcome::FullRefitNeeded
+        );
+        assert_eq!(m.predict(&[0]).unwrap()[0].yhat, 2.0);
+        // Strictly newer → absorbed.
+        assert_eq!(
+            m.update(&[DataPoint::new(180_000, 6.0)]).unwrap(),
+            UpdateOutcome::Incremental
+        );
+        assert_eq!(m.predict(&[0]).unwrap()[0].yhat, 3.0);
     }
 }

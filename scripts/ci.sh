@@ -17,7 +17,7 @@ cargo build --release
 echo "==> cargo build --examples"
 cargo build --examples
 
-echo "==> cargo bench --no-run (compile-gate bench code, incl. diurnal event + fleet_scale)"
+echo "==> cargo bench --no-run (compile-gate bench code, incl. diurnal event, fleet_scale + model_fit)"
 cargo bench --no-run
 
 echo "==> cargo test -q (tier-1)"
@@ -51,6 +51,16 @@ CALADRIUS_THREADS=1 cargo test -q --test fleet_scale
 echo "==> CALADRIUS_THREADS=1 plan cache + warm-start equivalence"
 CALADRIUS_THREADS=1 cargo test -q --test plan_cache
 CALADRIUS_THREADS=1 cargo test -q -p caladrius-planner
+
+# Incremental model refitting: the forecast package carries the
+# incremental == batch proptests over random append schedules; the core
+# service suite carries the delta-aware model cache (bitwise component
+# equivalence, truncation/retention/re-anchor full-refit regressions).
+# Single-threaded so the fit fan-out cannot mask ordering dependencies
+# in the streaming accumulators.
+echo "==> CALADRIUS_THREADS=1 incremental-refit equivalence"
+CALADRIUS_THREADS=1 cargo test -q -p caladrius-forecast --test incremental_equivalence
+CALADRIUS_THREADS=1 cargo test -q -p caladrius-core --lib
 
 echo "==> observability smoke (scrape /metrics/service)"
 cargo run --release --example obs_smoke

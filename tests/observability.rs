@@ -133,11 +133,36 @@ fn metrics_service_covers_every_instrumented_layer() {
 
     // Service tier: model fits and cache traffic from the evaluations.
     assert!(scrape(&text, &["caladrius_model_fits_total"]).unwrap() >= 1.0);
+    // Single-watermark evaluations fit cold, so every fit is a full fit.
+    assert!(scrape(&text, &["caladrius_model_fits_full_total"]).unwrap() >= 1.0);
+    assert!(scrape(&text, &["caladrius_model_fits_incremental_total"]).is_some());
     assert!(scrape(&text, &["caladrius_evaluate_duration_seconds_count"]).unwrap() >= 2.0);
 
-    // Data tier: the simulator legs were ingested through the tsdb.
+    // Data tier: the simulator legs were ingested through the tsdb, and
+    // the decoded-tail cache counters are exposed (cold fits read full
+    // windows, so only presence — not traffic — is guaranteed here).
     assert!(scrape(&text, &["caladrius_tsdb_ingest_samples_total"]).unwrap() > 0.0);
     assert!(scrape(&text, &["caladrius_tsdb_ingest_batch_size_count"]).unwrap() > 0.0);
+    assert!(scrape(&text, &["caladrius_tsdb_tail_cache_hits_total"]).is_some());
+    assert!(scrape(&text, &["caladrius_tsdb_tail_cache_misses_total"]).is_some());
+
+    // The /health JSON mirrors the same counters.
+    let (status, health) = client.get("/health").unwrap();
+    assert_eq!(status, 200);
+    let health = json::parse(&health).unwrap();
+    let model_cache = health.get("model_cache").unwrap();
+    assert!(model_cache.get("full_fits").unwrap().as_f64().unwrap() >= 1.0);
+    assert_eq!(
+        model_cache
+            .get("incremental_fits")
+            .unwrap()
+            .as_f64()
+            .unwrap(),
+        0.0
+    );
+    let tsdb = health.get("tsdb").unwrap();
+    assert!(tsdb.get("tail_cache_hits").unwrap().as_f64().is_some());
+    assert!(tsdb.get("tail_cache_misses").unwrap().as_f64().is_some());
 
     // Simulator: per-minute step timing recorded while seeding metrics.
     assert!(scrape(&text, &["caladrius_sim_minute_duration_seconds_count"]).unwrap() > 0.0);
